@@ -1,0 +1,52 @@
+//! eRPC-like user-space networking model (Kalia et al., NSDI'19).
+//!
+//! eRPC shows datacenter RPCs "can be general and fast" on commodity
+//! lossy Ethernet by driving the NIC from user space through raw driver
+//! APIs, with careful doorbell batching and zero-copy buffers — the best
+//! software baseline in Table 3: 4.96 Mrps/core of 32 B RPCs at 2.3 µs RTT.
+//! Still a PCIe peripheral: the per-request doorbell/descriptor work and the
+//! DMA hop remain.
+
+use dagger_sim::interconnect::NicProfile;
+
+/// The modeled cost profile.
+///
+/// * ~180 ns per-request core work (request serialization, descriptor ring,
+///   amortized doorbells) + ~21 ns recv polling → ≈4.97 Mrps/core;
+/// * lighter PCIe path than FaSST (driver bypass, DDIO): ≈330 ns out,
+///   ≈190 ns back → ≈2.3 µs RTT with a 0.3 µs ToR.
+pub fn profile() -> NicProfile {
+    NicProfile {
+        name: "eRPC",
+        cpu_base_ns: 180.0,
+        cpu_per_batch_ns: 0.0,
+        nic_fetch_per_req_ns: 8.1,
+        nic_fetch_per_batch_ns: 40.0,
+        lat_cpu_to_nic_ns: 330,
+        lat_nic_to_cpu_ns: 190,
+        nic_pipeline_lat_ns: 50,
+        nic_pipeline_svc_ns: 5.0,
+        recv_poll_ns: 21.0,
+        endpoint_svc_ns: 0.0,
+        supports_batching: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_throughput_matches_table3() {
+        let thr = profile().saturation_mrps(1, 0.0);
+        assert!((4.5..5.4).contains(&thr), "eRPC per-core {thr} Mrps");
+    }
+
+    #[test]
+    fn fastest_software_baseline() {
+        let erpc = profile().saturation_mrps(1, 0.0);
+        let fasst = crate::fasst::profile().saturation_mrps(1, 0.0);
+        let ix = crate::ix::profile().saturation_mrps(1, 0.0);
+        assert!(erpc > fasst && fasst > ix);
+    }
+}

@@ -1,0 +1,52 @@
+//! IX-like protected-dataplane model (Belay et al., OSDI'14).
+//!
+//! IX keeps TCP/IP in a protected kernel dataplane: every batch of packets
+//! crosses a protection-domain boundary, and the full TCP/IP + event-loop
+//! processing runs on the host core. Per Table 3 it delivers 1.5 Mrps of
+//! 64 B messages per core at 11.4 µs RTT — an order of magnitude more
+//! per-request CPU work than user-space stacks, and several µs of stack
+//! traversal latency in each direction.
+
+use dagger_sim::interconnect::NicProfile;
+
+/// The modeled cost profile.
+///
+/// * ~660 ns of per-request core occupancy (TCP/IP processing + protection
+///   domain crossings) → ≈1.5 Mrps/core;
+/// * ~4 µs of in-kernel stack traversal before the wire in each direction →
+///   ≈11.4 µs RTT with a 0.3 µs ToR.
+pub fn profile() -> NicProfile {
+    NicProfile {
+        name: "IX",
+        cpu_base_ns: 610.0,
+        cpu_per_batch_ns: 0.0,
+        nic_fetch_per_req_ns: 8.1,
+        nic_fetch_per_batch_ns: 40.0,
+        lat_cpu_to_nic_ns: 3_900,
+        lat_nic_to_cpu_ns: 500,
+        nic_pipeline_lat_ns: 150,
+        nic_pipeline_svc_ns: 5.0,
+        recv_poll_ns: 50.0,
+        endpoint_svc_ns: 0.0,
+        supports_batching: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_throughput_matches_table3() {
+        let thr = profile().saturation_mrps(1, 0.0);
+        assert!((1.3..1.7).contains(&thr), "IX per-core {thr} Mrps");
+    }
+
+    #[test]
+    fn one_way_latency_dominates_dagger() {
+        let ix = profile().one_way_base_ns(300);
+        let dagger = dagger_sim::interconnect::profile_for(dagger_types::IfaceKind::Upi)
+            .one_way_base_ns(300);
+        assert!(ix > 4 * dagger, "IX {ix} vs Dagger {dagger}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Baseline RPC platforms Dagger is compared against (Table 3).
+//!
+//! The paper compares per-core RPC throughput and median RTT against four
+//! systems, quoting their published numbers (Table 3, footnote 1). We
+//! instead *re-derive* each system from a first-principles cost model of its
+//! data path, run through the same simulator as Dagger, so the Table 3
+//! ordering and factors are endogenous to the reproduction rather than
+//! transcribed:
+//!
+//! * [`ix`] — IX (OSDI'14): protected dataplane kernel, per-packet syscalls
+//!   amortized by run-to-completion batching; the slowest per-core path.
+//! * [`fasst`] — FaSST (OSDI'16): two-sided RDMA UD datagram RPCs over a
+//!   specialized adapter with doorbell batching.
+//! * [`erpc`] — eRPC (NSDI'19): user-space networking over raw NIC driver
+//!   APIs, the fastest software stack.
+//! * [`netdimm`] — NetDIMM (MICRO'19): an ASIC NIC integrated into DIMM
+//!   hardware; near-memory like Dagger but fixed-function and message-level
+//!   only (no RPC stack).
+//!
+//! [`sw_loopback`] additionally provides a *real* (not modeled) kernel-TCP
+//! RPC stack over localhost, used by the examples for a functional
+//! comparison on live threads.
+
+pub mod erpc;
+pub mod fasst;
+pub mod ix;
+pub mod netdimm;
+pub mod sw_loopback;
+
+use dagger_sim::interconnect::NicProfile;
+
+/// All modeled baselines plus Dagger, in Table 3 column order:
+/// `(name, profile, batch size B)`.
+pub fn table3_platforms() -> Vec<(&'static str, NicProfile, u32)> {
+    vec![
+        ("IX", ix::profile(), 1),
+        ("FaSST", fasst::profile(), 1),
+        ("eRPC", erpc::profile(), 1),
+        ("NetDIMM", netdimm::profile(), 1),
+        (
+            "Dagger",
+            dagger_sim::interconnect::profile_for(dagger_types::IfaceKind::Upi),
+            4,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagger_sim::rpcsim::{FabricSpec, RpcFabricSim};
+
+    fn rtt_us(profile: NicProfile, b: u32, tor_ns: u64) -> f64 {
+        let mut spec = FabricSpec::dagger_echo(profile, b);
+        spec.tor_ns = tor_ns;
+        RpcFabricSim::new(spec).measure_rtt_us(1)
+    }
+
+    fn sat_mrps(profile: NicProfile, b: u32) -> f64 {
+        let spec = FabricSpec::dagger_echo(profile, b);
+        RpcFabricSim::new(spec).find_saturation_mrps(1, 40_000)
+    }
+
+    #[test]
+    fn table3_rtt_ordering_and_bands() {
+        // Paper: IX 11.4, FaSST 2.8, eRPC 2.3, NetDIMM 2.2 (0.1 µs ToR),
+        // Dagger 2.1 µs.
+        let ix = rtt_us(ix::profile(), 1, 300);
+        let fasst = rtt_us(fasst::profile(), 1, 300);
+        let erpc = rtt_us(erpc::profile(), 1, 300);
+        let netdimm = rtt_us(netdimm::profile(), 1, 100);
+        let dagger = rtt_us(
+            dagger_sim::interconnect::profile_for(dagger_types::IfaceKind::Upi),
+            1,
+            300,
+        );
+        assert!((9.0..14.0).contains(&ix), "IX RTT {ix}");
+        assert!((2.3..3.4).contains(&fasst), "FaSST RTT {fasst}");
+        assert!((1.9..2.8).contains(&erpc), "eRPC RTT {erpc}");
+        assert!((1.8..2.7).contains(&netdimm), "NetDIMM RTT {netdimm}");
+        assert!(ix > fasst && fasst > erpc, "ordering");
+        assert!(dagger < fasst, "Dagger beats FaSST: {dagger} vs {fasst}");
+    }
+
+    #[test]
+    fn table3_throughput_ordering_and_bands() {
+        // Paper: IX 1.5, FaSST 4.8, eRPC 4.96, Dagger 12.4 Mrps.
+        let ix = sat_mrps(ix::profile(), 1);
+        let fasst = sat_mrps(fasst::profile(), 1);
+        let erpc = sat_mrps(erpc::profile(), 1);
+        let dagger = sat_mrps(
+            dagger_sim::interconnect::profile_for(dagger_types::IfaceKind::Upi),
+            4,
+        );
+        assert!((1.2..1.9).contains(&ix), "IX {ix}");
+        assert!((4.2..5.5).contains(&fasst), "FaSST {fasst}");
+        assert!((4.3..5.7).contains(&erpc), "eRPC {erpc}");
+        assert!((10.5..14.0).contains(&dagger), "Dagger {dagger}");
+        // The headline claim: 1.3-3.8x per-core over FaSST/eRPC and far
+        // beyond IX.
+        assert!(dagger / erpc > 1.5 && dagger / erpc < 3.8);
+        assert!(dagger / fasst > 1.5 && dagger / fasst < 3.8);
+        assert!(dagger / ix > 5.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! NetDIMM-like in-memory integrated NIC model (Alian & Kim, MICRO'19).
+//!
+//! NetDIMM physically integrates a NIC into DIMM hardware: network data is
+//! placed directly in main memory with no PCIe hop at all. It is the
+//! closest point of comparison to Dagger's near-memory coupling — but it is
+//! a fixed-function ASIC, delivers raw 64 B *messages* (no RPC stack), and
+//! Table 3 assumes a 0.1 µs ToR for it. RTT 2.2 µs; per-core throughput not
+//! reported (its evaluation is simulation-based).
+
+use dagger_sim::interconnect::NicProfile;
+
+/// The modeled cost profile.
+///
+/// * Message interface only: a bare memory write (~60 ns) per message and a
+///   ~25 ns poll — per-core throughput is high but not the paper's metric;
+/// * in-DIMM placement: ~330 ns each way between the core and the in-DIMM
+///   NIC logic (a memory-channel transaction plus NIC-side buffering) →
+///   ≈2.2 µs RTT with NetDIMM's 0.1 µs ToR.
+pub fn profile() -> NicProfile {
+    NicProfile {
+        name: "NetDIMM",
+        cpu_base_ns: 60.0,
+        cpu_per_batch_ns: 0.0,
+        nic_fetch_per_req_ns: 70.0,
+        nic_fetch_per_batch_ns: 50.0,
+        lat_cpu_to_nic_ns: 330,
+        lat_nic_to_cpu_ns: 330,
+        nic_pipeline_lat_ns: 120,
+        nic_pipeline_svc_ns: 5.0,
+        recv_poll_ns: 25.0,
+        endpoint_svc_ns: 0.0,
+        supports_batching: false,
+    }
+}
+
+/// The ToR delay NetDIMM's evaluation assumes (Table 3).
+pub const NETDIMM_TOR_NS: u64 = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_memory_latency_is_low() {
+        let one_way = profile().one_way_base_ns(NETDIMM_TOR_NS);
+        // ≈1 µs per direction → ≈2.2 µs RTT once service times and polling
+        // are added by the simulator.
+        assert!((900..1200).contains(&one_way), "one way {one_way}");
+    }
+
+    #[test]
+    fn no_rpc_stack_means_message_interface() {
+        // NetDIMM delivers messages, not RPCs; its profile has no doorbell
+        // or batching machinery.
+        let p = profile();
+        assert_eq!(p.cpu_per_batch_ns, 0.0);
+        assert!(!p.supports_batching);
+    }
+}

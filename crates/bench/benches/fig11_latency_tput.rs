@@ -1,0 +1,46 @@
+//! Fig. 11 (left) — latency–throughput curves for single-core asynchronous
+//! 64 B RPCs at CCI-P batch sizes B ∈ {1, 2, 4, auto}.
+
+use dagger_bench::{banner, paper_ref};
+use dagger_sim::interconnect::profile_for;
+use dagger_sim::rpcsim::{BatchPolicy, FabricSpec, RpcFabricSim};
+use dagger_types::IfaceKind;
+
+fn main() {
+    banner(
+        "Fig. 11 (left)",
+        "latency vs throughput, single core, 64 B RPCs, B in {1,2,4,auto}",
+    );
+    let configs: [(&str, BatchPolicy); 4] = [
+        ("B=1", BatchPolicy::fixed(1)),
+        ("B=2", BatchPolicy::fixed(2)),
+        ("B=4", BatchPolicy::fixed(4)),
+        ("B=auto", BatchPolicy::auto()),
+    ];
+    let loads = [1.0, 2.0, 4.0, 6.0, 7.0, 8.0, 10.0, 11.0, 12.0];
+    print!("{:<10}", "load Mrps");
+    for (label, _) in &configs {
+        print!(" {:>12}", format!("{label} p50us"));
+    }
+    println!();
+    for load in loads {
+        print!("{load:<10}");
+        for (_, batch) in &configs {
+            let mut spec = FabricSpec::dagger_echo(profile_for(IfaceKind::Upi), batch.size);
+            spec.batch = *batch;
+            let sim = RpcFabricSim::new(spec);
+            let report = sim.run(load, 60_000, 1);
+            // Past saturation the delivered rate stalls; mark with '-'.
+            if report.delivered_mrps < 0.97 * load || report.drop_rate() > 0.01 {
+                print!(" {:>12}", "-");
+            } else {
+                print!(" {:>12.2}", report.rtt.p50_us());
+            }
+        }
+        println!();
+    }
+    paper_ref(
+        "B=1: flat 1.8 us to 7.2 Mrps; B=4: 12.4 Mrps at 2.8 us with elevated low-load \
+         latency (batch fill); auto tracks B=1 at low load and B=4 at high load",
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 12 — memcached and MICA over Dagger: request latency and
+//! single-core throughput for the tiny (8 B/8 B) and small (16 B/32 B)
+//! datasets, write-intensive (50% GET) and read-intensive (95% GET) mixes,
+//! Zipf 0.99 — plus the §5.6 high-skew (0.9999) MICA runs.
+
+use dagger_bench::{banner, paper_ref};
+use dagger_kvs::timing::{handler_model, KvsSystem};
+use dagger_sim::interconnect::profile_for;
+use dagger_sim::rpcsim::{FabricSpec, RpcFabricSim};
+use dagger_types::IfaceKind;
+
+fn kvs_spec(system: KvsSystem, get_fraction: f64, skew: f64) -> FabricSpec {
+    let mut spec = FabricSpec::dagger_echo(profile_for(IfaceKind::Upi), 4);
+    spec.handler = handler_model(system, get_fraction, skew);
+    spec
+}
+
+fn main() {
+    banner(
+        "Fig. 12",
+        "memcached / MICA over Dagger: latency (50% GET) and throughput (both mixes)",
+    );
+    // Latency panel: write-intensive workload at the store's sustainable
+    // load, like the paper (§5.6 measures latency under 50/50).
+    println!(
+        "{:<12} {:>10} {:>10}   paper (p50/p99 us)",
+        "system", "p50 us", "p99 us"
+    );
+    let latency_rows: [(&str, KvsSystem, (f64, f64)); 4] = [
+        ("mcd-tiny", KvsSystem::Memcached, (2.8, 6.9)),
+        ("mcd-small", KvsSystem::Memcached, (3.2, 7.8)),
+        ("mica-tiny", KvsSystem::Mica, (3.4, 5.4)),
+        ("mica-small", KvsSystem::Mica, (3.5, 5.7)),
+    ];
+    for (label, system, (p50, p99)) in latency_rows {
+        // Latency at the paper's reported operating loads (≈half the
+        // store's ceiling) with load-adaptive batching, which is what the
+        // soft-reconfiguration unit would run.
+        let mut spec = kvs_spec(system, 0.5, 0.99);
+        spec.batch = dagger_sim::rpcsim::BatchPolicy::auto();
+        let sim = RpcFabricSim::new(spec);
+        let sat = sim.find_saturation_mrps(1, 40_000);
+        let report = sim.run(0.5 * sat, 40_000, 1);
+        println!(
+            "{label:<12} {:>10.1} {:>10.1}   ({p50}/{p99})",
+            report.rtt.p50_us(),
+            report.rtt.p99_us()
+        );
+    }
+
+    println!(
+        "\n{:<12} {:>14} {:>14}   paper (50%/95% GET Mrps)",
+        "system", "50% GET Mrps", "95% GET Mrps"
+    );
+    let thr_rows: [(&str, KvsSystem, f64, (f64, f64)); 4] = [
+        ("mcd-tiny", KvsSystem::Memcached, 0.99, (0.6, 1.5)),
+        ("mcd-small", KvsSystem::Memcached, 0.99, (0.6, 1.5)),
+        ("mica-tiny", KvsSystem::Mica, 0.99, (4.7, 5.2)),
+        ("mica-small", KvsSystem::Mica, 0.99, (4.3, 5.0)),
+    ];
+    for (label, system, skew, (p_w, p_r)) in thr_rows {
+        let write = RpcFabricSim::new(kvs_spec(system, 0.5, skew))
+            .find_saturation_mrps(1, 40_000);
+        let read = RpcFabricSim::new(kvs_spec(system, 0.95, skew))
+            .find_saturation_mrps(1, 40_000);
+        println!("{label:<12} {write:>14.1} {read:>14.1}   ({p_w}/{p_r})");
+    }
+
+    // §5.6 text: MICA at skew 0.9999 — better locality, higher throughput.
+    println!("\nMICA at Zipf skew 0.9999 (paper: 10.2 read / 9.8 write Mrps):");
+    let hot_read =
+        RpcFabricSim::new(kvs_spec(KvsSystem::Mica, 0.95, 0.9999)).find_saturation_mrps(1, 40_000);
+    let hot_write =
+        RpcFabricSim::new(kvs_spec(KvsSystem::Mica, 0.5, 0.9999)).find_saturation_mrps(1, 40_000);
+    println!("  read-intensive  {hot_read:.1} Mrps");
+    println!("  write-intensive {hot_write:.1} Mrps");
+
+    paper_ref(
+        "both systems remain store-bottlenecked (Dagger's fabric sustains 12.4 Mrps); \
+         mcd ~0.6-1.5 Mrps, MICA ~4.3-5.2 Mrps, approaching fabric limits at skew 0.9999",
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig. 15 — latency/load curves for the Flight Registration service with
+//! the Optimized threading model (median / 90th / 99th percentiles).
+
+use dagger_bench::{banner, paper_ref};
+use dagger_services::{FlightSim, FlightSimConfig};
+
+fn main() {
+    banner(
+        "Fig. 15",
+        "Flight Registration latency vs load, Optimized threading",
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "load Krps", "p50 us", "p90 us", "p99 us", "drops %"
+    );
+    let sim = FlightSim::new(FlightSimConfig::optimized());
+    for load in [5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0] {
+        let report = sim.run(load, 40_000, 1);
+        println!(
+            "{load:<12} {:>9.1} {:>9.1} {:>9.1} {:>9.2}",
+            report.e2e.p50_us(),
+            report.e2e.p90_us(),
+            report.e2e.p99_us(),
+            report.drop_rate() * 100.0
+        );
+    }
+    paper_ref(
+        "median stays ~23-26 us across the range; the tail soars sharply past the \
+         saturation point while drops mount (paper saturates ~25-48 Krps)",
+    );
+}

@@ -1,0 +1,43 @@
+//! Table 3 — median RTT and single-core throughput across RPC platforms.
+//!
+//! The paper quotes published numbers for IX, FaSST, eRPC and NetDIMM; we
+//! re-derive all five systems from data-path cost models through the same
+//! simulator (see `dagger-baselines`), with each system's own ToR
+//! assumption (0.3 µs; NetDIMM 0.1 µs).
+
+use dagger_baselines::{netdimm, table3_platforms};
+use dagger_bench::{banner, paper_ref};
+use dagger_sim::rpcsim::{FabricSpec, RpcFabricSim};
+
+fn main() {
+    banner("Table 3", "median RTT and single-core RPC throughput across platforms");
+    println!(
+        "{:<10} {:>10} {:>12}   paper (RTT us / thr Mrps)",
+        "platform", "RTT us", "thr Mrps"
+    );
+    let paper: [(&str, f64, &str); 5] = [
+        ("IX", 11.4, "1.5"),
+        ("FaSST", 2.8, "4.8"),
+        ("eRPC", 2.3, "4.96"),
+        ("NetDIMM", 2.2, "n/a"),
+        ("Dagger", 2.1, "12.4"),
+    ];
+    for ((name, profile, b), (p_name, p_rtt, p_thr)) in
+        table3_platforms().into_iter().zip(paper)
+    {
+        assert_eq!(name, p_name);
+        let mut spec = FabricSpec::dagger_echo(profile, b);
+        if name == "NetDIMM" {
+            spec.tor_ns = netdimm::NETDIMM_TOR_NS;
+        }
+        // RTT at the latency-optimal soft configuration (B=1 — idle-load
+        // batching would only add fill waits); throughput at the
+        // throughput-optimal one.
+        let mut rtt_spec = spec.clone();
+        rtt_spec.batch = dagger_sim::rpcsim::BatchPolicy::fixed(1);
+        let rtt = RpcFabricSim::new(rtt_spec).measure_rtt_us(1);
+        let thr = RpcFabricSim::new(spec).find_saturation_mrps(1, 50_000);
+        println!("{name:<10} {rtt:>10.1} {thr:>12.1}   ({p_rtt} / {p_thr})");
+    }
+    paper_ref("Dagger: lowest RTT and 1.3-3.8x the per-core throughput of FaSST/eRPC");
+}

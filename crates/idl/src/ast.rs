@@ -1,0 +1,130 @@
+//! Abstract syntax of the Dagger IDL.
+
+/// A field's type in the IDL's protobuf-flavoured vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldType {
+    /// `int8` … `int64`.
+    Int(u8),
+    /// `uint8` … `uint64`.
+    Uint(u8),
+    /// `float32` / `float64`.
+    Float(u8),
+    /// `bool`.
+    Bool,
+    /// `char[N]`: a fixed byte array (the paper's `char [32] key`).
+    CharArray(usize),
+    /// `bytes`: a variable-length byte string.
+    Bytes,
+    /// `string`: variable-length UTF-8.
+    Str,
+}
+
+impl FieldType {
+    /// The Rust type this field maps to.
+    pub fn rust_type(&self) -> String {
+        match self {
+            FieldType::Int(bits) => format!("i{bits}"),
+            FieldType::Uint(bits) => format!("u{bits}"),
+            FieldType::Float(bits) => format!("f{bits}"),
+            FieldType::Bool => "bool".to_string(),
+            FieldType::CharArray(n) => format!("[u8; {n}]"),
+            FieldType::Bytes => "Vec<u8>".to_string(),
+            FieldType::Str => "String".to_string(),
+        }
+    }
+}
+
+/// One message field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: FieldType,
+}
+
+/// A `message` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Message name.
+    pub name: String,
+    /// Fields in declaration order (the wire order).
+    pub fields: Vec<Field>,
+}
+
+/// One `rpc` declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rpc {
+    /// Method name.
+    pub name: String,
+    /// Request message name.
+    pub request: String,
+    /// Response message name.
+    pub response: String,
+    /// Assigned function id (explicit `= N`, or positional).
+    pub fn_id: u16,
+}
+
+/// A `service` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Service {
+    /// Service name.
+    pub name: String,
+    /// RPC methods in declaration order.
+    pub rpcs: Vec<Rpc>,
+}
+
+/// A parsed IDL file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ast {
+    /// All message definitions.
+    pub messages: Vec<Message>,
+    /// All service definitions.
+    pub services: Vec<Service>,
+}
+
+impl Ast {
+    /// Looks up a message by name.
+    pub fn message(&self, name: &str) -> Option<&Message> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a service by name.
+    pub fn service(&self, name: &str) -> Option<&Service> {
+        self.services.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rust_type_mapping() {
+        assert_eq!(FieldType::Int(32).rust_type(), "i32");
+        assert_eq!(FieldType::Uint(64).rust_type(), "u64");
+        assert_eq!(FieldType::Float(64).rust_type(), "f64");
+        assert_eq!(FieldType::Bool.rust_type(), "bool");
+        assert_eq!(FieldType::CharArray(32).rust_type(), "[u8; 32]");
+        assert_eq!(FieldType::Bytes.rust_type(), "Vec<u8>");
+        assert_eq!(FieldType::Str.rust_type(), "String");
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let ast = Ast {
+            messages: vec![Message {
+                name: "A".into(),
+                fields: vec![],
+            }],
+            services: vec![Service {
+                name: "S".into(),
+                rpcs: vec![],
+            }],
+        };
+        assert!(ast.message("A").is_some());
+        assert!(ast.message("B").is_none());
+        assert!(ast.service("S").is_some());
+        assert!(ast.service("T").is_none());
+    }
+}

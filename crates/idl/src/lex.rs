@@ -1,0 +1,170 @@
+//! Tokenizer for the Dagger IDL.
+
+use dagger_types::{DaggerError, Result};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`message`, `service`, type names, names).
+    Ident(String),
+    /// An integer literal.
+    Number(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+}
+
+/// Tokenizes IDL source. `//` line comments and whitespace are skipped.
+///
+/// # Errors
+///
+/// Returns [`DaggerError::Config`] on an unexpected character, with line
+/// information.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let value = text.parse::<u64>().map_err(|_| {
+                    DaggerError::Config(format!("line {line}: bad number `{text}`"))
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(DaggerError::Config(format!(
+                    "line {line}: unexpected character `{other}` in IDL"
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_listing1_fragment() {
+        let toks = tokenize("message GetRequest { int32 timestamp; char[32] key; }").unwrap();
+        assert_eq!(toks[0], Token::Ident("message".into()));
+        assert_eq!(toks[1], Token::Ident("GetRequest".into()));
+        assert_eq!(toks[2], Token::LBrace);
+        assert!(toks.contains(&Token::Number(32)));
+        assert_eq!(*toks.last().unwrap(), Token::RBrace);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let toks = tokenize("// a comment\n  foo ; // trailing\nbar").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("foo".into()),
+                Token::Semi,
+                Token::Ident("bar".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = tokenize("message @foo").unwrap_err();
+        assert!(err.to_string().contains('@'));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = tokenize("ok\nok\n$").unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("  \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Recursive-descent parser for the Dagger IDL.
+//!
+//! Grammar (keywords case-insensitive, matching the paper's `Message` /
+//! `Service` capitalization):
+//!
+//! ```text
+//! file    := (message | service)*
+//! message := "message" IDENT "{" field* "}"
+//! field   := type IDENT ";"
+//! type    := "int8".."int64" | "uint8".."uint64" | "float32" | "float64"
+//!          | "bool" | "bytes" | "string" | "char" "[" NUMBER "]"
+//! service := "service" IDENT "{" rpc* "}"
+//! rpc     := "rpc" IDENT "(" IDENT ")" "returns" "(" IDENT ")" ("=" NUMBER)? ";"
+//! ```
+//!
+//! Function ids default to 1-based declaration order within the service.
+
+use dagger_types::{DaggerError, Result};
+
+use crate::ast::{Ast, Field, FieldType, Message, Rpc, Service};
+use crate::lex::{tokenize, Token};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| DaggerError::Config("unexpected end of IDL".to_string()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(DaggerError::Config(format!(
+                "expected {want:?}, found {got:?}"
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(name) => Ok(name),
+            other => Err(DaggerError::Config(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let name = self.ident()?;
+        if name.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(DaggerError::Config(format!(
+                "expected keyword `{kw}`, found `{name}`"
+            )))
+        }
+    }
+
+    fn field_type(&mut self) -> Result<FieldType> {
+        let name = self.ident()?;
+        let ty = match name.to_ascii_lowercase().as_str() {
+            "int8" => FieldType::Int(8),
+            "int16" => FieldType::Int(16),
+            "int32" => FieldType::Int(32),
+            "int64" => FieldType::Int(64),
+            "uint8" => FieldType::Uint(8),
+            "uint16" => FieldType::Uint(16),
+            "uint32" => FieldType::Uint(32),
+            "uint64" => FieldType::Uint(64),
+            "float32" => FieldType::Float(32),
+            "float64" => FieldType::Float(64),
+            "bool" => FieldType::Bool,
+            "bytes" => FieldType::Bytes,
+            "string" => FieldType::Str,
+            "char" => {
+                self.expect(&Token::LBracket)?;
+                let n = match self.next()? {
+                    Token::Number(n) => n as usize,
+                    other => {
+                        return Err(DaggerError::Config(format!(
+                            "expected array length, found {other:?}"
+                        )))
+                    }
+                };
+                self.expect(&Token::RBracket)?;
+                if n == 0 || n > 4096 {
+                    return Err(DaggerError::Config(format!(
+                        "char array length {n} outside 1..=4096"
+                    )));
+                }
+                FieldType::CharArray(n)
+            }
+            other => {
+                return Err(DaggerError::Config(format!("unknown field type `{other}`")));
+            }
+        };
+        Ok(ty)
+    }
+
+    fn message(&mut self) -> Result<Message> {
+        let name = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            let ty = self.field_type()?;
+            let fname = self.ident()?;
+            self.expect(&Token::Semi)?;
+            if fields.iter().any(|f: &Field| f.name == fname) {
+                return Err(DaggerError::Config(format!(
+                    "duplicate field `{fname}` in message `{name}`"
+                )));
+            }
+            fields.push(Field { name: fname, ty });
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(Message { name, fields })
+    }
+
+    fn service(&mut self) -> Result<Service> {
+        let name = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut rpcs: Vec<Rpc> = Vec::new();
+        while self.peek() != Some(&Token::RBrace) {
+            self.keyword("rpc")?;
+            let method = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let request = self.ident()?;
+            self.expect(&Token::RParen)?;
+            self.keyword("returns")?;
+            self.expect(&Token::LParen)?;
+            let response = self.ident()?;
+            self.expect(&Token::RParen)?;
+            let fn_id = if self.peek() == Some(&Token::Eq) {
+                self.next()?;
+                match self.next()? {
+                    Token::Number(n) if n > 0 && n < 0xFFFE => n as u16,
+                    other => {
+                        return Err(DaggerError::Config(format!(
+                            "bad function id {other:?} (must be 1..65533)"
+                        )))
+                    }
+                }
+            } else {
+                (rpcs.len() + 1) as u16
+            };
+            self.expect(&Token::Semi)?;
+            if rpcs.iter().any(|r| r.fn_id == fn_id) {
+                return Err(DaggerError::Config(format!(
+                    "duplicate function id {fn_id} in service `{name}`"
+                )));
+            }
+            rpcs.push(Rpc {
+                name: method,
+                request,
+                response,
+                fn_id,
+            });
+        }
+        self.expect(&Token::RBrace)?;
+        if rpcs.is_empty() {
+            return Err(DaggerError::Config(format!(
+                "service `{name}` declares no rpcs"
+            )));
+        }
+        Ok(Service { name, rpcs })
+    }
+}
+
+/// Parses IDL source into an [`Ast`].
+///
+/// # Errors
+///
+/// Returns [`DaggerError::Config`] on lexical or syntactic errors, duplicate
+/// names, or rpcs referencing undefined messages.
+pub fn parse(src: &str) -> Result<Ast> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut ast = Ast::default();
+    while parser.peek().is_some() {
+        let kw = parser.ident()?;
+        match kw.to_ascii_lowercase().as_str() {
+            "message" => {
+                let m = parser.message()?;
+                if ast.message(&m.name).is_some() {
+                    return Err(DaggerError::Config(format!(
+                        "duplicate message `{}`",
+                        m.name
+                    )));
+                }
+                ast.messages.push(m);
+            }
+            "service" => {
+                let s = parser.service()?;
+                if ast.service(&s.name).is_some() {
+                    return Err(DaggerError::Config(format!(
+                        "duplicate service `{}`",
+                        s.name
+                    )));
+                }
+                ast.services.push(s);
+            }
+            other => {
+                return Err(DaggerError::Config(format!(
+                    "expected `message` or `service`, found `{other}`"
+                )));
+            }
+        }
+    }
+    // Reference check: every rpc's request/response must be defined.
+    for service in &ast.services {
+        for rpc in &service.rpcs {
+            for msg in [&rpc.request, &rpc.response] {
+                if ast.message(msg).is_none() {
+                    return Err(DaggerError::Config(format!(
+                        "service `{}` rpc `{}` references undefined message `{msg}`",
+                        service.name, rpc.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTING1: &str = r#"
+        Message GetRequest {
+            int32 timestamp;
+            char [32] key;
+        }
+        Message GetResponse {
+            int32 timestamp;
+            char [32] value;
+        }
+        Message SetRequest { char [32] key; char [32] value; }
+        Message SetResponse { bool ok; }
+
+        Service KeyValueStore {
+            rpc get(GetRequest) returns(GetResponse);
+            rpc set(SetRequest) returns(SetResponse);
+        }
+    "#;
+
+    #[test]
+    fn parses_listing1() {
+        let ast = parse(LISTING1).unwrap();
+        assert_eq!(ast.messages.len(), 4);
+        assert_eq!(ast.services.len(), 1);
+        let svc = ast.service("KeyValueStore").unwrap();
+        assert_eq!(svc.rpcs.len(), 2);
+        assert_eq!(svc.rpcs[0].name, "get");
+        assert_eq!(svc.rpcs[0].fn_id, 1);
+        assert_eq!(svc.rpcs[1].fn_id, 2);
+        let get_req = ast.message("GetRequest").unwrap();
+        assert_eq!(get_req.fields[0].ty, FieldType::Int(32));
+        assert_eq!(get_req.fields[1].ty, FieldType::CharArray(32));
+    }
+
+    #[test]
+    fn explicit_fn_ids() {
+        let ast = parse(
+            "message A { bool x; } service S { rpc f(A) returns(A) = 7; rpc g(A) returns(A) = 9; }",
+        )
+        .unwrap();
+        let svc = &ast.services[0];
+        assert_eq!(svc.rpcs[0].fn_id, 7);
+        assert_eq!(svc.rpcs[1].fn_id, 9);
+    }
+
+    #[test]
+    fn duplicate_fn_id_rejected() {
+        let err = parse(
+            "message A { bool x; } service S { rpc f(A) returns(A) = 7; rpc g(A) returns(A) = 7; }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate function id"));
+    }
+
+    #[test]
+    fn undefined_message_rejected() {
+        let err = parse("service S { rpc f(Nope) returns(Nope); }").unwrap_err();
+        assert!(err.to_string().contains("undefined message"));
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let err = parse("message A { bool x; } message A { bool y; }").unwrap_err();
+        assert!(err.to_string().contains("duplicate message"));
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let err = parse("message A { bool x; bool x; }").unwrap_err();
+        assert!(err.to_string().contains("duplicate field"));
+    }
+
+    #[test]
+    fn empty_service_rejected() {
+        let err = parse("service S { }").unwrap_err();
+        assert!(err.to_string().contains("no rpcs"));
+    }
+
+    #[test]
+    fn all_types_parse() {
+        let ast = parse(
+            "message M { int8 a; int16 b; int32 c; int64 d; uint8 e; uint16 f; uint32 g; \
+             uint64 h; float32 i; float64 j; bool k; bytes l; string m; char[8] n; }",
+        )
+        .unwrap();
+        assert_eq!(ast.messages[0].fields.len(), 14);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let err = parse("message A { quux x; }").unwrap_err();
+        assert!(err.to_string().contains("unknown field type"));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(parse("message A {").is_err());
+        assert!(parse("service").is_err());
+    }
+
+    #[test]
+    fn empty_message_allowed() {
+        let ast = parse("message Void { } service S { rpc f(Void) returns(Void); }").unwrap();
+        assert!(ast.message("Void").unwrap().fields.is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Key-value stores ported onto the Dagger fabric (§5.6).
+//!
+//! The paper demonstrates that "large third-party applications, like
+//! memcached and MICA KVS, can be easily ported on Dagger with minimal
+//! changes to their codebase". We implement both stores from scratch with
+//! the cost profile and structure of the originals:
+//!
+//! * [`memcached`] — a sharded, LRU-evicting, lock-per-shard in-memory
+//!   cache (the slab/LRU design that makes memcached ≈12× slower than the
+//!   Dagger fabric, §5.6);
+//! * [`mica`] — a MICA-like partitioned store: per-partition lossy bucket
+//!   index over a circular log, keys pinned to partitions by hash (the
+//!   object-level partitioning that requires the custom NIC load balancer
+//!   of §5.7);
+//! * [`server`] — the Dagger adapters: the IDL-defined `KvStore` service
+//!   plus the two handler "ports" (the paper's ≈50-LOC memcached and
+//!   ≈200-LOC MICA integrations);
+//! * [`workload`] — the tiny (8 B/8 B) and small (16 B/32 B) datasets,
+//!   50%/95% GET mixes, and Zipf 0.99/0.9999 key popularity of §5.6;
+//! * [`timing`] — per-operation cost models used by the Fig. 12 harness.
+
+pub mod memcached;
+pub mod mica;
+pub mod server;
+pub mod timing;
+pub mod workload;
+
+pub use memcached::Memcached;
+pub use mica::Mica;
+pub use server::{KvStoreClient, KvStoreDispatch, KvStoreHandler, MemcachedPort, MicaPort};
+pub use workload::{KvOp, KvWorkload, WorkloadSpec};

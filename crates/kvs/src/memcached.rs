@@ -1,0 +1,256 @@
+//! A memcached-like in-memory cache.
+//!
+//! Structure mirrors the original: the key space is split into shards
+//! (memcached's hash table under a global-ish lock becomes lock-per-shard,
+//! as modern memcached effectively behaves with its item locks), each shard
+//! keeps a bounded amount of value memory and evicts in LRU order when a
+//! `set` would exceed it. Hit/miss/eviction statistics match the stats the
+//! original exposes.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// FNV-1a hash over key bytes (shard selector).
+fn hash_key(key: &[u8]) -> u64 {
+    dagger_nic::lb::fnv1a(key)
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Vec<u8>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<Vec<u8>, Entry>,
+    bytes_used: usize,
+    tick: u64,
+}
+
+/// Cache statistics, aggregated over shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful gets.
+    pub get_hits: u64,
+    /// Gets for absent keys.
+    pub get_misses: u64,
+    /// Sets (inserts + overwrites).
+    pub sets: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+}
+
+/// A sharded LRU cache bounded by value-memory per shard.
+#[derive(Debug)]
+pub struct Memcached {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_bytes: usize,
+    stats: Mutex<CacheStats>,
+}
+
+impl Memcached {
+    /// Creates a cache with `capacity_bytes` of value memory across
+    /// `shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `capacity_bytes < shards`.
+    pub fn new(capacity_bytes: usize, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard required");
+        assert!(capacity_bytes >= shards, "capacity below one byte per shard");
+        Memcached {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_bytes: capacity_bytes / shards,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Shard> {
+        let idx = (hash_key(key) as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Stores `value` under `key`, evicting LRU entries if needed.
+    ///
+    /// Values larger than a shard's memory are rejected (returns `false`),
+    /// like memcached's item-size limit.
+    pub fn set(&self, key: &[u8], value: &[u8]) -> bool {
+        let cost = key.len() + value.len();
+        if cost > self.per_shard_bytes {
+            return false;
+        }
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.remove(key) {
+            shard.bytes_used -= key.len() + old.value.len();
+        }
+        // LRU eviction until the new entry fits.
+        while shard.bytes_used + cost > self.per_shard_bytes {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    let e = shard.map.remove(&k).expect("victim exists");
+                    shard.bytes_used -= k.len() + e.value.len();
+                    self.stats.lock().evictions += 1;
+                }
+                None => break,
+            }
+        }
+        shard.map.insert(
+            key.to_vec(),
+            Entry {
+                value: value.to_vec(),
+                last_used: tick,
+            },
+        );
+        shard.bytes_used += cost;
+        self.stats.lock().sets += 1;
+        true
+    }
+
+    /// Fetches the value for `key`, refreshing its LRU position.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let value = entry.value.clone();
+                self.stats.lock().get_hits += 1;
+                Some(value)
+            }
+            None => {
+                self.stats.lock().get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes `key`; `true` if it was present.
+    pub fn delete(&self, key: &[u8]) -> bool {
+        let mut shard = self.shard(key).lock();
+        match shard.map.remove(key) {
+            Some(e) => {
+                shard.bytes_used -= key.len() + e.value.len();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mc = Memcached::new(1 << 20, 4);
+        assert!(mc.set(b"key", b"value"));
+        assert_eq!(mc.get(b"key"), Some(b"value".to_vec()));
+        assert_eq!(mc.get(b"missing"), None);
+        let stats = mc.stats();
+        assert_eq!(stats.get_hits, 1);
+        assert_eq!(stats.get_misses, 1);
+        assert_eq!(stats.sets, 1);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mc = Memcached::new(1 << 20, 1);
+        mc.set(b"k", b"v1");
+        mc.set(b"k", b"v2");
+        assert_eq!(mc.get(b"k"), Some(b"v2".to_vec()));
+        assert_eq!(mc.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mc = Memcached::new(1 << 20, 2);
+        mc.set(b"k", b"v");
+        assert!(mc.delete(b"k"));
+        assert!(!mc.delete(b"k"));
+        assert_eq!(mc.get(b"k"), None);
+    }
+
+    #[test]
+    fn lru_eviction_under_memory_pressure() {
+        // One shard with room for ~4 entries of 16 B (8+8).
+        let mc = Memcached::new(64, 1);
+        for i in 0..4u64 {
+            assert!(mc.set(&i.to_le_bytes(), &[0u8; 8]));
+        }
+        // Touch key 0 so key 1 becomes LRU.
+        mc.get(&0u64.to_le_bytes());
+        assert!(mc.set(&99u64.to_le_bytes(), &[0u8; 8]));
+        assert_eq!(mc.get(&1u64.to_le_bytes()), None, "LRU victim");
+        assert!(mc.get(&0u64.to_le_bytes()).is_some(), "recently used survives");
+        assert!(mc.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_value_rejected() {
+        let mc = Memcached::new(64, 1);
+        assert!(!mc.set(b"k", &[0u8; 100]));
+        assert!(mc.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let mc = Arc::new(Memcached::new(1 << 20, 8));
+        let handles: Vec<_> = (0..4)
+            .map(|t: u64| {
+                let mc = Arc::clone(&mc);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let key = (t * 1000 + i).to_le_bytes();
+                        mc.set(&key, &key);
+                        assert_eq!(mc.get(&key), Some(key.to_vec()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mc.len(), 2000);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let mc = Memcached::new(1 << 20, 8);
+        for i in 0..256u64 {
+            mc.set(&i.to_le_bytes(), b"v");
+        }
+        let occupied = mc
+            .shards
+            .iter()
+            .filter(|s| !s.lock().map.is_empty())
+            .count();
+        assert!(occupied >= 6, "only {occupied}/8 shards used");
+    }
+}

@@ -1,0 +1,354 @@
+//! A MICA-like partitioned key-value store (Lim et al., NSDI'14).
+//!
+//! MICA's cache mode: the key space is split into partitions (one per
+//! core/NIC flow in the original's EREW mode); each partition holds a
+//! *lossy* bucket index — fixed-way buckets of `(tag, offset)` entries
+//! where an insert into a full bucket evicts the oldest way — pointing into
+//! a *circular log* of append-only items. Reads validate the full key in
+//! the log (tags can collide) and check that the offset still lies inside
+//! the log window (old items are overwritten by the wrapping head).
+//!
+//! The same key always maps to the same partition via its hash — the
+//! invariant that makes MICA incompatible with round-robin NIC load
+//! balancing and motivates Dagger's object-level balancer (§5.7).
+
+use parking_lot::Mutex;
+
+/// Ways per index bucket (MICA uses small set-associative buckets).
+const BUCKET_WAYS: usize = 8;
+
+fn hash_key(key: &[u8]) -> u64 {
+    dagger_nic::lb::fnv1a(key)
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct IndexEntry {
+    /// Truncated key hash distinguishing entries within a bucket.
+    tag: u16,
+    /// Absolute (monotonic) log offset of the item.
+    offset: u64,
+    /// Entry holds data.
+    valid: bool,
+    /// Insertion order within the bucket, for oldest-way eviction.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Partition {
+    buckets: Vec<[IndexEntry; BUCKET_WAYS]>,
+    bucket_mask: u64,
+    /// Circular value log; `head` is the absolute append offset.
+    log: Vec<u8>,
+    head: u64,
+    seq: u64,
+    stats: PartitionStats,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PartitionStats {
+    hits: u64,
+    misses: u64,
+    sets: u64,
+    index_evictions: u64,
+}
+
+impl Partition {
+    fn new(buckets: usize, log_bytes: usize) -> Self {
+        assert!(buckets.is_power_of_two());
+        Partition {
+            buckets: vec![[IndexEntry::default(); BUCKET_WAYS]; buckets],
+            bucket_mask: (buckets - 1) as u64,
+            log: vec![0; log_bytes],
+            head: 0,
+            seq: 0,
+            stats: PartitionStats::default(),
+        }
+    }
+
+    fn log_write(&mut self, bytes: &[u8]) {
+        let cap = self.log.len() as u64;
+        for &b in bytes {
+            let pos = (self.head % cap) as usize;
+            self.log[pos] = b;
+            self.head += 1;
+        }
+    }
+
+    fn log_read(&self, mut offset: u64, len: usize) -> Vec<u8> {
+        let cap = self.log.len() as u64;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.log[(offset % cap) as usize]);
+            offset += 1;
+        }
+        out
+    }
+
+    /// `true` if an item starting at `offset` with `len` bytes is still
+    /// entirely inside the live log window.
+    fn in_window(&self, offset: u64, len: u64) -> bool {
+        offset + len <= self.head && self.head - offset <= self.log.len() as u64
+    }
+
+    fn set(&mut self, key: &[u8], value: &[u8], hash: u64) {
+        // Item layout: [klen u16][vlen u32][key][value].
+        let offset = self.head;
+        let mut header = Vec::with_capacity(6);
+        header.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        header.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.log_write(&header);
+        self.log_write(key);
+        self.log_write(value);
+        let bucket_idx = (hash & self.bucket_mask) as usize;
+        let tag = (hash >> 48) as u16;
+        self.seq += 1;
+        let seq = self.seq;
+        let bucket = &mut self.buckets[bucket_idx];
+        // Reuse a matching-tag way or an invalid way; otherwise evict the
+        // oldest (lossy index).
+        let slot = bucket
+            .iter()
+            .position(|e| e.valid && e.tag == tag)
+            .or_else(|| bucket.iter().position(|e| !e.valid))
+            .unwrap_or_else(|| {
+                self.stats.index_evictions += 1;
+                bucket
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.seq)
+                    .map(|(i, _)| i)
+                    .expect("bucket non-empty")
+            });
+        bucket[slot] = IndexEntry {
+            tag,
+            offset,
+            valid: true,
+            seq,
+        };
+        self.stats.sets += 1;
+    }
+
+    fn get(&mut self, key: &[u8], hash: u64) -> Option<Vec<u8>> {
+        let bucket_idx = (hash & self.bucket_mask) as usize;
+        let tag = (hash >> 48) as u16;
+        let candidates: Vec<u64> = self.buckets[bucket_idx]
+            .iter()
+            .filter(|e| e.valid && e.tag == tag)
+            .map(|e| e.offset)
+            .collect();
+        for offset in candidates {
+            if !self.in_window(offset, 6) {
+                continue;
+            }
+            let header = self.log_read(offset, 6);
+            let klen = u16::from_le_bytes(header[0..2].try_into().unwrap()) as u64;
+            let vlen = u32::from_le_bytes(header[2..6].try_into().unwrap()) as u64;
+            if !self.in_window(offset, 6 + klen + vlen) {
+                continue; // overwritten by the wrapping log head
+            }
+            let stored_key = self.log_read(offset + 6, klen as usize);
+            if stored_key == key {
+                self.stats.hits += 1;
+                return Some(self.log_read(offset + 6 + klen, vlen as usize));
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+}
+
+/// Aggregated store statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MicaStats {
+    /// Successful gets.
+    pub hits: u64,
+    /// Failed gets (absent, tag-evicted, or log-overwritten — MICA is a
+    /// lossy cache).
+    pub misses: u64,
+    /// Sets.
+    pub sets: u64,
+    /// Lossy-index bucket evictions.
+    pub index_evictions: u64,
+}
+
+/// The partitioned store.
+#[derive(Debug)]
+pub struct Mica {
+    partitions: Vec<Mutex<Partition>>,
+}
+
+impl Mica {
+    /// Creates a store with `partitions` partitions, each with
+    /// `buckets_per_partition` index buckets (power of two) and
+    /// `log_bytes_per_partition` of circular value log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero, buckets are not a power of two, or
+    /// the log is smaller than 64 bytes.
+    pub fn new(
+        partitions: usize,
+        buckets_per_partition: usize,
+        log_bytes_per_partition: usize,
+    ) -> Self {
+        assert!(partitions > 0, "at least one partition");
+        assert!(log_bytes_per_partition >= 64, "log too small");
+        Mica {
+            partitions: (0..partitions)
+                .map(|_| Mutex::new(Partition::new(buckets_per_partition, log_bytes_per_partition)))
+                .collect(),
+        }
+    }
+
+    /// The partition a key belongs to (the object-level invariant).
+    pub fn partition_of(&self, key: &[u8]) -> usize {
+        (hash_key(key) as usize) % self.partitions.len()
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn set(&self, key: &[u8], value: &[u8]) {
+        let hash = hash_key(key);
+        let p = (hash as usize) % self.partitions.len();
+        self.partitions[p].lock().set(key, value, hash);
+    }
+
+    /// Fetches `key`. MICA is a lossy cache: a previously-set key may miss
+    /// after index evictions or log wrap-around.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let hash = hash_key(key);
+        let p = (hash as usize) % self.partitions.len();
+        self.partitions[p].lock().get(key, hash)
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> MicaStats {
+        let mut out = MicaStats::default();
+        for p in &self.partitions {
+            let s = p.lock().stats;
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.sets += s.sets;
+            out.index_evictions += s.index_evictions;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_store() -> Mica {
+        Mica::new(4, 1024, 1 << 20)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let store = small_store();
+        store.set(b"hello", b"world");
+        assert_eq!(store.get(b"hello"), Some(b"world".to_vec()));
+        assert_eq!(store.get(b"absent"), None);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.sets), (1, 1, 1));
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let store = small_store();
+        store.set(b"k", b"v1");
+        store.set(b"k", b"v2");
+        assert_eq!(store.get(b"k"), Some(b"v2".to_vec()));
+    }
+
+    #[test]
+    fn same_key_always_same_partition() {
+        let store = small_store();
+        let p = store.partition_of(b"stable-key");
+        for _ in 0..10 {
+            assert_eq!(store.partition_of(b"stable-key"), p);
+        }
+    }
+
+    #[test]
+    fn many_keys_roundtrip() {
+        let store = Mica::new(8, 1 << 12, 1 << 20);
+        for i in 0..5_000u64 {
+            store.set(&i.to_le_bytes(), &(i * 2).to_le_bytes());
+        }
+        let mut hits = 0;
+        for i in 0..5_000u64 {
+            if let Some(v) = store.get(&i.to_le_bytes()) {
+                assert_eq!(v, (i * 2).to_le_bytes());
+                hits += 1;
+            }
+        }
+        // Lossy index: a small fraction may be evicted, but the vast
+        // majority must survive at this occupancy.
+        assert!(hits > 4_800, "only {hits}/5000 survived");
+    }
+
+    #[test]
+    fn log_wraparound_invalidates_old_items() {
+        // 256-byte log, items of ~22 bytes → old entries get overwritten.
+        let store = Mica::new(1, 64, 256);
+        for i in 0..64u64 {
+            store.set(&i.to_le_bytes(), &[7u8; 8]);
+        }
+        // The earliest keys must have been overwritten in the log.
+        assert_eq!(store.get(&0u64.to_le_bytes()), None);
+        // A recent key survives.
+        assert_eq!(store.get(&63u64.to_le_bytes()), Some(vec![7u8; 8]));
+    }
+
+    #[test]
+    fn lossy_index_evicts_rather_than_grows() {
+        // A single 1-bucket index: at most BUCKET_WAYS distinct tags fit.
+        let store = Mica::new(1, 1, 1 << 16);
+        for i in 0..100u64 {
+            store.set(&i.to_le_bytes(), b"v");
+        }
+        assert!(store.stats().index_evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_partitioned_access() {
+        use std::sync::Arc;
+        let store = Arc::new(Mica::new(8, 1 << 12, 1 << 20));
+        let handles: Vec<_> = (0..4)
+            .map(|t: u64| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..1_000u64 {
+                        let key = (t << 32 | i).to_le_bytes();
+                        store.set(&key, &key);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut hits = 0;
+        for t in 0..4u64 {
+            for i in 0..1_000u64 {
+                let key = (t << 32 | i).to_le_bytes();
+                if store.get(&key).as_deref() == Some(key.as_slice()) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits > 3_900, "{hits}/4000");
+    }
+
+    #[test]
+    fn empty_value_supported() {
+        let store = small_store();
+        store.set(b"k", b"");
+        assert_eq!(store.get(b"k"), Some(vec![]));
+    }
+}

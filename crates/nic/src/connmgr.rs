@@ -1,0 +1,287 @@
+//! The Connection Manager (§4.2).
+//!
+//! Dagger manages connections entirely on the NIC. The connection table maps
+//! a [`ConnectionId`] onto `<src_flow, dest_addr, load_balancer>` tuples and
+//! is designed as a direct-mapped cache indexed by the ⌈log N⌉ LSBs of the
+//! connection id. To serve three concurrent hardware readers per cycle — the
+//! outgoing RPC flow, the incoming flow, and the CM itself — the cache is
+//! *banked into three tables* (1W3R). We model the banks and their
+//! per-reader-port statistics faithfully, and also implement the
+//! host-DRAM backing store that the paper leaves as future work ("the red
+//! lines in Figure 6"): on a conflict the evicted tuple spills to backing
+//! memory and can be faulted back in with a miss penalty counted by the
+//! [`PacketMonitor`](crate::monitor::PacketMonitor)-style counters here.
+
+use std::collections::HashMap;
+
+use dagger_types::{ConnectionId, DaggerError, FlowId, LbPolicy, NodeAddr, Result};
+
+/// The value stored per connection: the routing credentials of §4.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnectionTuple {
+    /// The client-side flow that opened the connection; responses are
+    /// steered back to it.
+    pub src_flow: FlowId,
+    /// Address of the remote host.
+    pub dest_addr: NodeAddr,
+    /// Load-balancing scheme requested for this connection's requests.
+    pub lb: LbPolicy,
+}
+
+/// Identifies which of the three concurrent hardware readers performs a
+/// lookup; each maps to its own bank/port (1W3R, §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmPort {
+    /// The outgoing (TX) RPC flow reading destination credentials.
+    Tx,
+    /// The incoming (RX) flow reading the response flow / load balancer.
+    Rx,
+    /// The connection manager itself (open/close bookkeeping).
+    Cm,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PortStats {
+    hits: u64,
+    misses: u64,
+}
+
+/// Direct-mapped, three-banked connection cache with host-memory spill.
+#[derive(Debug)]
+pub struct ConnectionManager {
+    /// One logical entry array; the three "banks" are read ports onto the
+    /// same direct-mapped geometry, as in the hardware.
+    entries: Vec<Option<(ConnectionId, ConnectionTuple)>>,
+    mask: u32,
+    /// Host-DRAM backing store for spilled/overflowing connections.
+    backing: HashMap<ConnectionId, ConnectionTuple>,
+    stats: [PortStats; 3],
+    spills: u64,
+    open_count: u64,
+}
+
+impl ConnectionManager {
+    /// Creates a manager with a direct-mapped cache of `cache_entries`
+    /// (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_entries` is not a power of two or is zero.
+    pub fn new(cache_entries: usize) -> Self {
+        assert!(
+            cache_entries.is_power_of_two() && cache_entries > 0,
+            "cache size must be a power of two"
+        );
+        ConnectionManager {
+            entries: vec![None; cache_entries],
+            mask: (cache_entries - 1) as u32,
+            backing: HashMap::new(),
+            stats: [PortStats::default(); 3],
+            spills: 0,
+            open_count: 0,
+        }
+    }
+
+    fn index(&self, cid: ConnectionId) -> usize {
+        (cid.raw() & self.mask) as usize
+    }
+
+    fn port_idx(port: CmPort) -> usize {
+        match port {
+            CmPort::Tx => 0,
+            CmPort::Rx => 1,
+            CmPort::Cm => 2,
+        }
+    }
+
+    /// Opens a connection, installing its tuple in the cache. A conflicting
+    /// resident connection spills to the host backing store (the paper's
+    /// future-work DRAM path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if the connection is already open.
+    pub fn open(&mut self, cid: ConnectionId, tuple: ConnectionTuple) -> Result<()> {
+        if self.contains(cid) {
+            return Err(DaggerError::Config(format!(
+                "connection {cid} already open"
+            )));
+        }
+        let idx = self.index(cid);
+        if let Some((old_cid, old_tuple)) = self.entries[idx].take() {
+            self.backing.insert(old_cid, old_tuple);
+            self.spills += 1;
+        }
+        self.entries[idx] = Some((cid, tuple));
+        self.open_count += 1;
+        Ok(())
+    }
+
+    /// Closes a connection, removing it from cache and backing store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::UnknownConnection`] if it was not open.
+    pub fn close(&mut self, cid: ConnectionId) -> Result<()> {
+        let idx = self.index(cid);
+        if matches!(self.entries[idx], Some((c, _)) if c == cid) {
+            self.entries[idx] = None;
+            return Ok(());
+        }
+        if self.backing.remove(&cid).is_some() {
+            return Ok(());
+        }
+        Err(DaggerError::UnknownConnection(cid.raw()))
+    }
+
+    /// Looks a connection up through one of the three read ports. A cache
+    /// miss that hits the backing store promotes the tuple back into the
+    /// cache (possibly spilling the conflicting resident).
+    pub fn lookup(&mut self, port: CmPort, cid: ConnectionId) -> Option<ConnectionTuple> {
+        let idx = self.index(cid);
+        let p = Self::port_idx(port);
+        if let Some((c, t)) = self.entries[idx] {
+            if c == cid {
+                self.stats[p].hits += 1;
+                return Some(t);
+            }
+        }
+        // Miss path: fault in from host memory.
+        if let Some(&t) = self.backing.get(&cid) {
+            self.stats[p].misses += 1;
+            self.backing.remove(&cid);
+            if let Some((old_cid, old_tuple)) = self.entries[idx].take() {
+                self.backing.insert(old_cid, old_tuple);
+                self.spills += 1;
+            }
+            self.entries[idx] = Some((cid, t));
+            return Some(t);
+        }
+        self.stats[p].misses += 1;
+        None
+    }
+
+    /// `true` if the connection is open (cache or backing store).
+    pub fn contains(&self, cid: ConnectionId) -> bool {
+        let idx = self.index(cid);
+        matches!(self.entries[idx], Some((c, _)) if c == cid) || self.backing.contains_key(&cid)
+    }
+
+    /// Number of connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.entries.iter().flatten().count() + self.backing.len()
+    }
+
+    /// `(hits, misses)` for one read port.
+    pub fn port_stats(&self, port: CmPort) -> (u64, u64) {
+        let s = self.stats[Self::port_idx(port)];
+        (s.hits, s.misses)
+    }
+
+    /// Number of cache→host spills so far.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Total connections ever opened.
+    pub fn total_opened(&self) -> u64 {
+        self.open_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(flow: u16, addr: u32) -> ConnectionTuple {
+        ConnectionTuple {
+            src_flow: FlowId(flow),
+            dest_addr: NodeAddr(addr),
+            lb: LbPolicy::Uniform,
+        }
+    }
+
+    #[test]
+    fn open_lookup_close() {
+        let mut cm = ConnectionManager::new(16);
+        cm.open(ConnectionId(5), tuple(1, 100)).unwrap();
+        assert_eq!(
+            cm.lookup(CmPort::Tx, ConnectionId(5)),
+            Some(tuple(1, 100))
+        );
+        cm.close(ConnectionId(5)).unwrap();
+        assert_eq!(cm.lookup(CmPort::Tx, ConnectionId(5)), None);
+    }
+
+    #[test]
+    fn double_open_rejected() {
+        let mut cm = ConnectionManager::new(16);
+        cm.open(ConnectionId(5), tuple(1, 100)).unwrap();
+        assert!(cm.open(ConnectionId(5), tuple(2, 200)).is_err());
+    }
+
+    #[test]
+    fn close_unknown_errors() {
+        let mut cm = ConnectionManager::new(16);
+        assert_eq!(
+            cm.close(ConnectionId(9)),
+            Err(DaggerError::UnknownConnection(9))
+        );
+    }
+
+    #[test]
+    fn conflicting_connections_spill_and_fault_back() {
+        let mut cm = ConnectionManager::new(4);
+        // cids 1 and 5 collide in a 4-entry direct-mapped cache.
+        cm.open(ConnectionId(1), tuple(1, 10)).unwrap();
+        cm.open(ConnectionId(5), tuple(2, 20)).unwrap();
+        assert_eq!(cm.spills(), 1);
+        // Both remain reachable.
+        assert_eq!(cm.lookup(CmPort::Rx, ConnectionId(5)), Some(tuple(2, 20)));
+        assert_eq!(cm.lookup(CmPort::Rx, ConnectionId(1)), Some(tuple(1, 10)));
+        // The second lookup was a miss (faulted back from host memory).
+        let (hits, misses) = cm.port_stats(CmPort::Rx);
+        assert_eq!((hits, misses), (1, 1));
+        assert!(cm.spills() >= 2);
+    }
+
+    #[test]
+    fn lookup_ports_tracked_independently() {
+        let mut cm = ConnectionManager::new(8);
+        cm.open(ConnectionId(3), tuple(0, 1)).unwrap();
+        cm.lookup(CmPort::Tx, ConnectionId(3));
+        cm.lookup(CmPort::Tx, ConnectionId(3));
+        cm.lookup(CmPort::Rx, ConnectionId(3));
+        cm.lookup(CmPort::Cm, ConnectionId(99));
+        assert_eq!(cm.port_stats(CmPort::Tx), (2, 0));
+        assert_eq!(cm.port_stats(CmPort::Rx), (1, 0));
+        assert_eq!(cm.port_stats(CmPort::Cm), (0, 1));
+    }
+
+    #[test]
+    fn many_connections_beyond_cache_capacity() {
+        let mut cm = ConnectionManager::new(8);
+        for i in 0..64u32 {
+            cm.open(ConnectionId(i), tuple(i as u16, i * 10)).unwrap();
+        }
+        assert_eq!(cm.open_connections(), 64);
+        // Every connection remains reachable despite an 8-entry cache.
+        for i in 0..64u32 {
+            assert_eq!(
+                cm.lookup(CmPort::Tx, ConnectionId(i)),
+                Some(tuple(i as u16, i * 10)),
+                "cid {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_removes_from_backing_store() {
+        let mut cm = ConnectionManager::new(2);
+        cm.open(ConnectionId(0), tuple(0, 0)).unwrap();
+        cm.open(ConnectionId(2), tuple(1, 1)).unwrap(); // spills cid 0
+        cm.close(ConnectionId(0)).unwrap();
+        assert!(!cm.contains(ConnectionId(0)));
+        assert_eq!(cm.open_connections(), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! The NIC engine: the RX/TX FSMs of Fig. 8 on a dedicated thread.
+//!
+//! One engine per NIC instance. Each loop iteration ("tick") the engine:
+//!
+//! 1. **TX FSM** — polls every active flow's TX ring (the CCI-P fetch,
+//!    bounded by the soft-configured batch size `B` per flow per tick),
+//!    looks up each frame's connection for destination credentials, groups
+//!    frames by destination, and ships them as transport datagrams.
+//! 2. **RX FSM** — drains the fabric port, decodes datagrams, handles
+//!    control frames (connection open/close) in the Connection Manager,
+//!    steers data frames through the load balancer into the request
+//!    buffer + flow FIFOs, and lets the flow scheduler deliver formed
+//!    batches into the per-flow RX rings (dropping on full rings, which the
+//!    Packet Monitor counts).
+//!
+//! When the NIC shares the physical bus with other virtual NICs, the engine
+//! takes a grant from the [`CcipArbiter`](crate::arbiter::CcipArbiter)
+//! before each bus round (Fig. 14).
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+
+use dagger_types::{
+    CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, HEADER_BYTES,
+};
+
+use crate::arbiter::ArbiterSlot;
+use crate::connmgr::{CmPort, ConnectionManager, ConnectionTuple};
+use crate::fabric::FabricPort;
+use crate::flow::FlowFifos;
+use crate::hcc::HostCoherentCache;
+use crate::lb::LoadBalancer;
+use crate::monitor::PacketMonitor;
+use crate::reliable::ReliableTransport;
+use crate::reqbuf::RequestBuffer;
+use crate::ring::{RingConsumer, RingProducer};
+use crate::sched::FlowScheduler;
+use crate::softreg::SoftRegisterFile;
+use crate::transport::{Datagram, Protocol, MAX_LINES_PER_DATAGRAM};
+
+/// Function id marking a connection-open control frame.
+pub const CTRL_OPEN_FN: u16 = 0xFFFF;
+/// Function id marking a connection-close control frame.
+pub const CTRL_CLOSE_FN: u16 = 0xFFFE;
+/// Function id acknowledging a connection-open control frame.
+pub const CTRL_OPEN_ACK_FN: u16 = 0xFFFD;
+
+/// Builds the control frame announcing a new connection to the remote NIC.
+pub fn encode_ctrl_open(
+    cid: ConnectionId,
+    client_addr: NodeAddr,
+    src_flow: FlowId,
+    lb: LbPolicy,
+) -> CacheLine {
+    let mut line = CacheLine::zeroed();
+    let hdr = RpcHeader {
+        connection_id: cid,
+        rpc_id: dagger_types::RpcId(0),
+        fn_id: dagger_types::FnId(CTRL_OPEN_FN),
+        src_flow,
+        kind: dagger_types::RpcKind::Request,
+        frame_idx: 0,
+        frame_count: 1,
+        frame_payload_len: 7,
+    };
+    hdr.encode(line.header_mut());
+    let payload = line.payload_mut();
+    payload[0..4].copy_from_slice(&client_addr.raw().to_le_bytes());
+    payload[4..6].copy_from_slice(&src_flow.raw().to_le_bytes());
+    payload[6] = match lb {
+        LbPolicy::Uniform => 0,
+        LbPolicy::Static => 1,
+        LbPolicy::ObjectLevel => 2,
+    };
+    line
+}
+
+/// Builds the control frame closing a connection on the remote NIC.
+pub fn encode_ctrl_close(cid: ConnectionId) -> CacheLine {
+    let mut line = CacheLine::zeroed();
+    let hdr = RpcHeader {
+        connection_id: cid,
+        rpc_id: dagger_types::RpcId(0),
+        fn_id: dagger_types::FnId(CTRL_CLOSE_FN),
+        src_flow: FlowId(0),
+        kind: dagger_types::RpcKind::Request,
+        frame_idx: 0,
+        frame_count: 1,
+        frame_payload_len: 0,
+    };
+    hdr.encode(line.header_mut());
+    line
+}
+
+/// Builds the control frame acknowledging a connection open.
+pub fn encode_ctrl_open_ack(cid: ConnectionId) -> CacheLine {
+    let mut line = CacheLine::zeroed();
+    let hdr = RpcHeader {
+        connection_id: cid,
+        rpc_id: dagger_types::RpcId(0),
+        fn_id: dagger_types::FnId(CTRL_OPEN_ACK_FN),
+        src_flow: FlowId(0),
+        kind: dagger_types::RpcKind::Request,
+        frame_idx: 0,
+        frame_count: 1,
+        frame_payload_len: 0,
+    };
+    hdr.encode(line.header_mut());
+    line
+}
+
+fn decode_ctrl_open(line: &CacheLine) -> (NodeAddr, FlowId, LbPolicy) {
+    let p = line.payload();
+    let addr = NodeAddr(u32::from_le_bytes(p[0..4].try_into().unwrap()));
+    let flow = FlowId(u16::from_le_bytes(p[4..6].try_into().unwrap()));
+    let lb = match p[6] {
+        1 => LbPolicy::Static,
+        2 => LbPolicy::ObjectLevel,
+        _ => LbPolicy::Uniform,
+    };
+    (addr, flow, lb)
+}
+
+/// Everything the engine thread owns or shares.
+pub(crate) struct EngineCore {
+    pub addr: NodeAddr,
+    pub port: Arc<FabricPort>,
+    pub tx_rings: Vec<RingConsumer>,
+    pub rx_rings: Vec<RingProducer>,
+    pub conn_mgr: Arc<Mutex<ConnectionManager>>,
+    pub softregs: Arc<SoftRegisterFile>,
+    pub monitor: Arc<PacketMonitor>,
+    pub lb: LoadBalancer,
+    pub reqbuf: RequestBuffer,
+    pub fifos: FlowFifos,
+    pub sched: FlowScheduler,
+    pub hcc: HostCoherentCache,
+    pub protocol: Protocol,
+    pub arbiter: Option<ArbiterSlot>,
+    pub stop: Arc<AtomicBool>,
+    /// Host → engine control-frame outbox (connection setup/teardown);
+    /// routed through the same transport as data so ordering and
+    /// reliability cover it.
+    pub ctrl_rx: Receiver<(NodeAddr, Datagram)>,
+    /// Connections whose open has been acknowledged by the remote NIC.
+    pub confirmed: Arc<Mutex<HashSet<u32>>>,
+    /// The reliable-transport state machine (§4.5 follow-up), when the
+    /// hard configuration enables it.
+    pub reliable: Option<ReliableTransport>,
+    /// Datagrams deferred by reliable-transport window backpressure.
+    pub pending_out: VecDeque<Datagram>,
+    /// Frames fetched from TX rings in the current polling window.
+    pub window_frames: u64,
+    /// `true` while the engine polls the LLC directly instead of through
+    /// its local coherent cache (the high-load mode of §4.4.1).
+    pub direct_polling: bool,
+}
+
+impl EngineCore {
+    /// The engine thread body: loop until `stop`.
+    pub(crate) fn run(mut self) {
+        let mut tick: u64 = 0;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                // Final drain so in-flight frames are not lost on shutdown.
+                self.rx_round(tick);
+                self.deliver_round(tick, true);
+                return;
+            }
+            if let Some(slot) = &self.arbiter {
+                slot.acquire();
+            }
+            let mut progress = false;
+            progress |= self.flush_pending();
+            progress |= self.ctrl_round();
+            progress |= self.tx_round();
+            progress |= self.rx_round(tick);
+            progress |= self.deliver_round(tick, false);
+            self.reliable_tick();
+            if !progress {
+                std::thread::yield_now();
+            }
+            tick = tick.wrapping_add(1);
+            // Polling-mode switch (§4.4.1): once per 1024-tick window,
+            // compare the TX fetch rate against the soft threshold. Above
+            // it, poll the processor's LLC directly (cached polling would
+            // steal line ownership from the busy CPU); below it, poll the
+            // NIC's local coherent cache and ride invalidations.
+            if tick % 1024 == 0 {
+                let threshold = self.softregs.polling_threshold();
+                self.direct_polling = threshold != 0 && self.window_frames > u64::from(threshold);
+                self.window_frames = 0;
+            }
+        }
+    }
+
+    fn active_flows(&self) -> usize {
+        let soft = self.softregs.active_flows() as usize;
+        if soft == 0 || soft > self.tx_rings.len() {
+            self.tx_rings.len()
+        } else {
+            soft
+        }
+    }
+
+    /// TX FSM: fetch up to `B` frames from each flow's TX ring and ship them
+    /// grouped by destination.
+    fn tx_round(&mut self) -> bool {
+        let batch = self.softregs.batch_size() as usize;
+        // Every provisioned flow has a live TX FSM; the active-flow register
+        // only narrows RX request steering (client flows beyond it still
+        // transmit).
+        let n = self.tx_rings.len();
+        // Destination → staged lines for this round.
+        let mut out: Vec<(NodeAddr, Vec<CacheLine>)> = Vec::new();
+        let mut progress = false;
+        for flow in 0..n {
+            for _ in 0..batch {
+                let Some(line) = self.tx_rings[flow].try_pop() else {
+                    break;
+                };
+                progress = true;
+                self.window_frames += 1;
+                if self.direct_polling {
+                    self.monitor.add_direct_polls(1);
+                } else {
+                    self.monitor.add_cached_polls(1);
+                }
+                let Ok(hdr) = RpcHeader::decode(line.header()) else {
+                    self.monitor.inc_unknown_connection_drops();
+                    continue;
+                };
+                // In cached mode, the coherent fetch of connection state
+                // goes through the HCC; direct mode bypasses it.
+                if !self.direct_polling {
+                    self.hcc
+                        .access(u64::from(hdr.connection_id.raw()) * HEADER_BYTES as u64);
+                }
+                let tuple = self
+                    .conn_mgr
+                    .lock()
+                    .lookup(CmPort::Tx, hdr.connection_id);
+                let Some(tuple) = tuple else {
+                    self.monitor.inc_unknown_connection_drops();
+                    continue;
+                };
+                match out.iter_mut().find(|(d, _)| *d == tuple.dest_addr) {
+                    Some((_, lines)) => lines.push(line),
+                    None => out.push((tuple.dest_addr, vec![line])),
+                }
+            }
+        }
+        for (dst, lines) in out {
+            for chunk in lines.chunks(MAX_LINES_PER_DATAGRAM) {
+                let dgram = Datagram::new(self.addr, dst, chunk.to_vec());
+                let dgram = self.protocol.process_tx(dgram);
+                self.send_datagram(dgram);
+            }
+        }
+        progress
+    }
+
+    /// Ships one datagram, through the reliable transport when enabled.
+    /// Window backpressure defers the datagram to a later round.
+    fn send_datagram(&mut self, dgram: Datagram) {
+        if let Some(rel) = &self.reliable {
+            if !rel.window_available(dgram.dst) {
+                self.pending_out.push_back(dgram);
+                return;
+            }
+        }
+        let count = dgram.lines.len() as u64;
+        let dst = dgram.dst;
+        let bytes = match &mut self.reliable {
+            Some(rel) => match rel.on_send(dgram) {
+                Ok(frame) => frame.encode(),
+                Err(_) => return, // window raced shut; dropped with the ack flow
+            },
+            None => dgram.encode(),
+        };
+        if self.port.send(dst, bytes).is_ok() {
+            self.monitor.add_tx_frames(count);
+            self.monitor.inc_tx_datagrams();
+        } else {
+            self.monitor.inc_unknown_connection_drops();
+        }
+    }
+
+    /// Retries datagrams deferred by window backpressure (they re-defer if
+    /// the window is still closed).
+    fn flush_pending(&mut self) -> bool {
+        if self.pending_out.is_empty() {
+            return false;
+        }
+        let batch: Vec<Datagram> = self.pending_out.drain(..).collect();
+        for dgram in batch {
+            self.send_datagram(dgram);
+        }
+        true
+    }
+
+    /// Drains the host's control outbox.
+    fn ctrl_round(&mut self) -> bool {
+        let mut progress = false;
+        for _ in 0..16 {
+            let Ok((_, dgram)) = self.ctrl_rx.try_recv() else {
+                break;
+            };
+            progress = true;
+            self.send_datagram(dgram);
+        }
+        progress
+    }
+
+    /// Advances the reliable transport: standalone acks + retransmissions.
+    fn reliable_tick(&mut self) {
+        let Some(rel) = &mut self.reliable else {
+            return;
+        };
+        for frame in rel.on_tick() {
+            let dst = match &frame {
+                crate::reliable::TransportFrame::Data { datagram, .. } => datagram.dst,
+                crate::reliable::TransportFrame::Ack { dst, .. } => *dst,
+            };
+            let _ = self.port.send(dst, frame.encode());
+        }
+    }
+
+    /// RX FSM: drain the fabric port, handle control frames, steer data
+    /// frames into the request buffer + flow FIFOs.
+    fn rx_round(&mut self, tick: u64) -> bool {
+        let mut progress = false;
+        // Bound the number of datagrams per round to keep the loop fair.
+        for _ in 0..64 {
+            let Some(bytes) = self.port.try_recv() else {
+                break;
+            };
+            progress = true;
+            let dgram = match &mut self.reliable {
+                Some(rel) => match rel.on_recv(&bytes) {
+                    Ok(Some(dgram)) => dgram,
+                    Ok(None) => continue, // ack, duplicate, or gap
+                    Err(_) => {
+                        self.monitor.inc_unknown_connection_drops();
+                        continue;
+                    }
+                },
+                None => match Datagram::decode(&bytes) {
+                    Ok(dgram) => dgram,
+                    Err(_) => {
+                        self.monitor.inc_unknown_connection_drops();
+                        continue;
+                    }
+                },
+            };
+            let dgram = self.protocol.process_rx(dgram);
+            self.monitor.inc_rx_datagrams();
+            self.monitor.add_rx_frames(dgram.lines.len() as u64);
+            for line in dgram.lines {
+                self.rx_frame(line, tick);
+            }
+        }
+        progress
+    }
+
+    fn rx_frame(&mut self, line: CacheLine, tick: u64) {
+        let Ok(hdr) = RpcHeader::decode(line.header()) else {
+            self.monitor.inc_unknown_connection_drops();
+            return;
+        };
+        match hdr.fn_id.raw() {
+            CTRL_OPEN_FN => {
+                let (addr, flow, lb) = decode_ctrl_open(&line);
+                let tuple = ConnectionTuple {
+                    src_flow: flow,
+                    dest_addr: addr,
+                    lb,
+                };
+                // Re-opening (e.g. a retried control frame) is idempotent.
+                {
+                    let mut cm = self.conn_mgr.lock();
+                    let _ = cm.close(hdr.connection_id);
+                    let _ = cm.open(hdr.connection_id, tuple);
+                }
+                // Acknowledge the open so the initiator's blocking setup
+                // completes (and survives fabric loss via retries).
+                let ack = encode_ctrl_open_ack(hdr.connection_id);
+                let dgram = Datagram::new(self.addr, addr, vec![ack]);
+                self.send_datagram(dgram);
+                return;
+            }
+            CTRL_OPEN_ACK_FN => {
+                self.confirmed.lock().insert(hdr.connection_id.raw());
+                return;
+            }
+            CTRL_CLOSE_FN => {
+                let _ = self.conn_mgr.lock().close(hdr.connection_id);
+                return;
+            }
+            _ => {}
+        }
+        self.hcc
+            .access(u64::from(hdr.connection_id.raw()) * HEADER_BYTES as u64);
+        let tuple = self.conn_mgr.lock().lookup(CmPort::Rx, hdr.connection_id);
+        let Some(tuple) = tuple else {
+            self.monitor.inc_unknown_connection_drops();
+            return;
+        };
+        // Soft-reconfigurable policy selection.
+        self.lb.set_policy(match tuple.lb {
+            LbPolicy::Uniform => self.softregs.lb_policy(),
+            pinned => pinned,
+        });
+        let n = self.active_flows();
+        let total = self.rx_rings.len();
+        let flow = self
+            .lb
+            .steer(&hdr, line.payload(), n, total, Some(tuple.src_flow))
+            .raw() as usize;
+        match self.reqbuf.alloc(line) {
+            Some(slot) => {
+                self.fifos.push(flow, slot);
+                self.sched.on_stage(flow, tick);
+            }
+            None => self.monitor.inc_reqbuf_backpressure(),
+        }
+    }
+
+    /// Delivery: the flow scheduler picks formed batches and the CCI-P
+    /// transmitter writes them into the RX rings.
+    fn deliver_round(&mut self, tick: u64, drain_all: bool) -> bool {
+        let batch = if drain_all {
+            1
+        } else {
+            self.softregs.batch_size() as usize
+        };
+        let mut progress = false;
+        while let Some(flow) = self.sched.pick(&self.fifos, batch, tick) {
+            let slots = self.fifos.pop_batch(flow, batch.max(1));
+            for slot in slots {
+                let line = self.reqbuf.take(slot);
+                if self.rx_rings[flow].try_push(line).is_err() {
+                    self.monitor.inc_rx_ring_drops();
+                }
+            }
+            self.sched
+                .on_drain(flow, self.fifos.len(flow) == 0, tick);
+            progress = true;
+        }
+        progress
+    }
+}

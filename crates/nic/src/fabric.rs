@@ -1,0 +1,247 @@
+//! The in-process Ethernet fabric with an L2 ToR switch.
+//!
+//! The paper instantiates two (or eight, §5.7) NICs on one FPGA and
+//! connects them "over our simple model of a ToR networking switch with a
+//! static switching table" (§5.1, Fig. 14). [`MemFabric`] is that switch:
+//! NICs attach under a [`NodeAddr`], the switching table maps addresses to
+//! per-port unbounded queues, and datagrams travel as encoded bytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Mutex, RwLock};
+
+use dagger_types::{DaggerError, NodeAddr, Result};
+
+/// Deterministic drop decision state (splitmix64).
+#[derive(Debug)]
+struct LossModel {
+    prob: f64,
+    state: u64,
+}
+
+impl LossModel {
+    fn drop_next(&mut self) -> bool {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.prob
+    }
+}
+
+#[derive(Debug, Default)]
+struct SwitchTable {
+    ports: HashMap<NodeAddr, Sender<Vec<u8>>>,
+}
+
+/// The shared in-process network: an L2 switch with a static table and
+/// optional deterministic loss injection for failure testing.
+#[derive(Clone, Debug, Default)]
+pub struct MemFabric {
+    table: Arc<RwLock<SwitchTable>>,
+    loss: Arc<Mutex<Option<LossModel>>>,
+    dropped: Arc<AtomicU64>,
+}
+
+impl MemFabric {
+    /// Creates an empty, lossless fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fabric that silently drops each forwarded frame with
+    /// probability `prob` (deterministic per `seed`). Pair with NICs built
+    /// with [`dagger_types::HardConfig::reliable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1)`.
+    pub fn with_loss(prob: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        let fabric = Self::new();
+        *fabric.loss.lock() = Some(LossModel { prob, state: seed });
+        fabric
+    }
+
+    /// Frames dropped by loss injection so far.
+    pub fn dropped_frames(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a NIC under `addr` and returns its port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if the address is already attached.
+    pub fn attach(&self, addr: NodeAddr) -> Result<FabricPort> {
+        let mut table = self.table.write();
+        if table.ports.contains_key(&addr) {
+            return Err(DaggerError::Fabric(format!(
+                "address {addr} already attached"
+            )));
+        }
+        let (tx, rx) = unbounded();
+        table.ports.insert(addr, tx);
+        Ok(FabricPort {
+            addr,
+            fabric: self.clone(),
+            rx,
+        })
+    }
+
+    /// Detaches `addr`; queued datagrams for it are discarded.
+    pub fn detach(&self, addr: NodeAddr) {
+        self.table.write().ports.remove(&addr);
+    }
+
+    /// Number of attached ports.
+    pub fn ports(&self) -> usize {
+        self.table.read().ports.len()
+    }
+
+    fn forward(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
+        if let Some(loss) = self.loss.lock().as_mut() {
+            if loss.drop_next() {
+                // A real network loses frames silently.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        let table = self.table.read();
+        match table.ports.get(&dst) {
+            Some(tx) => tx
+                .send(bytes)
+                .map_err(|_| DaggerError::Fabric(format!("port {dst} hung up"))),
+            None => Err(DaggerError::Fabric(format!(
+                "no switch-table entry for {dst}"
+            ))),
+        }
+    }
+}
+
+/// One NIC's attachment point on the fabric.
+#[derive(Debug)]
+pub struct FabricPort {
+    addr: NodeAddr,
+    fabric: MemFabric,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl FabricPort {
+    /// The address this port is attached under.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// Sends encoded datagram bytes to `dst` through the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if `dst` is not in the switching
+    /// table.
+    pub fn send(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
+        self.fabric.forward(dst, bytes)
+    }
+
+    /// Receives the next queued datagram, if any.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        match self.rx.try_recv() {
+            Ok(bytes) => Some(bytes),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+}
+
+impl Drop for FabricPort {
+    fn drop(&mut self) {
+        self.fabric.detach(self.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_send_recv() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        a.send(NodeAddr(2), vec![1, 2, 3]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![1, 2, 3]));
+        assert_eq!(b.try_recv(), None);
+    }
+
+    #[test]
+    fn duplicate_address_rejected() {
+        let fabric = MemFabric::new();
+        let _a = fabric.attach(NodeAddr(1)).unwrap();
+        assert!(fabric.attach(NodeAddr(1)).is_err());
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        assert!(a.send(NodeAddr(9), vec![0]).is_err());
+    }
+
+    #[test]
+    fn loopback_to_self_allowed() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        a.send(NodeAddr(1), vec![7]).unwrap();
+        assert_eq!(a.try_recv(), Some(vec![7]));
+    }
+
+    #[test]
+    fn detach_on_drop() {
+        let fabric = MemFabric::new();
+        {
+            let _a = fabric.attach(NodeAddr(1)).unwrap();
+            assert_eq!(fabric.ports(), 1);
+        }
+        assert_eq!(fabric.ports(), 0);
+        // Address can be reused after drop.
+        let _a2 = fabric.attach(NodeAddr(1)).unwrap();
+    }
+
+    #[test]
+    fn ordered_delivery_per_sender() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        for i in 0..100u8 {
+            a.send(NodeAddr(2), vec![i]).unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(b.try_recv(), Some(vec![i]));
+        }
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        let sender = std::thread::spawn(move || {
+            for i in 0..10_000u32 {
+                a.send(NodeAddr(2), i.to_le_bytes().to_vec()).unwrap();
+            }
+            a // keep port alive until done
+        });
+        let mut received = 0u32;
+        while received < 10_000 {
+            if let Some(bytes) = b.try_recv() {
+                let v = u32::from_le_bytes(bytes.try_into().unwrap());
+                assert_eq!(v, received);
+                received += 1;
+            }
+        }
+        sender.join().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! The Host Coherent Cache (HCC) model.
+//!
+//! The real Dagger NIC keeps connection state and transport structures in a
+//! small (128 KB) direct-mapped cache inside the FPGA blue bitstream that is
+//! fully coherent with host memory over CCI-P (§4.1): the actual data lives
+//! in host DRAM, so the FPGA needs no dedicated DRAM and misses are cheap.
+//! We model the cache's hit/miss behaviour so the NIC can report HCC
+//! statistics and ablations can vary its geometry.
+
+use dagger_types::CACHE_LINE_BYTES;
+
+/// Default HCC capacity (bytes) from §4.1.
+pub const DEFAULT_HCC_BYTES: usize = 128 * 1024;
+
+/// Direct-mapped coherent cache model: tag array + hit/miss counters.
+#[derive(Debug)]
+pub struct HostCoherentCache {
+    tags: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl HostCoherentCache {
+    /// Creates a cache of `capacity_bytes` (rounded down to whole lines;
+    /// line count must come out a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting line count is not a power of two or is zero.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let lines = capacity_bytes / CACHE_LINE_BYTES;
+        assert!(
+            lines.is_power_of_two() && lines > 0,
+            "HCC line count must be a power of two"
+        );
+        HostCoherentCache {
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Creates the default 128 KB cache.
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_HCC_BYTES)
+    }
+
+    /// Number of cache lines.
+    pub fn lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Performs a coherent access to host byte address `addr`. Returns
+    /// `true` on a hit; a miss installs the line (the CCI-P stack fetches it
+    /// from host DRAM transparently).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / CACHE_LINE_BYTES as u64;
+        let idx = (line as usize) & (self.tags.len() - 1);
+        if self.tags[idx] == Some(line) {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.tags[idx] = Some(line);
+            false
+        }
+    }
+
+    /// Processes a coherence invalidation for `addr` (the host wrote the
+    /// line, so the NIC's copy is stale). This is how the NIC "relies on
+    /// invalidation messages to bring new data from software buffers"
+    /// (§4.4.1).
+    pub fn invalidate(&mut self, addr: u64) {
+        let line = addr / CACHE_LINE_BYTES as u64;
+        let idx = (line as usize) & (self.tags.len() - 1);
+        if self.tags[idx] == Some(line) {
+            self.tags[idx] = None;
+            self.invalidations += 1;
+        }
+    }
+
+    /// `(hits, misses, invalidations)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Hit fraction over all accesses so far (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for HostCoherentCache {
+    fn default() -> Self {
+        Self::with_default_capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry() {
+        let hcc = HostCoherentCache::with_default_capacity();
+        assert_eq!(hcc.lines(), DEFAULT_HCC_BYTES / CACHE_LINE_BYTES);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut hcc = HostCoherentCache::new(1024);
+        assert!(!hcc.access(0x40));
+        assert!(hcc.access(0x40));
+        assert!(hcc.access(0x41)); // same line
+        assert_eq!(hcc.stats(), (2, 1, 0));
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut hcc = HostCoherentCache::new(2 * CACHE_LINE_BYTES); // 2 lines
+        hcc.access(0); // line 0 -> idx 0
+        hcc.access(2 * CACHE_LINE_BYTES as u64); // line 2 -> idx 0, evicts
+        assert!(!hcc.access(0), "line 0 must have been evicted");
+    }
+
+    #[test]
+    fn invalidation_forces_refetch() {
+        let mut hcc = HostCoherentCache::new(1024);
+        hcc.access(0x100);
+        hcc.invalidate(0x100);
+        assert!(!hcc.access(0x100), "invalidated line must miss");
+        assert_eq!(hcc.stats().2, 1);
+    }
+
+    #[test]
+    fn invalidating_absent_line_is_noop() {
+        let mut hcc = HostCoherentCache::new(1024);
+        hcc.invalidate(0x999);
+        assert_eq!(hcc.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut hcc = HostCoherentCache::new(4096);
+        for _ in 0..9 {
+            hcc.access(0);
+        }
+        hcc.access(1 << 30);
+        assert!((hcc.hit_rate() - 0.8).abs() < 1e-9);
+    }
+}

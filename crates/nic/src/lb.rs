@@ -1,0 +1,211 @@
+//! RX-path load balancers (§4.4.2, §5.7).
+//!
+//! The Load Balancer distributes incoming RPCs across the NIC's flow FIFOs.
+//! Dagger ships two generic schemes — *dynamic uniform steering*
+//! (round-robin) and *static balancing* (requests follow the flow recorded
+//! in the connection tuple) — and "leaves room for application-specific
+//! load balancers", exemplified by the Object-Level balancer it builds for
+//! MICA, which hashes each request's key on the FPGA so that all requests
+//! for the same key land on the same partition/flow (§5.7). All three are
+//! implemented here.
+//!
+//! Invariant regardless of policy: responses always steer to the
+//! `src_flow` carried in the header, and all frames of one multi-frame RPC
+//! steer identically (software reassembly requires it, §4.7).
+
+use dagger_types::{FlowId, LbPolicy, RpcHeader, RpcKind};
+
+/// FNV-1a, the key hash the object-level balancer applies on the FPGA.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The NIC's RX load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    policy: LbPolicy,
+    rr_next: usize,
+    /// Byte range of the key within the RPC payload for object-level
+    /// steering (set per service; MICA puts the key first).
+    key_range: (usize, usize),
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the given policy. Object-level steering
+    /// hashes `payload[key_range.0 .. key_range.1]`.
+    pub fn new(policy: LbPolicy, key_range: (usize, usize)) -> Self {
+        LoadBalancer {
+            policy,
+            rr_next: 0,
+            key_range,
+        }
+    }
+
+    /// Currently configured policy.
+    pub fn policy(&self) -> LbPolicy {
+        self.policy
+    }
+
+    /// Reconfigures the policy at runtime (soft configuration).
+    pub fn set_policy(&mut self, policy: LbPolicy) {
+        self.policy = policy;
+    }
+
+    /// Picks the destination flow for an incoming frame.
+    ///
+    /// * Responses always return to `hdr.src_flow` — the issuing flow — and
+    ///   may target *any* hardware flow (`total_flows`), since client flows
+    ///   are not necessarily within the server-active request range.
+    /// * Multi-frame requests steer by `(connection, rpc)` hash so every
+    ///   frame of an RPC reaches the same ring.
+    /// * Single-frame requests follow the configured policy, over the
+    ///   `active_flows` currently served by dispatch threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_flows` or `total_flows` is zero.
+    pub fn steer(
+        &mut self,
+        hdr: &RpcHeader,
+        payload: &[u8],
+        active_flows: usize,
+        total_flows: usize,
+        static_flow: Option<FlowId>,
+    ) -> FlowId {
+        assert!(active_flows > 0, "at least one active flow required");
+        assert!(total_flows >= active_flows, "total flows below active flows");
+        let n = active_flows as u64;
+        if hdr.kind == RpcKind::Response {
+            return FlowId((u64::from(hdr.src_flow.raw()) % total_flows as u64) as u16);
+        }
+        if hdr.frame_count > 1 {
+            let h = fnv1a(&[hdr.connection_id.raw().to_le_bytes(), hdr.rpc_id.raw().to_le_bytes()].concat());
+            return FlowId((h % n) as u16);
+        }
+        match self.policy {
+            LbPolicy::Uniform => {
+                let flow = (self.rr_next % active_flows) as u16;
+                self.rr_next = self.rr_next.wrapping_add(1);
+                FlowId(flow)
+            }
+            LbPolicy::Static => {
+                let pinned = static_flow.unwrap_or(hdr.src_flow);
+                FlowId((u64::from(pinned.raw()) % n) as u16)
+            }
+            LbPolicy::ObjectLevel => {
+                let (lo, hi) = self.key_range;
+                let hi = hi.min(payload.len());
+                let key = if lo < hi { &payload[lo..hi] } else { payload };
+                FlowId((fnv1a(key) % n) as u16)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagger_types::{ConnectionId, FnId, RpcId};
+
+    fn req(cid: u32, rpc: u32, frames: u8) -> RpcHeader {
+        RpcHeader {
+            connection_id: ConnectionId(cid),
+            rpc_id: RpcId(rpc),
+            fn_id: FnId(0),
+            src_flow: FlowId(2),
+            kind: RpcKind::Request,
+            frame_idx: 0,
+            frame_count: frames,
+            frame_payload_len: 8,
+        }
+    }
+
+    #[test]
+    fn uniform_round_robins() {
+        let mut lb = LoadBalancer::new(LbPolicy::Uniform, (0, 8));
+        let flows: Vec<u16> = (0..8)
+            .map(|i| lb.steer(&req(1, i, 1), &[0; 8], 4, 4, None).raw())
+            .collect();
+        assert_eq!(flows, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn responses_always_go_to_src_flow() {
+        let mut lb = LoadBalancer::new(LbPolicy::Uniform, (0, 8));
+        let mut hdr = req(1, 1, 1);
+        hdr.kind = RpcKind::Response;
+        hdr.src_flow = FlowId(3);
+        for _ in 0..5 {
+            assert_eq!(lb.steer(&hdr, &[0; 8], 4, 4, None), FlowId(3));
+        }
+    }
+
+    #[test]
+    fn static_policy_uses_connection_flow() {
+        let mut lb = LoadBalancer::new(LbPolicy::Static, (0, 8));
+        let hdr = req(1, 1, 1);
+        assert_eq!(lb.steer(&hdr, &[0; 8], 4, 4, Some(FlowId(1))), FlowId(1));
+        assert_eq!(lb.steer(&hdr, &[0; 8], 4, 4, Some(FlowId(1))), FlowId(1));
+    }
+
+    #[test]
+    fn object_level_same_key_same_flow() {
+        let mut lb = LoadBalancer::new(LbPolicy::ObjectLevel, (0, 8));
+        let key_a = *b"k1______";
+        let key_b = *b"k2______";
+        let fa1 = lb.steer(&req(1, 1, 1), &key_a, 4, 4, None);
+        let fa2 = lb.steer(&req(1, 2, 1), &key_a, 4, 4, None);
+        let fb = lb.steer(&req(1, 3, 1), &key_b, 4, 4, None);
+        assert_eq!(fa1, fa2, "same key must pin to the same partition");
+        // Different keys *may* collide, but these two don't under FNV.
+        assert_ne!(fa1, fb);
+    }
+
+    #[test]
+    fn object_level_spreads_keys() {
+        let mut lb = LoadBalancer::new(LbPolicy::ObjectLevel, (0, 8));
+        let mut seen = [false; 4];
+        for k in 0..64u64 {
+            let key = k.to_le_bytes();
+            let f = lb.steer(&req(1, k as u32, 1), &key, 4, 4, None);
+            seen[f.raw() as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "keys should cover all partitions");
+    }
+
+    #[test]
+    fn multiframe_frames_steer_identically() {
+        let mut lb = LoadBalancer::new(LbPolicy::Uniform, (0, 8));
+        let mut hdr = req(7, 42, 3);
+        let f0 = lb.steer(&hdr, &[0; 8], 4, 4, None);
+        hdr.frame_idx = 1;
+        let f1 = lb.steer(&hdr, &[1; 8], 4, 4, None);
+        hdr.frame_idx = 2;
+        let f2 = lb.steer(&hdr, &[2; 8], 4, 4, None);
+        assert_eq!(f0, f1);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn src_flow_out_of_range_clamps() {
+        let mut lb = LoadBalancer::new(LbPolicy::Uniform, (0, 8));
+        let mut hdr = req(1, 1, 1);
+        hdr.kind = RpcKind::Response;
+        hdr.src_flow = FlowId(9);
+        let f = lb.steer(&hdr, &[0; 8], 4, 4, None);
+        assert!(f.raw() < 4);
+    }
+
+    #[test]
+    fn policy_is_soft_reconfigurable() {
+        let mut lb = LoadBalancer::new(LbPolicy::Uniform, (0, 8));
+        assert_eq!(lb.policy(), LbPolicy::Uniform);
+        lb.set_policy(LbPolicy::ObjectLevel);
+        assert_eq!(lb.policy(), LbPolicy::ObjectLevel);
+    }
+}

@@ -1,0 +1,56 @@
+//! Functional model of the Dagger FPGA NIC.
+//!
+//! This crate implements, block for block, the hardware architecture of
+//! Figs. 6, 8 and 9 of the paper as a software NIC that runs on a dedicated
+//! engine thread per NIC instance:
+//!
+//! * [`ring`] — lock-free cache-line SPSC rings with validity-flag polling,
+//!   the software half of the CCI-P coherent-memory interface (Fig. 8);
+//! * [`transport`] — the UDP/IP-like framing of the Transport unit plus the
+//!   (idle, §4.5) Protocol hook;
+//! * [`reliable`] — the §4.5 follow-up work, implemented: a Go-Back-N
+//!   reliable transport with piggybacked acknowledgements, paired with the
+//!   fabric's deterministic loss injection;
+//! * [`connmgr`] — the Connection Manager: a direct-mapped, three-banked
+//!   (1W3R) connection cache with host-memory spill (§4.2);
+//! * [`lb`] — the RX load balancers: uniform dynamic, static, and the
+//!   object-level key-hash balancer used for MICA tiers (§5.7);
+//! * [`reqbuf`]/[`flow`]/[`sched`] — the request buffer + free-slot FIFO,
+//!   per-flow FIFOs of `slot_id` references, and the flow scheduler that
+//!   forms CCI-P delivery batches (Fig. 9B);
+//! * [`monitor`] — the Packet Monitor statistics unit;
+//! * [`softreg`] — the Soft-Reconfiguration Unit register file (§4.1);
+//! * [`hcc`] — the 128 KB direct-mapped Host Coherent Cache model;
+//! * [`arbiter`] — the fair round-robin CCI-P bus arbiter used when several
+//!   virtual NICs share one FPGA (Fig. 14);
+//! * [`fabric`] — the in-process Ethernet fabric with an L2 ToR switch
+//!   (the loopback methodology of §5.1);
+//! * [`engine`] — the NIC engine thread tying the RX/TX FSMs together;
+//! * [`nic`] — the assembled, virtualizable [`nic::Nic`].
+//!
+//! The NIC is *functional*: it moves real bytes between real threads with
+//! the exact control structure of the hardware, but makes no timing claims —
+//! timing lives in `dagger-sim`.
+
+pub mod arbiter;
+pub mod connmgr;
+pub mod engine;
+pub mod fabric;
+pub mod flow;
+pub mod hcc;
+pub mod lb;
+pub mod monitor;
+pub mod nic;
+pub mod reliable;
+pub mod reqbuf;
+pub mod ring;
+pub mod sched;
+pub mod softreg;
+pub mod transport;
+
+pub use connmgr::{ConnectionManager, ConnectionTuple};
+pub use fabric::{FabricPort, MemFabric};
+pub use monitor::PacketMonitor;
+pub use nic::{HostFlow, Nic};
+pub use ring::{ring, RingConsumer, RingProducer};
+pub use softreg::SoftRegisterFile;

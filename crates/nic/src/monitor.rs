@@ -1,0 +1,179 @@
+//! The Packet Monitor: the NIC's statistics unit (Fig. 6).
+//!
+//! A bank of lock-free counters updated by the NIC engine on the data path
+//! and readable by the host at any time (the paper uses it for the request
+//! tracing of §5.7 and for the drop-rate criteria of §5.6).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free NIC statistics, shared between the engine thread and the host.
+#[derive(Debug, Default)]
+pub struct PacketMonitor {
+    tx_frames: AtomicU64,
+    rx_frames: AtomicU64,
+    tx_datagrams: AtomicU64,
+    rx_datagrams: AtomicU64,
+    rx_ring_drops: AtomicU64,
+    unknown_connection_drops: AtomicU64,
+    reqbuf_backpressure: AtomicU64,
+    cached_polls: AtomicU64,
+    direct_polls: AtomicU64,
+}
+
+/// A plain-data snapshot of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// Frames sent to the network.
+    pub tx_frames: u64,
+    /// Frames received from the network.
+    pub rx_frames: u64,
+    /// Datagrams sent.
+    pub tx_datagrams: u64,
+    /// Datagrams received.
+    pub rx_datagrams: u64,
+    /// Frames dropped because the destination RX ring was full.
+    pub rx_ring_drops: u64,
+    /// Frames dropped because the connection was unknown.
+    pub unknown_connection_drops: u64,
+    /// Times the request buffer asserted backpressure.
+    pub reqbuf_backpressure: u64,
+    /// Frames fetched while polling the NIC's local coherent cache
+    /// (low-load mode, §4.4.1).
+    pub cached_polls: u64,
+    /// Frames fetched while polling the processor's LLC directly
+    /// (high-load mode, §4.4.1).
+    pub direct_polls: u64,
+}
+
+impl PacketMonitor {
+    /// Creates a zeroed monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts `n` transmitted frames.
+    pub fn add_tx_frames(&self, n: u64) {
+        self.tx_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` received frames.
+    pub fn add_rx_frames(&self, n: u64) {
+        self.rx_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one transmitted datagram.
+    pub fn inc_tx_datagrams(&self) {
+        self.tx_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one received datagram.
+    pub fn inc_rx_datagrams(&self) {
+        self.rx_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one frame dropped at a full RX ring.
+    pub fn inc_rx_ring_drops(&self) {
+        self.rx_ring_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one frame dropped for an unknown connection.
+    pub fn inc_unknown_connection_drops(&self) {
+        self.unknown_connection_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request-buffer backpressure event.
+    pub fn inc_reqbuf_backpressure(&self) {
+        self.reqbuf_backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts frames fetched in cached-polling mode.
+    pub fn add_cached_polls(&self, n: u64) {
+        self.cached_polls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts frames fetched in direct-LLC-polling mode.
+    pub fn add_direct_polls(&self, n: u64) {
+        self.direct_polls.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            tx_datagrams: self.tx_datagrams.load(Ordering::Relaxed),
+            rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
+            rx_ring_drops: self.rx_ring_drops.load(Ordering::Relaxed),
+            unknown_connection_drops: self.unknown_connection_drops.load(Ordering::Relaxed),
+            reqbuf_backpressure: self.reqbuf_backpressure.load(Ordering::Relaxed),
+            cached_polls: self.cached_polls.load(Ordering::Relaxed),
+            direct_polls: self.direct_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MonitorSnapshot {
+    /// Total frames dropped for any reason.
+    pub fn total_drops(&self) -> u64 {
+        self.rx_ring_drops + self.unknown_connection_drops + self.reqbuf_backpressure
+    }
+
+    /// Fraction of received frames that were dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.rx_frames == 0 {
+            0.0
+        } else {
+            self.total_drops() as f64 / self.rx_frames as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = PacketMonitor::new();
+        m.add_tx_frames(3);
+        m.add_rx_frames(5);
+        m.inc_tx_datagrams();
+        m.inc_rx_datagrams();
+        m.inc_rx_ring_drops();
+        m.inc_unknown_connection_drops();
+        m.inc_reqbuf_backpressure();
+        let s = m.snapshot();
+        assert_eq!(s.tx_frames, 3);
+        assert_eq!(s.rx_frames, 5);
+        assert_eq!(s.tx_datagrams, 1);
+        assert_eq!(s.rx_datagrams, 1);
+        assert_eq!(s.total_drops(), 3);
+        assert!((s.drop_rate() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_monitor_has_zero_drop_rate() {
+        let s = PacketMonitor::new().snapshot();
+        assert_eq!(s.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        use std::sync::Arc;
+        let m = Arc::new(PacketMonitor::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.add_tx_frames(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().tx_frames, 40_000);
+    }
+}

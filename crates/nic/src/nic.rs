@@ -1,0 +1,528 @@
+//! The assembled Dagger NIC.
+//!
+//! [`Nic::start`] attaches a NIC to a [`MemFabric`] under a [`NodeAddr`],
+//! provisions the per-flow TX/RX cache-line rings (Fig. 7), and spawns the
+//! engine thread. Host threads claim flows with [`Nic::take_flow`] — each
+//! [`HostFlow`] is the 1-to-1 ring pair backing one `RpcClient` or one
+//! server dispatch thread — and manage connections with
+//! [`Nic::open_connection`] / [`Nic::close_connection`], which register the
+//! tuple in the local Connection Manager and announce it to the remote NIC
+//! with an in-band control frame.
+//!
+//! Multiple NICs can share one `MemFabric` *and* one
+//! [`CcipArbiter`](crate::arbiter::CcipArbiter) — that is the NIC
+//! virtualization of Fig. 14: each tenant gets a "virtual but physical" NIC
+//! with its own rings, connection cache, and soft registers.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+
+use dagger_types::{
+    ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result,
+};
+
+use crate::arbiter::ArbiterSlot;
+use crate::connmgr::{ConnectionManager, ConnectionTuple};
+use crate::engine::{encode_ctrl_close, encode_ctrl_open, EngineCore};
+use crate::reliable::{ReliableConfig, ReliableTransport};
+use crate::fabric::{FabricPort, MemFabric};
+use crate::flow::FlowFifos;
+use crate::hcc::HostCoherentCache;
+use crate::lb::LoadBalancer;
+use crate::monitor::PacketMonitor;
+use crate::reqbuf::RequestBuffer;
+use crate::ring::{ring, RingConsumer, RingProducer};
+use crate::sched::FlowScheduler;
+use crate::softreg::SoftRegisterFile;
+use crate::transport::Datagram;
+
+/// Scheduler partial-batch timeout in engine ticks; small enough that
+/// latency in functional mode is not batch-bound.
+const SCHED_TIMEOUT_TICKS: u64 = 8;
+
+/// One hardware flow's host-side endpoints: the TX ring the host writes
+/// RPC frames into and the RX ring it polls for deliveries.
+#[derive(Debug)]
+pub struct HostFlow {
+    /// The flow id (also the ring pair index).
+    pub flow: FlowId,
+    /// Host → NIC ring.
+    pub tx: RingProducer,
+    /// NIC → host ring.
+    pub rx: RingConsumer,
+}
+
+/// A running Dagger NIC instance.
+pub struct Nic {
+    addr: NodeAddr,
+    cfg: HardConfig,
+    /// Kept to pin the fabric attachment for the NIC's lifetime (the
+    /// engine holds its own clone).
+    _port: Arc<FabricPort>,
+    softregs: Arc<SoftRegisterFile>,
+    monitor: Arc<PacketMonitor>,
+    conn_mgr: Arc<Mutex<ConnectionManager>>,
+    unclaimed: Mutex<Vec<HostFlow>>,
+    next_conn: AtomicU32,
+    stop: Arc<AtomicBool>,
+    engine: Mutex<Option<JoinHandle<()>>>,
+    ctrl_tx: Sender<(NodeAddr, Datagram)>,
+    confirmed: Arc<Mutex<HashSet<u32>>>,
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("addr", &self.addr)
+            .field("flows", &self.cfg.num_flows)
+            .field("iface", &self.cfg.iface)
+            .finish()
+    }
+}
+
+impl Nic {
+    /// Starts a NIC on `fabric` under `addr` with the given hard
+    /// configuration, exclusively owning its bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the address is
+    /// already attached.
+    pub fn start(fabric: &MemFabric, addr: NodeAddr, cfg: HardConfig) -> Result<Arc<Nic>> {
+        Self::start_inner(fabric, addr, cfg, None)
+    }
+
+    /// Starts a NIC sharing the physical bus with other tenants through a
+    /// fair round-robin arbiter slot (NIC virtualization, Fig. 14).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the address is
+    /// already attached.
+    pub fn start_virtual(
+        fabric: &MemFabric,
+        addr: NodeAddr,
+        cfg: HardConfig,
+        slot: ArbiterSlot,
+    ) -> Result<Arc<Nic>> {
+        Self::start_inner(fabric, addr, cfg, Some(slot))
+    }
+
+    fn start_inner(
+        fabric: &MemFabric,
+        addr: NodeAddr,
+        cfg: HardConfig,
+        arbiter: Option<ArbiterSlot>,
+    ) -> Result<Arc<Nic>> {
+        cfg.validate()?;
+        let port = Arc::new(fabric.attach(addr)?);
+        let softregs = Arc::new(SoftRegisterFile::default());
+        let monitor = Arc::new(PacketMonitor::new());
+        let conn_mgr = Arc::new(Mutex::new(ConnectionManager::new(cfg.conn_cache_entries)));
+
+        let mut host_flows = Vec::with_capacity(cfg.num_flows);
+        let mut tx_consumers = Vec::with_capacity(cfg.num_flows);
+        let mut rx_producers = Vec::with_capacity(cfg.num_flows);
+        for i in 0..cfg.num_flows {
+            let (tx_p, tx_c) = ring(cfg.tx_ring_capacity);
+            let (rx_p, rx_c) = ring(cfg.rx_ring_capacity);
+            host_flows.push(HostFlow {
+                flow: FlowId(i as u16),
+                tx: tx_p,
+                rx: rx_c,
+            });
+            tx_consumers.push(tx_c);
+            rx_producers.push(rx_p);
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        let confirmed = Arc::new(Mutex::new(HashSet::new()));
+        let reliable = cfg
+            .reliable
+            .then(|| ReliableTransport::new(addr, ReliableConfig::default()));
+        let core = EngineCore {
+            addr,
+            port: Arc::clone(&port),
+            tx_rings: tx_consumers,
+            rx_rings: rx_producers,
+            conn_mgr: Arc::clone(&conn_mgr),
+            softregs: Arc::clone(&softregs),
+            monitor: Arc::clone(&monitor),
+            lb: LoadBalancer::new(LbPolicy::Uniform, (0, 32)),
+            reqbuf: RequestBuffer::new((cfg.rx_ring_capacity * cfg.num_flows).max(64)),
+            fifos: FlowFifos::new(cfg.num_flows),
+            sched: FlowScheduler::new(cfg.num_flows, SCHED_TIMEOUT_TICKS),
+            hcc: HostCoherentCache::with_default_capacity(),
+            protocol: Default::default(),
+            arbiter,
+            stop: Arc::clone(&stop),
+            ctrl_rx,
+            confirmed: Arc::clone(&confirmed),
+            reliable,
+            pending_out: Default::default(),
+            window_frames: 0,
+            direct_polling: false,
+        };
+        let engine = std::thread::Builder::new()
+            .name(format!("dagger-nic-{}", addr.raw()))
+            .spawn(move || core.run())
+            .map_err(|e| DaggerError::Fabric(format!("failed to spawn engine: {e}")))?;
+
+        Ok(Arc::new(Nic {
+            addr,
+            cfg,
+            _port: port,
+            softregs,
+            monitor,
+            conn_mgr,
+            unclaimed: Mutex::new(host_flows),
+            next_conn: AtomicU32::new(1),
+            stop,
+            engine: Mutex::new(Some(engine)),
+            ctrl_tx,
+            confirmed,
+        }))
+    }
+
+    /// This NIC's fabric address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The hard configuration the NIC was synthesized with.
+    pub fn config(&self) -> &HardConfig {
+        &self.cfg
+    }
+
+    /// The soft register file (runtime reconfiguration, §4.1).
+    pub fn softregs(&self) -> &Arc<SoftRegisterFile> {
+        &self.softregs
+    }
+
+    /// The packet monitor.
+    pub fn monitor(&self) -> &Arc<PacketMonitor> {
+        &self.monitor
+    }
+
+    /// Claims the next unclaimed flow (ring pair). Flows are claimed in
+    /// ascending id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] when all hard-configured flows are
+    /// claimed.
+    pub fn take_flow(&self) -> Result<HostFlow> {
+        let mut flows = self.unclaimed.lock();
+        if flows.is_empty() {
+            return Err(DaggerError::Config(format!(
+                "all {} flows already claimed",
+                self.cfg.num_flows
+            )));
+        }
+        Ok(flows.remove(0))
+    }
+
+    /// Flows not yet claimed.
+    pub fn unclaimed_flows(&self) -> usize {
+        self.unclaimed.lock().len()
+    }
+
+    /// Allocates a fabric-unique connection id: high 16 bits from this
+    /// NIC's address, low 16 bits a local counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if 65 535 connections were already
+    /// allocated on this NIC.
+    pub fn allocate_connection_id(&self) -> Result<ConnectionId> {
+        let local = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        if local > u32::from(u16::MAX) {
+            return Err(DaggerError::Config(
+                "connection id space exhausted".to_string(),
+            ));
+        }
+        Ok(ConnectionId((self.addr.raw() & 0xFFFF) << 16 | local))
+    }
+
+    /// Opens a connection from local flow `src_flow` to the service at
+    /// `remote`, registering it in the local Connection Manager and
+    /// announcing it in-band to the remote NIC (whose CM records the reverse
+    /// route for responses). `lb` selects how the remote NIC balances this
+    /// connection's requests across its flows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the connection id space is exhausted or the
+    /// remote address is not attached to the fabric.
+    /// Blocks until the remote NIC acknowledges the registration (the
+    /// control frame is retried, so setup survives fabric loss).
+    pub fn open_connection(
+        &self,
+        remote: NodeAddr,
+        src_flow: FlowId,
+        lb: LbPolicy,
+    ) -> Result<ConnectionId> {
+        let cid = self.allocate_connection_id()?;
+        self.conn_mgr.lock().open(
+            cid,
+            ConnectionTuple {
+                src_flow,
+                dest_addr: remote,
+                lb,
+            },
+        )?;
+        // Announce via the engine's control outbox (ordered with data,
+        // covered by the reliable transport when enabled) and wait for the
+        // remote's acknowledgement, retrying the announcement.
+        for _attempt in 0..40 {
+            let ctrl = encode_ctrl_open(cid, self.addr, src_flow, lb);
+            let dgram = Datagram::new(self.addr, remote, vec![ctrl]);
+            self.ctrl_tx
+                .send((remote, dgram))
+                .map_err(|_| DaggerError::Closed)?;
+            let deadline = Instant::now() + Duration::from_millis(50);
+            while Instant::now() < deadline {
+                if self.confirmed.lock().contains(&cid.raw()) {
+                    return Ok(cid);
+                }
+                std::thread::yield_now();
+            }
+        }
+        let _ = self.conn_mgr.lock().close(cid);
+        Err(DaggerError::Timeout)
+    }
+
+    /// Closes a connection locally and on the remote NIC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::UnknownConnection`] if the connection is not
+    /// open here.
+    pub fn close_connection(&self, cid: ConnectionId) -> Result<()> {
+        let tuple = self
+            .conn_mgr
+            .lock()
+            .lookup(crate::connmgr::CmPort::Cm, cid)
+            .ok_or(DaggerError::UnknownConnection(cid.raw()))?;
+        self.conn_mgr.lock().close(cid)?;
+        self.confirmed.lock().remove(&cid.raw());
+        let ctrl = encode_ctrl_close(cid);
+        let dgram = Datagram::new(self.addr, tuple.dest_addr, vec![ctrl]);
+        // Best-effort: the remote may already be gone.
+        let _ = self.ctrl_tx.send((tuple.dest_addr, dgram));
+        Ok(())
+    }
+
+    /// `true` once the NIC's Connection Manager knows `cid` (used to wait
+    /// for in-band connection setup on the passive side).
+    pub fn knows_connection(&self, cid: ConnectionId) -> bool {
+        self.conn_mgr.lock().contains(cid)
+    }
+
+    /// Connections currently open in the CM (cache + host backing store).
+    pub fn open_connections(&self) -> usize {
+        self.conn_mgr.lock().open_connections()
+    }
+
+    /// Stops the engine thread, draining in-flight frames first.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.engine.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Nic {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagger_types::{CacheLine, FnId, RpcHeader, RpcId, RpcKind};
+
+    fn frame(cid: ConnectionId, rpc: u32, kind: RpcKind, src_flow: u16, tag: u8) -> CacheLine {
+        let mut line = CacheLine::zeroed();
+        let hdr = RpcHeader {
+            connection_id: cid,
+            rpc_id: RpcId(rpc),
+            fn_id: FnId(1),
+            src_flow: FlowId(src_flow),
+            kind,
+            frame_idx: 0,
+            frame_count: 1,
+            frame_payload_len: 1,
+        };
+        hdr.encode(line.header_mut());
+        line.payload_mut()[0] = tag;
+        line
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut f: F) -> bool {
+        for _ in 0..50_000 {
+            if f() {
+                return true;
+            }
+            std::thread::yield_now();
+        }
+        false
+    }
+
+    #[test]
+    fn end_to_end_request_and_response() {
+        let fabric = MemFabric::new();
+        let client = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+        let server = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
+
+        let mut cflow = client.take_flow().unwrap();
+        let mut sflow = server.take_flow().unwrap();
+        // Only one dispatch thread is polling: restrict the LB to one flow.
+        server.softregs().set_active_flows(1);
+
+        let cid = client
+            .open_connection(NodeAddr(2), cflow.flow, LbPolicy::Uniform)
+            .unwrap();
+        assert!(wait_for(|| server.knows_connection(cid)));
+
+        // Client sends a request.
+        cflow
+            .tx
+            .try_push(frame(cid, 7, RpcKind::Request, cflow.flow.raw(), 0xAA))
+            .unwrap();
+
+        let mut got = None;
+        assert!(wait_for(|| {
+            if let Some(line) = sflow.rx.try_pop() {
+                got = Some(line);
+                true
+            } else {
+                false
+            }
+        }));
+        let req = got.expect("request delivered");
+        let hdr = RpcHeader::decode(req.header()).unwrap();
+        assert_eq!(hdr.rpc_id, RpcId(7));
+        assert_eq!(req.payload()[0], 0xAA);
+
+        // Server responds on the same connection, echoing src_flow.
+        sflow
+            .tx
+            .try_push(frame(cid, 7, RpcKind::Response, hdr.src_flow.raw(), 0xBB))
+            .unwrap();
+
+        let mut resp = None;
+        assert!(wait_for(|| {
+            if let Some(line) = cflow.rx.try_pop() {
+                resp = Some(line);
+                true
+            } else {
+                false
+            }
+        }));
+        let resp = resp.unwrap();
+        let rhdr = RpcHeader::decode(resp.header()).unwrap();
+        assert_eq!(rhdr.kind, RpcKind::Response);
+        assert_eq!(resp.payload()[0], 0xBB);
+
+        client.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_connection_frames_are_dropped_and_counted() {
+        let fabric = MemFabric::new();
+        let client = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+        let mut flow = client.take_flow().unwrap();
+        flow.tx
+            .try_push(frame(ConnectionId(999), 1, RpcKind::Request, 0, 1))
+            .unwrap();
+        assert!(wait_for(|| {
+            client.monitor().snapshot().unknown_connection_drops > 0
+        }));
+        client.shutdown();
+    }
+
+    #[test]
+    fn connection_ids_are_unique_and_embed_address() {
+        let fabric = MemFabric::new();
+        let nic = Nic::start(&fabric, NodeAddr(7), HardConfig::default()).unwrap();
+        let a = nic.allocate_connection_id().unwrap();
+        let b = nic.allocate_connection_id().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.raw() >> 16, 7);
+        nic.shutdown();
+    }
+
+    #[test]
+    fn take_flow_exhausts() {
+        let fabric = MemFabric::new();
+        let cfg = HardConfig::builder().num_flows(2).build().unwrap();
+        let nic = Nic::start(&fabric, NodeAddr(1), cfg).unwrap();
+        assert_eq!(nic.unclaimed_flows(), 2);
+        let _a = nic.take_flow().unwrap();
+        let _b = nic.take_flow().unwrap();
+        assert!(nic.take_flow().is_err());
+        nic.shutdown();
+    }
+
+    #[test]
+    fn close_connection_removes_both_sides() {
+        let fabric = MemFabric::new();
+        let client = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+        let server = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
+        let flow = client.take_flow().unwrap();
+        let cid = client
+            .open_connection(NodeAddr(2), flow.flow, LbPolicy::Uniform)
+            .unwrap();
+        assert!(wait_for(|| server.knows_connection(cid)));
+        client.close_connection(cid).unwrap();
+        assert!(!client.knows_connection(cid));
+        assert!(wait_for(|| !server.knows_connection(cid)));
+        client.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn virtual_nics_share_fabric_through_arbiter() {
+        use crate::arbiter::CcipArbiter;
+        let fabric = MemFabric::new();
+        let arb = CcipArbiter::new(2);
+        let a = Nic::start_virtual(&fabric, NodeAddr(1), HardConfig::default(), arb.register())
+            .unwrap();
+        let b = Nic::start_virtual(&fabric, NodeAddr(2), HardConfig::default(), arb.register())
+            .unwrap();
+        let mut fa = a.take_flow().unwrap();
+        let mut fb = b.take_flow().unwrap();
+        b.softregs().set_active_flows(1);
+        let cid = a
+            .open_connection(NodeAddr(2), fa.flow, LbPolicy::Uniform)
+            .unwrap();
+        assert!(wait_for(|| b.knows_connection(cid)));
+        fa.tx
+            .try_push(frame(cid, 1, RpcKind::Request, 0, 0x77))
+            .unwrap();
+        let mut got = false;
+        assert!(wait_for(|| {
+            if let Some(line) = fb.rx.try_pop() {
+                got = line.payload()[0] == 0x77;
+                true
+            } else {
+                false
+            }
+        }));
+        assert!(got);
+        assert!(arb.grants(0) > 0 && arb.grants(1) > 0);
+        a.shutdown();
+        b.shutdown();
+    }
+}

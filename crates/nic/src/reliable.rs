@@ -1,0 +1,476 @@
+//! Reliable transport — the Protocol unit's first real occupant.
+//!
+//! The paper ships with an idle Protocol unit and names the follow-up:
+//! "we plan to extend Dagger with reliable transports and with RPC-specific
+//! congestion control" (§4.5). This module implements that extension as a
+//! per-peer Go-Back-N protocol suited to the fabric's properties (in-order
+//! per-sender delivery, loss possible, no reordering):
+//!
+//! * every data datagram to a peer carries a sequence number;
+//! * the receiver delivers strictly in order, discards out-of-order
+//!   datagrams (a gap means loss), and acknowledges cumulatively —
+//!   acknowledgements piggyback the receiver's own traffic when possible,
+//!   as §4.5 suggests ("piggybacking acknowledgement");
+//! * the sender keeps unacknowledged datagrams in a retransmit buffer,
+//!   bounded by a window, and goes back to the first unacknowledged
+//!   sequence after a timeout measured in engine ticks.
+//!
+//! The state machine is synchronous and engine-driven (`on_send`,
+//! `on_recv`, `on_tick`), matching how the hardware would run it; the
+//! engine enables it when [`dagger_types::HardConfig::reliable`] is set.
+
+use std::collections::HashMap;
+
+use dagger_types::{DaggerError, NodeAddr, Result};
+
+use crate::transport::Datagram;
+
+/// Frame type byte: payload-carrying data frame.
+const FRAME_DATA: u8 = 1;
+/// Frame type byte: standalone cumulative acknowledgement.
+const FRAME_ACK: u8 = 2;
+
+/// A sequenced transport frame as it crosses the fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportFrame {
+    /// A data datagram with its sequence number and a piggybacked
+    /// cumulative ack of the sender's receive direction.
+    Data {
+        /// Sequence number of this datagram (per sender→receiver session).
+        seq: u64,
+        /// Cumulative ack: the sender has received everything below this.
+        ack: u64,
+        /// The payload datagram.
+        datagram: Datagram,
+    },
+    /// A standalone cumulative acknowledgement.
+    Ack {
+        /// The receiver has everything below this sequence.
+        ack: u64,
+        /// Addressing (acks are not themselves sequenced).
+        src: NodeAddr,
+        /// Destination of the ack.
+        dst: NodeAddr,
+    },
+}
+
+impl TransportFrame {
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            TransportFrame::Data { seq, ack, datagram } => {
+                let body = datagram.encode();
+                let mut out = Vec::with_capacity(17 + body.len());
+                out.push(FRAME_DATA);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&ack.to_le_bytes());
+                out.extend_from_slice(&body);
+                out
+            }
+            TransportFrame::Ack { ack, src, dst } => {
+                let mut out = Vec::with_capacity(17);
+                out.push(FRAME_ACK);
+                out.extend_from_slice(&ack.to_le_bytes());
+                out.extend_from_slice(&src.raw().to_le_bytes());
+                out.extend_from_slice(&dst.raw().to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        match bytes.first() {
+            Some(&FRAME_DATA) => {
+                if bytes.len() < 17 {
+                    return Err(DaggerError::Wire("truncated data frame".to_string()));
+                }
+                let seq = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+                let ack = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+                let datagram = Datagram::decode(&bytes[17..])?;
+                Ok(TransportFrame::Data { seq, ack, datagram })
+            }
+            Some(&FRAME_ACK) => {
+                if bytes.len() != 17 {
+                    return Err(DaggerError::Wire("bad ack frame length".to_string()));
+                }
+                let ack = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+                let src = NodeAddr(u32::from_le_bytes(bytes[9..13].try_into().unwrap()));
+                let dst = NodeAddr(u32::from_le_bytes(bytes[13..17].try_into().unwrap()));
+                Ok(TransportFrame::Ack { ack, src, dst })
+            }
+            Some(other) => Err(DaggerError::Wire(format!("unknown frame type {other}"))),
+            None => Err(DaggerError::Wire("empty frame".to_string())),
+        }
+    }
+}
+
+/// Configuration of the reliability protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Engine ticks without an ack before going back to the first
+    /// unacknowledged datagram.
+    pub retransmit_after_ticks: u64,
+    /// Maximum unacknowledged datagrams per peer before sends are refused
+    /// (backpressure to the TX FSM, which retries next round).
+    pub window: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            retransmit_after_ticks: 64,
+            window: 256,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct PeerTx {
+    next_seq: u64,
+    /// Unacknowledged datagrams, oldest first, as `(seq, datagram)`.
+    unacked: Vec<(u64, Datagram)>,
+    ticks_since_progress: u64,
+    retransmissions: u64,
+}
+
+#[derive(Debug, Default)]
+struct PeerRx {
+    /// Next expected sequence (everything below is delivered).
+    expected: u64,
+    /// `true` when we owe the peer an ack that has not piggybacked yet.
+    ack_owed: bool,
+    out_of_order_drops: u64,
+    duplicate_drops: u64,
+}
+
+/// Protocol statistics across all peers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Datagrams retransmitted.
+    pub retransmissions: u64,
+    /// Out-of-order (gap) datagrams discarded on receive.
+    pub out_of_order_drops: u64,
+    /// Duplicate datagrams suppressed on receive.
+    pub duplicate_drops: u64,
+}
+
+/// Per-NIC reliable-transport state machine (Go-Back-N per peer).
+#[derive(Debug)]
+pub struct ReliableTransport {
+    local: NodeAddr,
+    cfg: ReliableConfig,
+    tx: HashMap<NodeAddr, PeerTx>,
+    rx: HashMap<NodeAddr, PeerRx>,
+}
+
+impl ReliableTransport {
+    /// Creates the state machine for the NIC at `local`.
+    pub fn new(local: NodeAddr, cfg: ReliableConfig) -> Self {
+        ReliableTransport {
+            local,
+            cfg,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+        }
+    }
+
+    /// `true` if the peer's send window has room for another datagram.
+    pub fn window_available(&self, peer: NodeAddr) -> bool {
+        self.tx
+            .get(&peer)
+            .map(|t| t.unacked.len() < self.cfg.window)
+            .unwrap_or(true)
+    }
+
+    /// Wraps an outgoing datagram as a sequenced frame (piggybacking any
+    /// owed ack) and records it for retransmission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::RingFull`] when the peer's send window is
+    /// full; the caller should retry after acks arrive.
+    pub fn on_send(&mut self, datagram: Datagram) -> Result<TransportFrame> {
+        let peer = datagram.dst;
+        let tx = self.tx.entry(peer).or_default();
+        if tx.unacked.len() >= self.cfg.window {
+            return Err(DaggerError::RingFull);
+        }
+        let seq = tx.next_seq;
+        tx.next_seq += 1;
+        tx.unacked.push((seq, datagram.clone()));
+        let ack = self.pending_ack(peer);
+        Ok(TransportFrame::Data { seq, ack, datagram })
+    }
+
+    fn pending_ack(&mut self, peer: NodeAddr) -> u64 {
+        match self.rx.get_mut(&peer) {
+            Some(rx) => {
+                rx.ack_owed = false;
+                rx.expected
+            }
+            None => 0,
+        }
+    }
+
+    fn apply_ack(&mut self, peer: NodeAddr, ack: u64) {
+        if let Some(tx) = self.tx.get_mut(&peer) {
+            let before = tx.unacked.len();
+            tx.unacked.retain(|(seq, _)| *seq >= ack);
+            if tx.unacked.len() != before {
+                tx.ticks_since_progress = 0;
+            }
+        }
+    }
+
+    /// Processes a received frame. Returns the datagram to deliver up the
+    /// stack, if the frame was the next in-order data frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] if the frame cannot be parsed.
+    pub fn on_recv(&mut self, bytes: &[u8]) -> Result<Option<Datagram>> {
+        match TransportFrame::decode(bytes)? {
+            TransportFrame::Ack { ack, src, .. } => {
+                self.apply_ack(src, ack);
+                Ok(None)
+            }
+            TransportFrame::Data { seq, ack, datagram } => {
+                let peer = datagram.src;
+                self.apply_ack(peer, ack);
+                let rx = self.rx.entry(peer).or_default();
+                if seq == rx.expected {
+                    rx.expected += 1;
+                    rx.ack_owed = true;
+                    Ok(Some(datagram))
+                } else if seq < rx.expected {
+                    rx.duplicate_drops += 1;
+                    rx.ack_owed = true; // re-ack so the sender advances
+                    Ok(None)
+                } else {
+                    // A gap: something was lost; discard and wait for the
+                    // go-back-N retransmission.
+                    rx.out_of_order_drops += 1;
+                    rx.ack_owed = true;
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Advances protocol timers by one engine tick. Returns frames to put
+    /// on the wire: standalone acks that did not piggyback, and go-back-N
+    /// retransmissions for peers whose timer expired.
+    pub fn on_tick(&mut self) -> Vec<TransportFrame> {
+        let mut out = Vec::new();
+        let local = self.local;
+        // Standalone acks for quiet receive directions.
+        for (&peer, rx) in self.rx.iter_mut() {
+            if rx.ack_owed {
+                rx.ack_owed = false;
+                out.push(TransportFrame::Ack {
+                    ack: rx.expected,
+                    src: local,
+                    dst: peer,
+                });
+            }
+        }
+        // Retransmissions.
+        let mut acks: HashMap<NodeAddr, u64> = HashMap::new();
+        for (&peer, rx) in self.rx.iter() {
+            acks.insert(peer, rx.expected);
+        }
+        for (&peer, tx) in self.tx.iter_mut() {
+            if tx.unacked.is_empty() {
+                tx.ticks_since_progress = 0;
+                continue;
+            }
+            tx.ticks_since_progress += 1;
+            if tx.ticks_since_progress >= self.cfg.retransmit_after_ticks {
+                tx.ticks_since_progress = 0;
+                for (seq, datagram) in &tx.unacked {
+                    tx.retransmissions += 1;
+                    out.push(TransportFrame::Data {
+                        seq: *seq,
+                        ack: acks.get(&peer).copied().unwrap_or(0),
+                        datagram: datagram.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when every sent datagram has been acknowledged.
+    pub fn fully_acked(&self) -> bool {
+        self.tx.values().all(|t| t.unacked.is_empty())
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> ReliableStats {
+        let mut s = ReliableStats::default();
+        for tx in self.tx.values() {
+            s.retransmissions += tx.retransmissions;
+        }
+        for rx in self.rx.values() {
+            s.out_of_order_drops += rx.out_of_order_drops;
+            s.duplicate_drops += rx.duplicate_drops;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagger_types::CacheLine;
+
+    fn dgram(src: u32, dst: u32, tag: u8) -> Datagram {
+        let mut line = CacheLine::zeroed();
+        line.as_bytes_mut()[20] = tag;
+        Datagram::new(NodeAddr(src), NodeAddr(dst), vec![line])
+    }
+
+    fn tag_of(d: &Datagram) -> u8 {
+        d.lines[0].as_bytes()[20]
+    }
+
+    #[test]
+    fn frame_codec_roundtrip() {
+        let data = TransportFrame::Data {
+            seq: 42,
+            ack: 7,
+            datagram: dgram(1, 2, 9),
+        };
+        assert_eq!(TransportFrame::decode(&data.encode()).unwrap(), data);
+        let ack = TransportFrame::Ack {
+            ack: 99,
+            src: NodeAddr(3),
+            dst: NodeAddr(4),
+        };
+        assert_eq!(TransportFrame::decode(&ack.encode()).unwrap(), ack);
+    }
+
+    #[test]
+    fn frame_codec_rejects_garbage() {
+        assert!(TransportFrame::decode(&[]).is_err());
+        assert!(TransportFrame::decode(&[9, 0, 0]).is_err());
+        assert!(TransportFrame::decode(&[FRAME_DATA, 1, 2]).is_err());
+        assert!(TransportFrame::decode(&[FRAME_ACK; 5]).is_err());
+    }
+
+    #[test]
+    fn lossless_path_delivers_in_order() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let mut b = ReliableTransport::new(NodeAddr(2), ReliableConfig::default());
+        for tag in 0..10u8 {
+            let frame = a.on_send(dgram(1, 2, tag)).unwrap();
+            let delivered = b.on_recv(&frame.encode()).unwrap().unwrap();
+            assert_eq!(tag_of(&delivered), tag);
+        }
+        // b owes acks; one tick flushes a standalone ack that clears a.
+        for frame in b.on_tick() {
+            a.on_recv(&frame.encode()).unwrap();
+        }
+        assert!(a.fully_acked());
+        assert_eq!(a.stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn loss_recovered_by_go_back_n() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 2,
+            window: 64,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+        // Send 0..5; frame 2 is lost in transit.
+        let mut delivered = Vec::new();
+        for tag in 0..5u8 {
+            let frame = a.on_send(dgram(1, 2, tag)).unwrap();
+            if tag == 2 {
+                continue; // dropped by the network
+            }
+            if let Some(d) = b.on_recv(&frame.encode()).unwrap() {
+                delivered.push(tag_of(&d));
+            }
+        }
+        assert_eq!(delivered, vec![0, 1], "gap stalls in-order delivery");
+        // Exchange ticks until the retransmission repairs the stream.
+        for _ in 0..6 {
+            for frame in b.on_tick() {
+                a.on_recv(&frame.encode()).unwrap();
+            }
+            for frame in a.on_tick() {
+                if let Some(d) = b.on_recv(&frame.encode()).unwrap() {
+                    delivered.push(tag_of(&d));
+                }
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4], "all repaired in order");
+        assert!(a.stats().retransmissions > 0);
+        // Final ack exchange clears the sender.
+        for frame in b.on_tick() {
+            a.on_recv(&frame.encode()).unwrap();
+        }
+        assert!(a.fully_acked());
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let mut b = ReliableTransport::new(NodeAddr(2), ReliableConfig::default());
+        let frame = a.on_send(dgram(1, 2, 7)).unwrap().encode();
+        assert!(b.on_recv(&frame).unwrap().is_some());
+        assert!(b.on_recv(&frame).unwrap().is_none(), "duplicate dropped");
+        assert_eq!(b.stats().duplicate_drops, 1);
+    }
+
+    #[test]
+    fn window_backpressure() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 1000,
+            window: 2,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        a.on_send(dgram(1, 2, 0)).unwrap();
+        a.on_send(dgram(1, 2, 1)).unwrap();
+        assert_eq!(a.on_send(dgram(1, 2, 2)), Err(DaggerError::RingFull));
+    }
+
+    #[test]
+    fn piggybacked_acks_clear_reverse_path() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let mut b = ReliableTransport::new(NodeAddr(2), ReliableConfig::default());
+        // a -> b data; b's reply piggybacks the ack.
+        let f1 = a.on_send(dgram(1, 2, 0)).unwrap();
+        b.on_recv(&f1.encode()).unwrap().unwrap();
+        let reply = b.on_send(dgram(2, 1, 9)).unwrap();
+        match reply {
+            TransportFrame::Data { ack, .. } => assert_eq!(ack, 1, "piggybacked"),
+            _ => panic!("expected data frame"),
+        }
+        a.on_recv(&reply.encode()).unwrap().unwrap();
+        assert!(a.fully_acked());
+        // And b should not need a standalone ack anymore.
+        assert!(b.on_tick().is_empty());
+    }
+
+    #[test]
+    fn sessions_are_per_peer() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let f_to_2 = a.on_send(dgram(1, 2, 0)).unwrap();
+        let f_to_3 = a.on_send(dgram(1, 3, 0)).unwrap();
+        match (f_to_2, f_to_3) {
+            (TransportFrame::Data { seq: s2, .. }, TransportFrame::Data { seq: s3, .. }) => {
+                assert_eq!(s2, 0);
+                assert_eq!(s3, 0, "independent sequence spaces");
+            }
+            _ => panic!("expected data frames"),
+        }
+    }
+}

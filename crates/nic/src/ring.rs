@@ -1,0 +1,278 @@
+//! Lock-free SPSC cache-line rings with validity-flag polling.
+//!
+//! These rings are the software half of Dagger's CPU–NIC interface (Fig. 8).
+//! On the real platform the FPGA polls cache lines it shares coherently with
+//! the CPU and learns of new data from coherence invalidations (§4.4.1); here
+//! each 64-byte slot carries an atomic *valid* flag that the producer sets
+//! with `Release` ordering after writing the payload and the consumer clears
+//! after reading — the same single-writer/single-reader protocol, expressed
+//! with the Rust memory model.
+//!
+//! Rings are strictly SPSC: one `RingProducer` (the host thread or the NIC
+//! engine) and one `RingConsumer` (the other side). This mirrors the paper's
+//! per-flow buffer provisioning, which "enables lock-free access to the
+//! rings" (§4.4); sharing a flow between threads requires external locking,
+//! exactly as the paper notes for multi-connection `RpcClient`s.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dagger_types::{CacheLine, DaggerError, Result};
+
+struct Slot {
+    /// `true` when the slot holds a line written by the producer and not yet
+    /// consumed.
+    valid: AtomicBool,
+    line: UnsafeCell<CacheLine>,
+}
+
+/// Shared ring storage. Users interact through [`RingProducer`] /
+/// [`RingConsumer`]; construct with [`ring`].
+pub struct RingBuffer {
+    slots: Box<[Slot]>,
+}
+
+// SAFETY: a slot's `line` is only accessed by the producer while
+// `valid == false` (slot owned by producer) and by the consumer while
+// `valid == true` (slot owned by consumer). Ownership transfers through the
+// `valid` flag with Release/Acquire ordering, so the two sides never touch
+// the cell concurrently.
+unsafe impl Sync for RingBuffer {}
+unsafe impl Send for RingBuffer {}
+
+impl std::fmt::Debug for RingBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingBuffer")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+/// Creates a cache-line ring of the given capacity and returns its two
+/// endpoints.
+///
+/// # Panics
+///
+/// Panics if `capacity` is not a power of two or is below 2 (the hardware
+/// ring constraint from [`dagger_types::HardConfig`]).
+///
+/// # Example
+///
+/// ```
+/// use dagger_nic::ring;
+/// use dagger_types::CacheLine;
+///
+/// let (mut tx, mut rx) = ring(8);
+/// let mut line = CacheLine::zeroed();
+/// line.payload_mut()[0] = 42;
+/// tx.try_push(line).unwrap();
+/// assert_eq!(rx.try_pop().unwrap().payload()[0], 42);
+/// ```
+pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
+    assert!(
+        capacity.is_power_of_two() && capacity >= 2,
+        "ring capacity must be a power of two >= 2"
+    );
+    let slots: Box<[Slot]> = (0..capacity)
+        .map(|_| Slot {
+            valid: AtomicBool::new(false),
+            line: UnsafeCell::new(CacheLine::zeroed()),
+        })
+        .collect();
+    let buf = Arc::new(RingBuffer { slots });
+    (
+        RingProducer {
+            buf: Arc::clone(&buf),
+            idx: 0,
+            mask: capacity - 1,
+        },
+        RingConsumer {
+            buf,
+            idx: 0,
+            mask: capacity - 1,
+        },
+    )
+}
+
+/// The writing endpoint of a cache-line ring.
+#[derive(Debug)]
+pub struct RingProducer {
+    buf: Arc<RingBuffer>,
+    idx: usize,
+    mask: usize,
+}
+
+impl RingProducer {
+    /// Ring capacity in cache lines.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Attempts to append one cache line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::RingFull`] if the next slot has not been
+    /// consumed yet.
+    pub fn try_push(&mut self, line: CacheLine) -> Result<()> {
+        let slot = &self.buf.slots[self.idx & self.mask];
+        if slot.valid.load(Ordering::Acquire) {
+            return Err(DaggerError::RingFull);
+        }
+        // SAFETY: `valid` is false, so the producer owns the cell (see the
+        // Sync impl justification).
+        unsafe {
+            *slot.line.get() = line;
+        }
+        slot.valid.store(true, Ordering::Release);
+        self.idx = self.idx.wrapping_add(1);
+        Ok(())
+    }
+
+    /// `true` if a push would currently fail.
+    pub fn is_full(&self) -> bool {
+        self.buf.slots[self.idx & self.mask]
+            .valid
+            .load(Ordering::Acquire)
+    }
+}
+
+/// The reading endpoint of a cache-line ring.
+#[derive(Debug)]
+pub struct RingConsumer {
+    buf: Arc<RingBuffer>,
+    idx: usize,
+    mask: usize,
+}
+
+impl RingConsumer {
+    /// Ring capacity in cache lines.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Attempts to remove the next cache line; `None` if the ring is empty.
+    pub fn try_pop(&mut self) -> Option<CacheLine> {
+        let slot = &self.buf.slots[self.idx & self.mask];
+        if !slot.valid.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: `valid` is true, so the consumer owns the cell.
+        let line = unsafe { *slot.line.get() };
+        slot.valid.store(false, Ordering::Release);
+        self.idx = self.idx.wrapping_add(1);
+        Some(line)
+    }
+
+    /// `true` if the next slot holds data (a non-destructive peek at the
+    /// validity flag — what the FPGA's polling loop checks).
+    pub fn has_data(&self) -> bool {
+        self.buf.slots[self.idx & self.mask]
+            .valid
+            .load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with(b: u8) -> CacheLine {
+        let mut l = CacheLine::zeroed();
+        l.payload_mut()[0] = b;
+        l
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (mut tx, mut rx) = ring(8);
+        for i in 0..5u8 {
+            tx.try_push(line_with(i)).unwrap();
+        }
+        for i in 0..5u8 {
+            assert_eq!(rx.try_pop().unwrap().payload()[0], i);
+        }
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects() {
+        let (mut tx, mut rx) = ring(4);
+        for i in 0..4u8 {
+            tx.try_push(line_with(i)).unwrap();
+        }
+        assert!(tx.is_full());
+        assert_eq!(tx.try_push(line_with(9)), Err(DaggerError::RingFull));
+        // Draining one slot frees one push.
+        assert_eq!(rx.try_pop().unwrap().payload()[0], 0);
+        tx.try_push(line_with(9)).unwrap();
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = ring(4);
+        for round in 0..100u32 {
+            for i in 0..3u8 {
+                tx.try_push(line_with(i.wrapping_add(round as u8))).unwrap();
+            }
+            for i in 0..3u8 {
+                assert_eq!(
+                    rx.try_pop().unwrap().payload()[0],
+                    i.wrapping_add(round as u8)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_data_tracks_state() {
+        let (mut tx, mut rx) = ring(2);
+        assert!(!rx.has_data());
+        tx.try_push(line_with(1)).unwrap();
+        assert!(rx.has_data());
+        rx.try_pop().unwrap();
+        assert!(!rx.has_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_capacity_panics() {
+        let _ = ring(6);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_all_lines() {
+        let (mut tx, mut rx) = ring(64);
+        const N: u32 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut pushed = 0u32;
+            while pushed < N {
+                let mut line = CacheLine::zeroed();
+                line.payload_mut()[..4].copy_from_slice(&pushed.to_le_bytes());
+                match tx.try_push(line) {
+                    Ok(()) => pushed += 1,
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+        });
+        let mut expected = 0u32;
+        while expected < N {
+            if let Some(line) = rx.try_pop() {
+                let got = u32::from_le_bytes(line.payload()[..4].try_into().unwrap());
+                assert_eq!(got, expected, "out of order or corrupted");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn endpoints_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RingProducer>();
+        assert_send::<RingConsumer>();
+    }
+}

@@ -1,0 +1,221 @@
+//! The Soft-Reconfiguration Unit (§4.1).
+//!
+//! Fine-grained runtime control flows through "soft register files
+//! accessible by the host CPU via PCIe MMIOs". This module is that register
+//! file: lock-free atomics the host writes and the NIC engine reads every
+//! loop iteration — CCI-P batch size, auto-batching, number of active
+//! flows, and the RX load-balancer selection.
+
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU8, Ordering};
+
+use dagger_types::config::MAX_BATCH;
+use dagger_types::{DaggerError, LbPolicy, Result, SoftConfigSnapshot};
+
+/// The NIC's runtime-writable register file.
+#[derive(Debug)]
+pub struct SoftRegisterFile {
+    batch_size: AtomicU8,
+    auto_batch: AtomicBool,
+    active_flows: AtomicU16,
+    lb_policy: AtomicU8,
+    /// RX frames per engine window above which the NIC switches from
+    /// polling its local coherent cache to polling the processor's LLC
+    /// directly (§4.4.1). 0 disables the switch (always cached).
+    polling_threshold: AtomicU32,
+}
+
+fn lb_to_u8(p: LbPolicy) -> u8 {
+    match p {
+        LbPolicy::Uniform => 0,
+        LbPolicy::Static => 1,
+        LbPolicy::ObjectLevel => 2,
+    }
+}
+
+fn lb_from_u8(v: u8) -> LbPolicy {
+    match v {
+        1 => LbPolicy::Static,
+        2 => LbPolicy::ObjectLevel,
+        _ => LbPolicy::Uniform,
+    }
+}
+
+impl SoftRegisterFile {
+    /// Creates a register file from an initial snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if the snapshot is invalid.
+    pub fn new(initial: SoftConfigSnapshot) -> Result<Self> {
+        initial.validate()?;
+        Ok(SoftRegisterFile {
+            batch_size: AtomicU8::new(initial.batch_size),
+            auto_batch: AtomicBool::new(initial.auto_batch),
+            active_flows: AtomicU16::new(initial.active_flows),
+            lb_policy: AtomicU8::new(lb_to_u8(initial.lb_policy)),
+            polling_threshold: AtomicU32::new(4096),
+        })
+    }
+
+    /// Current CCI-P batch size.
+    pub fn batch_size(&self) -> u8 {
+        self.batch_size.load(Ordering::Relaxed)
+    }
+
+    /// Sets the CCI-P batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if outside `1..=`[`MAX_BATCH`].
+    pub fn set_batch_size(&self, b: u8) -> Result<()> {
+        if b == 0 || b > MAX_BATCH {
+            return Err(DaggerError::Config(format!(
+                "batch_size {b} outside 1..={MAX_BATCH}"
+            )));
+        }
+        self.batch_size.store(b, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Whether auto-batching is enabled.
+    pub fn auto_batch(&self) -> bool {
+        self.auto_batch.load(Ordering::Relaxed)
+    }
+
+    /// Enables/disables auto-batching.
+    pub fn set_auto_batch(&self, on: bool) {
+        self.auto_batch.store(on, Ordering::Relaxed);
+    }
+
+    /// Number of active flows (0 means "all hard-configured flows").
+    pub fn active_flows(&self) -> u16 {
+        self.active_flows.load(Ordering::Relaxed)
+    }
+
+    /// Sets the number of active flows.
+    pub fn set_active_flows(&self, n: u16) {
+        self.active_flows.store(n, Ordering::Relaxed);
+    }
+
+    /// Current RX load-balancer policy.
+    pub fn lb_policy(&self) -> LbPolicy {
+        lb_from_u8(self.lb_policy.load(Ordering::Relaxed))
+    }
+
+    /// Selects the RX load-balancer policy.
+    pub fn set_lb_policy(&self, p: LbPolicy) {
+        self.lb_policy.store(lb_to_u8(p), Ordering::Relaxed);
+    }
+
+    /// RX-rate threshold (frames per engine window) for switching from
+    /// cached polling to direct LLC polling (§4.4.1).
+    pub fn polling_threshold(&self) -> u32 {
+        self.polling_threshold.load(Ordering::Relaxed)
+    }
+
+    /// Sets the polling-mode switch threshold; 0 keeps cached polling
+    /// always on.
+    pub fn set_polling_threshold(&self, frames_per_window: u32) {
+        self.polling_threshold
+            .store(frames_per_window, Ordering::Relaxed);
+    }
+
+    /// Reads the whole register file at once.
+    pub fn snapshot(&self) -> SoftConfigSnapshot {
+        SoftConfigSnapshot {
+            batch_size: self.batch_size(),
+            auto_batch: self.auto_batch(),
+            active_flows: self.active_flows(),
+            lb_policy: self.lb_policy(),
+        }
+    }
+
+    /// Applies a whole snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if the snapshot is invalid; nothing is
+    /// applied in that case.
+    pub fn apply(&self, snap: SoftConfigSnapshot) -> Result<()> {
+        snap.validate()?;
+        self.set_batch_size(snap.batch_size)?;
+        self.set_auto_batch(snap.auto_batch);
+        self.set_active_flows(snap.active_flows);
+        self.set_lb_policy(snap.lb_policy);
+        Ok(())
+    }
+}
+
+impl Default for SoftRegisterFile {
+    fn default() -> Self {
+        Self::new(SoftConfigSnapshot::default()).expect("default snapshot is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let regs = SoftRegisterFile::default();
+        let snap = SoftConfigSnapshot {
+            batch_size: 4,
+            auto_batch: true,
+            active_flows: 2,
+            lb_policy: LbPolicy::ObjectLevel,
+        };
+        regs.apply(snap).unwrap();
+        assert_eq!(regs.snapshot(), snap);
+    }
+
+    #[test]
+    fn invalid_batch_rejected() {
+        let regs = SoftRegisterFile::default();
+        assert!(regs.set_batch_size(0).is_err());
+        assert!(regs.set_batch_size(MAX_BATCH + 1).is_err());
+        assert_eq!(regs.batch_size(), 1);
+    }
+
+    #[test]
+    fn invalid_apply_is_atomic_noop() {
+        let regs = SoftRegisterFile::default();
+        let bad = SoftConfigSnapshot {
+            batch_size: 0,
+            auto_batch: true,
+            active_flows: 7,
+            lb_policy: LbPolicy::Static,
+        };
+        assert!(regs.apply(bad).is_err());
+        assert_eq!(regs.snapshot(), SoftConfigSnapshot::default());
+    }
+
+    #[test]
+    fn lb_policy_roundtrips_all_variants() {
+        let regs = SoftRegisterFile::default();
+        for p in [LbPolicy::Uniform, LbPolicy::Static, LbPolicy::ObjectLevel] {
+            regs.set_lb_policy(p);
+            assert_eq!(regs.lb_policy(), p);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_while_writing() {
+        use std::sync::Arc;
+        let regs = Arc::new(SoftRegisterFile::default());
+        let writer = {
+            let regs = Arc::clone(&regs);
+            std::thread::spawn(move || {
+                for i in 1..=1000u16 {
+                    regs.set_active_flows(i % 8);
+                    regs.set_batch_size((i % 4 + 1) as u8).unwrap();
+                }
+            })
+        };
+        for _ in 0..1000 {
+            let b = regs.batch_size();
+            assert!((1..=MAX_BATCH).contains(&b));
+        }
+        writer.join().unwrap();
+    }
+}

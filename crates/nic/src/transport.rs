@@ -1,0 +1,196 @@
+//! The Transport unit: UDP/IP-like framing over the fabric.
+//!
+//! The Dagger NIC's transport layer "implements a version of the UDP/IP
+//! protocol and sends outgoing serialized RPC requests to the Ethernet
+//! network" (§4.5). A [`Datagram`] carries a batch of cache-line RPC frames
+//! between two NICs; [`Datagram::encode`]/[`Datagram::decode`] give it a
+//! deterministic byte format so the fabric moves plain bytes, like a wire.
+//!
+//! The paper's Protocol unit (congestion control, acknowledgements) is
+//! *idle* — "it simply forwards all packets" — and so is ours:
+//! [`Protocol::Forward`] is the only implemented behaviour, with the enum in
+//! place as the extension point the paper describes.
+
+use dagger_types::{CacheLine, DaggerError, NodeAddr, Result, CACHE_LINE_BYTES};
+
+/// Magic bytes prefixing every datagram ("DGGR").
+const MAGIC: [u8; 4] = *b"DGGR";
+/// Encoded header size: magic + src + dst + line count.
+const DGRAM_HEADER: usize = 4 + 4 + 4 + 2;
+/// Maximum lines per datagram (one CCI-P delivery batch is ≤ 16; transport
+/// batches across flows stay well below this).
+pub const MAX_LINES_PER_DATAGRAM: usize = 256;
+
+/// A network datagram: a batch of cache-line RPC frames between two NICs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending NIC address.
+    pub src: NodeAddr,
+    /// Destination NIC address.
+    pub dst: NodeAddr,
+    /// The RPC frames (each one cache line).
+    pub lines: Vec<CacheLine>,
+}
+
+impl Datagram {
+    /// Creates a datagram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` exceeds [`MAX_LINES_PER_DATAGRAM`].
+    pub fn new(src: NodeAddr, dst: NodeAddr, lines: Vec<CacheLine>) -> Self {
+        assert!(
+            lines.len() <= MAX_LINES_PER_DATAGRAM,
+            "datagram of {} lines exceeds {MAX_LINES_PER_DATAGRAM}",
+            lines.len()
+        );
+        Datagram { src, dst, lines }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(DGRAM_HEADER + self.lines.len() * CACHE_LINE_BYTES);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&self.src.raw().to_le_bytes());
+        out.extend_from_slice(&self.dst.raw().to_le_bytes());
+        out.extend_from_slice(&(self.lines.len() as u16).to_le_bytes());
+        for line in &self.lines {
+            out.extend_from_slice(line.as_bytes());
+        }
+        out
+    }
+
+    /// Parses wire bytes back into a datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] on bad magic, truncated input, or a
+    /// length mismatch.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < DGRAM_HEADER {
+            return Err(DaggerError::Wire(format!(
+                "datagram too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(DaggerError::Wire("bad datagram magic".to_string()));
+        }
+        let src = NodeAddr(u32::from_le_bytes(bytes[4..8].try_into().unwrap()));
+        let dst = NodeAddr(u32::from_le_bytes(bytes[8..12].try_into().unwrap()));
+        let count = u16::from_le_bytes(bytes[12..14].try_into().unwrap()) as usize;
+        if count > MAX_LINES_PER_DATAGRAM {
+            return Err(DaggerError::Wire(format!("line count {count} too large")));
+        }
+        let expected = DGRAM_HEADER + count * CACHE_LINE_BYTES;
+        if bytes.len() != expected {
+            return Err(DaggerError::Wire(format!(
+                "datagram length {} != expected {expected}",
+                bytes.len()
+            )));
+        }
+        let mut lines = Vec::with_capacity(count);
+        for i in 0..count {
+            let start = DGRAM_HEADER + i * CACHE_LINE_BYTES;
+            let mut raw = [0u8; CACHE_LINE_BYTES];
+            raw.copy_from_slice(&bytes[start..start + CACHE_LINE_BYTES]);
+            lines.push(CacheLine::from_bytes(raw));
+        }
+        Ok(Datagram { src, dst, lines })
+    }
+}
+
+/// The RPC-optimized Protocol unit hook (§4.5). Currently only
+/// [`Protocol::Forward`] exists — exactly the paper's idle unit — but the
+/// enum marks where congestion control / reliable delivery would plug in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Protocol {
+    /// Pass every frame through unchanged.
+    #[default]
+    Forward,
+}
+
+impl Protocol {
+    /// Applies the protocol to an outgoing datagram. `Forward` is identity.
+    pub fn process_tx(&self, dgram: Datagram) -> Datagram {
+        match self {
+            Protocol::Forward => dgram,
+        }
+    }
+
+    /// Applies the protocol to an incoming datagram. `Forward` is identity.
+    pub fn process_rx(&self, dgram: Datagram) -> Datagram {
+        match self {
+            Protocol::Forward => dgram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lines(n: usize) -> Vec<CacheLine> {
+        (0..n)
+            .map(|i| {
+                let mut l = CacheLine::zeroed();
+                l.as_bytes_mut()[0] = i as u8;
+                l.as_bytes_mut()[63] = (i * 3) as u8;
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = Datagram::new(NodeAddr(7), NodeAddr(9), sample_lines(5));
+        let bytes = d.encode();
+        assert_eq!(Datagram::decode(&bytes).unwrap(), d);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let d = Datagram::new(NodeAddr(1), NodeAddr(2), vec![]);
+        assert_eq!(Datagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = Datagram::new(NodeAddr(1), NodeAddr(2), sample_lines(1)).encode();
+        bytes[0] = b'X';
+        assert!(Datagram::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = Datagram::new(NodeAddr(1), NodeAddr(2), sample_lines(2)).encode();
+        assert!(Datagram::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Datagram::decode(&bytes[..3]).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut bytes = Datagram::new(NodeAddr(1), NodeAddr(2), sample_lines(2)).encode();
+        // Claim 3 lines but carry 2.
+        bytes[12..14].copy_from_slice(&3u16.to_le_bytes());
+        assert!(Datagram::decode(&bytes).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_lines_panics() {
+        let _ = Datagram::new(
+            NodeAddr(1),
+            NodeAddr(2),
+            sample_lines(MAX_LINES_PER_DATAGRAM + 1),
+        );
+    }
+
+    #[test]
+    fn protocol_forward_is_identity() {
+        let d = Datagram::new(NodeAddr(3), NodeAddr(4), sample_lines(2));
+        let p = Protocol::default();
+        assert_eq!(p.process_tx(d.clone()), d);
+        assert_eq!(p.process_rx(d.clone()), d);
+    }
+}

@@ -1,0 +1,227 @@
+//! `RpcClient`: the caller side of the Dagger API (§4.2).
+//!
+//! A client owns one connection over one hardware flow. Synchronous calls
+//! block on the response with a deadline; asynchronous calls return a
+//! [`PendingCall`] immediately and complete through the flow's shared
+//! endpoint (poll it directly or via the client's
+//! [`CompletionQueue`](crate::CompletionQueue)).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dagger_nic::Nic;
+use dagger_types::{ConnectionId, FlowId, FnId, Result, RpcId, RpcKind};
+
+use crate::completion::CompletionQueue;
+use crate::endpoint::FlowEndpoint;
+use crate::frag::fragment;
+use crate::service::decode_response;
+
+/// Default per-call deadline. Generous because functional mode may run on a
+/// single hardware thread.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One RPC client: a connection bound to a flow's ring pair.
+#[derive(Debug)]
+pub struct RpcClient {
+    nic: Arc<Nic>,
+    endpoint: Arc<FlowEndpoint>,
+    cid: ConnectionId,
+    next_rpc: AtomicU32,
+    /// Per-call deadline in microseconds (atomic so pool-shared clients can
+    /// be tuned).
+    timeout_us: std::sync::atomic::AtomicU64,
+}
+
+impl RpcClient {
+    /// Creates a client over an existing connection and endpoint. Most
+    /// users go through [`RpcClientPool`](crate::RpcClientPool) instead.
+    pub fn new(nic: Arc<Nic>, endpoint: Arc<FlowEndpoint>, cid: ConnectionId) -> Self {
+        RpcClient {
+            nic,
+            endpoint,
+            cid,
+            next_rpc: AtomicU32::new(1),
+            timeout_us: std::sync::atomic::AtomicU64::new(
+                DEFAULT_CALL_TIMEOUT.as_micros() as u64
+            ),
+        }
+    }
+
+    /// The connection this client issues on.
+    pub fn connection_id(&self) -> ConnectionId {
+        self.cid
+    }
+
+    /// The hardware flow backing this client.
+    pub fn flow(&self) -> FlowId {
+        self.endpoint.flow()
+    }
+
+    /// The flow endpoint (shared in the SRQ model).
+    pub fn endpoint(&self) -> &Arc<FlowEndpoint> {
+        &self.endpoint
+    }
+
+    /// Sets the per-call deadline.
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.timeout_us
+            .store(timeout.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The per-call deadline.
+    pub fn timeout(&self) -> Duration {
+        Duration::from_micros(self.timeout_us.load(Ordering::Relaxed))
+    }
+
+    fn issue(&self, fn_id: FnId, payload: &[u8]) -> Result<RpcId> {
+        let rpc_id = RpcId(self.next_rpc.fetch_add(1, Ordering::Relaxed));
+        let frames = fragment(
+            self.cid,
+            rpc_id,
+            fn_id,
+            self.endpoint.flow(),
+            RpcKind::Request,
+            payload,
+        )?;
+        self.endpoint
+            .send_frames(&frames, Instant::now() + self.timeout())?;
+        Ok(rpc_id)
+    }
+
+    /// Synchronous (blocking) call: sends the request and waits for the
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dagger_types::DaggerError::Timeout`] if the response does
+    /// not arrive within the client timeout, or the remote handler's error.
+    pub fn call_sync(&self, fn_id: FnId, payload: &[u8]) -> Result<Vec<u8>> {
+        let rpc_id = self.issue(fn_id, payload)?;
+        let rpc = self.endpoint.wait_for(self.cid, rpc_id, self.timeout())?;
+        decode_response(&rpc.payload)
+    }
+
+    /// Asynchronous (non-blocking) call: returns a [`PendingCall`] that can
+    /// be awaited or polled; the response also surfaces through the
+    /// completion queue if not claimed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the request cannot be written to the TX ring.
+    pub fn call_async(&self, fn_id: FnId, payload: &[u8]) -> Result<PendingCall> {
+        let rpc_id = self.issue(fn_id, payload)?;
+        Ok(PendingCall {
+            endpoint: Arc::clone(&self.endpoint),
+            cid: self.cid,
+            rpc_id,
+            timeout: self.timeout(),
+        })
+    }
+
+    /// A completion queue over this client's connection.
+    pub fn completion_queue(&self) -> CompletionQueue {
+        CompletionQueue::new(Arc::clone(&self.endpoint), self.cid)
+    }
+
+    /// Closes the connection. Called automatically on drop.
+    pub fn close(&self) -> Result<()> {
+        self.nic.close_connection(self.cid)
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        let _ = self.nic.close_connection(self.cid);
+    }
+}
+
+/// An in-flight asynchronous call.
+#[derive(Debug)]
+pub struct PendingCall {
+    endpoint: Arc<FlowEndpoint>,
+    cid: ConnectionId,
+    rpc_id: RpcId,
+    timeout: Duration,
+}
+
+impl PendingCall {
+    /// The call's RPC id.
+    pub fn rpc_id(&self) -> RpcId {
+        self.rpc_id
+    }
+
+    /// Non-blocking completion check.
+    ///
+    /// Returns `Ok(None)` while the response is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the remote handler's error if the call failed.
+    pub fn try_complete(&self) -> Result<Option<Vec<u8>>> {
+        self.endpoint.poll_once();
+        match self.endpoint.try_take(self.cid, self.rpc_id) {
+            Some(rpc) => decode_response(&rpc.payload).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until the response arrives (bounded by the issuing client's
+    /// timeout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dagger_types::DaggerError::Timeout`] on deadline, or the
+    /// remote handler's error.
+    pub fn wait(self) -> Result<Vec<u8>> {
+        let rpc = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout)?;
+        decode_response(&rpc.payload)
+    }
+}
+
+/// A typed wrapper over [`PendingCall`] produced by generated client stubs:
+/// decodes the response message on completion.
+#[derive(Debug)]
+pub struct TypedCall<T> {
+    inner: PendingCall,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: crate::wire::Wire> TypedCall<T> {
+    /// Wraps an untyped pending call.
+    pub fn new(inner: PendingCall) -> Self {
+        TypedCall {
+            inner,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The call's RPC id.
+    pub fn rpc_id(&self) -> RpcId {
+        self.inner.rpc_id()
+    }
+
+    /// Non-blocking completion check; decodes the message when complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns the remote handler's error or a wire error.
+    pub fn try_complete(&self) -> Result<Option<T>> {
+        match self.inner.try_complete()? {
+            Some(bytes) => Ok(Some(T::from_wire(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until completion and decodes the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`dagger_types::DaggerError::Timeout`] on deadline, the
+    /// remote handler's error, or a wire error.
+    pub fn wait(self) -> Result<T> {
+        let bytes = self.inner.wait()?;
+        T::from_wire(&bytes)
+    }
+}

@@ -1,0 +1,264 @@
+//! The client-side flow endpoint: a hardware flow's ring pair plus the
+//! software receive state (reassembler + completion buffer).
+//!
+//! One [`FlowEndpoint`] backs one `RpcClient` — or several, in the shared
+//! receive queue (SRQ) model of §4.2, where multiple connections multiplex
+//! one ring pair and "explicit locking in the RpcClient RX/TX path is
+//! required": the endpoint's internal mutexes are exactly that locking.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use dagger_nic::HostFlow;
+use dagger_nic::{RingConsumer, RingProducer};
+use dagger_types::{CacheLine, ConnectionId, DaggerError, FlowId, Result, RpcId, RpcKind};
+
+use crate::frag::{CompleteRpc, Reassembler};
+
+type ReadyKey = (u32, u32); // (connection id, rpc id)
+
+#[derive(Debug)]
+struct RxState {
+    consumer: RingConsumer,
+    reassembler: Reassembler,
+    ready: HashMap<ReadyKey, CompleteRpc>,
+}
+
+/// A claimed hardware flow shared by the clients issuing on it.
+#[derive(Debug)]
+pub struct FlowEndpoint {
+    flow: FlowId,
+    tx: Mutex<RingProducer>,
+    rx: Mutex<RxState>,
+}
+
+impl FlowEndpoint {
+    /// Wraps a claimed [`HostFlow`].
+    pub fn new(flow: HostFlow) -> Self {
+        FlowEndpoint {
+            flow: flow.flow,
+            tx: Mutex::new(flow.tx),
+            rx: Mutex::new(RxState {
+                consumer: flow.rx,
+                reassembler: Reassembler::new(),
+                ready: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The hardware flow id.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Writes an RPC's frames into the TX ring, retrying (with yields) on a
+    /// full ring until `deadline`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Timeout`] if the ring stays full past the
+    /// deadline.
+    pub fn send_frames(&self, frames: &[CacheLine], deadline: Instant) -> Result<()> {
+        let mut tx = self.tx.lock();
+        for frame in frames {
+            loop {
+                match tx.try_push(*frame) {
+                    Ok(()) => break,
+                    Err(DaggerError::RingFull) => {
+                        if Instant::now() >= deadline {
+                            return Err(DaggerError::Timeout);
+                        }
+                        std::thread::yield_now();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains the RX ring once, moving completed responses into the ready
+    /// buffer. Returns how many responses completed.
+    pub fn poll_once(&self) -> usize {
+        let mut rx = self.rx.lock();
+        let mut completed = 0;
+        while let Some(line) = rx.consumer.try_pop() {
+            match rx.reassembler.push(line) {
+                Ok(Some(rpc)) if rpc.header.kind == RpcKind::Response => {
+                    let key = (rpc.header.connection_id.raw(), rpc.header.rpc_id.raw());
+                    rx.ready.insert(key, rpc);
+                    completed += 1;
+                }
+                // Requests on a client endpoint or malformed frames are
+                // dropped; the NIC's monitor counts wire-level drops.
+                Ok(_) | Err(_) => {}
+            }
+        }
+        completed
+    }
+
+    /// Takes the response for a specific call, if it has arrived.
+    pub fn try_take(&self, cid: ConnectionId, rpc_id: RpcId) -> Option<CompleteRpc> {
+        self.rx.lock().ready.remove(&(cid.raw(), rpc_id.raw()))
+    }
+
+    /// Takes every buffered response belonging to `cid` (the completion
+    /// queue's drain).
+    pub fn take_all_for(&self, cid: ConnectionId) -> Vec<CompleteRpc> {
+        let mut rx = self.rx.lock();
+        let keys: Vec<ReadyKey> = rx
+            .ready
+            .keys()
+            .filter(|(c, _)| *c == cid.raw())
+            .copied()
+            .collect();
+        let mut out: Vec<CompleteRpc> = keys
+            .into_iter()
+            .filter_map(|k| rx.ready.remove(&k))
+            .collect();
+        out.sort_by_key(|r| r.header.rpc_id);
+        out
+    }
+
+    /// Polls until the response for `(cid, rpc_id)` arrives or `timeout`
+    /// elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Timeout`] if the response does not arrive in
+    /// time.
+    pub fn wait_for(
+        &self,
+        cid: ConnectionId,
+        rpc_id: RpcId,
+        timeout: Duration,
+    ) -> Result<CompleteRpc> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll_once();
+            if let Some(rpc) = self.try_take(cid, rpc_id) {
+                return Ok(rpc);
+            }
+            if Instant::now() >= deadline {
+                return Err(DaggerError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of buffered, unclaimed responses.
+    pub fn ready_len(&self) -> usize {
+        self.rx.lock().ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag::fragment;
+    use dagger_nic::ring;
+    use dagger_types::FnId;
+
+    /// Builds an endpoint whose rings we drive manually from the test.
+    fn test_endpoint() -> (FlowEndpoint, RingConsumer, RingProducer) {
+        let (tx_p, tx_c) = ring(64);
+        let (rx_p, rx_c) = ring(64);
+        let flow = HostFlow {
+            flow: FlowId(0),
+            tx: tx_p,
+            rx: rx_c,
+        };
+        (FlowEndpoint::new(flow), tx_c, rx_p)
+    }
+
+    fn response_frames(cid: u32, rpc: u32, payload: &[u8]) -> Vec<CacheLine> {
+        fragment(
+            ConnectionId(cid),
+            RpcId(rpc),
+            FnId(1),
+            FlowId(0),
+            RpcKind::Response,
+            payload,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn send_frames_lands_in_tx_ring() {
+        let (ep, mut tx_c, _rx_p) = test_endpoint();
+        let frames = response_frames(1, 1, b"abc");
+        ep.send_frames(&frames, Instant::now() + Duration::from_secs(1))
+            .unwrap();
+        assert!(tx_c.try_pop().is_some());
+    }
+
+    #[test]
+    fn send_times_out_on_persistently_full_ring() {
+        let (ep, _tx_c, _rx_p) = test_endpoint();
+        let frames = response_frames(1, 1, &[0u8; 40]);
+        // Fill the 64-slot ring without draining it.
+        for i in 0..64 {
+            ep.send_frames(
+                &response_frames(1, i, &[0u8; 40]),
+                Instant::now() + Duration::from_secs(1),
+            )
+            .unwrap();
+        }
+        let err = ep
+            .send_frames(&frames, Instant::now() + Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, DaggerError::Timeout);
+    }
+
+    #[test]
+    fn poll_collects_responses() {
+        let (ep, _tx_c, mut rx_p) = test_endpoint();
+        for f in response_frames(5, 9, b"result") {
+            rx_p.try_push(f).unwrap();
+        }
+        assert_eq!(ep.poll_once(), 1);
+        let rpc = ep.try_take(ConnectionId(5), RpcId(9)).unwrap();
+        assert_eq!(rpc.payload, b"result");
+        assert!(ep.try_take(ConnectionId(5), RpcId(9)).is_none());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let (ep, _tx_c, _rx_p) = test_endpoint();
+        let err = ep
+            .wait_for(ConnectionId(1), RpcId(1), Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, DaggerError::Timeout);
+    }
+
+    #[test]
+    fn take_all_filters_by_connection_and_sorts() {
+        let (ep, _tx_c, mut rx_p) = test_endpoint();
+        for (cid, rpc) in [(1u32, 3u32), (2, 1), (1, 1), (1, 2)] {
+            for f in response_frames(cid, rpc, &[rpc as u8]) {
+                rx_p.try_push(f).unwrap();
+            }
+        }
+        ep.poll_once();
+        let for_one = ep.take_all_for(ConnectionId(1));
+        let ids: Vec<u32> = for_one.iter().map(|r| r.header.rpc_id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(ep.ready_len(), 1); // cid 2's response remains
+    }
+
+    #[test]
+    fn multiframe_response_reassembles_through_endpoint() {
+        let (ep, _tx_c, mut rx_p) = test_endpoint();
+        let payload = vec![0x5A; 200];
+        for f in response_frames(1, 1, &payload) {
+            rx_p.try_push(f).unwrap();
+        }
+        ep.poll_once();
+        assert_eq!(
+            ep.try_take(ConnectionId(1), RpcId(1)).unwrap().payload,
+            payload
+        );
+    }
+}

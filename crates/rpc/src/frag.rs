@@ -1,0 +1,344 @@
+//! Software RPC fragmentation and reassembly (§4.7).
+//!
+//! The coherent interconnect's MTU is one cache line, and the paper's
+//! hardware lacks CAM-based on-chip reassembly; "as of now, Dagger only
+//! features software-based RPC reassembling". This module is that software:
+//! [`fragment`] splits an RPC payload across up to 255 cache-line frames,
+//! and [`Reassembler`] rebuilds complete RPCs on the receive side, tolerant
+//! of interleaving between different RPCs (the NIC guarantees all frames of
+//! one RPC reach the same ring, so reordering *within* an RPC cannot occur,
+//! but we handle it anyway for robustness).
+
+use std::collections::HashMap;
+
+use dagger_types::{
+    CacheLine, ConnectionId, DaggerError, FlowId, FnId, Result, RpcHeader, RpcId, RpcKind,
+    FRAME_PAYLOAD_BYTES,
+};
+
+/// Largest payload a single RPC can carry (255 frames × 48 B).
+pub const MAX_RPC_PAYLOAD: usize = FRAME_PAYLOAD_BYTES * (u8::MAX as usize);
+
+/// A fully reassembled RPC.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompleteRpc {
+    /// Header of the RPC (frame fields refer to the first frame).
+    pub header: RpcHeader,
+    /// The concatenated payload.
+    pub payload: Vec<u8>,
+}
+
+/// Splits `payload` into cache-line frames carrying the given identity.
+///
+/// An empty payload still produces one frame (RPCs with no arguments).
+///
+/// # Errors
+///
+/// Returns [`DaggerError::PayloadTooLarge`] if `payload` exceeds
+/// [`MAX_RPC_PAYLOAD`].
+///
+/// # Example
+///
+/// ```
+/// use dagger_rpc::frag::{fragment, Reassembler};
+/// use dagger_types::*;
+///
+/// let frames = fragment(
+///     ConnectionId(1), RpcId(2), FnId(3), FlowId(0), RpcKind::Request,
+///     &vec![0xAB; 100],
+/// ).unwrap();
+/// assert_eq!(frames.len(), 3); // 100 bytes over 48-byte frames
+///
+/// let mut r = Reassembler::new();
+/// let mut done = None;
+/// for f in frames {
+///     done = r.push(f).unwrap();
+/// }
+/// assert_eq!(done.unwrap().payload, vec![0xAB; 100]);
+/// ```
+pub fn fragment(
+    cid: ConnectionId,
+    rpc_id: RpcId,
+    fn_id: FnId,
+    src_flow: FlowId,
+    kind: RpcKind,
+    payload: &[u8],
+) -> Result<Vec<CacheLine>> {
+    if payload.len() > MAX_RPC_PAYLOAD {
+        return Err(DaggerError::PayloadTooLarge {
+            requested: payload.len(),
+            max: MAX_RPC_PAYLOAD,
+        });
+    }
+    let frame_count = payload.len().div_ceil(FRAME_PAYLOAD_BYTES).max(1) as u8;
+    let mut frames = Vec::with_capacity(frame_count as usize);
+    for idx in 0..frame_count {
+        let start = idx as usize * FRAME_PAYLOAD_BYTES;
+        let end = (start + FRAME_PAYLOAD_BYTES).min(payload.len());
+        let chunk = &payload[start.min(payload.len())..end];
+        let hdr = RpcHeader {
+            connection_id: cid,
+            rpc_id,
+            fn_id,
+            src_flow,
+            kind,
+            frame_idx: idx,
+            frame_count,
+            frame_payload_len: chunk.len() as u8,
+        };
+        let mut line = CacheLine::zeroed();
+        hdr.encode(line.header_mut());
+        line.payload_mut()[..chunk.len()].copy_from_slice(chunk);
+        frames.push(line);
+    }
+    Ok(frames)
+}
+
+#[derive(Debug)]
+struct Partial {
+    header: RpcHeader,
+    chunks: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+type RpcKey = (u32, u32, u8);
+
+/// Receive-side reassembly of multi-frame RPCs.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<RpcKey, Partial>,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of RPCs currently awaiting more frames.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Feeds one received frame. Returns `Some(rpc)` when this frame
+    /// completes an RPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] if the frame header fails to parse or
+    /// is inconsistent with earlier frames of the same RPC.
+    pub fn push(&mut self, line: CacheLine) -> Result<Option<CompleteRpc>> {
+        let hdr = RpcHeader::decode(line.header())?;
+        let chunk = line.payload()[..usize::from(hdr.frame_payload_len)].to_vec();
+        if hdr.frame_count == 1 {
+            return Ok(Some(CompleteRpc {
+                header: hdr,
+                payload: chunk,
+            }));
+        }
+        let key: RpcKey = (hdr.connection_id.raw(), hdr.rpc_id.raw(), hdr.kind as u8);
+        let partial = self.partial.entry(key).or_insert_with(|| Partial {
+            header: hdr,
+            chunks: (0..hdr.frame_count).map(|_| None).collect(),
+            received: 0,
+        });
+        if partial.header.frame_count != hdr.frame_count || partial.header.fn_id != hdr.fn_id {
+            let got = hdr.frame_count;
+            let expect = partial.header.frame_count;
+            self.partial.remove(&key);
+            return Err(DaggerError::Wire(format!(
+                "inconsistent frames for rpc {}: frame_count {got} vs {expect}",
+                hdr.rpc_id
+            )));
+        }
+        let idx = usize::from(hdr.frame_idx);
+        if partial.chunks[idx].is_none() {
+            partial.chunks[idx] = Some(chunk);
+            partial.received += 1;
+        }
+        if partial.received == usize::from(hdr.frame_count) {
+            let done = self.partial.remove(&key).expect("just inserted");
+            let mut payload =
+                Vec::with_capacity(FRAME_PAYLOAD_BYTES * usize::from(hdr.frame_count));
+            for c in done.chunks {
+                payload.extend_from_slice(&c.expect("all chunks received"));
+            }
+            let mut header = done.header;
+            header.frame_idx = 0;
+            return Ok(Some(CompleteRpc { header, payload }));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames_for(payload: &[u8]) -> Vec<CacheLine> {
+        fragment(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            payload,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_payload_is_one_frame() {
+        let frames = frames_for(&[]);
+        assert_eq!(frames.len(), 1);
+        let mut r = Reassembler::new();
+        let rpc = r.push(frames[0]).unwrap().unwrap();
+        assert!(rpc.payload.is_empty());
+        assert_eq!(rpc.header.fn_id, FnId(3));
+    }
+
+    #[test]
+    fn single_frame_payload() {
+        let frames = frames_for(&[7u8; 48]);
+        assert_eq!(frames.len(), 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(frames[0]).unwrap().unwrap().payload, vec![7u8; 48]);
+    }
+
+    #[test]
+    fn boundary_sizes() {
+        for size in [1usize, 47, 48, 49, 96, 97, 4096] {
+            let payload: Vec<u8> = (0..size).map(|i| i as u8).collect();
+            let frames = frames_for(&payload);
+            assert_eq!(frames.len(), size.div_ceil(48).max(1), "size {size}");
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for f in frames {
+                done = r.push(f).unwrap();
+            }
+            assert_eq!(done.unwrap().payload, payload, "size {size}");
+            assert_eq!(r.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_frames_reassemble() {
+        let payload: Vec<u8> = (0..120).collect();
+        let mut frames = frames_for(&payload);
+        frames.reverse();
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frames {
+            done = r.push(f).unwrap();
+        }
+        assert_eq!(done.unwrap().payload, payload);
+    }
+
+    #[test]
+    fn interleaved_rpcs_reassemble_independently() {
+        let pa: Vec<u8> = vec![0xAA; 100];
+        let pb: Vec<u8> = vec![0xBB; 100];
+        let fa = frames_for(&pa);
+        let fb = fragment(
+            ConnectionId(1),
+            RpcId(99),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &pb,
+        )
+        .unwrap();
+        let mut r = Reassembler::new();
+        assert!(r.push(fa[0]).unwrap().is_none());
+        assert!(r.push(fb[0]).unwrap().is_none());
+        assert!(r.push(fa[1]).unwrap().is_none());
+        assert!(r.push(fb[1]).unwrap().is_none());
+        let a = r.push(fa[2]).unwrap().unwrap();
+        assert_eq!(a.payload, pa);
+        let b = r.push(fb[2]).unwrap().unwrap();
+        assert_eq!(b.payload, pb);
+    }
+
+    #[test]
+    fn same_rpc_id_request_and_response_do_not_collide() {
+        let req = frames_for(&vec![1u8; 100]);
+        let resp = fragment(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Response,
+            &vec![2u8; 100],
+        )
+        .unwrap();
+        let mut r = Reassembler::new();
+        for f in &req[..2] {
+            assert!(r.push(*f).unwrap().is_none());
+        }
+        for f in &resp[..2] {
+            assert!(r.push(*f).unwrap().is_none());
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.push(req[2]).unwrap().unwrap().payload, vec![1u8; 100]);
+        assert_eq!(r.push(resp[2]).unwrap().unwrap().payload, vec![2u8; 100]);
+    }
+
+    #[test]
+    fn duplicate_frame_is_idempotent() {
+        let payload: Vec<u8> = (0..120).collect();
+        let frames = frames_for(&payload);
+        let mut r = Reassembler::new();
+        r.push(frames[0]).unwrap();
+        r.push(frames[0]).unwrap(); // duplicate
+        r.push(frames[1]).unwrap();
+        let done = r.push(frames[2]).unwrap().unwrap();
+        assert_eq!(done.payload, payload);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let too_big = vec![0u8; MAX_RPC_PAYLOAD + 1];
+        let err = fragment(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &too_big,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DaggerError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn max_payload_accepted() {
+        let payload = vec![5u8; MAX_RPC_PAYLOAD];
+        let frames = frames_for(&payload);
+        assert_eq!(frames.len(), 255);
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in frames {
+            done = r.push(f).unwrap();
+        }
+        assert_eq!(done.unwrap().payload, payload);
+    }
+
+    #[test]
+    fn inconsistent_frame_count_rejected() {
+        let payload = vec![1u8; 100];
+        let frames = frames_for(&payload);
+        let mut r = Reassembler::new();
+        r.push(frames[0]).unwrap();
+        // Forge a frame with the same identity but a different count.
+        let forged = fragment(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &vec![1u8; 200],
+        )
+        .unwrap()[1];
+        assert!(r.push(forged).is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! The Dagger RPC runtime — the paper's primary contribution, host side.
+//!
+//! The hardware does the heavy lifting (`dagger-nic`); this crate is the
+//! thin software layer of §4.1–§4.2: it exposes the RPC API, performs
+//! zero-copy writes of ready-to-use RPC objects into the per-flow rings,
+//! and implements the pieces the paper deliberately keeps in software —
+//! argument (de)serialization for continuous-argument messages ([`wire`])
+//! and RPC fragmentation/reassembly for payloads larger than one cache line
+//! ([`frag`], §4.7).
+//!
+//! The public surface mirrors the paper's API (§4.2):
+//!
+//! * [`RpcClientPool`] — a pool of [`RpcClient`]s, each 1-to-1 mapped to a
+//!   hardware flow and its RX/TX ring pair (Fig. 7);
+//! * [`RpcClient`] — synchronous (blocking) and asynchronous (non-blocking)
+//!   calls; async completions land in the client's [`CompletionQueue`],
+//!   which can invoke continuation callbacks;
+//! * [`RpcThreadedServer`] — server event loops ([`server::RpcServerThread`])
+//!   draining their flow's RX ring and dispatching to registered services,
+//!   with both threading models of §5.7: handlers run inline in the
+//!   dispatch thread, or in a worker-thread pool for long-running RPCs.
+//!
+//! # Example
+//!
+//! ```
+//! use dagger_nic::MemFabric;
+//! use dagger_rpc::{RpcClientPool, RpcThreadedServer, RpcService, ServiceDescriptor};
+//! use dagger_types::{FnId, HardConfig, NodeAddr, Result};
+//! use std::sync::Arc;
+//!
+//! struct Echo;
+//! impl RpcService for Echo {
+//!     fn descriptor(&self) -> ServiceDescriptor {
+//!         ServiceDescriptor::new("echo", vec![FnId(1)])
+//!     }
+//!     fn dispatch(&self, _fn_id: FnId, payload: &[u8]) -> Result<Vec<u8>> {
+//!         Ok(payload.to_vec())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<()> {
+//! let fabric = MemFabric::new();
+//! let server_nic = dagger_nic::Nic::start(&fabric, NodeAddr(1), HardConfig::default())?;
+//! let client_nic = dagger_nic::Nic::start(&fabric, NodeAddr(2), HardConfig::default())?;
+//!
+//! let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+//! server.register_service(Arc::new(Echo))?;
+//! server.start()?;
+//!
+//! let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1)?;
+//! let client = pool.client(0)?;
+//! let reply = client.call_sync(dagger_types::FnId(1), b"hello")?;
+//! assert_eq!(reply, b"hello");
+//! # server.stop();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod completion;
+pub mod endpoint;
+pub mod frag;
+pub mod pool;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{PendingCall, RpcClient, TypedCall};
+pub use completion::CompletionQueue;
+pub use frag::{fragment, CompleteRpc, Reassembler, MAX_RPC_PAYLOAD};
+pub use pool::RpcClientPool;
+pub use server::{RpcThreadedServer, ThreadingModel};
+pub use service::{RpcService, ServiceDescriptor};
+pub use wire::{Wire, WireReader};

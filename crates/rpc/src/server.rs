@@ -1,0 +1,436 @@
+//! `RpcThreadedServer`: server event loops over the NIC's RX rings.
+//!
+//! Each server thread ([`RpcServerThread`]) owns one hardware flow and
+//! drains its RX ring in a dispatch loop. Two threading models (§4.2,
+//! §5.7):
+//!
+//! * [`ThreadingModel::Dispatch`] — handlers run inline in the dispatch
+//!   thread, FaRM-style, "to avoid inter-thread communication overheads";
+//!   best latency, but a long-running handler blocks the flow's ring.
+//! * [`ThreadingModel::Worker`] — dispatch threads hand requests to a
+//!   worker pool and return to the ring immediately; responses are written
+//!   back through the flow's (now shared, hence locked) TX ring. Higher
+//!   base latency, much higher throughput for long RPCs — the mechanism
+//!   behind Table 4's 17× gap.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use dagger_nic::{HostFlow, Nic, RingProducer};
+use dagger_types::{ConnectionId, DaggerError, FlowId, FnId, Result, RpcId, RpcKind};
+
+use crate::frag::{fragment, Reassembler};
+use crate::service::{encode_response, RpcService};
+
+/// How server threads execute handlers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadingModel {
+    /// Handlers run inline in the dispatch thread (lowest latency).
+    Dispatch,
+    /// Handlers run in a pool of worker threads (throughput for long RPCs).
+    Worker {
+        /// Number of worker threads shared by all dispatch threads.
+        workers: usize,
+    },
+}
+
+struct WorkItem {
+    cid: ConnectionId,
+    rpc_id: RpcId,
+    fn_id: FnId,
+    src_flow: FlowId,
+    payload: Vec<u8>,
+    tx: Arc<Mutex<RingProducer>>,
+}
+
+/// Aggregate server statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests fully processed (response written).
+    pub handled: u64,
+    /// Requests that failed in the handler (error response written).
+    pub handler_errors: u64,
+}
+
+/// A server hosting one or more services over a set of dispatch threads.
+pub struct RpcThreadedServer {
+    nic: Arc<Nic>,
+    num_threads: usize,
+    threading: ThreadingModel,
+    services: HashMap<u16, Arc<dyn RpcService>>,
+    stop: Arc<AtomicBool>,
+    handled: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    prepared: Vec<HostFlow>,
+    running: bool,
+}
+
+impl std::fmt::Debug for RpcThreadedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcThreadedServer")
+            .field("addr", &self.nic.addr())
+            .field("threads", &self.num_threads)
+            .field("threading", &self.threading)
+            .field("functions", &self.services.len())
+            .field("running", &self.running)
+            .finish()
+    }
+}
+
+impl RpcThreadedServer {
+    /// Creates a server with `num_threads` dispatch threads and the
+    /// dispatch-inline threading model.
+    pub fn new(nic: Arc<Nic>, num_threads: usize) -> Self {
+        Self::with_threading(nic, num_threads, ThreadingModel::Dispatch)
+    }
+
+    /// Creates a server with an explicit threading model.
+    pub fn with_threading(nic: Arc<Nic>, num_threads: usize, threading: ThreadingModel) -> Self {
+        RpcThreadedServer {
+            nic,
+            num_threads,
+            threading,
+            services: HashMap::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            handled: Arc::new(AtomicU64::new(0)),
+            errors: Arc::new(AtomicU64::new(0)),
+            threads: Vec::new(),
+            worker_threads: Vec::new(),
+            prepared: Vec::new(),
+            running: false,
+        }
+    }
+
+    /// Claims the server's dispatch flows now, before any client pools on
+    /// the same NIC claim theirs. Servers must own the NIC's *first* flows
+    /// so the RX load balancer (which steers requests across
+    /// `active_flows = num_threads`) targets dispatch threads, not client
+    /// completion queues. [`RpcThreadedServer::start`] calls this
+    /// implicitly if it was not called.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the NIC has too few unclaimed flows.
+    pub fn prepare(&mut self) -> Result<()> {
+        while self.prepared.len() < self.num_threads {
+            self.prepared.push(self.nic.take_flow()?);
+        }
+        Ok(())
+    }
+
+    /// Registers a service's functions for dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] if any function id is already
+    /// registered or the server is running.
+    pub fn register_service(&mut self, service: Arc<dyn RpcService>) -> Result<()> {
+        if self.running {
+            return Err(DaggerError::Config(
+                "cannot register services while running".to_string(),
+            ));
+        }
+        let descriptor = service.descriptor();
+        for id in descriptor.fn_ids() {
+            if self.services.contains_key(&id.raw()) {
+                return Err(DaggerError::Config(format!(
+                    "function id {id} registered twice"
+                )));
+            }
+        }
+        for id in descriptor.fn_ids() {
+            self.services.insert(id.raw(), Arc::clone(&service));
+        }
+        Ok(())
+    }
+
+    /// Claims flows, sets the NIC's active-flow register, and starts the
+    /// dispatch (and worker) threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if already running, no services are registered, or
+    /// the NIC has too few unclaimed flows.
+    pub fn start(&mut self) -> Result<()> {
+        if self.running {
+            return Err(DaggerError::Config("server already running".to_string()));
+        }
+        if self.services.is_empty() {
+            return Err(DaggerError::Config("no services registered".to_string()));
+        }
+        let (work_tx, work_rx) = unbounded::<WorkItem>();
+        if let ThreadingModel::Worker { workers } = self.threading {
+            if workers == 0 {
+                return Err(DaggerError::Config(
+                    "worker model needs at least one worker".to_string(),
+                ));
+            }
+            for w in 0..workers {
+                let rx: Receiver<WorkItem> = work_rx.clone();
+                let services = self.services.clone();
+                let stop = Arc::clone(&self.stop);
+                let handled = Arc::clone(&self.handled);
+                let errors = Arc::clone(&self.errors);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dagger-worker-{w}"))
+                    .spawn(move || {
+                        worker_loop(&rx, &services, &stop, &handled, &errors);
+                    })
+                    .map_err(|e| DaggerError::Config(format!("spawn failed: {e}")))?;
+                self.worker_threads.push(handle);
+            }
+        }
+        self.prepare()?;
+        for (t, host_flow) in self.prepared.drain(..).enumerate() {
+            let services = self.services.clone();
+            let stop = Arc::clone(&self.stop);
+            let handled = Arc::clone(&self.handled);
+            let errors = Arc::clone(&self.errors);
+            let threading = self.threading;
+            let work_tx: Sender<WorkItem> = work_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("dagger-dispatch-{t}"))
+                .spawn(move || {
+                    let thread = RpcServerThread {
+                        flow: host_flow.flow,
+                        rx: host_flow.rx,
+                        tx: Arc::new(Mutex::new(host_flow.tx)),
+                        reassembler: Reassembler::new(),
+                        services,
+                        threading,
+                        work_tx,
+                        stop,
+                        handled,
+                        errors,
+                    };
+                    thread.run();
+                })
+                .map_err(|e| DaggerError::Config(format!("spawn failed: {e}")))?;
+            self.threads.push(handle);
+        }
+        // Steer incoming requests only to the claimed dispatch flows.
+        self.nic
+            .softregs()
+            .set_active_flows(self.num_threads as u16);
+        self.running = true;
+        Ok(())
+    }
+
+    /// Stops all threads (idempotent).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        self.running = false;
+    }
+
+    /// `true` while dispatch threads are live.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Aggregate request statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            handled: self.handled.load(Ordering::Relaxed),
+            handler_errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until at least `n` requests have been handled or `timeout`
+    /// elapses (test/benchmark helper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Timeout`] on deadline.
+    pub fn wait_handled(&self, n: u64, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        while self.handled.load(Ordering::Relaxed) < n {
+            if Instant::now() >= deadline {
+                return Err(DaggerError::Timeout);
+            }
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for RpcThreadedServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One dispatch thread: the server event loop over one flow (§4.2).
+pub struct RpcServerThread {
+    flow: FlowId,
+    rx: dagger_nic::RingConsumer,
+    tx: Arc<Mutex<RingProducer>>,
+    reassembler: Reassembler,
+    services: HashMap<u16, Arc<dyn RpcService>>,
+    threading: ThreadingModel,
+    work_tx: Sender<WorkItem>,
+    stop: Arc<AtomicBool>,
+    handled: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+}
+
+impl RpcServerThread {
+    fn run(mut self) {
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let mut progress = false;
+            while let Some(line) = self.rx.try_pop() {
+                progress = true;
+                match self.reassembler.push(line) {
+                    Ok(Some(rpc)) if rpc.header.kind == RpcKind::Request => {
+                        self.handle(
+                            rpc.header.connection_id,
+                            rpc.header.rpc_id,
+                            rpc.header.fn_id,
+                            rpc.header.src_flow,
+                            rpc.payload,
+                        );
+                    }
+                    // Responses landing on a server flow (symmetric stacks
+                    // route them to client endpoints instead) and malformed
+                    // frames are ignored here.
+                    Ok(_) | Err(_) => {}
+                }
+            }
+            if !progress {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn handle(
+        &self,
+        cid: ConnectionId,
+        rpc_id: RpcId,
+        fn_id: FnId,
+        src_flow: FlowId,
+        payload: Vec<u8>,
+    ) {
+        match self.threading {
+            ThreadingModel::Dispatch => {
+                dispatch_one(
+                    &self.services,
+                    cid,
+                    rpc_id,
+                    fn_id,
+                    src_flow,
+                    &payload,
+                    &self.tx,
+                    &self.stop,
+                    &self.handled,
+                    &self.errors,
+                );
+            }
+            ThreadingModel::Worker { .. } => {
+                let _ = self.work_tx.send(WorkItem {
+                    cid,
+                    rpc_id,
+                    fn_id,
+                    src_flow,
+                    payload,
+                    tx: Arc::clone(&self.tx),
+                });
+            }
+        }
+    }
+
+    /// The flow this thread serves.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+}
+
+fn worker_loop(
+    rx: &Receiver<WorkItem>,
+    services: &HashMap<u16, Arc<dyn RpcService>>,
+    stop: &Arc<AtomicBool>,
+    handled: &Arc<AtomicU64>,
+    errors: &Arc<AtomicU64>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(10)) {
+            Ok(item) => {
+                dispatch_one(
+                    services,
+                    item.cid,
+                    item.rpc_id,
+                    item.fn_id,
+                    item.src_flow,
+                    &item.payload,
+                    &item.tx,
+                    stop,
+                    handled,
+                    errors,
+                );
+            }
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_one(
+    services: &HashMap<u16, Arc<dyn RpcService>>,
+    cid: ConnectionId,
+    rpc_id: RpcId,
+    fn_id: FnId,
+    src_flow: FlowId,
+    payload: &[u8],
+    tx: &Arc<Mutex<RingProducer>>,
+    stop: &Arc<AtomicBool>,
+    handled: &Arc<AtomicU64>,
+    errors: &Arc<AtomicU64>,
+) {
+    let outcome = match services.get(&fn_id.raw()) {
+        Some(service) => service.dispatch(fn_id, payload),
+        None => Err(DaggerError::UnknownFunction(fn_id.raw())),
+    };
+    if outcome.is_err() {
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let response = encode_response(outcome);
+    let Ok(frames) = fragment(cid, rpc_id, fn_id, src_flow, RpcKind::Response, &response) else {
+        // Response too large for the fragmentation layer; the client will
+        // time out (no truncated garbage on the wire).
+        return;
+    };
+    let mut producer = tx.lock();
+    for frame in frames {
+        loop {
+            match producer.try_push(frame) {
+                Ok(()) => break,
+                Err(_) => {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    handled.fetch_add(1, Ordering::Relaxed);
+}

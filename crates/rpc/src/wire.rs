@@ -1,0 +1,271 @@
+//! Argument (de)serialization for continuous-argument RPC messages.
+//!
+//! Dagger's current design "only supports RPCs with continuous arguments
+//! that do not contain references to other objects" (§4.5) — flat structs
+//! of scalars, fixed arrays, byte strings. [`Wire`] is that format: little
+//! endian scalars, `u32`-length-prefixed byte strings, fields concatenated
+//! in declaration order with no framing (the frame header carries lengths).
+//!
+//! `dagger_idl`'s `dagger_message!` macro derives [`Wire`] for user structs;
+//! the IDL code generator emits the same derivations.
+
+use dagger_types::{DaggerError, Result};
+
+/// A type that can be serialized into / parsed from the flat Dagger wire
+/// format.
+///
+/// # Example
+///
+/// ```
+/// use dagger_rpc::{Wire, WireReader};
+///
+/// let value: (u32, String) = (7, "hello".to_string());
+/// let mut buf = Vec::new();
+/// value.0.encode_into(&mut buf);
+/// value.1.encode_into(&mut buf);
+///
+/// let mut reader = WireReader::new(&buf);
+/// assert_eq!(u32::decode_from(&mut reader).unwrap(), 7);
+/// assert_eq!(String::decode_from(&mut reader).unwrap(), "hello");
+/// ```
+pub trait Wire: Sized {
+    /// Exact number of bytes [`Wire::encode_into`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Appends this value's encoding to `buf`.
+    fn encode_into(&self, buf: &mut Vec<u8>);
+
+    /// Parses one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] on truncated or malformed input.
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self>;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Convenience: decodes a value that must consume the whole buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] on malformed input or trailing bytes.
+    fn from_wire(bytes: &[u8]) -> Result<Self> {
+        let mut reader = WireReader::new(bytes);
+        let v = Self::decode_from(&mut reader)?;
+        reader.finish()?;
+        Ok(v)
+    }
+}
+
+/// Cursor over a wire-format buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DaggerError::Wire(format!(
+                "truncated message: needed {n} bytes, had {}",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] if bytes remain.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(DaggerError::Wire(format!(
+                "{} trailing bytes after message",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+macro_rules! wire_scalar {
+    ($($ty:ty),*) => {$(
+        impl Wire for $ty {
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
+            fn encode_into(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
+                let bytes = reader.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+wire_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for bool {
+    fn encoded_len(&self) -> usize {
+        1
+    }
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
+        match reader.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DaggerError::Wire(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl<const N: usize> Wire for [u8; N] {
+    fn encoded_len(&self) -> usize {
+        N
+    }
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
+        let bytes = reader.take(N)?;
+        Ok(bytes.try_into().unwrap())
+    }
+}
+
+/// Byte strings are `u32` length-prefixed.
+impl Wire for Vec<u8> {
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self);
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
+        let len = u32::decode_from(reader)? as usize;
+        Ok(reader.take(len)?.to_vec())
+    }
+}
+
+/// Strings are length-prefixed UTF-8.
+impl Wire for String {
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
+        let len = u32::decode_from(reader)? as usize;
+        let bytes = reader.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| DaggerError::Wire(format!("invalid utf-8 in string: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_wire();
+        assert_eq!(bytes.len(), v.encoded_len());
+        assert_eq!(T::from_wire(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(-1i8);
+        roundtrip(i16::MIN);
+        roundtrip(-123_456i32);
+        roundtrip(i64::MIN);
+        roundtrip(1.5f32);
+        roundtrip(-2.25f64);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn arrays_and_bytes_roundtrip() {
+        roundtrip([1u8, 2, 3, 4]);
+        roundtrip([0u8; 32]);
+        roundtrip(vec![9u8; 1000]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip("hello world".to_string());
+        roundtrip(String::new());
+        roundtrip("ünïcödé ☂".to_string());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        assert!(bool::from_wire(&[2]).is_err());
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert!(u32::from_wire(&[1, 2]).is_err());
+        assert!(Vec::<u8>::from_wire(&[5, 0, 0, 0, 1, 2]).is_err());
+        assert!(<[u8; 8]>::from_wire(&[0; 4]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        assert!(u8::from_wire(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = Vec::new();
+        3u32.encode_into(&mut buf);
+        buf.extend_from_slice(&[0xFF, 0xFE, 0xFD]);
+        assert!(String::from_wire(&buf).is_err());
+    }
+
+    #[test]
+    fn sequential_fields_decode_in_order() {
+        let mut buf = Vec::new();
+        42u16.encode_into(&mut buf);
+        "abc".to_string().encode_into(&mut buf);
+        [7u8; 3].encode_into(&mut buf);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(u16::decode_from(&mut r).unwrap(), 42);
+        assert_eq!(String::decode_from(&mut r).unwrap(), "abc");
+        assert_eq!(<[u8; 3]>::decode_from(&mut r).unwrap(), [7; 3]);
+        r.finish().unwrap();
+    }
+}

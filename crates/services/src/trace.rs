@@ -1,0 +1,215 @@
+//! The lightweight request tracing system of §5.7.
+//!
+//! "In order to profile the application, we design a lightweight request
+//! tracing system and integrate it with Dagger. Our analysis reveals that
+//! the system is bottlenecked by the resource-demanding and long-running
+//! Flight service." The tracer collects `(request, tier, start, end)` spans
+//! from every tier with negligible overhead (one mutex push per span) and
+//! summarizes per-tier time so exactly that kind of bottleneck analysis can
+//! be reproduced on the functional application.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One traced tier visit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The end-to-end request this span belongs to.
+    pub request_id: u64,
+    /// Tier name.
+    pub tier: &'static str,
+    /// Nanoseconds from tracer creation to span start.
+    pub start_ns: u64,
+    /// Nanoseconds from tracer creation to span end.
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Per-tier aggregate view of a trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// `(tier, span count, total ns, max ns)` sorted by total descending.
+    pub tiers: Vec<(String, u64, u64, u64)>,
+}
+
+impl TraceSummary {
+    /// The tier with the most total time — the bottleneck §5.7's analysis
+    /// identifies.
+    pub fn bottleneck(&self) -> Option<&str> {
+        self.tiers.first().map(|(t, _, _, _)| t.as_str())
+    }
+}
+
+/// A process-wide span collector.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer; span timestamps are relative to this call.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Tracer {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Current offset from the tracer epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Opens a span; closing it records the measurement.
+    pub fn start(self: &Arc<Self>, request_id: u64, tier: &'static str) -> SpanGuard {
+        SpanGuard {
+            tracer: Arc::clone(self),
+            request_id,
+            tier,
+            start_ns: self.now_ns(),
+        }
+    }
+
+    /// Records a complete span directly.
+    pub fn record(&self, span: Span) {
+        self.spans.lock().push(span);
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// `true` when no spans are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all spans.
+    pub fn spans(&self) -> Vec<Span> {
+        self.spans.lock().clone()
+    }
+
+    /// Aggregates spans per tier, sorted by total time descending.
+    pub fn summary(&self) -> TraceSummary {
+        let mut agg: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
+        for span in self.spans.lock().iter() {
+            let entry = agg.entry(span.tier).or_default();
+            entry.0 += 1;
+            entry.1 += span.duration_ns();
+            entry.2 = entry.2.max(span.duration_ns());
+        }
+        let mut tiers: Vec<(String, u64, u64, u64)> = agg
+            .into_iter()
+            .map(|(tier, (n, total, max))| (tier.to_string(), n, total, max))
+            .collect();
+        tiers.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        TraceSummary { tiers }
+    }
+}
+
+/// An open span; records itself when closed (or dropped).
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Arc<Tracer>,
+    request_id: u64,
+    tier: &'static str,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// Closes the span explicitly.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_ns = self.tracer.now_ns();
+        self.tracer.record(Span {
+            request_id: self.request_id,
+            tier: self.tier,
+            start_ns: self.start_ns,
+            end_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop() {
+        let tracer = Tracer::new();
+        {
+            let _guard = tracer.start(1, "tier-a");
+        }
+        assert_eq!(tracer.len(), 1);
+        let span = &tracer.spans()[0];
+        assert_eq!(span.tier, "tier-a");
+        assert!(span.end_ns >= span.start_ns);
+    }
+
+    #[test]
+    fn summary_finds_bottleneck() {
+        let tracer = Tracer::new();
+        tracer.record(Span {
+            request_id: 1,
+            tier: "fast",
+            start_ns: 0,
+            end_ns: 10,
+        });
+        tracer.record(Span {
+            request_id: 1,
+            tier: "slow",
+            start_ns: 0,
+            end_ns: 1_000,
+        });
+        tracer.record(Span {
+            request_id: 2,
+            tier: "slow",
+            start_ns: 0,
+            end_ns: 2_000,
+        });
+        let summary = tracer.summary();
+        assert_eq!(summary.bottleneck(), Some("slow"));
+        let slow = &summary.tiers[0];
+        assert_eq!((slow.1, slow.2, slow.3), (2, 3_000, 2_000));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let tracer = Tracer::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tracer = Arc::clone(&tracer);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        let _g = tracer.start(t * 100 + i, "tier");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tracer.len(), 400);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let tracer = Tracer::new();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.summary().bottleneck(), None);
+    }
+}

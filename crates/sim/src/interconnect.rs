@@ -1,0 +1,264 @@
+//! Calibrated cost models for the CPU–NIC interfaces of Fig. 10.
+//!
+//! Dagger's central claim is that the *logical communication model* of a
+//! coherent memory interconnect beats every PCIe scheme for small RPCs
+//! (§4.3–§4.4). We model each interface as a small set of queueing-resource
+//! costs; the constants below are fitted to the paper's own single-core
+//! measurements and documented per-field. Fitting procedure (DESIGN.md §6):
+//!
+//! * **UPI** (the Dagger interface): per-request NIC fetch cost at CCI-P
+//!   batch `B` is `66.3 + 57.2/B` ns, fitted from Fig. 10's 8.1 Mrps (B=1)
+//!   and 12.4 Mrps (B=4); the `B→∞` asymptote of ~15–16.5 Mrps matches the
+//!   paper's 16.5 Mrps best-effort ceiling (§5.3).
+//! * **Doorbell**: per-request CPU cost `78.7 + 153.3/B` ns, fitted from
+//!   4.3 Mrps (B=1) and 10.8 Mrps (B=11); it *predicts* 7.7 Mrps at B=3 and
+//!   9.9 Mrps at B=7 against the paper's 7.9 and 9.9 — a two-point fit that
+//!   lands on the two held-out points.
+//! * **MMIO** (WQE-by-MMIO): flat 238 ns per-request CPU occupancy
+//!   (4.2 Mrps), no batching, lowest PCIe latency (one bus transaction).
+//! * One-way latencies are budgeted so the composed round trip at low load
+//!   reproduces Fig. 10's medians (UPI B=1 ≈ 1.8 µs … doorbell B=11 ≈
+//!   5.5 µs) with the 0.3 µs ToR of Table 3 in both directions.
+//! * The shared UPI endpoint in the FPGA blue region caps line crossings at
+//!   one per ~6 ns, which simultaneously yields the paper's ≈42 Mrps
+//!   end-to-end and ≈80 Mrps raw-read plateaus (§5.5, Fig. 11 right).
+
+use dagger_types::IfaceKind;
+
+/// Queueing-cost profile of one NIC + CPU interface combination.
+///
+/// For the PCIe profiles the Fig. 10 cost fits cover the *total* per-request
+/// CPU work, so `cpu_base_ns + recv_poll_ns (+ per-batch/B)` reproduces the
+/// fitted curve.
+///
+/// All costs in nanoseconds. A profile is consumed by
+/// [`rpcsim`](crate::rpcsim) to build the timed pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NicProfile {
+    /// Human-readable name used in harness output.
+    pub name: &'static str,
+    /// CPU occupancy per submitted request (descriptor/payload write).
+    pub cpu_base_ns: f64,
+    /// Extra CPU occupancy charged once per batch (e.g. the doorbell MMIO).
+    pub cpu_per_batch_ns: f64,
+    /// NIC-side fetch cost per request within a batch.
+    pub nic_fetch_per_req_ns: f64,
+    /// NIC-side fetch cost charged once per batch (transfer setup /
+    /// bookkeeping write-back).
+    pub nic_fetch_per_batch_ns: f64,
+    /// One-way latency CPU → NIC after the fetch/push completes.
+    pub lat_cpu_to_nic_ns: u64,
+    /// One-way latency NIC → CPU for delivery into the RX ring /
+    /// completion queue.
+    pub lat_nic_to_cpu_ns: u64,
+    /// Latency through the NIC RPC pipeline (serialization, connection
+    /// lookup, transport framing) in one direction.
+    pub nic_pipeline_lat_ns: u64,
+    /// Per-frame service time of the NIC pipeline. The Dagger NIC processes
+    /// up to ~200 Mrps (§5.5), i.e. ~5 ns per frame.
+    pub nic_pipeline_svc_ns: f64,
+    /// CPU cost to poll/receive one delivered frame.
+    pub recv_poll_ns: f64,
+    /// Service time of the shared bus endpoint per 64 B line crossing;
+    /// `0.0` disables the shared-endpoint bottleneck (PCIe profiles, which
+    /// saturate elsewhere first).
+    pub endpoint_svc_ns: f64,
+    /// Whether the interface supports transfer batching (`B > 1`).
+    pub supports_batching: bool,
+}
+
+impl NicProfile {
+    /// Per-request submission cost on the CPU at batch size `b`.
+    pub fn cpu_cost_per_req(&self, b: u32) -> f64 {
+        self.cpu_base_ns + self.cpu_per_batch_ns / f64::from(b.max(1))
+    }
+
+    /// Per-request NIC fetch cost at batch size `b`.
+    pub fn fetch_cost_per_req(&self, b: u32) -> f64 {
+        self.nic_fetch_per_req_ns + self.nic_fetch_per_batch_ns / f64::from(b.max(1))
+    }
+
+    /// Analytic single-flow saturation throughput (Mrps) at batch size `b`,
+    /// with a server handler of `handler_ns` per request: the slowest stage
+    /// of the forward path wins.
+    pub fn saturation_mrps(&self, b: u32, handler_ns: f64) -> f64 {
+        let b = if self.supports_batching { b.max(1) } else { 1 };
+        let cpu = self.cpu_cost_per_req(b) + self.recv_poll_ns;
+        let fetch = self.fetch_cost_per_req(b);
+        let pipe = self.nic_pipeline_svc_ns;
+        // The server core polls, runs the handler, and submits the response.
+        let server_cpu = self.recv_poll_ns + handler_ns + self.cpu_cost_per_req(b);
+        let bottleneck_ns = cpu.max(fetch).max(pipe).max(server_cpu);
+        1e3 / bottleneck_ns
+    }
+
+    /// One-way latency contribution (excluding queueing and service) of the
+    /// interface + NIC pipeline + ToR, used for quick analytic RTT estimates.
+    pub fn one_way_base_ns(&self, tor_ns: u64) -> u64 {
+        self.lat_cpu_to_nic_ns
+            + self.nic_pipeline_lat_ns
+            + tor_ns
+            + self.nic_pipeline_lat_ns
+            + self.lat_nic_to_cpu_ns
+    }
+}
+
+/// ToR switch one-way delay assumed by the paper's Dagger/FaSST/eRPC
+/// comparisons (Table 3).
+pub const TOR_DELAY_NS: u64 = 300;
+
+/// CPU cost of issuing one raw idle UPI read (Fig. 11 right, red curve):
+/// ≈80 Mrps across 7 threads → ≈87 ns per read.
+pub const RAW_UPI_READ_CPU_NS: f64 = 87.0;
+
+/// Returns the calibrated profile for a CPU–NIC interface kind.
+///
+/// `Doorbell` and `DoorbellBatched` share constants — batching is a runtime
+/// parameter — but the non-batched profile refuses `B > 1`.
+pub fn profile_for(kind: IfaceKind) -> NicProfile {
+    match kind {
+        IfaceKind::Mmio => NicProfile {
+            name: "MMIO",
+            // Two AVX-256 stores per 64 B to non-cacheable MMIO space keep
+            // the core busy ~238 ns per RPC → 4.2 Mrps (Fig. 10).
+            cpu_base_ns: 224.0,
+            cpu_per_batch_ns: 0.0,
+            // Data is pushed; no NIC-side fetch.
+            nic_fetch_per_req_ns: 4.0,
+            nic_fetch_per_batch_ns: 0.0,
+            lat_cpu_to_nic_ns: 520,
+            lat_nic_to_cpu_ns: 400,
+            nic_pipeline_lat_ns: 150,
+            nic_pipeline_svc_ns: 5.0,
+            recv_poll_ns: 14.0,
+            endpoint_svc_ns: 0.0,
+            supports_batching: false,
+        },
+        IfaceKind::Doorbell | IfaceKind::DoorbellBatched => NicProfile {
+            name: if kind == IfaceKind::Doorbell {
+                "Doorbell"
+            } else {
+                "Doorbell(batched)"
+            },
+            // Descriptor write ~79 ns per request; doorbell MMIO ~153 ns per
+            // batch (fit to Fig. 10, see module docs).
+            cpu_base_ns: 64.7,
+            cpu_per_batch_ns: 153.3,
+            // PCIe DMA engine: ~8 ns/line of bandwidth plus setup per batch.
+            nic_fetch_per_req_ns: 8.1,
+            nic_fetch_per_batch_ns: 40.0,
+            lat_cpu_to_nic_ns: 700,
+            lat_nic_to_cpu_ns: 400,
+            nic_pipeline_lat_ns: 150,
+            nic_pipeline_svc_ns: 5.0,
+            recv_poll_ns: 14.0,
+            endpoint_svc_ns: 0.0,
+            supports_batching: kind == IfaceKind::DoorbellBatched,
+        },
+        IfaceKind::Upi => NicProfile {
+            name: "UPI",
+            // The CPU's only work is a cache-line write into the shared ring.
+            cpu_base_ns: 55.0,
+            cpu_per_batch_ns: 0.0,
+            // CCI-P polling fetch: 66.3 ns/request + 57.2 ns/batch (fit).
+            nic_fetch_per_req_ns: 66.3,
+            nic_fetch_per_batch_ns: 57.2,
+            lat_cpu_to_nic_ns: 125,
+            lat_nic_to_cpu_ns: 125,
+            nic_pipeline_lat_ns: 75,
+            nic_pipeline_svc_ns: 5.0,
+            recv_poll_ns: 20.0,
+            // Shared blue-region UPI endpoint: ~6 ns per line crossing →
+            // ≈42 Mrps end-to-end (4 crossings/RPC in the loopback setup)
+            // and ≈83 Mrps raw reads (2 crossings/read), Fig. 11 right.
+            endpoint_svc_ns: 6.0,
+            supports_batching: true,
+        },
+    }
+}
+
+/// Analytic raw idle UPI read throughput (Mrps) for `threads` polling
+/// threads — the red reference curve of Fig. 11 (right).
+pub fn raw_upi_read_mrps(threads: u32) -> f64 {
+    let per_thread = 1e3 / RAW_UPI_READ_CPU_NS;
+    let endpoint_cap = 1e3 / (2.0 * profile_for(IfaceKind::Upi).endpoint_svc_ns);
+    (f64::from(threads) * per_thread).min(endpoint_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upi_fit_reproduces_fig10_throughputs() {
+        let p = profile_for(IfaceKind::Upi);
+        let b1 = 1e3 / p.fetch_cost_per_req(1);
+        let b4 = 1e3 / p.fetch_cost_per_req(4);
+        assert!((b1 - 8.1).abs() < 0.2, "B=1 {b1}");
+        assert!((b4 - 12.4).abs() < 0.3, "B=4 {b4}");
+    }
+
+    #[test]
+    fn doorbell_fit_reproduces_fig10_throughputs() {
+        let p = profile_for(IfaceKind::DoorbellBatched);
+        for (b, expect) in [(1u32, 4.3), (3, 7.9), (7, 9.9), (11, 10.8)] {
+            // Total per-request CPU work: submit path + receive polling.
+            let got = 1e3 / (p.cpu_cost_per_req(b) + p.recv_poll_ns);
+            assert!(
+                (got - expect).abs() / expect < 0.05,
+                "B={b}: got {got}, paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn mmio_throughput_matches() {
+        let p = profile_for(IfaceKind::Mmio);
+        let thr = 1e3 / (p.cpu_cost_per_req(1) + p.recv_poll_ns);
+        assert!((thr - 4.2).abs() < 0.1, "MMIO {thr}");
+    }
+
+    #[test]
+    fn saturation_ordering_matches_fig10() {
+        // UPI(B=4) > Doorbell(B=11) > Doorbell(B=7) > ... > MMIO ~ Doorbell.
+        let upi4 = profile_for(IfaceKind::Upi).saturation_mrps(4, 0.0);
+        let db11 = profile_for(IfaceKind::DoorbellBatched).saturation_mrps(11, 0.0);
+        let db3 = profile_for(IfaceKind::DoorbellBatched).saturation_mrps(3, 0.0);
+        let db1 = profile_for(IfaceKind::Doorbell).saturation_mrps(1, 0.0);
+        let mmio = profile_for(IfaceKind::Mmio).saturation_mrps(1, 0.0);
+        assert!(upi4 > db11 && db11 > db3 && db3 > db1 && db1 > mmio * 0.95);
+    }
+
+    #[test]
+    fn non_batching_profiles_clamp_b() {
+        let p = profile_for(IfaceKind::Mmio);
+        assert_eq!(p.saturation_mrps(8, 0.0), p.saturation_mrps(1, 0.0));
+    }
+
+    #[test]
+    fn upi_latency_budget_below_pcie() {
+        let upi = profile_for(IfaceKind::Upi).one_way_base_ns(TOR_DELAY_NS);
+        let mmio = profile_for(IfaceKind::Mmio).one_way_base_ns(TOR_DELAY_NS);
+        let db = profile_for(IfaceKind::Doorbell).one_way_base_ns(TOR_DELAY_NS);
+        assert!(upi < mmio && mmio < db, "upi {upi} mmio {mmio} db {db}");
+    }
+
+    #[test]
+    fn raw_upi_read_scaling_shape() {
+        // Linear region then a plateau near 80 Mrps.
+        let t1 = raw_upi_read_mrps(1);
+        let t7 = raw_upi_read_mrps(7);
+        let t8 = raw_upi_read_mrps(8);
+        assert!((t1 - 11.5).abs() < 0.5, "t1 {t1}");
+        assert!(t7 > 75.0 && t7 <= 84.0, "t7 {t7}");
+        assert!((t8 - t7).abs() < 4.0, "plateau {t7} -> {t8}");
+    }
+
+    #[test]
+    fn handler_cost_moves_bottleneck_to_server() {
+        let p = profile_for(IfaceKind::Upi);
+        let fast = p.saturation_mrps(4, 0.0);
+        let slow = p.saturation_mrps(4, 1600.0); // memcached-like handler
+        assert!(slow < 1.0 && fast > 10.0, "fast {fast} slow {slow}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Exact-FCFS queueing resources.
+//!
+//! A request that "arrives" at a resource at time `t` needing `s` ns of
+//! service starts at `max(t, time the server frees up)` and completes at
+//! `start + s`. As long as `admit` is called in nondecreasing arrival order
+//! (which the event engine guarantees), this reproduces the exact sample
+//! path of an FCFS queue without simulating the queue explicitly — the
+//! workhorse trick behind the timed RPC pipeline.
+
+use crate::Nanos;
+
+/// A single-server FCFS queueing resource (e.g. one CPU core, one NIC
+/// pipeline stage, one bus endpoint).
+///
+/// # Example
+///
+/// ```
+/// use dagger_sim::resource::FcfsResource;
+/// let mut cpu = FcfsResource::new();
+/// let (s1, d1) = cpu.admit(0, 100);
+/// let (s2, d2) = cpu.admit(10, 100); // queues behind the first
+/// assert_eq!((s1, d1), (0, 100));
+/// assert_eq!((s2, d2), (100, 200));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FcfsResource {
+    free_at: Nanos,
+    busy_ns: u128,
+    served: u64,
+}
+
+impl FcfsResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a request arriving at `arrival` needing `service` ns; returns
+    /// `(start, completion)`.
+    pub fn admit(&mut self, arrival: Nanos, service: Nanos) -> (Nanos, Nanos) {
+        let start = arrival.max(self.free_at);
+        let done = start + service;
+        self.free_at = done;
+        self.busy_ns += u128::from(service);
+        self.served += 1;
+        (start, done)
+    }
+
+    /// The queueing delay a request arriving now at `arrival` would see.
+    pub fn backlog(&self, arrival: Nanos) -> Nanos {
+        self.free_at.saturating_sub(arrival)
+    }
+
+    /// Time at which the server next becomes free.
+    pub fn free_at(&self) -> Nanos {
+        self.free_at
+    }
+
+    /// Total service time delivered.
+    pub fn busy_ns(&self) -> u128 {
+        self.busy_ns
+    }
+
+    /// Requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Utilization over the window `[0, horizon]`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        if horizon == 0 {
+            0.0
+        } else {
+            (self.busy_ns as f64 / horizon as f64).min(1.0)
+        }
+    }
+}
+
+/// A `k`-server FCFS resource (e.g. a worker-thread pool, §5.7): each
+/// admitted request runs on the earliest-free server.
+///
+/// # Example
+///
+/// ```
+/// use dagger_sim::resource::MultiServerResource;
+/// let mut pool = MultiServerResource::new(2);
+/// assert_eq!(pool.admit(0, 100), (0, 100));
+/// assert_eq!(pool.admit(0, 100), (0, 100)); // second server
+/// assert_eq!(pool.admit(0, 100), (100, 200)); // queues
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiServerResource {
+    free_at: Vec<Nanos>,
+    busy_ns: u128,
+    served: u64,
+}
+
+impl MultiServerResource {
+    /// Creates a pool with `servers` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "at least one server required");
+        MultiServerResource {
+            free_at: vec![0; servers],
+            busy_ns: 0,
+            served: 0,
+        }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Admits a request arriving at `arrival` needing `service` ns; returns
+    /// `(start, completion)` on the earliest-free server.
+    pub fn admit(&mut self, arrival: Nanos, service: Nanos) -> (Nanos, Nanos) {
+        // Earliest-free server; ties broken by index for determinism.
+        let (idx, &earliest) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("non-empty pool");
+        let start = arrival.max(earliest);
+        let done = start + service;
+        self.free_at[idx] = done;
+        self.busy_ns += u128::from(service);
+        self.served += 1;
+        (start, done)
+    }
+
+    /// Requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Total service time delivered across all servers.
+    pub fn busy_ns(&self) -> u128 {
+        self.busy_ns
+    }
+}
+
+/// Accumulates items into CCI-P transfer batches of size `B`, with an
+/// optional fill timeout (the auto-batching controller of §5.4 lowers
+/// latency at low load by shipping partial batches).
+///
+/// `offer` returns `Some(batch_ready_time, batch_len)` when the offered item
+/// completes a batch (by count or by the timeout that would have fired
+/// before the item arrived).
+#[derive(Clone, Debug)]
+pub struct BatchAccumulator {
+    batch_size: u32,
+    timeout: Option<Nanos>,
+    pending: u32,
+    first_arrival: Nanos,
+}
+
+impl BatchAccumulator {
+    /// Creates an accumulator with target `batch_size` and an optional fill
+    /// `timeout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: u32, timeout: Option<Nanos>) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchAccumulator {
+            batch_size,
+            timeout,
+            pending: 0,
+            first_arrival: 0,
+        }
+    }
+
+    /// Offers one item arriving at `arrival`. Returns completed batches:
+    /// possibly a timed-out partial batch (flushed before this arrival),
+    /// then possibly the batch this item completes.
+    pub fn offer(&mut self, arrival: Nanos) -> Vec<(Nanos, u32)> {
+        let mut out = Vec::new();
+        // Flush a pending batch whose timeout elapsed before this arrival.
+        if self.pending > 0 {
+            if let Some(to) = self.timeout {
+                let deadline = self.first_arrival + to;
+                if arrival > deadline {
+                    out.push((deadline, self.pending));
+                    self.pending = 0;
+                }
+            }
+        }
+        if self.pending == 0 {
+            self.first_arrival = arrival;
+        }
+        self.pending += 1;
+        if self.pending >= self.batch_size {
+            out.push((arrival, self.pending));
+            self.pending = 0;
+        }
+        out
+    }
+
+    /// Flushes any partial batch at simulation end; returns
+    /// `(ready_time, len)` if one was pending.
+    pub fn flush(&mut self, now: Nanos) -> Option<(Nanos, u32)> {
+        if self.pending == 0 {
+            return None;
+        }
+        let ready = match self.timeout {
+            Some(to) => (self.first_arrival + to).min(now.max(self.first_arrival)),
+            None => now.max(self.first_arrival),
+        };
+        let len = self.pending;
+        self.pending = 0;
+        Some((ready, len))
+    }
+
+    /// Flushes the pending batch only if its fill timeout has expired by
+    /// `now` (or if there is no timeout, any pending batch). Used by the
+    /// periodic flusher in the timed pipeline so idle tails do not strand
+    /// requests inside partially-filled batches.
+    pub fn flush_expired(&mut self, now: Nanos) -> Option<(Nanos, u32)> {
+        if self.pending == 0 {
+            return None;
+        }
+        match self.timeout {
+            Some(to) if now < self.first_arrival + to => None,
+            Some(to) => {
+                let ready = self.first_arrival + to;
+                let len = self.pending;
+                self.pending = 0;
+                Some((ready, len))
+            }
+            None => {
+                let len = self.pending;
+                self.pending = 0;
+                Some((now.max(self.first_arrival), len))
+            }
+        }
+    }
+
+    /// Number of items currently waiting in the partial batch.
+    pub fn pending(&self) -> u32 {
+        self.pending
+    }
+
+    /// Current target batch size.
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    /// Changes the target batch size (soft reconfiguration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn set_batch_size(&mut self, batch_size: u32) {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_idle_server_starts_immediately() {
+        let mut r = FcfsResource::new();
+        assert_eq!(r.admit(50, 10), (50, 60));
+        assert_eq!(r.served(), 1);
+    }
+
+    #[test]
+    fn fcfs_queues_back_to_back() {
+        let mut r = FcfsResource::new();
+        r.admit(0, 100);
+        assert_eq!(r.admit(1, 100), (100, 200));
+        assert_eq!(r.admit(2, 100), (200, 300));
+        assert_eq!(r.backlog(2), 298);
+    }
+
+    #[test]
+    fn fcfs_idle_gap_resets() {
+        let mut r = FcfsResource::new();
+        r.admit(0, 10);
+        assert_eq!(r.admit(1000, 10), (1000, 1010));
+    }
+
+    #[test]
+    fn fcfs_utilization() {
+        let mut r = FcfsResource::new();
+        r.admit(0, 300);
+        r.admit(0, 200);
+        assert!((r.utilization(1000) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut p = MultiServerResource::new(3);
+        for _ in 0..3 {
+            assert_eq!(p.admit(0, 100), (0, 100));
+        }
+        assert_eq!(p.admit(0, 100), (100, 200));
+        assert_eq!(p.servers(), 3);
+    }
+
+    #[test]
+    fn multi_server_picks_earliest_free() {
+        let mut p = MultiServerResource::new(2);
+        p.admit(0, 100); // server 0 busy till 100
+        p.admit(0, 50); // server 1 busy till 50
+        assert_eq!(p.admit(60, 10), (60, 70)); // lands on server 1
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn multi_server_zero_panics() {
+        MultiServerResource::new(0);
+    }
+
+    #[test]
+    fn batch_completes_on_count() {
+        let mut b = BatchAccumulator::new(4, None);
+        assert!(b.offer(10).is_empty());
+        assert!(b.offer(20).is_empty());
+        assert!(b.offer(30).is_empty());
+        assert_eq!(b.offer(40), vec![(40, 4)]);
+    }
+
+    #[test]
+    fn batch_size_one_ships_immediately() {
+        let mut b = BatchAccumulator::new(1, None);
+        assert_eq!(b.offer(5), vec![(5, 1)]);
+        assert_eq!(b.offer(6), vec![(6, 1)]);
+    }
+
+    #[test]
+    fn batch_timeout_flushes_partial() {
+        let mut b = BatchAccumulator::new(4, Some(100));
+        assert!(b.offer(0).is_empty());
+        // Arrival long after the deadline first flushes the stale batch.
+        let out = b.offer(500);
+        assert_eq!(out, vec![(100, 1)]);
+        // The new item is now pending alone.
+        assert_eq!(b.flush(600), Some((600, 1)));
+    }
+
+    #[test]
+    fn batch_flush_empty_returns_none() {
+        let mut b = BatchAccumulator::new(4, None);
+        assert_eq!(b.flush(100), None);
+    }
+
+    #[test]
+    fn batch_timeout_flush_caps_at_deadline() {
+        let mut b = BatchAccumulator::new(8, Some(50));
+        b.offer(10);
+        b.offer(20);
+        assert_eq!(b.flush(1000), Some((60, 2)));
+    }
+
+    #[test]
+    fn set_batch_size_applies() {
+        let mut b = BatchAccumulator::new(8, None);
+        b.offer(0);
+        b.set_batch_size(2);
+        assert_eq!(b.offer(1), vec![(1, 2)]);
+    }
+}

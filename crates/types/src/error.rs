@@ -1,0 +1,90 @@
+//! The error type shared by the Dagger crates.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, DaggerError>;
+
+/// Errors surfaced by the Dagger RPC fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DaggerError {
+    /// A ring was full and the operation would have blocked or dropped.
+    RingFull,
+    /// A blocking call did not complete within its deadline.
+    Timeout,
+    /// The referenced connection is not open on this NIC.
+    UnknownConnection(u32),
+    /// The referenced function id is not registered with the service.
+    UnknownFunction(u16),
+    /// The payload exceeds what the fragmentation layer can carry.
+    PayloadTooLarge {
+        /// Requested payload size in bytes.
+        requested: usize,
+        /// Maximum supported payload size in bytes.
+        max: usize,
+    },
+    /// A frame or message failed to parse.
+    Wire(String),
+    /// An invalid configuration was supplied.
+    Config(String),
+    /// The fabric (switch/links) rejected or could not route a frame.
+    Fabric(String),
+    /// The peer or a component has shut down.
+    Closed,
+}
+
+impl fmt::Display for DaggerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DaggerError::RingFull => write!(f, "ring full"),
+            DaggerError::Timeout => write!(f, "operation timed out"),
+            DaggerError::UnknownConnection(id) => write!(f, "unknown connection {id}"),
+            DaggerError::UnknownFunction(id) => write!(f, "unknown function id {id}"),
+            DaggerError::PayloadTooLarge { requested, max } => {
+                write!(f, "payload of {requested} bytes exceeds maximum {max}")
+            }
+            DaggerError::Wire(msg) => write!(f, "wire format error: {msg}"),
+            DaggerError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            DaggerError::Fabric(msg) => write!(f, "fabric error: {msg}"),
+            DaggerError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl StdError for DaggerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            DaggerError::RingFull,
+            DaggerError::Timeout,
+            DaggerError::UnknownConnection(1),
+            DaggerError::UnknownFunction(2),
+            DaggerError::PayloadTooLarge {
+                requested: 100,
+                max: 48,
+            },
+            DaggerError::Wire("x".into()),
+            DaggerError::Config("y".into()),
+            DaggerError::Fabric("z".into()),
+            DaggerError::Closed,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<DaggerError>();
+    }
+}

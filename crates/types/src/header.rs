@@ -1,0 +1,224 @@
+//! The packed RPC header carried in every cache-line frame.
+//!
+//! Dagger transfers *ready-to-use RPC objects* rather than raw packets; each
+//! 64-byte frame begins with a fixed 16-byte header that the NIC hardware
+//! parses to route, steer, and reassemble requests. The layout is:
+//!
+//! ```text
+//! offset  field              size
+//! 0       connection_id      4   (little endian)
+//! 4       rpc_id             4
+//! 8       fn_id              2
+//! 10      src_flow           2   flow to steer the response back to (§4.2)
+//! 12      kind               1   1 = request, 2 = response
+//! 13      frame_idx          1   index of this frame within the RPC
+//! 14      frame_count        1   total frames of the RPC (software
+//!                                reassembly for multi-frame RPCs, §4.7)
+//! 15      frame_payload_len  1   payload bytes used in this frame (≤ 48)
+//! ```
+
+use crate::cell::{FRAME_PAYLOAD_BYTES, HEADER_BYTES};
+use crate::error::{DaggerError, Result};
+use crate::ids::{ConnectionId, FlowId, FnId, RpcId};
+
+/// Whether a frame carries a request or a response. The stack is symmetric:
+/// the same NIC and software serve both roles (§4.4), distinguished only by
+/// this field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RpcKind {
+    /// An RPC request travelling client → server.
+    Request = 1,
+    /// An RPC response travelling server → client.
+    Response = 2,
+}
+
+impl RpcKind {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(RpcKind::Request),
+            2 => Ok(RpcKind::Response),
+            other => Err(DaggerError::Wire(format!("invalid rpc kind byte {other}"))),
+        }
+    }
+}
+
+/// The parsed form of the 16-byte frame header.
+///
+/// # Example
+///
+/// ```
+/// use dagger_types::{RpcHeader, RpcKind, ConnectionId, RpcId, FnId, FlowId, HEADER_BYTES};
+/// let hdr = RpcHeader {
+///     connection_id: ConnectionId(1),
+///     rpc_id: RpcId(2),
+///     fn_id: FnId(3),
+///     src_flow: FlowId(4),
+///     kind: RpcKind::Response,
+///     frame_idx: 0,
+///     frame_count: 2,
+///     frame_payload_len: 48,
+/// };
+/// let mut buf = [0u8; HEADER_BYTES];
+/// hdr.encode(&mut buf);
+/// assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RpcHeader {
+    /// Connection this RPC belongs to; key into the connection manager.
+    pub connection_id: ConnectionId,
+    /// Per-connection sequence number matching responses to requests.
+    pub rpc_id: RpcId,
+    /// Remote procedure selector within the destination service.
+    pub fn_id: FnId,
+    /// The client-side flow that issued the request, so the server NIC can
+    /// steer the response back to the same flow (§4.2).
+    pub src_flow: FlowId,
+    /// Request or response.
+    pub kind: RpcKind,
+    /// Index of this frame within a (possibly multi-frame) RPC.
+    pub frame_idx: u8,
+    /// Total number of frames of this RPC. `1` for single-line RPCs.
+    pub frame_count: u8,
+    /// Number of payload bytes used in this frame. At most
+    /// [`FRAME_PAYLOAD_BYTES`].
+    pub frame_payload_len: u8,
+}
+
+impl RpcHeader {
+    /// Serializes the header into `buf` (must be at least [`HEADER_BYTES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`HEADER_BYTES`].
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= HEADER_BYTES, "header buffer too small");
+        buf[0..4].copy_from_slice(&self.connection_id.raw().to_le_bytes());
+        buf[4..8].copy_from_slice(&self.rpc_id.raw().to_le_bytes());
+        buf[8..10].copy_from_slice(&self.fn_id.raw().to_le_bytes());
+        buf[10..12].copy_from_slice(&self.src_flow.raw().to_le_bytes());
+        buf[12] = self.kind as u8;
+        buf[13] = self.frame_idx;
+        buf[14] = self.frame_count;
+        buf[15] = self.frame_payload_len;
+    }
+
+    /// Parses a header from `buf` (must be at least [`HEADER_BYTES`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] if the kind byte is invalid, the frame
+    /// payload length exceeds [`FRAME_PAYLOAD_BYTES`], the frame index is not
+    /// below the frame count, or the frame count is zero.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < HEADER_BYTES {
+            return Err(DaggerError::Wire(format!(
+                "header buffer too small: {} < {HEADER_BYTES}",
+                buf.len()
+            )));
+        }
+        let hdr = RpcHeader {
+            connection_id: ConnectionId(u32::from_le_bytes(buf[0..4].try_into().unwrap())),
+            rpc_id: RpcId(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
+            fn_id: FnId(u16::from_le_bytes(buf[8..10].try_into().unwrap())),
+            src_flow: FlowId(u16::from_le_bytes(buf[10..12].try_into().unwrap())),
+            kind: RpcKind::from_u8(buf[12])?,
+            frame_idx: buf[13],
+            frame_count: buf[14],
+            frame_payload_len: buf[15],
+        };
+        if usize::from(hdr.frame_payload_len) > FRAME_PAYLOAD_BYTES {
+            return Err(DaggerError::Wire(format!(
+                "frame payload length {} exceeds {FRAME_PAYLOAD_BYTES}",
+                hdr.frame_payload_len
+            )));
+        }
+        if hdr.frame_count == 0 {
+            return Err(DaggerError::Wire("frame count of zero".to_string()));
+        }
+        if hdr.frame_idx >= hdr.frame_count {
+            return Err(DaggerError::Wire(format!(
+                "frame index {} out of range for count {}",
+                hdr.frame_idx, hdr.frame_count
+            )));
+        }
+        Ok(hdr)
+    }
+
+    /// `true` if this is the last frame of its RPC.
+    pub fn is_last_frame(&self) -> bool {
+        self.frame_idx + 1 == self.frame_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RpcHeader {
+        RpcHeader {
+            connection_id: ConnectionId(0xDEAD_BEEF),
+            rpc_id: RpcId(0x1234_5678),
+            fn_id: FnId(0xABCD),
+            src_flow: FlowId(0x0102),
+            kind: RpcKind::Request,
+            frame_idx: 2,
+            frame_count: 5,
+            frame_payload_len: 48,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let hdr = sample();
+        let mut buf = [0u8; HEADER_BYTES];
+        hdr.encode(&mut buf);
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let mut buf = [0u8; HEADER_BYTES];
+        sample().encode(&mut buf);
+        buf[12] = 9;
+        assert!(RpcHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_payload_len() {
+        let mut buf = [0u8; HEADER_BYTES];
+        sample().encode(&mut buf);
+        buf[15] = (FRAME_PAYLOAD_BYTES + 1) as u8;
+        assert!(RpcHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_frame_count() {
+        let mut buf = [0u8; HEADER_BYTES];
+        sample().encode(&mut buf);
+        buf[14] = 0;
+        assert!(RpcHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_frame_idx_out_of_range() {
+        let mut buf = [0u8; HEADER_BYTES];
+        sample().encode(&mut buf);
+        buf[13] = 5; // == frame_count
+        assert!(RpcHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        let buf = [0u8; HEADER_BYTES - 1];
+        assert!(RpcHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn last_frame_detection() {
+        let mut hdr = sample();
+        assert!(!hdr.is_last_frame());
+        hdr.frame_idx = 4;
+        assert!(hdr.is_last_frame());
+    }
+}

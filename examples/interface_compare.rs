@@ -1,0 +1,44 @@
+//! A quick look at the paper's central comparison (Fig. 10): the same RPC
+//! fabric behind the four CPU–NIC interface schemes, via the calibrated
+//! timed simulator.
+//!
+//! ```sh
+//! cargo run --release --example interface_compare
+//! ```
+
+use dagger::sim::interconnect::profile_for;
+use dagger::sim::rpcsim::{FabricSpec, RpcFabricSim};
+use dagger::types::IfaceKind;
+
+fn main() {
+    println!("single-core 64 B echo RPCs, 0.3 us ToR (timed model)\n");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "interface", "sat Mrps", "p50 us", "p99 us"
+    );
+    for (kind, b) in [
+        (IfaceKind::Mmio, 1u32),
+        (IfaceKind::Doorbell, 1),
+        (IfaceKind::DoorbellBatched, 3),
+        (IfaceKind::DoorbellBatched, 11),
+        (IfaceKind::Upi, 1),
+        (IfaceKind::Upi, 4),
+    ] {
+        let spec = FabricSpec::dagger_echo(profile_for(kind), b);
+        let sim = RpcFabricSim::new(spec);
+        let sat = sim.find_saturation_mrps(1, 50_000);
+        let report = sim.run(0.8 * sat, 50_000, 1);
+        let label = if b > 1 {
+            format!("{} B={b}", kind.label())
+        } else {
+            kind.label().to_string()
+        };
+        println!(
+            "{label:<22} {sat:>10.1} {:>12.2} {:>12.2}",
+            report.rtt.p50_us(),
+            report.rtt.p99_us()
+        );
+    }
+    println!("\npaper (Fig. 10): MMIO 4.2 Mrps/3.8 us; Doorbell 4.3/4.4; B=3 7.9; B=11 10.8/5.5;");
+    println!("                 UPI B=1 8.1/1.8; UPI B=4 12.4/2.4");
+}

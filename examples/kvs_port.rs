@@ -1,0 +1,170 @@
+//! The §5.6 experiment, functionally: port memcached-like and MICA-like
+//! stores onto Dagger, drive them with the paper's tiny-dataset Zipf
+//! workload, and compare against the same store behind a real kernel-TCP
+//! loopback RPC stack.
+//!
+//! ```sh
+//! cargo run --release --example kvs_port
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dagger::baselines::sw_loopback::{TcpRpcClient, TcpRpcServer};
+use dagger::kvs::server::{
+    KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispatch, MemcachedPort, MicaPort,
+};
+use dagger::kvs::{KvOp, KvWorkload, Memcached, Mica, WorkloadSpec};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer, Wire};
+use dagger::types::{FnId, HardConfig, LbPolicy, NodeAddr, Result};
+
+const OPS: usize = 3_000;
+const KEYS: u64 = 2_000;
+
+fn run_workload(mut do_op: impl FnMut(&KvOp)) -> std::time::Duration {
+    let mut workload = KvWorkload::new(
+        WorkloadSpec::tiny().with_keys(KEYS).read_intensive(),
+        42,
+    );
+    let ops: Vec<KvOp> = (0..OPS).map(|_| workload.next_op()).collect();
+    let start = Instant::now();
+    for op in &ops {
+        do_op(op);
+    }
+    start.elapsed()
+}
+
+fn main() -> Result<()> {
+    let fabric = MemFabric::new();
+
+    // --- memcached over Dagger (the ~50-LOC port). ---
+    let mcd_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default())?;
+    let mcd = Arc::new(Memcached::new(1 << 22, 8));
+    let mut mcd_server = RpcThreadedServer::new(Arc::clone(&mcd_nic), 1);
+    mcd_server.register_service(Arc::new(KvStoreDispatch::new(MemcachedPort::new(
+        Arc::clone(&mcd),
+    ))))?;
+    mcd_server.start()?;
+
+    // --- MICA over Dagger with the object-level balancer (§5.7). ---
+    let mica_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default())?;
+    let mica = Arc::new(Mica::new(4, 1 << 12, 1 << 21));
+    let mut mica_server = RpcThreadedServer::new(Arc::clone(&mica_nic), 1);
+    mica_server.register_service(Arc::new(KvStoreDispatch::new(MicaPort::new(Arc::clone(
+        &mica,
+    )))))?;
+    mica_server.start()?;
+
+    let client_nic = Nic::start(&fabric, NodeAddr(3), HardConfig::default())?;
+    let mcd_pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1)?;
+    let mica_pool = RpcClientPool::connect_with(
+        Arc::clone(&client_nic),
+        NodeAddr(2),
+        1,
+        LbPolicy::ObjectLevel,
+    )?;
+    let mcd_client = KvStoreClient::new(mcd_pool.client(0)?);
+    let mica_client = KvStoreClient::new(mica_pool.client(0)?);
+
+    // Populate (the paper populates all keys before measuring).
+    let workload = KvWorkload::new(WorkloadSpec::tiny().with_keys(KEYS), 42);
+    workload.populate(KEYS, |k, v| {
+        mcd_client
+            .set(&KvSetRequest {
+                key: k.to_vec(),
+                value: v.to_vec(),
+            })
+            .unwrap();
+        mica_client
+            .set(&KvSetRequest {
+                key: k.to_vec(),
+                value: v.to_vec(),
+            })
+            .unwrap();
+    });
+
+    let mcd_time = run_workload(|op| match op {
+        KvOp::Get { key } => {
+            mcd_client.get(&KvGetRequest { key: key.clone() }).unwrap();
+        }
+        KvOp::Set { key, value } => {
+            mcd_client
+                .set(&KvSetRequest {
+                    key: key.clone(),
+                    value: value.clone(),
+                })
+                .unwrap();
+        }
+    });
+    println!(
+        "memcached over Dagger : {OPS} ops in {mcd_time:?} ({:.1} us/op); stats {:?}",
+        mcd_time.as_micros() as f64 / OPS as f64,
+        mcd.stats()
+    );
+
+    let mica_time = run_workload(|op| match op {
+        KvOp::Get { key } => {
+            mica_client
+                .get(&KvGetRequest { key: key.clone() })
+                .unwrap();
+        }
+        KvOp::Set { key, value } => {
+            mica_client
+                .set(&KvSetRequest {
+                    key: key.clone(),
+                    value: value.clone(),
+                })
+                .unwrap();
+        }
+    });
+    println!(
+        "MICA over Dagger      : {OPS} ops in {mica_time:?} ({:.1} us/op); stats {:?}",
+        mica_time.as_micros() as f64 / OPS as f64,
+        mica.stats()
+    );
+
+    // --- The same memcached behind a real kernel-TCP RPC stack. ---
+    let tcp_store = Arc::new(Memcached::new(1 << 22, 8));
+    let mut tcp_server = TcpRpcServer::start(Arc::new(KvStoreDispatch::new(
+        MemcachedPort::new(Arc::clone(&tcp_store)),
+    )))?;
+    let mut tcp_client = TcpRpcClient::connect(tcp_server.addr())?;
+    workload.populate(KEYS, |k, v| {
+        let req = KvSetRequest {
+            key: k.to_vec(),
+            value: v.to_vec(),
+        };
+        tcp_client.call_sync(FnId(2), &req.to_wire()).unwrap();
+    });
+    let tcp_time = run_workload(|op| match op {
+        KvOp::Get { key } => {
+            let req = KvGetRequest { key: key.clone() };
+            tcp_client.call_sync(FnId(1), &req.to_wire()).unwrap();
+        }
+        KvOp::Set { key, value } => {
+            let req = KvSetRequest {
+                key: key.clone(),
+                value: value.clone(),
+            };
+            tcp_client.call_sync(FnId(2), &req.to_wire()).unwrap();
+        }
+    });
+    println!(
+        "memcached over TCP    : {OPS} ops in {tcp_time:?} ({:.1} us/op)",
+        tcp_time.as_micros() as f64 / OPS as f64
+    );
+    println!(
+        "(functional mode on shared cores — see `cargo bench` for the paper's calibrated Fig. 12 numbers)"
+    );
+
+    mcd_server.stop();
+    mica_server.stop();
+    tcp_server.stop();
+    drop(mcd_pool);
+    drop(mica_pool);
+    client_nic.shutdown();
+    mcd_nic.shutdown();
+    mica_nic.shutdown();
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The §4.5 follow-up work in action: the Go-Back-N reliable transport
+//! carrying RPCs across a fabric that drops a quarter of all frames, next
+//! to the stock (unreliable) stack losing calls under the same conditions.
+//!
+//! ```sh
+//! cargo run --release --example lossy_fabric
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dagger::idl::{dagger_message, dagger_service};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::types::{HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Ping {
+        seq: u32,
+        payload: Vec<u8>,
+    }
+}
+
+dagger_service! {
+    pub service PingSvc {
+        handler = PingHandler;
+        dispatch = PingDispatch;
+        client = PingClient;
+        rpc ping(Ping) -> Ping = 1;
+    }
+}
+
+struct EchoImpl;
+impl PingHandler for EchoImpl {
+    fn ping(&self, request: Ping) -> Result<Ping> {
+        Ok(request)
+    }
+}
+
+fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
+    let fabric = MemFabric::with_loss(loss, 1234);
+    let cfg = HardConfig::builder().reliable(reliable).build()?;
+    let server_nic = Nic::start(&fabric, NodeAddr(1), cfg.clone())?;
+    let client_nic = Nic::start(&fabric, NodeAddr(2), cfg)?;
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server.register_service(Arc::new(PingDispatch::new(EchoImpl)))?;
+    server.start()?;
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1)?;
+    let raw = pool.client(0)?;
+    raw.set_timeout(if reliable {
+        Duration::from_secs(20)
+    } else {
+        Duration::from_millis(200)
+    });
+    let client = PingClient::new(raw);
+
+    let mut ok = 0u32;
+    for seq in 0..calls {
+        let outcome = client.ping(&Ping {
+            seq,
+            payload: vec![seq as u8; 100],
+        });
+        match outcome {
+            Ok(resp) if resp.seq == seq && resp.payload == vec![seq as u8; 100] => ok += 1,
+            Ok(_) => println!("  corrupted response for call {seq}!"),
+            Err(_) => {}
+        }
+    }
+    println!(
+        "[{label}] {ok}/{calls} calls completed ({} frames dropped by the network)",
+        fabric.dropped_frames()
+    );
+
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+    Ok(())
+}
+
+fn main() -> Result<()> {
+    println!("25% frame loss, 40 multi-frame echo RPCs:\n");
+    run("reliable (Go-Back-N)", true, 0.25, 40)?;
+    run("unreliable (stock)  ", false, 0.25, 40)?;
+    println!("\nEvery completed call was verified byte-for-byte; the reliable");
+    println!("transport repairs loss with retransmissions, the stock stack times out.");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Facade crate for the Dagger reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the examples and integration
+//! tests (and downstream users who want a single dependency) can write
+//! `use dagger::rpc::RpcClientPool;` instead of depending on each crate
+//! individually.
+//!
+//! See the README for a quickstart and DESIGN.md for the system inventory.
+
+pub use dagger_baselines as baselines;
+pub use dagger_idl as idl;
+pub use dagger_kvs as kvs;
+pub use dagger_nic as nic;
+pub use dagger_rpc as rpc;
+pub use dagger_services as services;
+pub use dagger_sim as sim;
+pub use dagger_types as types;

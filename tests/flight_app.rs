@@ -1,0 +1,92 @@
+//! Integration tests of the functional 8-tier Flight Registration service
+//! (§5.7, Fig. 13): real tiers, real NICs, chain + fan-out + nested
+//! dependencies, both threading models, and the request tracer.
+
+use dagger::nic::MemFabric;
+use dagger::services::flight::{FlightApp, FlightConfig};
+
+#[test]
+fn simple_threading_end_to_end() {
+    let fabric = MemFabric::new();
+    let app = FlightApp::launch(&fabric, &FlightConfig::simple()).unwrap();
+
+    for passenger in 0..20u64 {
+        let resp = app.check_in(passenger, 100 + passenger as u32, 2).unwrap();
+        assert!(resp.ok, "passenger {passenger} rejected");
+        assert!(resp.record > 0);
+        assert!(resp.seat < 300);
+        // The Staff front-end sees the registration in the Airport DB.
+        let record = app.staff_lookup(resp.record).unwrap();
+        let value = record.expect("record registered");
+        assert_eq!(&value[..8], &passenger.to_le_bytes());
+    }
+    // Every check-in wrote one Airport record.
+    assert_eq!(app.airport_store().stats().sets, 20);
+    app.shutdown();
+}
+
+#[test]
+fn unknown_passenger_is_rejected() {
+    let fabric = MemFabric::new();
+    let mut cfg = FlightConfig::simple();
+    cfg.citizens = 10; // only passengers 0..10 exist
+    let app = FlightApp::launch(&fabric, &cfg).unwrap();
+
+    let ok = app.check_in(3, 500, 1).unwrap();
+    assert!(ok.ok);
+    let rejected = app.check_in(9_999, 500, 1).unwrap();
+    assert!(!rejected.ok, "passport check must fail");
+    assert_eq!(rejected.record, 0);
+    app.shutdown();
+}
+
+#[test]
+fn optimized_threading_end_to_end() {
+    let fabric = MemFabric::new();
+    let app = FlightApp::launch(&fabric, &FlightConfig::optimized(2)).unwrap();
+    // Issue several check-ins concurrently from the front-end.
+    let mut pending = Vec::new();
+    for passenger in 0..8u64 {
+        pending.push((passenger, app.check_in(passenger, 7, 1)));
+    }
+    for (passenger, result) in pending {
+        let resp = result.unwrap();
+        assert!(resp.ok, "passenger {passenger}");
+    }
+    app.shutdown();
+}
+
+#[test]
+fn tracer_identifies_tiers() {
+    let fabric = MemFabric::new();
+    let mut cfg = FlightConfig::simple();
+    cfg.flight_work = 200_000; // make the Flight tier visibly expensive
+    let app = FlightApp::launch(&fabric, &cfg).unwrap();
+    for passenger in 0..10u64 {
+        app.check_in(passenger, 1, 0).unwrap();
+    }
+    let summary = app.tracer().summary();
+    let tiers: Vec<&str> = summary.tiers.iter().map(|(t, ..)| t.as_str()).collect();
+    for expected in ["CheckIn", "Flight", "Baggage", "Passport"] {
+        assert!(tiers.contains(&expected), "missing {expected} in {tiers:?}");
+    }
+    // Each tier saw all ten requests.
+    for (_, count, _, _) in &summary.tiers {
+        assert_eq!(*count, 10);
+    }
+    app.shutdown();
+}
+
+#[test]
+fn two_apps_on_disjoint_fabrics() {
+    // The whole application deploys twice without address clashes as long
+    // as the fabrics are distinct.
+    let fabric_a = MemFabric::new();
+    let fabric_b = MemFabric::new();
+    let app_a = FlightApp::launch(&fabric_a, &FlightConfig::simple()).unwrap();
+    let app_b = FlightApp::launch(&fabric_b, &FlightConfig::simple()).unwrap();
+    assert!(app_a.check_in(1, 2, 3).unwrap().ok);
+    assert!(app_b.check_in(4, 5, 6).unwrap().ok);
+    app_a.shutdown();
+    app_b.shutdown();
+}

@@ -1,0 +1,201 @@
+//! Integration tests: memcached-like and MICA-like stores served over the
+//! Dagger fabric (the §5.6 ports), including the object-level load-balancer
+//! path MICA requires (§5.7).
+
+use std::sync::Arc;
+
+use dagger::kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispatch};
+use dagger::kvs::{KvWorkload, Memcached, MemcachedPort, Mica, MicaPort, WorkloadSpec};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::types::{HardConfig, LbPolicy, NodeAddr};
+
+fn nic(fabric: &MemFabric, addr: u32) -> Arc<Nic> {
+    Nic::start(fabric, NodeAddr(addr), HardConfig::default()).unwrap()
+}
+
+#[test]
+fn memcached_port_set_get_over_fabric() {
+    let fabric = MemFabric::new();
+    let server_nic = nic(&fabric, 1);
+    let client_nic = nic(&fabric, 2);
+    let store = Arc::new(Memcached::new(1 << 22, 8));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(KvStoreDispatch::new(MemcachedPort::new(
+            Arc::clone(&store),
+        ))))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let client = KvStoreClient::new(pool.client(0).unwrap());
+
+    // The original memcached protocol semantics hold through the port.
+    for i in 0..100u64 {
+        let ok = client
+            .set(&KvSetRequest {
+                key: i.to_le_bytes().to_vec(),
+                value: (i * 3).to_le_bytes().to_vec(),
+            })
+            .unwrap();
+        assert!(ok.ok);
+    }
+    for i in 0..100u64 {
+        let resp = client
+            .get(&KvGetRequest {
+                key: i.to_le_bytes().to_vec(),
+            })
+            .unwrap();
+        assert!(resp.found, "key {i}");
+        assert_eq!(resp.value, (i * 3).to_le_bytes());
+    }
+    let miss = client
+        .get(&KvGetRequest {
+            key: 9_999u64.to_le_bytes().to_vec(),
+        })
+        .unwrap();
+    assert!(!miss.found);
+    // The data integrity check of §5.6: the store's own stats agree.
+    assert_eq!(store.stats().sets, 100);
+    assert_eq!(store.stats().get_hits, 100);
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+#[test]
+fn mica_port_with_object_level_balancer() {
+    let fabric = MemFabric::new();
+    let server_nic = nic(&fabric, 1);
+    let client_nic = nic(&fabric, 2);
+    let store = Arc::new(Mica::new(4, 1 << 12, 1 << 20));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(KvStoreDispatch::new(MicaPort::new(Arc::clone(
+            &store,
+        )))))
+        .unwrap();
+    server.start().unwrap();
+
+    // MICA requires object-level steering (§5.7): the pool requests it.
+    let pool = RpcClientPool::connect_with(
+        Arc::clone(&client_nic),
+        NodeAddr(1),
+        1,
+        LbPolicy::ObjectLevel,
+    )
+    .unwrap();
+    let client = KvStoreClient::new(pool.client(0).unwrap());
+
+    let workload = KvWorkload::new(WorkloadSpec::tiny().with_keys(500), 42);
+    workload.populate(500, |k, v| {
+        let ok = client
+            .set(&KvSetRequest {
+                key: k.to_vec(),
+                value: v.to_vec(),
+            })
+            .unwrap();
+        assert!(ok.ok);
+    });
+    // Read everything back; MICA is lossy but at this occupancy all keys
+    // must survive.
+    let mut hits = 0;
+    for id in 0..500u64 {
+        let resp = client
+            .get(&KvGetRequest {
+                key: workload.key_bytes(id),
+            })
+            .unwrap();
+        if resp.found {
+            assert_eq!(resp.value, workload.value_bytes(id), "key {id}");
+            hits += 1;
+        }
+    }
+    assert!(hits >= 495, "{hits}/500 survived");
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+#[test]
+fn zipf_mixed_workload_against_both_stores() {
+    let fabric = MemFabric::new();
+    let mcd_nic = nic(&fabric, 1);
+    let mica_nic = nic(&fabric, 2);
+    let client_nic = nic(&fabric, 3);
+
+    let mcd = Arc::new(Memcached::new(1 << 22, 8));
+    let mica = Arc::new(Mica::new(4, 1 << 12, 1 << 21));
+    let mut mcd_server = RpcThreadedServer::new(Arc::clone(&mcd_nic), 1);
+    mcd_server
+        .register_service(Arc::new(KvStoreDispatch::new(MemcachedPort::new(
+            Arc::clone(&mcd),
+        ))))
+        .unwrap();
+    mcd_server.start().unwrap();
+    let mut mica_server = RpcThreadedServer::new(Arc::clone(&mica_nic), 1);
+    mica_server
+        .register_service(Arc::new(KvStoreDispatch::new(MicaPort::new(Arc::clone(
+            &mica,
+        )))))
+        .unwrap();
+    mica_server.start().unwrap();
+
+    let mcd_pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let mica_pool = RpcClientPool::connect_with(
+        Arc::clone(&client_nic),
+        NodeAddr(2),
+        1,
+        LbPolicy::ObjectLevel,
+    )
+    .unwrap();
+    let mcd_client = KvStoreClient::new(mcd_pool.client(0).unwrap());
+    let mica_client = KvStoreClient::new(mica_pool.client(0).unwrap());
+
+    let mut workload = KvWorkload::new(
+        WorkloadSpec::tiny().with_keys(200).write_intensive(),
+        7,
+    );
+    let mut gets = 0u32;
+    let mut sets = 0u32;
+    for _ in 0..400 {
+        match workload.next_op() {
+            dagger::kvs::KvOp::Set { key, value } => {
+                sets += 1;
+                assert!(mcd_client
+                    .set(&KvSetRequest {
+                        key: key.clone(),
+                        value: value.clone(),
+                    })
+                    .unwrap()
+                    .ok);
+                assert!(mica_client
+                    .set(&KvSetRequest { key, value })
+                    .unwrap()
+                    .ok);
+            }
+            dagger::kvs::KvOp::Get { key } => {
+                gets += 1;
+                let a = mcd_client
+                    .get(&KvGetRequest { key: key.clone() })
+                    .unwrap();
+                let b = mica_client.get(&KvGetRequest { key }).unwrap();
+                // Any key both stores have seen must agree on the value.
+                if a.found && b.found {
+                    assert_eq!(a.value, b.value);
+                }
+            }
+        }
+    }
+    assert!(gets > 100 && sets > 100, "mix: {gets} gets / {sets} sets");
+    mcd_server.stop();
+    mica_server.stop();
+    drop(mcd_pool);
+    drop(mica_pool);
+    client_nic.shutdown();
+    mcd_nic.shutdown();
+    mica_nic.shutdown();
+}

@@ -1,0 +1,91 @@
+//! Integration test: a handler that issues nested RPCs to a downstream
+//! tier from inside its dispatch thread (the pattern Check-in and Passport
+//! use in the Flight app).
+
+use std::sync::Arc;
+
+use dagger::idl::{dagger_message, dagger_service};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::types::{HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Num {
+        v: i64,
+    }
+}
+
+dagger_service! {
+    pub service Leaf {
+        handler = LeafHandler;
+        dispatch = LeafDispatch;
+        client = LeafClient;
+        rpc double(Num) -> Num = 1;
+    }
+}
+
+dagger_service! {
+    pub service Mid {
+        handler = MidHandler;
+        dispatch = MidDispatch;
+        client = MidClient;
+        rpc quad(Num) -> Num = 2, async = quad_async;
+    }
+}
+
+struct LeafImpl;
+impl LeafHandler for LeafImpl {
+    fn double(&self, request: Num) -> Result<Num> {
+        Ok(Num { v: request.v * 2 })
+    }
+}
+
+struct MidImpl {
+    leaf: LeafClient,
+}
+impl MidHandler for MidImpl {
+    fn quad(&self, request: Num) -> Result<Num> {
+        // Nested blocking call from the dispatch thread.
+        let once = self.leaf.double(&request)?;
+        let twice = self.leaf.double(&once)?;
+        Ok(twice)
+    }
+}
+
+#[test]
+fn nested_dispatch_thread_calls() {
+    let fabric = MemFabric::new();
+    let leaf_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+    let mid_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
+    let fe_nic = Nic::start(&fabric, NodeAddr(3), HardConfig::default()).unwrap();
+
+    let mut leaf_server = RpcThreadedServer::new(Arc::clone(&leaf_nic), 1);
+    leaf_server
+        .register_service(Arc::new(LeafDispatch::new(LeafImpl)))
+        .unwrap();
+    leaf_server.start().unwrap();
+
+    let mut mid_server = RpcThreadedServer::new(Arc::clone(&mid_nic), 1);
+    mid_server.prepare().unwrap();
+    let leaf_pool = RpcClientPool::connect(Arc::clone(&mid_nic), NodeAddr(1), 1).unwrap();
+    mid_server
+        .register_service(Arc::new(MidDispatch::new(MidImpl {
+            leaf: LeafClient::new(leaf_pool.client(0).unwrap()),
+        })))
+        .unwrap();
+    mid_server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&fe_nic), NodeAddr(2), 1).unwrap();
+    let client = MidClient::new(pool.client(0).unwrap());
+    for i in 0..10i64 {
+        let resp = client.quad(&Num { v: i }).unwrap();
+        assert_eq!(resp.v, 4 * i, "iteration {i}");
+    }
+    mid_server.stop();
+    leaf_server.stop();
+    drop(pool);
+    drop(leaf_pool);
+    fe_nic.shutdown();
+    mid_nic.shutdown();
+    leaf_nic.shutdown();
+}

@@ -1,0 +1,296 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use dagger::nic::connmgr::{CmPort, ConnectionManager, ConnectionTuple};
+use dagger::nic::ring;
+use dagger::rpc::frag::{fragment, Reassembler, MAX_RPC_PAYLOAD};
+use dagger::rpc::{Wire, WireReader};
+use dagger::sim::dist::Zipf;
+use dagger::sim::{Histogram, Rng};
+use dagger::types::{
+    CacheLine, ConnectionId, FlowId, FnId, LbPolicy, NodeAddr, RpcHeader, RpcId, RpcKind,
+    HEADER_BYTES,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring: any interleaving of pushes and pops preserves FIFO order and
+    /// never loses or duplicates an element.
+    #[test]
+    fn ring_matches_vecdeque_model(ops in prop::collection::vec(any::<bool>(), 1..400)) {
+        let (mut tx, mut rx) = ring(16);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u8;
+        for push in ops {
+            if push {
+                let mut line = CacheLine::zeroed();
+                line.payload_mut()[0] = next;
+                match tx.try_push(line) {
+                    Ok(()) => model.push_back(next),
+                    Err(_) => prop_assert_eq!(model.len(), 16),
+                }
+                next = next.wrapping_add(1);
+            } else {
+                let got = rx.try_pop().map(|l| l.payload()[0]);
+                prop_assert_eq!(got, model.pop_front());
+            }
+        }
+    }
+
+    /// Header encode/decode is a bijection on valid headers.
+    #[test]
+    fn header_roundtrip(
+        cid in any::<u32>(),
+        rpc in any::<u32>(),
+        f in 0u16..0xFFFE,
+        flow in any::<u16>(),
+        is_req in any::<bool>(),
+        count in 1u8..=255,
+        payload_len in 0u8..=48,
+    ) {
+        let hdr = RpcHeader {
+            connection_id: ConnectionId(cid),
+            rpc_id: RpcId(rpc),
+            fn_id: FnId(f),
+            src_flow: FlowId(flow),
+            kind: if is_req { RpcKind::Request } else { RpcKind::Response },
+            frame_idx: count - 1,
+            frame_count: count,
+            frame_payload_len: payload_len,
+        };
+        let mut buf = [0u8; HEADER_BYTES];
+        hdr.encode(&mut buf);
+        prop_assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    /// Fragmentation followed by reassembly is the identity for any payload
+    /// up to the maximum, regardless of frame delivery order.
+    #[test]
+    fn fragment_reassemble_identity(
+        payload in prop::collection::vec(any::<u8>(), 0..2_000),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let mut frames = fragment(
+            ConnectionId(1), RpcId(9), FnId(3), FlowId(0), RpcKind::Request, &payload,
+        ).unwrap();
+        // Deterministic shuffle.
+        let mut rng = Rng::new(shuffle_seed);
+        for i in (1..frames.len()).rev() {
+            frames.swap(i, rng.pick(i + 1));
+        }
+        let mut reassembler = Reassembler::new();
+        let mut done = None;
+        for frame in frames {
+            if let Some(rpc) = reassembler.push(frame).unwrap() {
+                done = Some(rpc);
+            }
+        }
+        prop_assert_eq!(done.unwrap().payload, payload);
+        prop_assert_eq!(reassembler.pending(), 0);
+    }
+
+    /// Oversized payloads are rejected, never truncated.
+    #[test]
+    fn fragment_rejects_oversize(extra in 1usize..1000) {
+        let payload = vec![0u8; MAX_RPC_PAYLOAD + extra];
+        prop_assert!(fragment(
+            ConnectionId(1), RpcId(1), FnId(1), FlowId(0), RpcKind::Request, &payload,
+        ).is_err());
+    }
+
+    /// Wire: tuples of heterogeneous fields roundtrip in order.
+    #[test]
+    fn wire_field_sequence_roundtrip(
+        a in any::<u64>(),
+        b in any::<i32>(),
+        c in prop::collection::vec(any::<u8>(), 0..200),
+        d in ".{0,40}",
+        e in any::<bool>(),
+    ) {
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        b.encode_into(&mut buf);
+        c.encode_into(&mut buf);
+        d.encode_into(&mut buf);
+        e.encode_into(&mut buf);
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(u64::decode_from(&mut r).unwrap(), a);
+        prop_assert_eq!(i32::decode_from(&mut r).unwrap(), b);
+        prop_assert_eq!(Vec::<u8>::decode_from(&mut r).unwrap(), c);
+        prop_assert_eq!(String::decode_from(&mut r).unwrap(), d);
+        prop_assert_eq!(bool::decode_from(&mut r).unwrap(), e);
+        prop_assert!(r.finish().is_ok());
+    }
+
+    /// Wire decoding never panics on arbitrary bytes.
+    #[test]
+    fn wire_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = u32::from_wire(&bytes);
+        let _ = String::from_wire(&bytes);
+        let _ = Vec::<u8>::from_wire(&bytes);
+        let _ = <[u8; 16]>::from_wire(&bytes);
+        let _ = bool::from_wire(&bytes);
+    }
+
+    /// Connection manager behaves like a map regardless of collisions.
+    #[test]
+    fn connmgr_matches_hashmap_model(
+        ops in prop::collection::vec((any::<u8>(), any::<bool>()), 1..200),
+    ) {
+        let mut cm = ConnectionManager::new(8); // tiny cache → many spills
+        let mut model = std::collections::HashMap::new();
+        for (key, open) in ops {
+            let cid = ConnectionId(u32::from(key % 32));
+            if open {
+                let tuple = ConnectionTuple {
+                    src_flow: FlowId(u16::from(key)),
+                    dest_addr: NodeAddr(u32::from(key) + 1),
+                    lb: LbPolicy::Uniform,
+                };
+                let ours = cm.open(cid, tuple).is_ok();
+                let model_new = !model.contains_key(&cid.raw());
+                prop_assert_eq!(ours, model_new);
+                if model_new {
+                    model.insert(cid.raw(), tuple);
+                }
+            } else {
+                let ours = cm.close(cid).is_ok();
+                let model_had = model.remove(&cid.raw()).is_some();
+                prop_assert_eq!(ours, model_had);
+            }
+            // Every open connection is reachable.
+            for (&k, &v) in &model {
+                prop_assert_eq!(cm.lookup(CmPort::Cm, ConnectionId(k)), Some(v));
+            }
+            prop_assert_eq!(cm.open_connections(), model.len());
+        }
+    }
+
+    /// Zipf samples stay in range for arbitrary parameters.
+    #[test]
+    fn zipf_in_range(n in 1u64..1_000_000, skew in 0.05f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, skew);
+        let mut rng = Rng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    /// Histogram percentiles are within the bucket error bound of exact
+    /// order statistics and monotone in p.
+    #[test]
+    fn histogram_tracks_exact_percentiles(
+        mut values in prop::collection::vec(1u64..10_000_000, 10..500),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let mut last = 0;
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let approx = h.percentile(p);
+            prop_assert!(approx >= last);
+            last = approx;
+            let rank = (((p / 100.0) * values.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = values[rank];
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(err < 0.07, "p{}: approx {} vs exact {}", p, approx, exact);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transport datagrams roundtrip for any line count/content.
+    #[test]
+    fn datagram_roundtrip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        lines in prop::collection::vec(prop::collection::vec(any::<u8>(), 64..=64), 0..16),
+    ) {
+        use dagger::nic::transport::Datagram;
+        let lines: Vec<CacheLine> = lines
+            .into_iter()
+            .map(|raw| CacheLine::from_bytes(raw.try_into().unwrap()))
+            .collect();
+        let d = Datagram::new(NodeAddr(src), NodeAddr(dst), lines);
+        prop_assert_eq!(Datagram::decode(&d.encode()).unwrap(), d);
+    }
+
+    /// Datagram decoding never panics on arbitrary bytes.
+    #[test]
+    fn datagram_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        use dagger::nic::transport::Datagram;
+        let _ = Datagram::decode(&bytes);
+    }
+
+    /// Reliable transport frames roundtrip and never panic on garbage.
+    #[test]
+    fn transport_frame_total(
+        seq in any::<u64>(),
+        ack in any::<u64>(),
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use dagger::nic::reliable::TransportFrame;
+        use dagger::nic::transport::Datagram;
+        let frame = TransportFrame::Data {
+            seq,
+            ack,
+            datagram: Datagram::new(NodeAddr(1), NodeAddr(2), vec![CacheLine::zeroed()]),
+        };
+        prop_assert_eq!(TransportFrame::decode(&frame.encode()).unwrap(), frame);
+        let _ = TransportFrame::decode(&garbage);
+    }
+
+    /// A lossy link with Go-Back-N eventually delivers everything in order,
+    /// for any loss pattern.
+    #[test]
+    fn go_back_n_delivers_under_any_loss_pattern(
+        drops in prop::collection::vec(any::<bool>(), 20),
+    ) {
+        use dagger::nic::reliable::{ReliableConfig, ReliableTransport, TransportFrame};
+        use dagger::nic::transport::Datagram;
+        let cfg = ReliableConfig { retransmit_after_ticks: 1, window: 64 };
+        let mut sender = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut receiver = ReliableTransport::new(NodeAddr(2), cfg);
+        let mut delivered: Vec<u8> = Vec::new();
+        // Send 20 tagged datagrams; drop per the pattern.
+        for (i, &dropped) in drops.iter().enumerate() {
+            let mut line = CacheLine::zeroed();
+            line.as_bytes_mut()[20] = i as u8;
+            let frame = sender
+                .on_send(Datagram::new(NodeAddr(1), NodeAddr(2), vec![line]))
+                .unwrap();
+            if !dropped {
+                if let Some(d) = receiver.on_recv(&frame.encode()).unwrap() {
+                    delivered.push(d.lines[0].as_bytes()[20]);
+                }
+            }
+        }
+        // Tick both sides until the stream repairs (every tick may lose
+        // nothing further).
+        for _ in 0..64 {
+            for frame in receiver.on_tick() {
+                sender.on_recv(&frame.encode()).unwrap();
+            }
+            for frame in sender.on_tick() {
+                if let TransportFrame::Data { .. } = &frame {
+                    if let Some(d) = receiver.on_recv(&frame.encode()).unwrap() {
+                        delivered.push(d.lines[0].as_bytes()[20]);
+                    }
+                }
+            }
+            if sender.fully_acked() && delivered.len() == 20 {
+                break;
+            }
+        }
+        prop_assert_eq!(delivered, (0..20u8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,146 @@
+//! Failure-injection integration tests: the Go-Back-N reliable transport
+//! (the §4.5 follow-up work) over a fabric that deterministically drops
+//! frames.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dagger::idl::{dagger_message, dagger_service};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::types::{HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Probe {
+        seq: u32,
+        blob: Vec<u8>,
+    }
+}
+
+dagger_service! {
+    pub service Lossy {
+        handler = LossyHandler;
+        dispatch = LossyDispatch;
+        client = LossyClient;
+        rpc probe(Probe) -> Probe = 1;
+    }
+}
+
+struct EchoImpl;
+impl LossyHandler for EchoImpl {
+    fn probe(&self, request: Probe) -> Result<Probe> {
+        Ok(request)
+    }
+}
+
+fn reliable_cfg() -> HardConfig {
+    HardConfig::builder().reliable(true).build().unwrap()
+}
+
+#[test]
+fn reliable_nics_survive_heavy_loss() {
+    // Drop 25% of all frames, both directions.
+    let fabric = MemFabric::with_loss(0.25, 42);
+    let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(20));
+    let client = LossyClient::new(raw);
+
+    for seq in 0..60u32 {
+        let resp = client
+            .probe(&Probe {
+                seq,
+                blob: vec![seq as u8; 100], // multi-frame payload
+            })
+            .unwrap_or_else(|e| panic!("call {seq} failed under loss: {e}"));
+        assert_eq!(resp.seq, seq);
+        assert_eq!(resp.blob, vec![seq as u8; 100]);
+    }
+    assert!(
+        fabric.dropped_frames() > 10,
+        "loss injection saw only {} drops",
+        fabric.dropped_frames()
+    );
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+#[test]
+fn unreliable_nics_lose_calls_under_loss() {
+    let fabric = MemFabric::with_loss(0.3, 7);
+    let server_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+
+    // Connection setup itself is retried (control frames), so it succeeds
+    // even without the reliable transport.
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_millis(200));
+    let client = LossyClient::new(raw);
+
+    let mut failures = 0;
+    for seq in 0..30u32 {
+        if client
+            .probe(&Probe {
+                seq,
+                blob: vec![1; 32],
+            })
+            .is_err()
+        {
+            failures += 1;
+        }
+    }
+    assert!(
+        failures > 0,
+        "30% frame loss without reliability must lose some calls"
+    );
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+#[test]
+fn reliable_mode_is_transparent_without_loss() {
+    let fabric = MemFabric::new();
+    let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let client = LossyClient::new(pool.client(0).unwrap());
+    for seq in 0..50u32 {
+        assert_eq!(
+            client
+                .probe(&Probe {
+                    seq,
+                    blob: vec![]
+                })
+                .unwrap()
+                .seq,
+            seq
+        );
+    }
+    server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
