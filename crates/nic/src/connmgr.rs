@@ -187,6 +187,52 @@ impl ConnectionManager {
     pub fn total_opened(&self) -> u64 {
         self.open_count
     }
+
+    /// Plain-data snapshot of every CM statistic, for telemetry
+    /// collectors.
+    pub fn snapshot(&self) -> ConnMgrSnapshot {
+        let port = |p: CmPort| {
+            let s = self.stats[Self::port_idx(p)];
+            PortSnapshot {
+                hits: s.hits,
+                misses: s.misses,
+            }
+        };
+        ConnMgrSnapshot {
+            open_connections: self.open_connections() as u64,
+            total_opened: self.open_count,
+            spills: self.spills,
+            tx_port: port(CmPort::Tx),
+            rx_port: port(CmPort::Rx),
+            cm_port: port(CmPort::Cm),
+        }
+    }
+}
+
+/// `(hits, misses)` of one CM read port, as plain data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PortSnapshot {
+    /// Cache hits through this port.
+    pub hits: u64,
+    /// Cache misses (including backing-store faults) through this port.
+    pub misses: u64,
+}
+
+/// Plain-data snapshot of the Connection Manager's statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnMgrSnapshot {
+    /// Connections currently open (cache + backing store).
+    pub open_connections: u64,
+    /// Connections ever opened.
+    pub total_opened: u64,
+    /// Cache→host spills.
+    pub spills: u64,
+    /// TX-flow read port stats.
+    pub tx_port: PortSnapshot,
+    /// RX-flow read port stats.
+    pub rx_port: PortSnapshot,
+    /// CM bookkeeping read port stats.
+    pub cm_port: PortSnapshot,
 }
 
 #[cfg(test)]
@@ -273,6 +319,22 @@ mod tests {
                 "cid {i}"
             );
         }
+    }
+
+    #[test]
+    fn snapshot_aggregates_all_stats() {
+        let mut cm = ConnectionManager::new(4);
+        cm.open(ConnectionId(1), tuple(1, 10)).unwrap();
+        cm.open(ConnectionId(5), tuple(2, 20)).unwrap(); // spills cid 1
+        cm.lookup(CmPort::Tx, ConnectionId(5));
+        cm.lookup(CmPort::Rx, ConnectionId(1)); // faults back in
+        let s = cm.snapshot();
+        assert_eq!(s.open_connections, 2);
+        assert_eq!(s.total_opened, 2);
+        assert!(s.spills >= 1);
+        assert_eq!(s.tx_port, PortSnapshot { hits: 1, misses: 0 });
+        assert_eq!(s.rx_port, PortSnapshot { hits: 0, misses: 1 });
+        assert_eq!(s.cm_port, PortSnapshot::default());
     }
 
     #[test]

@@ -24,8 +24,9 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
+use dagger_telemetry::{RpcEvent, Telemetry};
 use dagger_types::{
-    CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, HEADER_BYTES,
+    CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, RpcKind, HEADER_BYTES,
 };
 
 use crate::arbiter::ArbiterSlot;
@@ -158,6 +159,9 @@ pub(crate) struct EngineCore {
     /// `true` while the engine polls the LLC directly instead of through
     /// its local coherent cache (the high-load mode of §4.4.1).
     pub direct_polling: bool,
+    /// Telemetry hub shared with the host side; the engine stamps the
+    /// pickup / receive / deliver trace events of the request path.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl EngineCore {
@@ -225,6 +229,7 @@ impl EngineCore {
                 };
                 progress = true;
                 self.window_frames += 1;
+                self.monitor.add_flow_tx_frames(flow, 1);
                 if self.direct_polling {
                     self.monitor.add_direct_polls(1);
                 } else {
@@ -234,6 +239,13 @@ impl EngineCore {
                     self.monitor.inc_unknown_connection_drops();
                     continue;
                 };
+                if hdr.kind == RpcKind::Request && hdr.frame_idx == 0 {
+                    self.telemetry.tracer().record(
+                        hdr.connection_id.raw(),
+                        hdr.rpc_id.raw(),
+                        RpcEvent::EnginePickup,
+                    );
+                }
                 // In cached mode, the coherent fetch of connection state
                 // goes through the HCC; direct mode bypasses it.
                 if !self.direct_polling {
@@ -403,6 +415,15 @@ impl EngineCore {
             }
             _ => {}
         }
+        // Data frame confirmed (ctrl frames returned above): stamp the
+        // fabric-arrival trace event for first request frames.
+        if hdr.kind == RpcKind::Request && hdr.frame_idx == 0 {
+            self.telemetry.tracer().record(
+                hdr.connection_id.raw(),
+                hdr.rpc_id.raw(),
+                RpcEvent::EngineRx,
+            );
+        }
         self.hcc
             .access(u64::from(hdr.connection_id.raw()) * HEADER_BYTES as u64);
         let tuple = self.conn_mgr.lock().lookup(CmPort::Rx, hdr.connection_id);
@@ -443,8 +464,26 @@ impl EngineCore {
             let slots = self.fifos.pop_batch(flow, batch.max(1));
             for slot in slots {
                 let line = self.reqbuf.take(slot);
+                // The extra header decode for the trace key is gated on the
+                // tracer so the untraced hot path stays decode-free here.
+                let traced = if self.telemetry.tracer().is_enabled() {
+                    RpcHeader::decode(line.header())
+                        .ok()
+                        .filter(|h| h.kind == RpcKind::Request && h.frame_idx == 0)
+                        .map(|h| (h.connection_id.raw(), h.rpc_id.raw()))
+                } else {
+                    None
+                };
                 if self.rx_rings[flow].try_push(line).is_err() {
                     self.monitor.inc_rx_ring_drops();
+                    self.monitor.inc_flow_rx_ring_drops(flow);
+                } else {
+                    self.monitor.add_flow_rx_frames(flow, 1);
+                    if let Some((cid, rid)) = traced {
+                        self.telemetry
+                            .tracer()
+                            .record(cid, rid, RpcEvent::RxDeliver);
+                    }
                 }
             }
             self.sched

@@ -50,7 +50,7 @@ pub mod transport;
 
 pub use connmgr::{ConnectionManager, ConnectionTuple};
 pub use fabric::{FabricPort, MemFabric};
-pub use monitor::PacketMonitor;
+pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor};
 pub use nic::{HostFlow, Nic};
 pub use ring::{ring, RingConsumer, RingProducer};
 pub use softreg::SoftRegisterFile;

@@ -7,6 +7,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free NIC statistics, shared between the engine thread and the host.
+///
+/// Besides the global counter bank, a monitor built with
+/// [`with_flows`](PacketMonitor::with_flows) carries a per-flow bank
+/// (TX/RX frame and RX-drop counts per flow id) so the telemetry layer can
+/// break the Fig. 6 counters down per ring pair.
 #[derive(Debug, Default)]
 pub struct PacketMonitor {
     tx_frames: AtomicU64,
@@ -18,6 +23,26 @@ pub struct PacketMonitor {
     reqbuf_backpressure: AtomicU64,
     cached_polls: AtomicU64,
     direct_polls: AtomicU64,
+    flows: Vec<FlowCounters>,
+}
+
+/// Per-flow counter bank (one entry per ring pair).
+#[derive(Debug, Default)]
+struct FlowCounters {
+    tx_frames: AtomicU64,
+    rx_frames: AtomicU64,
+    rx_ring_drops: AtomicU64,
+}
+
+/// A plain-data snapshot of one flow's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowSnapshot {
+    /// Frames the engine pulled from this flow's TX ring.
+    pub tx_frames: u64,
+    /// Frames delivered into this flow's RX ring.
+    pub rx_frames: u64,
+    /// Frames dropped because this flow's RX ring was full.
+    pub rx_ring_drops: u64,
 }
 
 /// A plain-data snapshot of every counter.
@@ -46,9 +71,59 @@ pub struct MonitorSnapshot {
 }
 
 impl PacketMonitor {
-    /// Creates a zeroed monitor.
+    /// Creates a zeroed monitor with no per-flow bank.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a zeroed monitor with a per-flow bank of `flows` entries.
+    pub fn with_flows(flows: usize) -> Self {
+        PacketMonitor {
+            flows: (0..flows).map(|_| FlowCounters::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of per-flow counter entries (0 when built with `new`).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Counts `n` frames pulled from flow `flow`'s TX ring.
+    pub fn add_flow_tx_frames(&self, flow: usize, n: u64) {
+        if let Some(fc) = self.flows.get(flow) {
+            fc.tx_frames.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` frames delivered into flow `flow`'s RX ring.
+    pub fn add_flow_rx_frames(&self, flow: usize, n: u64) {
+        if let Some(fc) = self.flows.get(flow) {
+            fc.rx_frames.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one frame dropped at flow `flow`'s full RX ring.
+    pub fn inc_flow_rx_ring_drops(&self, flow: usize) {
+        if let Some(fc) = self.flows.get(flow) {
+            fc.rx_ring_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads one flow's counters, or `None` if `flow` is out of range.
+    pub fn flow_snapshot(&self, flow: usize) -> Option<FlowSnapshot> {
+        self.flows.get(flow).map(|fc| FlowSnapshot {
+            tx_frames: fc.tx_frames.load(Ordering::Relaxed),
+            rx_frames: fc.rx_frames.load(Ordering::Relaxed),
+            rx_ring_drops: fc.rx_ring_drops.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Reads every flow's counters.
+    pub fn flow_snapshots(&self) -> Vec<FlowSnapshot> {
+        (0..self.flows.len())
+            .filter_map(|i| self.flow_snapshot(i))
+            .collect()
     }
 
     /// Counts `n` transmitted frames.
@@ -126,6 +201,48 @@ impl MonitorSnapshot {
             self.total_drops() as f64 / self.rx_frames as f64
         }
     }
+
+    /// Per-field saturating difference `self - earlier`: the counter
+    /// activity between two snapshots of the same monitor. Saturates to
+    /// zero field-wise if `earlier` was in fact taken later.
+    pub fn delta(&self, earlier: &MonitorSnapshot) -> MonitorSnapshot {
+        MonitorSnapshot {
+            tx_frames: self.tx_frames.saturating_sub(earlier.tx_frames),
+            rx_frames: self.rx_frames.saturating_sub(earlier.rx_frames),
+            tx_datagrams: self.tx_datagrams.saturating_sub(earlier.tx_datagrams),
+            rx_datagrams: self.rx_datagrams.saturating_sub(earlier.rx_datagrams),
+            rx_ring_drops: self.rx_ring_drops.saturating_sub(earlier.rx_ring_drops),
+            unknown_connection_drops: self
+                .unknown_connection_drops
+                .saturating_sub(earlier.unknown_connection_drops),
+            reqbuf_backpressure: self
+                .reqbuf_backpressure
+                .saturating_sub(earlier.reqbuf_backpressure),
+            cached_polls: self.cached_polls.saturating_sub(earlier.cached_polls),
+            direct_polls: self.direct_polls.saturating_sub(earlier.direct_polls),
+        }
+    }
+}
+
+impl std::fmt::Display for MonitorSnapshot {
+    /// One-line human-readable dump, in Fig. 6 counter order.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tx={}f/{}d rx={}f/{}d drops={} (ring={} unknown_conn={} reqbuf={}) \
+             polls(cached={} direct={})",
+            self.tx_frames,
+            self.tx_datagrams,
+            self.rx_frames,
+            self.rx_datagrams,
+            self.total_drops(),
+            self.rx_ring_drops,
+            self.unknown_connection_drops,
+            self.reqbuf_backpressure,
+            self.cached_polls,
+            self.direct_polls
+        )
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +272,57 @@ mod tests {
     fn empty_monitor_has_zero_drop_rate() {
         let s = PacketMonitor::new().snapshot();
         assert_eq!(s.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_is_saturating_per_field() {
+        let m = PacketMonitor::new();
+        m.add_tx_frames(10);
+        m.inc_rx_ring_drops();
+        let earlier = m.snapshot();
+        m.add_tx_frames(5);
+        m.add_rx_frames(2);
+        let d = m.snapshot().delta(&earlier);
+        assert_eq!(d.tx_frames, 5);
+        assert_eq!(d.rx_frames, 2);
+        assert_eq!(d.rx_ring_drops, 0);
+        // Reversed order saturates to zero rather than wrapping.
+        let rev = earlier.delta(&m.snapshot());
+        assert_eq!(rev.tx_frames, 0);
+        assert_eq!(rev, MonitorSnapshot::default());
+    }
+
+    #[test]
+    fn display_is_one_line_and_mentions_drops() {
+        let m = PacketMonitor::new();
+        m.add_tx_frames(7);
+        m.inc_unknown_connection_drops();
+        let line = m.snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("tx=7f"));
+        assert!(line.contains("unknown_conn=1"));
+    }
+
+    #[test]
+    fn per_flow_counters_are_independent() {
+        let m = PacketMonitor::with_flows(4);
+        assert_eq!(m.flow_count(), 4);
+        m.add_flow_tx_frames(0, 3);
+        m.add_flow_rx_frames(1, 2);
+        m.inc_flow_rx_ring_drops(1);
+        let f0 = m.flow_snapshot(0).unwrap();
+        let f1 = m.flow_snapshot(1).unwrap();
+        assert_eq!(f0.tx_frames, 3);
+        assert_eq!(f0.rx_frames, 0);
+        assert_eq!(f1.rx_frames, 2);
+        assert_eq!(f1.rx_ring_drops, 1);
+        assert_eq!(m.flow_snapshots().len(), 4);
+        // Out-of-range flows are ignored, not panics (monitor built with
+        // new() has no per-flow bank at all).
+        let plain = PacketMonitor::new();
+        plain.add_flow_tx_frames(9, 1);
+        assert_eq!(plain.flow_snapshot(9), None);
+        assert!(plain.flow_snapshots().is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
+use dagger_telemetry::Telemetry;
 use dagger_types::{
     ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result,
 };
@@ -74,6 +75,7 @@ pub struct Nic {
     engine: Mutex<Option<JoinHandle<()>>>,
     ctrl_tx: Sender<(NodeAddr, Datagram)>,
     confirmed: Arc<Mutex<HashSet<u32>>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for Nic {
@@ -95,7 +97,25 @@ impl Nic {
     /// Returns an error if the configuration is invalid or the address is
     /// already attached.
     pub fn start(fabric: &MemFabric, addr: NodeAddr, cfg: HardConfig) -> Result<Arc<Nic>> {
-        Self::start_inner(fabric, addr, cfg, None)
+        Self::start_inner(fabric, addr, cfg, None, Telemetry::new())
+    }
+
+    /// Like [`Nic::start`], but plugs the NIC into an existing telemetry
+    /// hub. Share one hub between the NICs at both ends of a connection so
+    /// RPC traces stamped on either side land in one table against one
+    /// clock epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the address is
+    /// already attached.
+    pub fn start_with_telemetry(
+        fabric: &MemFabric,
+        addr: NodeAddr,
+        cfg: HardConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Arc<Nic>> {
+        Self::start_inner(fabric, addr, cfg, None, telemetry)
     }
 
     /// Starts a NIC sharing the physical bus with other tenants through a
@@ -111,7 +131,7 @@ impl Nic {
         cfg: HardConfig,
         slot: ArbiterSlot,
     ) -> Result<Arc<Nic>> {
-        Self::start_inner(fabric, addr, cfg, Some(slot))
+        Self::start_inner(fabric, addr, cfg, Some(slot), Telemetry::new())
     }
 
     fn start_inner(
@@ -119,11 +139,12 @@ impl Nic {
         addr: NodeAddr,
         cfg: HardConfig,
         arbiter: Option<ArbiterSlot>,
+        telemetry: Arc<Telemetry>,
     ) -> Result<Arc<Nic>> {
         cfg.validate()?;
         let port = Arc::new(fabric.attach(addr)?);
         let softregs = Arc::new(SoftRegisterFile::default());
-        let monitor = Arc::new(PacketMonitor::new());
+        let monitor = Arc::new(PacketMonitor::with_flows(cfg.num_flows));
         let conn_mgr = Arc::new(Mutex::new(ConnectionManager::new(cfg.conn_cache_entries)));
 
         let mut host_flows = Vec::with_capacity(cfg.num_flows);
@@ -147,6 +168,71 @@ impl Nic {
         let reliable = cfg
             .reliable
             .then(|| ReliableTransport::new(addr, ReliableConfig::default()));
+        let reliable_stats = reliable.as_ref().map(ReliableTransport::shared_stats);
+
+        // Fold this NIC's counter banks (Packet Monitor global + per-flow,
+        // Connection Manager, reliable transport) into the shared registry
+        // on every telemetry collection. The closure captures only the
+        // shared state Arcs, not the Nic, so there is no reference cycle.
+        {
+            let monitor = Arc::clone(&monitor);
+            let conn_mgr = Arc::clone(&conn_mgr);
+            let prefix = format!("nic.{}", addr.raw());
+            let name = prefix.clone();
+            telemetry.register_collector(&name, move |reg| {
+                let s = monitor.snapshot();
+                reg.set_gauge(&format!("{prefix}.tx_frames"), s.tx_frames);
+                reg.set_gauge(&format!("{prefix}.rx_frames"), s.rx_frames);
+                reg.set_gauge(&format!("{prefix}.tx_datagrams"), s.tx_datagrams);
+                reg.set_gauge(&format!("{prefix}.rx_datagrams"), s.rx_datagrams);
+                reg.set_gauge(&format!("{prefix}.rx_ring_drops"), s.rx_ring_drops);
+                reg.set_gauge(
+                    &format!("{prefix}.unknown_connection_drops"),
+                    s.unknown_connection_drops,
+                );
+                reg.set_gauge(
+                    &format!("{prefix}.reqbuf_backpressure"),
+                    s.reqbuf_backpressure,
+                );
+                reg.set_gauge(&format!("{prefix}.cached_polls"), s.cached_polls);
+                reg.set_gauge(&format!("{prefix}.direct_polls"), s.direct_polls);
+                for (i, f) in monitor.flow_snapshots().iter().enumerate() {
+                    reg.set_gauge(&format!("{prefix}.flow.{i}.tx_frames"), f.tx_frames);
+                    reg.set_gauge(&format!("{prefix}.flow.{i}.rx_frames"), f.rx_frames);
+                    reg.set_gauge(
+                        &format!("{prefix}.flow.{i}.rx_ring_drops"),
+                        f.rx_ring_drops,
+                    );
+                }
+                let cm = conn_mgr.lock().snapshot();
+                reg.set_gauge(
+                    &format!("{prefix}.cm.open_connections"),
+                    cm.open_connections,
+                );
+                reg.set_gauge(&format!("{prefix}.cm.total_opened"), cm.total_opened);
+                reg.set_gauge(&format!("{prefix}.cm.spills"), cm.spills);
+                reg.set_gauge(&format!("{prefix}.cm.tx_port_hits"), cm.tx_port.hits);
+                reg.set_gauge(&format!("{prefix}.cm.tx_port_misses"), cm.tx_port.misses);
+                reg.set_gauge(&format!("{prefix}.cm.rx_port_hits"), cm.rx_port.hits);
+                reg.set_gauge(&format!("{prefix}.cm.rx_port_misses"), cm.rx_port.misses);
+                if let Some(rs) = &reliable_stats {
+                    let r = rs.snapshot();
+                    reg.set_gauge(
+                        &format!("{prefix}.reliable.retransmissions"),
+                        r.retransmissions,
+                    );
+                    reg.set_gauge(
+                        &format!("{prefix}.reliable.out_of_order_drops"),
+                        r.out_of_order_drops,
+                    );
+                    reg.set_gauge(
+                        &format!("{prefix}.reliable.duplicate_drops"),
+                        r.duplicate_drops,
+                    );
+                }
+            });
+        }
+
         let core = EngineCore {
             addr,
             port: Arc::clone(&port),
@@ -169,6 +255,7 @@ impl Nic {
             pending_out: Default::default(),
             window_frames: 0,
             direct_polling: false,
+            telemetry: Arc::clone(&telemetry),
         };
         let engine = std::thread::Builder::new()
             .name(format!("dagger-nic-{}", addr.raw()))
@@ -188,6 +275,7 @@ impl Nic {
             engine: Mutex::new(Some(engine)),
             ctrl_tx,
             confirmed,
+            telemetry,
         }))
     }
 
@@ -209,6 +297,12 @@ impl Nic {
     /// The packet monitor.
     pub fn monitor(&self) -> &Arc<PacketMonitor> {
         &self.monitor
+    }
+
+    /// The telemetry hub this NIC reports into (private to the NIC unless
+    /// one was passed to [`Nic::start_with_telemetry`]).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Claims the next unclaimed flow (ring pair). Flows are claimed in
@@ -434,6 +528,57 @@ mod tests {
         assert_eq!(rhdr.kind, RpcKind::Response);
         assert_eq!(resp.payload()[0], 0xBB);
 
+        client.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_telemetry_traces_engine_stages_and_flow_counters() {
+        use dagger_telemetry::{RpcEvent, Telemetry};
+        let fabric = MemFabric::new();
+        let telemetry = Telemetry::new();
+        telemetry.tracer().enable();
+        let client =
+            Nic::start_with_telemetry(&fabric, NodeAddr(1), HardConfig::default(), Arc::clone(&telemetry))
+                .unwrap();
+        let server =
+            Nic::start_with_telemetry(&fabric, NodeAddr(2), HardConfig::default(), Arc::clone(&telemetry))
+                .unwrap();
+        let mut cflow = client.take_flow().unwrap();
+        let mut sflow = server.take_flow().unwrap();
+        server.softregs().set_active_flows(1);
+        let cid = client
+            .open_connection(NodeAddr(2), cflow.flow, LbPolicy::Uniform)
+            .unwrap();
+        assert!(wait_for(|| server.knows_connection(cid)));
+        cflow
+            .tx
+            .try_push(frame(cid, 3, RpcKind::Request, cflow.flow.raw(), 0x5A))
+            .unwrap();
+        assert!(wait_for(|| sflow.rx.try_pop().is_some()));
+
+        let trace = telemetry
+            .tracer()
+            .get(cid.raw(), 3)
+            .expect("trace recorded for (cid, rpc 3)");
+        assert!(trace.event(RpcEvent::EnginePickup).is_some());
+        assert!(trace.event(RpcEvent::EngineRx).is_some());
+        assert!(trace.event(RpcEvent::RxDeliver).is_some());
+        // Ctrl frames (rpc_id 0) never enter the trace table.
+        assert!(telemetry.tracer().get(cid.raw(), 0).is_none());
+
+        // Per-flow monitor banks saw the frame on both sides.
+        let ctx = client.monitor().flow_snapshot(0).unwrap();
+        assert!(ctx.tx_frames >= 1, "client flow 0 tx counted");
+        let srx = server.monitor().flow_snapshot(0).unwrap();
+        assert!(srx.rx_frames >= 1, "server flow 0 rx counted");
+
+        // The registered collectors fold both NICs into one registry.
+        let snap = telemetry.snapshot();
+        assert!(snap.registry.gauge("nic.1.tx_frames").unwrap_or(0) > 0);
+        assert!(snap.registry.gauge("nic.2.rx_frames").unwrap_or(0) > 0);
+        assert!(snap.registry.gauge("nic.2.flow.0.rx_frames").unwrap_or(0) > 0);
+        assert!(snap.registry.gauge("nic.1.cm.open_connections").unwrap_or(0) > 0);
         client.shutdown();
         server.shutdown();
     }

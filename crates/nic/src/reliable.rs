@@ -20,6 +20,8 @@
 //! engine enables it when [`dagger_types::HardConfig::reliable`] is set.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dagger_types::{DaggerError, NodeAddr, Result};
 
@@ -159,6 +161,28 @@ pub struct ReliableStats {
     pub duplicate_drops: u64,
 }
 
+/// A lock-free mirror of [`ReliableStats`], shared between the engine
+/// thread (which owns the [`ReliableTransport`]) and host-side telemetry
+/// collectors. Updated at every counting point, so host reads are always
+/// current without engine cooperation.
+#[derive(Debug, Default)]
+pub struct SharedReliableStats {
+    retransmissions: AtomicU64,
+    out_of_order_drops: AtomicU64,
+    duplicate_drops: AtomicU64,
+}
+
+impl SharedReliableStats {
+    /// Reads the mirrored counters.
+    pub fn snapshot(&self) -> ReliableStats {
+        ReliableStats {
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            out_of_order_drops: self.out_of_order_drops.load(Ordering::Relaxed),
+            duplicate_drops: self.duplicate_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Per-NIC reliable-transport state machine (Go-Back-N per peer).
 #[derive(Debug)]
 pub struct ReliableTransport {
@@ -166,6 +190,7 @@ pub struct ReliableTransport {
     cfg: ReliableConfig,
     tx: HashMap<NodeAddr, PeerTx>,
     rx: HashMap<NodeAddr, PeerRx>,
+    shared: Arc<SharedReliableStats>,
 }
 
 impl ReliableTransport {
@@ -176,7 +201,14 @@ impl ReliableTransport {
             cfg,
             tx: HashMap::new(),
             rx: HashMap::new(),
+            shared: Arc::new(SharedReliableStats::default()),
         }
+    }
+
+    /// A cloneable handle onto the lock-free stats mirror, safe to read
+    /// from any thread while the engine drives this state machine.
+    pub fn shared_stats(&self) -> Arc<SharedReliableStats> {
+        Arc::clone(&self.shared)
     }
 
     /// `true` if the peer's send window has room for another datagram.
@@ -249,12 +281,16 @@ impl ReliableTransport {
                     Ok(Some(datagram))
                 } else if seq < rx.expected {
                     rx.duplicate_drops += 1;
+                    self.shared.duplicate_drops.fetch_add(1, Ordering::Relaxed);
                     rx.ack_owed = true; // re-ack so the sender advances
                     Ok(None)
                 } else {
                     // A gap: something was lost; discard and wait for the
                     // go-back-N retransmission.
                     rx.out_of_order_drops += 1;
+                    self.shared
+                        .out_of_order_drops
+                        .fetch_add(1, Ordering::Relaxed);
                     rx.ack_owed = true;
                     Ok(None)
                 }
@@ -294,6 +330,7 @@ impl ReliableTransport {
                 tx.ticks_since_progress = 0;
                 for (seq, datagram) in &tx.unacked {
                     tx.retransmissions += 1;
+                    self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
                     out.push(TransportFrame::Data {
                         seq: *seq,
                         ack: acks.get(&peer).copied().unwrap_or(0),
@@ -458,6 +495,33 @@ mod tests {
         assert!(a.fully_acked());
         // And b should not need a standalone ack anymore.
         assert!(b.on_tick().is_empty());
+    }
+
+    #[test]
+    fn shared_stats_mirror_tracks_counters() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 1,
+            window: 64,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+        let shared_a = a.shared_stats();
+        let shared_b = b.shared_stats();
+        let frame = a.on_send(dgram(1, 2, 0)).unwrap().encode();
+        b.on_recv(&frame).unwrap().unwrap();
+        b.on_recv(&frame).unwrap(); // duplicate
+        // Skip frame 1 so frame 2 arrives out of order at b.
+        let _lost = a.on_send(dgram(1, 2, 1)).unwrap();
+        let f2 = a.on_send(dgram(1, 2, 2)).unwrap().encode();
+        b.on_recv(&f2).unwrap();
+        a.on_tick(); // timer expires -> go-back-N retransmits
+        let mirror_a = shared_a.snapshot();
+        let mirror_b = shared_b.snapshot();
+        assert_eq!(mirror_a, a.stats(), "mirror matches owner view");
+        assert_eq!(mirror_b, b.stats());
+        assert!(mirror_a.retransmissions > 0);
+        assert_eq!(mirror_b.duplicate_drops, 1);
+        assert_eq!(mirror_b.out_of_order_drops, 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dagger_nic::Nic;
+use dagger_telemetry::{HistogramHandle, RpcEvent, Telemetry};
 use dagger_types::{ConnectionId, FlowId, FnId, Result, RpcId, RpcKind};
 
 use crate::completion::CompletionQueue;
@@ -22,6 +23,9 @@ use crate::service::decode_response;
 /// single hardware thread.
 pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Name of the client round-trip latency histogram in the metrics registry.
+pub const CLIENT_RTT_HISTOGRAM: &str = "rpc.client.rtt_ns";
+
 /// One RPC client: a connection bound to a flow's ring pair.
 #[derive(Debug)]
 pub struct RpcClient {
@@ -32,12 +36,21 @@ pub struct RpcClient {
     /// Per-call deadline in microseconds (atomic so pool-shared clients can
     /// be tuned).
     timeout_us: std::sync::atomic::AtomicU64,
+    telemetry: Arc<Telemetry>,
+    rtt: HistogramHandle,
 }
 
 impl RpcClient {
     /// Creates a client over an existing connection and endpoint. Most
     /// users go through [`RpcClientPool`](crate::RpcClientPool) instead.
+    ///
+    /// Stamps and metrics go to the endpoint's telemetry hub when it has
+    /// one (so all stages share a clock epoch), else the NIC's.
     pub fn new(nic: Arc<Nic>, endpoint: Arc<FlowEndpoint>, cid: ConnectionId) -> Self {
+        let telemetry = endpoint
+            .telemetry()
+            .map_or_else(|| Arc::clone(nic.telemetry()), Arc::clone);
+        let rtt = telemetry.registry().histogram(CLIENT_RTT_HISTOGRAM);
         RpcClient {
             nic,
             endpoint,
@@ -46,6 +59,8 @@ impl RpcClient {
             timeout_us: std::sync::atomic::AtomicU64::new(
                 DEFAULT_CALL_TIMEOUT.as_micros() as u64
             ),
+            telemetry,
+            rtt,
         }
     }
 
@@ -77,6 +92,9 @@ impl RpcClient {
 
     fn issue(&self, fn_id: FnId, payload: &[u8]) -> Result<RpcId> {
         let rpc_id = RpcId(self.next_rpc.fetch_add(1, Ordering::Relaxed));
+        self.telemetry
+            .tracer()
+            .record(self.cid.raw(), rpc_id.raw(), RpcEvent::ClientSend);
         let frames = fragment(
             self.cid,
             rpc_id,
@@ -98,9 +116,16 @@ impl RpcClient {
     /// Returns [`dagger_types::DaggerError::Timeout`] if the response does
     /// not arrive within the client timeout, or the remote handler's error.
     pub fn call_sync(&self, fn_id: FnId, payload: &[u8]) -> Result<Vec<u8>> {
+        let started = Instant::now();
         let rpc_id = self.issue(fn_id, payload)?;
         let rpc = self.endpoint.wait_for(self.cid, rpc_id, self.timeout())?;
+        self.record_rtt(started);
         decode_response(&rpc.payload)
+    }
+
+    fn record_rtt(&self, started: Instant) {
+        self.rtt
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// Asynchronous (non-blocking) call: returns a [`PendingCall`] that can
@@ -111,12 +136,15 @@ impl RpcClient {
     ///
     /// Returns an error if the request cannot be written to the TX ring.
     pub fn call_async(&self, fn_id: FnId, payload: &[u8]) -> Result<PendingCall> {
+        let issued = Instant::now();
         let rpc_id = self.issue(fn_id, payload)?;
         Ok(PendingCall {
             endpoint: Arc::clone(&self.endpoint),
             cid: self.cid,
             rpc_id,
             timeout: self.timeout(),
+            issued,
+            rtt: self.rtt.clone(),
         })
     }
 
@@ -144,6 +172,8 @@ pub struct PendingCall {
     cid: ConnectionId,
     rpc_id: RpcId,
     timeout: Duration,
+    issued: Instant,
+    rtt: HistogramHandle,
 }
 
 impl PendingCall {
@@ -162,9 +192,17 @@ impl PendingCall {
     pub fn try_complete(&self) -> Result<Option<Vec<u8>>> {
         self.endpoint.poll_once();
         match self.endpoint.try_take(self.cid, self.rpc_id) {
-            Some(rpc) => decode_response(&rpc.payload).map(Some),
+            Some(rpc) => {
+                self.record_rtt();
+                decode_response(&rpc.payload).map(Some)
+            }
             None => Ok(None),
         }
+    }
+
+    fn record_rtt(&self) {
+        self.rtt
+            .record(u64::try_from(self.issued.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// Blocks until the response arrives (bounded by the issuing client's
@@ -176,6 +214,7 @@ impl PendingCall {
     /// remote handler's error.
     pub fn wait(self) -> Result<Vec<u8>> {
         let rpc = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout)?;
+        self.record_rtt();
         decode_response(&rpc.payload)
     }
 }

@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use dagger_telemetry::Counter;
 use dagger_types::{ConnectionId, DaggerError, Result, RpcId};
 
 use crate::endpoint::FlowEndpoint;
@@ -25,6 +26,8 @@ pub struct CompletionQueue {
     endpoint: Arc<FlowEndpoint>,
     cid: ConnectionId,
     callbacks: Mutex<HashMap<u32, Callback>>,
+    /// `rpc.client.completions` in the endpoint's registry, if it has one.
+    completions: Option<Counter>,
 }
 
 impl std::fmt::Debug for CompletionQueue {
@@ -39,10 +42,14 @@ impl std::fmt::Debug for CompletionQueue {
 impl CompletionQueue {
     /// Creates a queue for `cid` over the flow endpoint.
     pub fn new(endpoint: Arc<FlowEndpoint>, cid: ConnectionId) -> Self {
+        let completions = endpoint
+            .telemetry()
+            .map(|t| t.registry().counter("rpc.client.completions"));
         CompletionQueue {
             endpoint,
             cid,
             callbacks: Mutex::new(HashMap::new()),
+            completions,
         }
     }
 
@@ -64,6 +71,9 @@ impl CompletionQueue {
     pub fn poll(&self) -> Vec<(RpcId, Result<Vec<u8>>)> {
         self.endpoint.poll_once();
         let completed = self.endpoint.take_all_for(self.cid);
+        if let Some(ctr) = &self.completions {
+            ctr.add(completed.len() as u64);
+        }
         let mut out = Vec::new();
         for rpc in completed {
             let rpc_id = rpc.header.rpc_id;

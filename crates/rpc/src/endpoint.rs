@@ -7,13 +7,17 @@
 //! required": the endpoint's internal mutexes are exactly that locking.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use dagger_nic::HostFlow;
 use dagger_nic::{RingConsumer, RingProducer};
-use dagger_types::{CacheLine, ConnectionId, DaggerError, FlowId, Result, RpcId, RpcKind};
+use dagger_telemetry::{RpcEvent, Telemetry};
+use dagger_types::{
+    CacheLine, ConnectionId, DaggerError, FlowId, Result, RpcHeader, RpcId, RpcKind,
+};
 
 use crate::frag::{CompleteRpc, Reassembler};
 
@@ -32,11 +36,24 @@ pub struct FlowEndpoint {
     flow: FlowId,
     tx: Mutex<RingProducer>,
     rx: Mutex<RxState>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl FlowEndpoint {
-    /// Wraps a claimed [`HostFlow`].
+    /// Wraps a claimed [`HostFlow`] with no telemetry attached.
     pub fn new(flow: HostFlow) -> Self {
+        Self::build(flow, None)
+    }
+
+    /// Wraps a claimed [`HostFlow`] and stamps RPC trace events
+    /// (TX-ring enqueue, response completion) into `telemetry` — normally
+    /// the owning NIC's hub, so client- and engine-side stamps share one
+    /// clock epoch.
+    pub fn with_telemetry(flow: HostFlow, telemetry: Arc<Telemetry>) -> Self {
+        Self::build(flow, Some(telemetry))
+    }
+
+    fn build(flow: HostFlow, telemetry: Option<Arc<Telemetry>>) -> Self {
         FlowEndpoint {
             flow: flow.flow,
             tx: Mutex::new(flow.tx),
@@ -45,12 +62,18 @@ impl FlowEndpoint {
                 reassembler: Reassembler::new(),
                 ready: HashMap::new(),
             }),
+            telemetry,
         }
     }
 
     /// The hardware flow id.
     pub fn flow(&self) -> FlowId {
         self.flow
+    }
+
+    /// The telemetry hub this endpoint stamps into, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Writes an RPC's frames into the TX ring, retrying (with yields) on a
@@ -62,6 +85,7 @@ impl FlowEndpoint {
     /// deadline.
     pub fn send_frames(&self, frames: &[CacheLine], deadline: Instant) -> Result<()> {
         let mut tx = self.tx.lock();
+        self.stamp_tx_enqueue(frames);
         for frame in frames {
             loop {
                 match tx.try_push(*frame) {
@@ -79,6 +103,26 @@ impl FlowEndpoint {
         Ok(())
     }
 
+    /// Stamps the `TxEnqueue` trace event for a request's lead frame.
+    fn stamp_tx_enqueue(&self, frames: &[CacheLine]) {
+        let Some(telemetry) = &self.telemetry else {
+            return;
+        };
+        let tracer = telemetry.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        if let Some(hdr) = frames.first().and_then(|f| RpcHeader::decode(f.header()).ok()) {
+            if hdr.kind == RpcKind::Request && hdr.frame_idx == 0 {
+                tracer.record(
+                    hdr.connection_id.raw(),
+                    hdr.rpc_id.raw(),
+                    RpcEvent::TxEnqueue,
+                );
+            }
+        }
+    }
+
     /// Drains the RX ring once, moving completed responses into the ready
     /// buffer. Returns how many responses completed.
     pub fn poll_once(&self) -> usize {
@@ -88,6 +132,11 @@ impl FlowEndpoint {
             match rx.reassembler.push(line) {
                 Ok(Some(rpc)) if rpc.header.kind == RpcKind::Response => {
                     let key = (rpc.header.connection_id.raw(), rpc.header.rpc_id.raw());
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry
+                            .tracer()
+                            .record(key.0, key.1, RpcEvent::ResponseComplete);
+                    }
                     rx.ready.insert(key, rpc);
                     completed += 1;
                 }
@@ -246,6 +295,43 @@ mod tests {
         let ids: Vec<u32> = for_one.iter().map(|r| r.header.rpc_id.raw()).collect();
         assert_eq!(ids, vec![1, 2, 3]);
         assert_eq!(ep.ready_len(), 1); // cid 2's response remains
+    }
+
+    #[test]
+    fn telemetry_endpoint_stamps_tx_enqueue_and_response_complete() {
+        let (tx_p, _tx_c) = ring(64);
+        let (mut rx_p, rx_c) = ring(64);
+        let flow = HostFlow {
+            flow: FlowId(0),
+            tx: tx_p,
+            rx: rx_c,
+        };
+        let telemetry = Telemetry::new();
+        telemetry.tracer().enable();
+        let ep = FlowEndpoint::with_telemetry(flow, Arc::clone(&telemetry));
+
+        let request = fragment(
+            ConnectionId(7),
+            RpcId(11),
+            FnId(1),
+            FlowId(0),
+            RpcKind::Request,
+            b"ping",
+        )
+        .unwrap();
+        ep.send_frames(&request, Instant::now() + Duration::from_secs(1))
+            .unwrap();
+        for f in response_frames(7, 11, b"pong") {
+            rx_p.try_push(f).unwrap();
+        }
+        ep.poll_once();
+
+        let trace = telemetry.tracer().get(7, 11).unwrap();
+        assert!(trace.event(RpcEvent::TxEnqueue).is_some());
+        assert!(trace.event(RpcEvent::ResponseComplete).is_some());
+        // Responses never stamp TxEnqueue, requests never ResponseComplete:
+        // both events belong to the same (cid, rpc_id) trace exactly once.
+        assert!(trace.event(RpcEvent::ClientSend).is_none());
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl RpcClientPool {
         for _ in 0..flows {
             let host_flow = nic.take_flow()?;
             let flow_id = host_flow.flow;
-            let endpoint = Arc::new(FlowEndpoint::new(host_flow));
+            // Endpoints stamp into the NIC's telemetry hub so host-side and
+            // engine-side trace events share one clock epoch.
+            let endpoint = Arc::new(FlowEndpoint::with_telemetry(
+                host_flow,
+                Arc::clone(nic.telemetry()),
+            ));
             for _ in 0..clients_per_flow {
                 let cid = nic.open_connection(remote, flow_id, lb)?;
                 clients.push(Arc::new(RpcClient::new(

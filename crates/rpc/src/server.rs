@@ -23,10 +23,14 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use dagger_nic::{HostFlow, Nic, RingProducer};
+use dagger_telemetry::{Counter, HistogramHandle, RpcEvent, Telemetry};
 use dagger_types::{ConnectionId, DaggerError, FlowId, FnId, Result, RpcId, RpcKind};
 
 use crate::frag::{fragment, Reassembler};
 use crate::service::{encode_response, RpcService};
+
+/// Name of the server handler-latency histogram in the metrics registry.
+pub const SERVER_HANDLER_HISTOGRAM: &str = "rpc.server.handler_ns";
 
 /// How server threads execute handlers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,6 +51,44 @@ struct WorkItem {
     src_flow: FlowId,
     payload: Vec<u8>,
     tx: Arc<Mutex<RingProducer>>,
+}
+
+/// Everything a handler invocation needs beyond the request itself, shared
+/// by all dispatch and worker threads of one server.
+struct DispatchCtx {
+    services: HashMap<u16, Arc<dyn RpcService>>,
+    stop: Arc<AtomicBool>,
+    handled: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    telemetry: Arc<Telemetry>,
+    handler_ns: HistogramHandle,
+    requests: Counter,
+    handler_errors: Counter,
+}
+
+impl DispatchCtx {
+    fn new(
+        services: HashMap<u16, Arc<dyn RpcService>>,
+        stop: Arc<AtomicBool>,
+        handled: Arc<AtomicU64>,
+        errors: Arc<AtomicU64>,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        let registry = telemetry.registry();
+        let handler_ns = registry.histogram(SERVER_HANDLER_HISTOGRAM);
+        let requests = registry.counter("rpc.server.requests");
+        let handler_errors = registry.counter("rpc.server.handler_errors");
+        DispatchCtx {
+            services,
+            stop,
+            handled,
+            errors,
+            telemetry,
+            handler_ns,
+            requests,
+            handler_errors,
+        }
+    }
 }
 
 /// Aggregate server statistics.
@@ -167,6 +209,13 @@ impl RpcThreadedServer {
             return Err(DaggerError::Config("no services registered".to_string()));
         }
         let (work_tx, work_rx) = unbounded::<WorkItem>();
+        let ctx = Arc::new(DispatchCtx::new(
+            self.services.clone(),
+            Arc::clone(&self.stop),
+            Arc::clone(&self.handled),
+            Arc::clone(&self.errors),
+            Arc::clone(self.nic.telemetry()),
+        ));
         if let ThreadingModel::Worker { workers } = self.threading {
             if workers == 0 {
                 return Err(DaggerError::Config(
@@ -175,14 +224,11 @@ impl RpcThreadedServer {
             }
             for w in 0..workers {
                 let rx: Receiver<WorkItem> = work_rx.clone();
-                let services = self.services.clone();
-                let stop = Arc::clone(&self.stop);
-                let handled = Arc::clone(&self.handled);
-                let errors = Arc::clone(&self.errors);
+                let ctx = Arc::clone(&ctx);
                 let handle = std::thread::Builder::new()
                     .name(format!("dagger-worker-{w}"))
                     .spawn(move || {
-                        worker_loop(&rx, &services, &stop, &handled, &errors);
+                        worker_loop(&rx, &ctx);
                     })
                     .map_err(|e| DaggerError::Config(format!("spawn failed: {e}")))?;
                 self.worker_threads.push(handle);
@@ -190,10 +236,7 @@ impl RpcThreadedServer {
         }
         self.prepare()?;
         for (t, host_flow) in self.prepared.drain(..).enumerate() {
-            let services = self.services.clone();
-            let stop = Arc::clone(&self.stop);
-            let handled = Arc::clone(&self.handled);
-            let errors = Arc::clone(&self.errors);
+            let ctx = Arc::clone(&ctx);
             let threading = self.threading;
             let work_tx: Sender<WorkItem> = work_tx.clone();
             let handle = std::thread::Builder::new()
@@ -204,12 +247,9 @@ impl RpcThreadedServer {
                         rx: host_flow.rx,
                         tx: Arc::new(Mutex::new(host_flow.tx)),
                         reassembler: Reassembler::new(),
-                        services,
                         threading,
                         work_tx,
-                        stop,
-                        handled,
-                        errors,
+                        ctx,
                     };
                     thread.run();
                 })
@@ -279,18 +319,15 @@ pub struct RpcServerThread {
     rx: dagger_nic::RingConsumer,
     tx: Arc<Mutex<RingProducer>>,
     reassembler: Reassembler,
-    services: HashMap<u16, Arc<dyn RpcService>>,
     threading: ThreadingModel,
     work_tx: Sender<WorkItem>,
-    stop: Arc<AtomicBool>,
-    handled: Arc<AtomicU64>,
-    errors: Arc<AtomicU64>,
+    ctx: Arc<DispatchCtx>,
 }
 
 impl RpcServerThread {
     fn run(mut self) {
         loop {
-            if self.stop.load(Ordering::Acquire) {
+            if self.ctx.stop.load(Ordering::Acquire) {
                 return;
             }
             let mut progress = false;
@@ -326,30 +363,18 @@ impl RpcServerThread {
         src_flow: FlowId,
         payload: Vec<u8>,
     ) {
+        let item = WorkItem {
+            cid,
+            rpc_id,
+            fn_id,
+            src_flow,
+            payload,
+            tx: Arc::clone(&self.tx),
+        };
         match self.threading {
-            ThreadingModel::Dispatch => {
-                dispatch_one(
-                    &self.services,
-                    cid,
-                    rpc_id,
-                    fn_id,
-                    src_flow,
-                    &payload,
-                    &self.tx,
-                    &self.stop,
-                    &self.handled,
-                    &self.errors,
-                );
-            }
+            ThreadingModel::Dispatch => dispatch_one(&self.ctx, &item),
             ThreadingModel::Worker { .. } => {
-                let _ = self.work_tx.send(WorkItem {
-                    cid,
-                    rpc_id,
-                    fn_id,
-                    src_flow,
-                    payload,
-                    tx: Arc::clone(&self.tx),
-                });
+                let _ = self.work_tx.send(item);
             }
         }
     }
@@ -360,31 +385,12 @@ impl RpcServerThread {
     }
 }
 
-fn worker_loop(
-    rx: &Receiver<WorkItem>,
-    services: &HashMap<u16, Arc<dyn RpcService>>,
-    stop: &Arc<AtomicBool>,
-    handled: &Arc<AtomicU64>,
-    errors: &Arc<AtomicU64>,
-) {
+fn worker_loop(rx: &Receiver<WorkItem>, ctx: &DispatchCtx) {
     loop {
         match rx.recv_timeout(Duration::from_millis(10)) {
-            Ok(item) => {
-                dispatch_one(
-                    services,
-                    item.cid,
-                    item.rpc_id,
-                    item.fn_id,
-                    item.src_flow,
-                    &item.payload,
-                    &item.tx,
-                    stop,
-                    handled,
-                    errors,
-                );
-            }
+            Ok(item) => dispatch_one(ctx, &item),
             Err(_) => {
-                if stop.load(Ordering::Acquire) {
+                if ctx.stop.load(Ordering::Acquire) {
                     return;
                 }
             }
@@ -392,39 +398,41 @@ fn worker_loop(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dispatch_one(
-    services: &HashMap<u16, Arc<dyn RpcService>>,
-    cid: ConnectionId,
-    rpc_id: RpcId,
-    fn_id: FnId,
-    src_flow: FlowId,
-    payload: &[u8],
-    tx: &Arc<Mutex<RingProducer>>,
-    stop: &Arc<AtomicBool>,
-    handled: &Arc<AtomicU64>,
-    errors: &Arc<AtomicU64>,
-) {
-    let outcome = match services.get(&fn_id.raw()) {
-        Some(service) => service.dispatch(fn_id, payload),
-        None => Err(DaggerError::UnknownFunction(fn_id.raw())),
+fn dispatch_one(ctx: &DispatchCtx, item: &WorkItem) {
+    let tracer = ctx.telemetry.tracer();
+    tracer.record(item.cid.raw(), item.rpc_id.raw(), RpcEvent::ServerDispatch);
+    ctx.requests.inc();
+    let started = Instant::now();
+    let outcome = match ctx.services.get(&item.fn_id.raw()) {
+        Some(service) => service.dispatch(item.fn_id, &item.payload),
+        None => Err(DaggerError::UnknownFunction(item.fn_id.raw())),
     };
+    ctx.handler_ns
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
     if outcome.is_err() {
-        errors.fetch_add(1, Ordering::Relaxed);
+        ctx.errors.fetch_add(1, Ordering::Relaxed);
+        ctx.handler_errors.inc();
     }
     let response = encode_response(outcome);
-    let Ok(frames) = fragment(cid, rpc_id, fn_id, src_flow, RpcKind::Response, &response) else {
+    let Ok(frames) = fragment(
+        item.cid,
+        item.rpc_id,
+        item.fn_id,
+        item.src_flow,
+        RpcKind::Response,
+        &response,
+    ) else {
         // Response too large for the fragmentation layer; the client will
         // time out (no truncated garbage on the wire).
         return;
     };
-    let mut producer = tx.lock();
+    let mut producer = item.tx.lock();
     for frame in frames {
         loop {
             match producer.try_push(frame) {
                 Ok(()) => break,
                 Err(_) => {
-                    if stop.load(Ordering::Acquire) {
+                    if ctx.stop.load(Ordering::Acquire) {
                         return;
                     }
                     std::thread::yield_now();
@@ -432,5 +440,7 @@ fn dispatch_one(
             }
         }
     }
-    handled.fetch_add(1, Ordering::Relaxed);
+    drop(producer);
+    tracer.record(item.cid.raw(), item.rpc_id.raw(), RpcEvent::HandlerDone);
+    ctx.handled.fetch_add(1, Ordering::Relaxed);
 }

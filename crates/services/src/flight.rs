@@ -24,6 +24,7 @@ use dagger_kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispa
 use dagger_kvs::Mica;
 use dagger_nic::{MemFabric, Nic};
 use dagger_rpc::{RpcClientPool, RpcThreadedServer, ThreadingModel};
+use dagger_telemetry::{Telemetry, TelemetrySnapshot};
 use dagger_types::{HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::trace::Tracer;
@@ -327,6 +328,7 @@ impl CheckInApi for CheckInHandler {
 /// The running 8-tier application.
 pub struct FlightApp {
     tracer: Arc<Tracer>,
+    telemetry: Arc<Telemetry>,
     passenger_checkin: CheckInClient,
     staff_airport: KvStoreClient,
     airport_store: Arc<Mica>,
@@ -344,14 +346,14 @@ impl std::fmt::Debug for FlightApp {
     }
 }
 
-fn tier_nic(fabric: &MemFabric, addr: NodeAddr) -> Result<Arc<Nic>> {
+fn tier_nic(fabric: &MemFabric, addr: NodeAddr, telemetry: &Arc<Telemetry>) -> Result<Arc<Nic>> {
     let cfg = HardConfig::builder()
         .num_flows(8)
         .tx_ring_capacity(256)
         .rx_ring_capacity(256)
         .conn_cache_entries(1024)
         .build()?;
-    Nic::start(fabric, addr, cfg)
+    Nic::start_with_telemetry(fabric, addr, cfg, Arc::clone(telemetry))
 }
 
 impl FlightApp {
@@ -363,6 +365,9 @@ impl FlightApp {
     /// Returns an error if any NIC, server, or connection fails to come up.
     pub fn launch(fabric: &MemFabric, config: &FlightConfig) -> Result<FlightApp> {
         let tracer = Tracer::new();
+        // One hub for all eight tiers: every NIC's collector and every
+        // RPC-stage stamp lands in the same registry and trace epoch.
+        let telemetry = Telemetry::new();
         let a = config.addrs;
         let mut servers = Vec::new();
         let mut nics = Vec::new();
@@ -373,7 +378,7 @@ impl FlightApp {
         for id in 0..config.citizens {
             citizens_store.set(&id.to_le_bytes(), &[1u8]);
         }
-        let citizens_nic = tier_nic(fabric, a.citizens)?;
+        let citizens_nic = tier_nic(fabric, a.citizens, &telemetry)?;
         let mut citizens_server = RpcThreadedServer::new(Arc::clone(&citizens_nic), 1);
         citizens_server.register_service(Arc::new(KvStoreDispatch::new(MicaPort::new(
             Arc::clone(&citizens_store),
@@ -383,7 +388,7 @@ impl FlightApp {
         nics.push(Arc::clone(&citizens_nic));
 
         let airport_store = Arc::new(Mica::new(4, 1 << 12, 1 << 22));
-        let airport_nic = tier_nic(fabric, a.airport)?;
+        let airport_nic = tier_nic(fabric, a.airport, &telemetry)?;
         let mut airport_server = RpcThreadedServer::new(Arc::clone(&airport_nic), 1);
         airport_server.register_service(Arc::new(KvStoreDispatch::new(MicaPort::new(
             Arc::clone(&airport_store),
@@ -393,7 +398,7 @@ impl FlightApp {
         nics.push(Arc::clone(&airport_nic));
 
         // --- Leaf mid tiers. ---
-        let flight_nic = tier_nic(fabric, a.flight)?;
+        let flight_nic = tier_nic(fabric, a.flight, &telemetry)?;
         let mut flight_server = RpcThreadedServer::with_threading(
             Arc::clone(&flight_nic),
             1,
@@ -408,7 +413,7 @@ impl FlightApp {
         servers.push(flight_server);
         nics.push(Arc::clone(&flight_nic));
 
-        let baggage_nic = tier_nic(fabric, a.baggage)?;
+        let baggage_nic = tier_nic(fabric, a.baggage, &telemetry)?;
         let mut baggage_server = RpcThreadedServer::new(Arc::clone(&baggage_nic), 1);
         baggage_server.register_service(Arc::new(BaggageDispatch::new(BaggageHandler {
             tracer: Arc::clone(&tracer),
@@ -418,7 +423,7 @@ impl FlightApp {
         nics.push(Arc::clone(&baggage_nic));
 
         // --- Passport tier: serves `verify`, calls Citizens. ---
-        let passport_nic = tier_nic(fabric, a.passport)?;
+        let passport_nic = tier_nic(fabric, a.passport, &telemetry)?;
         let mut passport_server = RpcThreadedServer::with_threading(
             Arc::clone(&passport_nic),
             1,
@@ -443,7 +448,7 @@ impl FlightApp {
         nics.push(Arc::clone(&passport_nic));
 
         // --- Check-in tier: fans out to three tiers, then Airport. ---
-        let checkin_nic = tier_nic(fabric, a.checkin)?;
+        let checkin_nic = tier_nic(fabric, a.checkin, &telemetry)?;
         let mut checkin_server = RpcThreadedServer::with_threading(
             Arc::clone(&checkin_nic),
             1,
@@ -476,13 +481,13 @@ impl FlightApp {
         nics.push(Arc::clone(&checkin_nic));
 
         // --- Front-ends. ---
-        let passenger_nic = tier_nic(fabric, a.passenger_fe)?;
+        let passenger_nic = tier_nic(fabric, a.passenger_fe, &telemetry)?;
         let checkin_pool = RpcClientPool::connect(Arc::clone(&passenger_nic), a.checkin, 2)?;
         let passenger_checkin = CheckInClient::new(checkin_pool.client(0)?);
         pools.push(checkin_pool);
         nics.push(Arc::clone(&passenger_nic));
 
-        let staff_nic = tier_nic(fabric, a.staff_fe)?;
+        let staff_nic = tier_nic(fabric, a.staff_fe, &telemetry)?;
         let airport_staff_pool = RpcClientPool::connect_with(
             Arc::clone(&staff_nic),
             a.airport,
@@ -495,6 +500,7 @@ impl FlightApp {
 
         Ok(FlightApp {
             tracer,
+            telemetry,
             passenger_checkin,
             staff_airport,
             airport_store,
@@ -533,6 +539,20 @@ impl FlightApp {
     /// The shared request tracer.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The telemetry hub shared by all eight tier NICs.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// A unified telemetry snapshot: NIC collectors run, the §5.7 span
+    /// tracer folds its per-tier aggregates into the registry, and the
+    /// result captures counters, gauges, histograms, and RPC stage traces
+    /// for every tier at once.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.tracer.fold_into(self.telemetry.registry());
+        self.telemetry.snapshot()
     }
 
     /// Direct handle to the Airport MICA store (test inspection).

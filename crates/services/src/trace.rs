@@ -8,11 +8,18 @@
 //! summarizes per-tier time so exactly that kind of bottleneck analysis can
 //! be reproduced on the functional application.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+
+use dagger_telemetry::MetricsRegistry;
+
+/// Default bound on the tracer's span buffer; the oldest spans are dropped
+/// (and counted) past this point.
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
 
 /// One traced tier visit.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,19 +56,39 @@ impl TraceSummary {
     }
 }
 
-/// A process-wide span collector.
+/// A process-wide span collector with a bounded buffer: past the capacity
+/// the oldest spans are evicted (and counted as dropped), so a long-running
+/// application cannot grow the tracer without bound.
 #[derive(Debug)]
 pub struct Tracer {
     epoch: Instant,
-    spans: Mutex<Vec<Span>>,
+    spans: Mutex<SpanBuffer>,
+    dropped: AtomicU64,
+}
+
+#[derive(Debug)]
+struct SpanBuffer {
+    spans: VecDeque<Span>,
+    capacity: usize,
 }
 
 impl Tracer {
-    /// Creates an empty tracer; span timestamps are relative to this call.
+    /// Creates an empty tracer with the default span capacity; span
+    /// timestamps are relative to this call.
     pub fn new() -> Arc<Self> {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// Creates an empty tracer bounded to `capacity` spans (clamped to at
+    /// least one).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
         Arc::new(Tracer {
             epoch: Instant::now(),
-            spans: Mutex::new(Vec::new()),
+            spans: Mutex::new(SpanBuffer {
+                spans: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            dropped: AtomicU64::new(0),
         })
     }
 
@@ -80,30 +107,73 @@ impl Tracer {
         }
     }
 
-    /// Records a complete span directly.
+    /// Records a complete span directly, evicting the oldest span when the
+    /// buffer is full.
     pub fn record(&self, span: Span) {
-        self.spans.lock().push(span);
+        let mut buf = self.spans.lock();
+        if buf.spans.len() >= buf.capacity {
+            buf.spans.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.spans.push_back(span);
     }
 
-    /// Number of recorded spans.
+    /// Number of buffered spans.
     pub fn len(&self) -> usize {
-        self.spans.lock().len()
+        self.spans.lock().spans.len()
     }
 
-    /// `true` when no spans are recorded.
+    /// `true` when no spans are buffered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of all spans.
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.spans.lock().capacity
+    }
+
+    /// Spans evicted to make room since creation (or the last
+    /// [`Tracer::clear`]).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Empties the span buffer and resets the dropped counter, starting a
+    /// fresh observation window.
+    pub fn clear(&self) {
+        self.spans.lock().spans.clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all buffered spans.
     pub fn spans(&self) -> Vec<Span> {
-        self.spans.lock().clone()
+        self.spans.lock().spans.iter().cloned().collect()
+    }
+
+    /// Drains the buffered spans into a metrics registry: each span's
+    /// duration goes to the `app.tier.<tier>_ns` histogram and the dropped
+    /// count to the `app.trace.dropped_spans` counter, unifying §5.7
+    /// application tracing with the NIC/RPC telemetry. Draining (rather
+    /// than copying) keeps repeated folds from double-counting; the buffer
+    /// and dropped counter are empty afterwards.
+    pub fn fold_into(&self, registry: &MetricsRegistry) {
+        let spans: Vec<Span> = self.spans.lock().spans.drain(..).collect();
+        for span in spans {
+            registry
+                .histogram(&format!("app.tier.{}_ns", span.tier))
+                .record(span.duration_ns());
+        }
+        let dropped = self.dropped.swap(0, Ordering::Relaxed);
+        if dropped > 0 {
+            registry.counter("app.trace.dropped_spans").add(dropped);
+        }
     }
 
     /// Aggregates spans per tier, sorted by total time descending.
     pub fn summary(&self) -> TraceSummary {
         let mut agg: HashMap<&'static str, (u64, u64, u64)> = HashMap::new();
-        for span in self.spans.lock().iter() {
+        for span in self.spans.lock().spans.iter() {
             let entry = agg.entry(span.tier).or_default();
             entry.0 += 1;
             entry.1 += span.duration_ns();
@@ -211,5 +281,55 @@ mod tests {
         let tracer = Tracer::new();
         assert!(tracer.is_empty());
         assert_eq!(tracer.summary().bottleneck(), None);
+    }
+
+    fn span(request_id: u64, end_ns: u64) -> Span {
+        Span {
+            request_id,
+            tier: "tier",
+            start_ns: 0,
+            end_ns,
+        }
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest_and_counts() {
+        let tracer = Tracer::with_capacity(3);
+        assert_eq!(tracer.capacity(), 3);
+        for i in 0..5 {
+            tracer.record(span(i, 10));
+        }
+        assert_eq!(tracer.len(), 3);
+        assert_eq!(tracer.dropped(), 2);
+        let ids: Vec<u64> = tracer.spans().iter().map(|s| s.request_id).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_resets_buffer_and_dropped() {
+        let tracer = Tracer::with_capacity(1);
+        tracer.record(span(1, 10));
+        tracer.record(span(2, 10));
+        assert_eq!(tracer.dropped(), 1);
+        tracer.clear();
+        assert!(tracer.is_empty());
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn fold_into_registry_exports_per_tier_histograms() {
+        let tracer = Tracer::with_capacity(1);
+        tracer.record(span(1, 500));
+        tracer.record(span(2, 1_500)); // evicts span 1
+        let registry = dagger_telemetry::MetricsRegistry::default();
+        tracer.fold_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("app.tier.tier_ns").map(|s| s.count), Some(1));
+        assert_eq!(snap.counter("app.trace.dropped_spans"), Some(1));
+        // The fold drained the buffer: a second fold adds nothing.
+        tracer.fold_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("app.tier.tier_ns").map(|s| s.count), Some(1));
+        assert!(tracer.is_empty());
     }
 }

@@ -1,0 +1,317 @@
+//! Telemetry exporters: a human-readable text dump (`Display`) and a
+//! stable, hand-rolled JSON snapshot.
+//!
+//! The JSON writer is dependency-free on purpose (the workspace does not
+//! ship `serde_json`); the schema is versioned and documented in
+//! `DESIGN.md` under "Observability":
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counters": {"name": 0},
+//!   "gauges": {"name": 0},
+//!   "histograms": {"name": {"count": 0, "mean_ns": 0.0, "p50_ns": 0,
+//!                            "p90_ns": 0, "p99_ns": 0, "p999_ns": 0,
+//!                            "max_ns": 0}},
+//!   "traces": [{"connection_id": 0, "rpc_id": 0,
+//!               "events": {"client_send": 0},
+//!               "stages": {"client_queue": 0},
+//!               "complete": false, "total_ns": 0}],
+//!   "dropped_traces": 0
+//! }
+//! ```
+//!
+//! Keys inside `counters`/`gauges`/`histograms` are sorted by name; only
+//! observed events/stages appear in a trace's maps; `total_ns` is omitted
+//! until the round trip completes.
+
+use std::fmt;
+
+use crate::registry::RegistrySnapshot;
+use crate::trace::{RpcEvent, RpcTrace, STAGE_NAMES};
+
+/// A point-in-time snapshot of the whole telemetry layer: every registry
+/// metric plus every retained RPC trace.
+#[derive(Clone, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
+pub struct TelemetrySnapshot {
+    /// Snapshot of the metrics registry.
+    pub registry: RegistrySnapshot,
+    /// Retained RPC traces, in insertion order.
+    pub traces: Vec<RpcTrace>,
+    /// Traces evicted by the tracer's capacity bound.
+    pub dropped_traces: u64,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` the way JSON expects (finite; NaN/inf degrade to 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Schema version emitted in the JSON output.
+    pub const JSON_VERSION: u32 = 1;
+
+    /// Serializes the snapshot to the stable JSON schema described in the
+    /// module docs. Single line, no trailing newline.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\"version\":{}", Self::JSON_VERSION));
+
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.registry.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push('}');
+
+        out.push_str(",\"gauges\":{");
+        for (i, (name, v)) in self.registry.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (i, (name, s)) in self.registry.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+                json_escape(name),
+                s.count,
+                json_f64(s.mean_ns),
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns,
+                s.p999_ns,
+                s.max_ns
+            ));
+        }
+        out.push('}');
+
+        out.push_str(",\"traces\":[");
+        for (i, tr) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&trace_json(tr));
+        }
+        out.push(']');
+
+        out.push_str(&format!(",\"dropped_traces\":{}}}", self.dropped_traces));
+        out
+    }
+}
+
+fn trace_json(tr: &RpcTrace) -> String {
+    let mut out = format!(
+        "{{\"connection_id\":{},\"rpc_id\":{}",
+        tr.connection_id, tr.rpc_id
+    );
+
+    out.push_str(",\"events\":{");
+    let mut first = true;
+    for ev in RpcEvent::all() {
+        if let Some(ns) = tr.event(ev) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":{}", ev.name(), ns));
+        }
+    }
+    out.push('}');
+
+    let b = tr.breakdown();
+    out.push_str(",\"stages\":{");
+    let mut first = true;
+    for (name, stage) in STAGE_NAMES.iter().zip(b.stages.iter()) {
+        if let Some(ns) = stage {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{name}\":{ns}"));
+        }
+    }
+    if let Some(ns) = b.response_ns {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("\"response\":{ns}"));
+    }
+    out.push('}');
+
+    out.push_str(&format!(",\"complete\":{}", b.is_complete()));
+    if let Some(total) = b.total_ns {
+        out.push_str(&format!(",\"total_ns\":{total}"));
+    }
+    out.push('}');
+    out
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    /// Human-readable multi-line dump: counters, gauges, histogram
+    /// summaries, then per-trace stage breakdowns.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== telemetry snapshot ==")?;
+        if !self.registry.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.registry.counters {
+                writeln!(f, "  {name} = {v}")?;
+            }
+        }
+        if !self.registry.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, v) in &self.registry.gauges {
+                writeln!(f, "  {name} = {v}")?;
+            }
+        }
+        if !self.registry.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, s) in &self.registry.histograms {
+                writeln!(f, "  {name}: {s}")?;
+            }
+        }
+        if !self.traces.is_empty() {
+            writeln!(f, "traces ({} dropped):", self.dropped_traces)?;
+            for tr in &self.traces {
+                let b = tr.breakdown();
+                write!(f, "  conn={} rpc={}:", tr.connection_id, tr.rpc_id)?;
+                for (name, stage) in STAGE_NAMES.iter().zip(b.stages.iter()) {
+                    match stage {
+                        Some(ns) => write!(f, " {name}={ns}ns")?,
+                        None => write!(f, " {name}=?")?,
+                    }
+                }
+                if let Some(total) = b.total_ns {
+                    write!(f, " total={total}ns")?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::trace::RpcTracer;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("nic.0.tx_frames").add(7);
+        reg.gauge("nic.0.flows").set(4);
+        let h = reg.histogram("rpc.client.rtt_ns");
+        for v in [1000u64, 2000, 3000] {
+            h.record(v);
+        }
+        let tracer = RpcTracer::new();
+        tracer.enable();
+        let stamps = [100u64, 150, 300, 1300, 1400, 1500, 2500, 2900];
+        for (ev, at) in RpcEvent::all().into_iter().zip(stamps) {
+            tracer.record_at(65536, 1, ev, at);
+        }
+        TelemetrySnapshot {
+            registry: reg.snapshot(),
+            traces: tracer.traces(),
+            dropped_traces: tracer.dropped(),
+        }
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with("{\"version\":1"));
+        assert!(json.contains("\"nic.0.tx_frames\":7"));
+        assert!(json.contains("\"nic.0.flows\":4"));
+        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"connection_id\":65536"));
+        assert!(json.contains("\"complete\":true"));
+        assert!(json.contains("\"total_ns\":2800"));
+        for stage in STAGE_NAMES {
+            assert!(json.contains(&format!("\"{stage}\":")), "missing {stage}");
+        }
+        assert!(json.ends_with("\"dropped_traces\":0}"));
+    }
+
+    #[test]
+    fn json_escapes_metric_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("weird\"name\\x").inc();
+        let snap = TelemetrySnapshot {
+            registry: reg.snapshot(),
+            ..Default::default()
+        };
+        assert!(snap.to_json().contains("weird\\\"name\\\\x"));
+    }
+
+    #[test]
+    fn json_of_empty_snapshot_is_wellformed() {
+        let json = TelemetrySnapshot::default().to_json();
+        assert_eq!(
+            json,
+            "{\"version\":1,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"traces\":[],\"dropped_traces\":0}"
+        );
+    }
+
+    #[test]
+    fn incomplete_trace_omits_total() {
+        let tracer = RpcTracer::new();
+        tracer.enable();
+        tracer.record_at(1, 1, RpcEvent::ClientSend, 50);
+        let snap = TelemetrySnapshot {
+            traces: tracer.traces(),
+            ..Default::default()
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"complete\":false"));
+        assert!(!json.contains("total_ns"));
+    }
+
+    #[test]
+    fn display_mentions_metrics_and_stages() {
+        let text = sample_snapshot().to_string();
+        assert!(text.contains("nic.0.tx_frames = 7"));
+        assert!(text.contains("rpc.client.rtt_ns"));
+        assert!(text.contains("handler=1000ns"));
+        assert!(text.contains("total=2800ns"));
+    }
+
+    #[test]
+    fn json_f64_handles_nonfinite() {
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+}

@@ -1,0 +1,194 @@
+//! # dagger-telemetry — unified observability for the Dagger stack
+//!
+//! The paper evaluates Dagger with two observability mechanisms: the NIC's
+//! **Packet Monitor** (Fig. 6; drives the drop-rate criteria of §5.6) and a
+//! **lightweight request tracing system** (§5.7) that locates bottleneck
+//! tiers in the Flight service. This crate unifies and generalizes both
+//! into one layer shared by every crate in the workspace:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and [`Histogram`]s with
+//!   lock-free record paths; NIC-side counter banks (Packet Monitor,
+//!   Connection Manager, reliable transport) are folded in via registered
+//!   *collectors*.
+//! * [`RpcTracer`] — cross-stack per-RPC stage tracing keyed by
+//!   `(connection_id, rpc_id)`: client send → TX ring → engine → fabric →
+//!   RX ring → dispatch → handler → response, yielding a six-stage latency
+//!   breakdown ([`STAGE_NAMES`]).
+//! * [`TelemetrySnapshot`] — exporters: human-readable text (`Display`)
+//!   and a stable versioned JSON document ([`TelemetrySnapshot::to_json`]).
+//! * [`Reporter`] — a periodic background flusher for benches and apps.
+//!
+//! The crate is intentionally dependency-free (std only) so it sits below
+//! every other crate, even `dagger-types`, without cycles.
+
+mod export;
+mod hist;
+mod registry;
+mod report;
+mod trace;
+
+pub use export::TelemetrySnapshot;
+pub use hist::{Histogram, Summary};
+pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, RegistrySnapshot};
+pub use report::Reporter;
+pub use trace::{
+    RpcEvent, RpcTrace, RpcTracer, StageBreakdown, DEFAULT_TRACE_CAPACITY, EVENT_COUNT,
+    STAGE_NAMES,
+};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Nanoseconds. Mirrors `dagger_sim::Nanos`, which is a re-export of this.
+pub type Nanos = u64;
+
+/// Collector callback: folds an external counter bank (e.g. a NIC's Packet
+/// Monitor) into the registry, typically via gauges.
+type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;
+
+/// The unified telemetry hub: one metrics registry plus one RPC tracer,
+/// shared (via `Arc`) by every layer of a process — and, in tests, by both
+/// endpoints' NICs so traces share a single clock epoch.
+///
+/// Components whose counters live outside the registry (the NIC engine
+/// owns its Packet Monitor bank) register a *collector* closure; every
+/// [`snapshot`](Telemetry::snapshot) first runs all collectors so the
+/// registry reflects the components' current state.
+pub struct Telemetry {
+    registry: MetricsRegistry,
+    tracer: RpcTracer,
+    collectors: Mutex<BTreeMap<String, Collector>>,
+}
+
+impl Telemetry {
+    /// Creates a fresh telemetry hub (tracing disabled by default).
+    pub fn new() -> Arc<Self> {
+        Arc::new(Telemetry {
+            registry: MetricsRegistry::new(),
+            tracer: RpcTracer::new(),
+            collectors: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The RPC tracer.
+    pub fn tracer(&self) -> &RpcTracer {
+        &self.tracer
+    }
+
+    /// Registers (or replaces) the collector named `name`. Collectors run
+    /// on every [`collect`](Telemetry::collect)/[`snapshot`](Telemetry::snapshot);
+    /// they should capture `Arc`s onto the component state they read, not
+    /// the component itself, to avoid keeping whole subsystems alive.
+    pub fn register_collector<F>(&self, name: &str, f: F)
+    where
+        F: Fn(&MetricsRegistry) + Send + Sync + 'static,
+    {
+        self.collectors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), Box::new(f));
+    }
+
+    /// Removes the collector named `name` (e.g. when a NIC shuts down).
+    pub fn remove_collector(&self, name: &str) {
+        self.collectors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(name);
+    }
+
+    /// Runs every registered collector, folding external counter banks
+    /// into the registry.
+    pub fn collect(&self) {
+        let collectors = self.collectors.lock().unwrap_or_else(PoisonError::into_inner);
+        for f in collectors.values() {
+            f(&self.registry);
+        }
+    }
+
+    /// Collects, then snapshots the registry and all retained traces.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.collect();
+        TelemetrySnapshot {
+            registry: self.registry.snapshot(),
+            traces: self.tracer.traces(),
+            dropped_traces: self.tracer.dropped(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracer", &self.tracer)
+            .field(
+                "collectors",
+                &self
+                    .collectors
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .keys()
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn collectors_run_on_snapshot() {
+        let t = Telemetry::new();
+        let bank = Arc::new(AtomicU64::new(0));
+        let bank2 = Arc::clone(&bank);
+        t.register_collector("nic.0", move |reg| {
+            reg.set_gauge("nic.0.tx_frames", bank2.load(Ordering::Relaxed));
+        });
+        bank.store(42, Ordering::Relaxed);
+        let snap = t.snapshot();
+        assert_eq!(snap.registry.gauge("nic.0.tx_frames"), Some(42));
+        bank.store(50, Ordering::Relaxed);
+        assert_eq!(t.snapshot().registry.gauge("nic.0.tx_frames"), Some(50));
+    }
+
+    #[test]
+    fn reregistering_collector_replaces() {
+        let t = Telemetry::new();
+        t.register_collector("c", |reg| reg.set_gauge("v", 1));
+        t.register_collector("c", |reg| reg.set_gauge("v", 2));
+        assert_eq!(t.snapshot().registry.gauge("v"), Some(2));
+        t.remove_collector("c");
+        t.registry().set_gauge("v", 9);
+        assert_eq!(t.snapshot().registry.gauge("v"), Some(9));
+    }
+
+    #[test]
+    fn snapshot_includes_traces_and_json_roundtrip_markers() {
+        let t = Telemetry::new();
+        t.tracer().enable();
+        t.tracer().record(7, 1, RpcEvent::ClientSend);
+        t.registry().counter("rpcs").inc();
+        let snap = t.snapshot();
+        assert_eq!(snap.traces.len(), 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"rpcs\":1"));
+        assert!(json.contains("\"client_send\""));
+    }
+
+    #[test]
+    fn debug_impl_lists_collectors() {
+        let t = Telemetry::new();
+        t.register_collector("nic.3", |_| {});
+        let dbg = format!("{t:?}");
+        assert!(dbg.contains("nic.3"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Periodic reporter: a background thread that flushes telemetry
+//! snapshots at a fixed interval, and once more on shutdown.
+//!
+//! Benches and the flight app use this to emit `BENCH_*.json`-style
+//! artifacts without wiring flush calls through their inner loops.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::{Telemetry, TelemetrySnapshot};
+
+/// A periodic telemetry flusher. Stops (and flushes one final snapshot)
+/// on [`stop`](Reporter::stop) or drop.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns a reporter that calls `sink` with a fresh
+    /// [`TelemetrySnapshot`] every `interval`, and one final time when
+    /// stopped.
+    pub fn start<F>(telemetry: Arc<Telemetry>, interval: Duration, mut sink: F) -> Self
+    where
+        F: FnMut(TelemetrySnapshot) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dagger-telemetry-reporter".into())
+            .spawn(move || {
+                let mut last_flush = Instant::now();
+                // Sleep in small slices so stop() is honored promptly even
+                // with long intervals.
+                let tick = interval.clamp(Duration::from_micros(100), Duration::from_millis(20));
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    if last_flush.elapsed() >= interval {
+                        sink(telemetry.snapshot());
+                        last_flush = Instant::now();
+                    }
+                }
+                // Final flush so shutdown always captures the end state.
+                sink(telemetry.snapshot());
+            })
+            .expect("spawn telemetry reporter");
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter, waits for the final flush, and joins the
+    /// thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reporter")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn reporter_flushes_final_snapshot_on_stop() {
+        let telemetry = Telemetry::new();
+        telemetry.registry().counter("ticks").add(3);
+        let seen: Arc<Mutex<Vec<TelemetrySnapshot>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        let mut reporter = Reporter::start(
+            Arc::clone(&telemetry),
+            Duration::from_secs(3600), // only the final flush should fire
+            move |snap| seen2.lock().unwrap().push(snap),
+        );
+        reporter.stop();
+        let snaps = seen.lock().unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].registry.counter("ticks"), Some(3));
+    }
+
+    #[test]
+    fn reporter_flushes_periodically() {
+        let telemetry = Telemetry::new();
+        let seen: Arc<Mutex<usize>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        let mut reporter = Reporter::start(
+            Arc::clone(&telemetry),
+            Duration::from_millis(10),
+            move |_| *seen2.lock().unwrap() += 1,
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        reporter.stop();
+        assert!(*seen.lock().unwrap() >= 2, "expected multiple flushes");
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let telemetry = Telemetry::new();
+        let mut reporter =
+            Reporter::start(telemetry, Duration::from_millis(5), |_| {});
+        reporter.stop();
+        reporter.stop();
+        drop(reporter);
+    }
+}

@@ -55,6 +55,11 @@ fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
     });
     let client = PingClient::new(raw);
 
+    // Packet Monitor readings before the run: the post-run delta isolates
+    // exactly this run's traffic.
+    let client_before = client_nic.monitor().snapshot();
+    let server_before = server_nic.monitor().snapshot();
+
     let mut ok = 0u32;
     for seq in 0..calls {
         let outcome = client.ping(&Ping {
@@ -71,6 +76,10 @@ fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
         "[{label}] {ok}/{calls} calls completed ({} frames dropped by the network)",
         fabric.dropped_frames()
     );
+    let client_delta = client_nic.monitor().snapshot().delta(&client_before);
+    let server_delta = server_nic.monitor().snapshot().delta(&server_before);
+    println!("  client NIC: {client_delta}");
+    println!("  server NIC: {server_delta}");
 
     server.stop();
     drop(pool);

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo lint gate: formatting and clippy, warnings denied.
+#
+# Usage: scripts/lint.sh
+#
+# Runs the same checks CI should run. Fails on the first violation.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "lint OK"

@@ -14,4 +14,5 @@ pub use dagger_nic as nic;
 pub use dagger_rpc as rpc;
 pub use dagger_services as services;
 pub use dagger_sim as sim;
+pub use dagger_telemetry as telemetry;
 pub use dagger_types as types;

@@ -1,0 +1,137 @@
+//! Integration test of the unified telemetry layer: one multi-frame RPC
+//! round trip must light up the Packet Monitor, the per-flow counters, and
+//! every stage of the cross-stack RPC trace, and all of it must surface in
+//! the JSON export.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dagger::idl::{dagger_message, dagger_service};
+use dagger::nic::{MemFabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::telemetry::{Telemetry, STAGE_NAMES};
+use dagger::types::{HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Blob {
+        tag: u32,
+        data: Vec<u8>,
+    }
+}
+
+dagger_service! {
+    pub service BlobSvc {
+        handler = BlobHandler;
+        dispatch = BlobDispatch;
+        client = BlobClient;
+        rpc echo(Blob) -> Blob = 1;
+    }
+}
+
+struct EchoImpl;
+impl BlobHandler for EchoImpl {
+    fn echo(&self, request: Blob) -> Result<Blob> {
+        Ok(request)
+    }
+}
+
+#[test]
+fn round_trip_populates_unified_telemetry() {
+    // Both NICs share one telemetry hub: one registry, one trace epoch.
+    let telemetry = Telemetry::new();
+    telemetry.tracer().enable();
+
+    let fabric = MemFabric::new();
+    let server_nic = Nic::start_with_telemetry(
+        &fabric,
+        NodeAddr(1),
+        HardConfig::default(),
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+    let client_nic = Nic::start_with_telemetry(
+        &fabric,
+        NodeAddr(2),
+        HardConfig::default(),
+        Arc::clone(&telemetry),
+    )
+    .unwrap();
+
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(BlobDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    let cid = raw.connection_id();
+    let client = BlobClient::new(raw);
+
+    // A >48-byte payload forces multi-frame fragmentation on both legs.
+    let data: Vec<u8> = (0..200u32).map(|i| (i * 3) as u8).collect();
+    let resp = client.echo(&Blob { tag: 7, data: data.clone() }).unwrap();
+    assert_eq!(resp.data, data);
+
+    // The first RPC issued by a client has rpc id 1. HandlerDone is stamped
+    // by the server thread just after the response hits the TX ring, so it
+    // can trail the client's return by a beat — wait for completeness.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let breakdown = loop {
+        let trace = telemetry.tracer().get(cid.raw(), 1).expect("trace exists");
+        let b = trace.breakdown();
+        if b.is_complete() || Instant::now() >= deadline {
+            break b;
+        }
+        std::thread::yield_now();
+    };
+    assert!(breakdown.is_complete(), "breakdown: {breakdown:?}");
+    for name in STAGE_NAMES {
+        assert!(
+            breakdown.stage(name).is_some(),
+            "stage {name} missing: {breakdown:?}"
+        );
+    }
+    assert!(breakdown.total_ns.unwrap() > 0);
+
+    // Packet Monitor counters, straight from the shared monitors.
+    let server_mon = server_nic.monitor().snapshot();
+    assert!(server_mon.rx_frames >= 5, "rx {}", server_mon.rx_frames);
+    assert!(server_mon.tx_frames >= 5, "tx {}", server_mon.tx_frames);
+
+    // Per-flow counter banks on both sides (client flow carries the
+    // request out; server flow 0 received it).
+    let client_flow = client.inner().flow().raw() as usize;
+    let cf = client_nic.monitor().flow_snapshot(client_flow).unwrap();
+    assert!(cf.tx_frames >= 5, "client flow tx {}", cf.tx_frames);
+    let sf = server_nic.monitor().flow_snapshot(0).unwrap();
+    assert!(sf.rx_frames >= 5, "server flow rx {}", sf.rx_frames);
+
+    // The registry snapshot carries the NIC collectors' gauges, the client
+    // RTT histogram, and the server handler histogram.
+    let snap = telemetry.snapshot();
+    assert!(snap.registry.gauge("nic.2.tx_frames").unwrap() > 0);
+    assert!(snap.registry.gauge("nic.1.rx_frames").unwrap() > 0);
+    assert!(snap.registry.gauge("nic.1.flow.0.rx_frames").unwrap() > 0);
+    let rtt = snap.registry.histogram("rpc.client.rtt_ns").unwrap();
+    assert_eq!(rtt.count, 1);
+    assert!(rtt.p99_ns > 0);
+    let handler = snap.registry.histogram("rpc.server.handler_ns").unwrap();
+    assert_eq!(handler.count, 1);
+    assert_eq!(snap.registry.counter("rpc.server.requests"), Some(1));
+
+    // The JSON export names every stage and the percentile fields.
+    let json = snap.to_json();
+    assert!(json.contains("\"version\":1"), "{json}");
+    for name in STAGE_NAMES {
+        assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
+    }
+    assert!(json.contains("p99_ns"), "{json}");
+    assert!(json.contains("rpc.client.rtt_ns"), "{json}");
+    assert!(json.contains("nic.1.flow.0.rx_frames"), "{json}");
+
+    drop(client);
+    drop(pool);
+    server.stop();
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
