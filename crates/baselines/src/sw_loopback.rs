@@ -85,9 +85,8 @@ impl TcpRpcServer {
                                 let _ = stream.set_nodelay(true);
                                 // Bounded reads so shutdown can join this
                                 // thread while a client is still connected.
-                                let _ = stream.set_read_timeout(Some(
-                                    std::time::Duration::from_millis(50),
-                                ));
+                                let _ = stream
+                                    .set_read_timeout(Some(std::time::Duration::from_millis(50)));
                                 while !stop3.load(Ordering::Acquire) {
                                     // Peek first: a timeout here consumes
                                     // nothing, so framing never desyncs.
@@ -108,12 +107,9 @@ impl TcpRpcServer {
                                     }
                                     match read_frame(&mut stream) {
                                         Ok((fn_id, payload)) => {
-                                            let outcome =
-                                                service.dispatch(FnId(fn_id), &payload);
+                                            let outcome = service.dispatch(FnId(fn_id), &payload);
                                             let resp = encode_response(outcome);
-                                            if write_frame(&mut stream, fn_id, &resp)
-                                                .is_err()
-                                            {
+                                            if write_frame(&mut stream, fn_id, &resp).is_err() {
                                                 break;
                                             }
                                         }

@@ -17,8 +17,14 @@ use dagger_types::{
 
 /// Batch-size sweep: the soft-configuration knob of Fig. 10/11.
 fn ablate_batch() {
-    banner("ablation: batch size", "UPI throughput/latency across B (soft config)");
-    println!("{:<6} {:>10} {:>10} {:>10}", "B", "sat Mrps", "p50 us", "p99 us");
+    banner(
+        "ablation: batch size",
+        "UPI throughput/latency across B (soft config)",
+    );
+    println!(
+        "{:<6} {:>10} {:>10} {:>10}",
+        "B", "sat Mrps", "p50 us", "p99 us"
+    );
     for b in [1u32, 2, 4, 8, 16] {
         let sim = RpcFabricSim::new(FabricSpec::dagger_echo(profile_for(IfaceKind::Upi), b));
         let sat = sim.find_saturation_mrps(1, 40_000);
@@ -38,7 +44,10 @@ fn ablate_connmgr() {
         "ablation: connection cache",
         "direct-mapped size vs miss rate, 4K connections, Zipf 0.99 lookups",
     );
-    println!("{:<12} {:>12} {:>10}", "cache size", "miss rate %", "spills");
+    println!(
+        "{:<12} {:>12} {:>10}",
+        "cache size", "miss rate %", "spills"
+    );
     for bits in [6usize, 8, 10, 12, 14] {
         let size = 1 << bits;
         let mut cm = ConnectionManager::new(size);
@@ -99,6 +108,7 @@ fn ablate_lb() {
                 frame_idx: 0,
                 frame_count: 1,
                 frame_payload_len: 12,
+                traced: false,
             };
             let flow = lb.steer(&hdr, &payload, 4, 4, Some(FlowId(0)));
             counts[flow.raw() as usize] += 1;

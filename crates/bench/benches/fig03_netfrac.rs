@@ -38,6 +38,25 @@ fn main() {
         }
         println!("  {}", row("e2e", &e2e_tail));
     }
+
+    // Live-traced variant: the same model emits distributed-trace spans and
+    // the share falls out of the generic trace-tree attribution instead of
+    // the model's own bookkeeping.
+    let traced = SocialNetSim {
+        traced: true,
+        ..Default::default()
+    };
+    let report = traced.run(200.0, 12_000, 1);
+    let trees = dagger_telemetry::assemble(&report.spans);
+    let fig3 = dagger_telemetry::fig3_report(&trees);
+    println!("\n-- live-traced (QPS = 200, span-derived) --");
+    print!("{}", fig3.render());
+    println!(
+        "overall networking share: {:.1}% | mean across tiers: {:.1}%",
+        fig3.network_share() * 100.0,
+        fig3.mean_tier_share() * 100.0
+    );
+
     paper_ref(
         "communication ~40% of tier latency on average, up to ~80% for User/UniqueID; \
          the RPC share (mostly queueing) grows sharply with load, especially in the tail",

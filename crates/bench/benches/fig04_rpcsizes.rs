@@ -16,7 +16,10 @@ fn cdf(label: &str, mut sizes: Vec<u32>) {
 }
 
 fn main() {
-    banner("Fig. 4", "CDF of RPC sizes and per-tier breakdown, Social Network mix");
+    banner(
+        "Fig. 4",
+        "CDF of RPC sizes and per-tier breakdown, Social Network mix",
+    );
     let (requests, responses, per_tier) = sample_rpc_sizes(50_000, 1);
     cdf("requests", requests);
     cdf("responses", responses);

@@ -17,12 +17,28 @@ fn main() {
         "{:<22} {:>10} {:>10} {:>10}   paper (thr/p50/p99)",
         "interface", "thr Mrps", "p50 us", "p99 us"
     );
-    let rows: [(&str, IfaceKind, u32, (f64, f64, f64)); 7] = [
+    type Row = (&'static str, IfaceKind, u32, (f64, f64, f64));
+    let rows: [Row; 7] = [
         ("MMIO", IfaceKind::Mmio, 1, (4.2, 3.8, 5.2)),
         ("Doorbell", IfaceKind::Doorbell, 1, (4.3, 4.4, 5.1)),
-        ("Doorbell B=3", IfaceKind::DoorbellBatched, 3, (7.9, 4.4, 5.8)),
-        ("Doorbell B=7", IfaceKind::DoorbellBatched, 7, (9.9, 4.6, 7.0)),
-        ("Doorbell B=11", IfaceKind::DoorbellBatched, 11, (10.8, 5.5, 9.1)),
+        (
+            "Doorbell B=3",
+            IfaceKind::DoorbellBatched,
+            3,
+            (7.9, 4.4, 5.8),
+        ),
+        (
+            "Doorbell B=7",
+            IfaceKind::DoorbellBatched,
+            7,
+            (9.9, 4.6, 7.0),
+        ),
+        (
+            "Doorbell B=11",
+            IfaceKind::DoorbellBatched,
+            11,
+            (10.8, 5.5, 9.1),
+        ),
         ("UPI B=1", IfaceKind::Upi, 1, (8.1, 1.8, 2.0)),
         ("UPI B=4", IfaceKind::Upi, 4, (12.4, 2.4, 3.1)),
     ];
@@ -39,5 +55,7 @@ fn main() {
             report.rtt.p99_us(),
         );
     }
-    paper_ref("UPI beats every PCIe scheme on both axes; doorbell batching trades latency for throughput");
+    paper_ref(
+        "UPI beats every PCIe scheme on both axes; doorbell batching trades latency for throughput",
+    );
 }

@@ -12,10 +12,7 @@ fn main() {
         "Fig. 11 (right)",
         "multi-thread scalability: end-to-end RPCs vs raw UPI reads",
     );
-    println!(
-        "{:<8} {:>14} {:>14}",
-        "threads", "e2e Mrps", "raw UPI Mrps"
-    );
+    println!("{:<8} {:>14} {:>14}", "threads", "e2e Mrps", "raw UPI Mrps");
     for threads in 1..=8usize {
         let mut spec = FabricSpec::dagger_echo(profile_for(IfaceKind::Upi), 4);
         spec.client_threads = threads;

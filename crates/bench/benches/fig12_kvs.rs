@@ -59,10 +59,8 @@ fn main() {
         ("mica-small", KvsSystem::Mica, 0.99, (4.3, 5.0)),
     ];
     for (label, system, skew, (p_w, p_r)) in thr_rows {
-        let write = RpcFabricSim::new(kvs_spec(system, 0.5, skew))
-            .find_saturation_mrps(1, 40_000);
-        let read = RpcFabricSim::new(kvs_spec(system, 0.95, skew))
-            .find_saturation_mrps(1, 40_000);
+        let write = RpcFabricSim::new(kvs_spec(system, 0.5, skew)).find_saturation_mrps(1, 40_000);
+        let read = RpcFabricSim::new(kvs_spec(system, 0.95, skew)).find_saturation_mrps(1, 40_000);
         println!("{label:<12} {write:>14.1} {read:>14.1}   ({p_w}/{p_r})");
     }
 

@@ -10,7 +10,10 @@ use dagger_types::config::{MAX_BATCH, MAX_CONN_CACHE_ENTRIES, MAX_FLOWS};
 use dagger_types::HardConfig;
 
 fn main() {
-    banner("Table 1", "NIC implementation specifications (paper vs this model)");
+    banner(
+        "Table 1",
+        "NIC implementation specifications (paper vs this model)",
+    );
     let cfg = HardConfig::default();
     println!("paper (Arria 10 GX1150 synthesis):");
     println!("  CPU-NIC interface clock     200-300 MHz");

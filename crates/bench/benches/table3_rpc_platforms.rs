@@ -10,7 +10,10 @@ use dagger_bench::{banner, paper_ref};
 use dagger_sim::rpcsim::{FabricSpec, RpcFabricSim};
 
 fn main() {
-    banner("Table 3", "median RTT and single-core RPC throughput across platforms");
+    banner(
+        "Table 3",
+        "median RTT and single-core RPC throughput across platforms",
+    );
     println!(
         "{:<10} {:>10} {:>12}   paper (RTT us / thr Mrps)",
         "platform", "RTT us", "thr Mrps"
@@ -22,9 +25,7 @@ fn main() {
         ("NetDIMM", 2.2, "n/a"),
         ("Dagger", 2.1, "12.4"),
     ];
-    for ((name, profile, b), (p_name, p_rtt, p_thr)) in
-        table3_platforms().into_iter().zip(paper)
-    {
+    for ((name, profile, b), (p_name, p_rtt, p_thr)) in table3_platforms().into_iter().zip(paper) {
         assert_eq!(name, p_name);
         let mut spec = FabricSpec::dagger_echo(profile, b);
         if name == "NetDIMM" {

@@ -13,7 +13,8 @@ fn main() {
         "{:<10} {:>12} {:>9} {:>9} {:>9}   paper (load/med/90/99)",
         "model", "max Krps", "p50 us", "p90 us", "p99 us"
     );
-    let rows: [(&str, FlightSimConfig, (f64, f64, f64, f64)); 2] = [
+    type Row = (&'static str, FlightSimConfig, (f64, f64, f64, f64));
+    let rows: [Row; 2] = [
         ("Simple", FlightSimConfig::simple(), (2.7, 13.3, 20.2, 23.8)),
         (
             "Optimized",

@@ -59,7 +59,10 @@ impl Memcached {
     /// Panics if `shards` is zero or `capacity_bytes < shards`.
     pub fn new(capacity_bytes: usize, shards: usize) -> Self {
         assert!(shards > 0, "at least one shard required");
-        assert!(capacity_bytes >= shards, "capacity below one byte per shard");
+        assert!(
+            capacity_bytes >= shards,
+            "capacity below one byte per shard"
+        );
         Memcached {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard_bytes: capacity_bytes / shards,
@@ -207,7 +210,10 @@ mod tests {
         mc.get(&0u64.to_le_bytes());
         assert!(mc.set(&99u64.to_le_bytes(), &[0u8; 8]));
         assert_eq!(mc.get(&1u64.to_le_bytes()), None, "LRU victim");
-        assert!(mc.get(&0u64.to_le_bytes()).is_some(), "recently used survives");
+        assert!(
+            mc.get(&0u64.to_le_bytes()).is_some(),
+            "recently used survives"
+        );
         assert!(mc.stats().evictions >= 1);
     }
 

@@ -195,7 +195,12 @@ impl Mica {
         assert!(log_bytes_per_partition >= 64, "log too small");
         Mica {
             partitions: (0..partitions)
-                .map(|_| Mutex::new(Partition::new(buckets_per_partition, log_bytes_per_partition)))
+                .map(|_| {
+                    Mutex::new(Partition::new(
+                        buckets_per_partition,
+                        log_bytes_per_partition,
+                    ))
+                })
                 .collect(),
         }
     }

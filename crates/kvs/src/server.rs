@@ -182,8 +182,8 @@ mod tests {
         let get = KvGetRequest {
             key: b"key".to_vec(),
         };
-        let resp = KvGetResponse::from_wire(&port.dispatch(FnId(1), &get.to_wire()).unwrap())
-            .unwrap();
+        let resp =
+            KvGetResponse::from_wire(&port.dispatch(FnId(1), &get.to_wire()).unwrap()).unwrap();
         assert!(resp.found);
         assert_eq!(resp.value, b"val");
     }

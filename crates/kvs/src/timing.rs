@@ -99,24 +99,42 @@ mod tests {
     fn memcached_throughput_bands() {
         let write = thr_mrps(KvsSystem::Memcached, 0.5, 0.99);
         let read = thr_mrps(KvsSystem::Memcached, 0.95, 0.99);
-        assert!((0.45..0.75).contains(&write), "50% GET {write} Mrps (paper 0.6)");
-        assert!((1.1..1.8).contains(&read), "95% GET {read} Mrps (paper 1.5)");
+        assert!(
+            (0.45..0.75).contains(&write),
+            "50% GET {write} Mrps (paper 0.6)"
+        );
+        assert!(
+            (1.1..1.8).contains(&read),
+            "95% GET {read} Mrps (paper 1.5)"
+        );
     }
 
     #[test]
     fn mica_throughput_bands() {
         let write = thr_mrps(KvsSystem::Mica, 0.5, 0.99);
         let read = thr_mrps(KvsSystem::Mica, 0.95, 0.99);
-        assert!((4.2..5.2).contains(&write), "50% GET {write} Mrps (paper 4.7)");
-        assert!((4.6..5.6).contains(&read), "95% GET {read} Mrps (paper 5.2)");
+        assert!(
+            (4.2..5.2).contains(&write),
+            "50% GET {write} Mrps (paper 4.7)"
+        );
+        assert!(
+            (4.6..5.6).contains(&read),
+            "95% GET {read} Mrps (paper 5.2)"
+        );
     }
 
     #[test]
     fn high_skew_approaches_fabric_limit() {
         let hot_read = thr_mrps(KvsSystem::Mica, 0.95, 0.9999);
         let hot_write = thr_mrps(KvsSystem::Mica, 0.5, 0.9999);
-        assert!((8.5..11.0).contains(&hot_read), "read {hot_read} (paper 10.2)");
-        assert!((8.0..10.5).contains(&hot_write), "write {hot_write} (paper 9.8)");
+        assert!(
+            (8.5..11.0).contains(&hot_read),
+            "read {hot_read} (paper 10.2)"
+        );
+        assert!(
+            (8.0..10.5).contains(&hot_write),
+            "write {hot_write} (paper 9.8)"
+        );
     }
 
     #[test]

@@ -251,10 +251,7 @@ mod tests {
     fn open_lookup_close() {
         let mut cm = ConnectionManager::new(16);
         cm.open(ConnectionId(5), tuple(1, 100)).unwrap();
-        assert_eq!(
-            cm.lookup(CmPort::Tx, ConnectionId(5)),
-            Some(tuple(1, 100))
-        );
+        assert_eq!(cm.lookup(CmPort::Tx, ConnectionId(5)), Some(tuple(1, 100)));
         cm.close(ConnectionId(5)).unwrap();
         assert_eq!(cm.lookup(CmPort::Tx, ConnectionId(5)), None);
     }

@@ -67,6 +67,7 @@ pub fn encode_ctrl_open(
         frame_idx: 0,
         frame_count: 1,
         frame_payload_len: 7,
+        traced: false,
     };
     hdr.encode(line.header_mut());
     let payload = line.payload_mut();
@@ -92,6 +93,7 @@ pub fn encode_ctrl_close(cid: ConnectionId) -> CacheLine {
         frame_idx: 0,
         frame_count: 1,
         frame_payload_len: 0,
+        traced: false,
     };
     hdr.encode(line.header_mut());
     line
@@ -109,6 +111,7 @@ pub fn encode_ctrl_open_ack(cid: ConnectionId) -> CacheLine {
         frame_idx: 0,
         frame_count: 1,
         frame_payload_len: 0,
+        traced: false,
     };
     hdr.encode(line.header_mut());
     line
@@ -194,7 +197,7 @@ impl EngineCore {
             // it, poll the processor's LLC directly (cached polling would
             // steal line ownership from the busy CPU); below it, poll the
             // NIC's local coherent cache and ride invalidations.
-            if tick % 1024 == 0 {
+            if tick.is_multiple_of(1024) {
                 let threshold = self.softregs.polling_threshold();
                 self.direct_polling = threshold != 0 && self.window_frames > u64::from(threshold);
                 self.window_frames = 0;
@@ -252,10 +255,7 @@ impl EngineCore {
                     self.hcc
                         .access(u64::from(hdr.connection_id.raw()) * HEADER_BYTES as u64);
                 }
-                let tuple = self
-                    .conn_mgr
-                    .lock()
-                    .lookup(CmPort::Tx, hdr.connection_id);
+                let tuple = self.conn_mgr.lock().lookup(CmPort::Tx, hdr.connection_id);
                 let Some(tuple) = tuple else {
                     self.monitor.inc_unknown_connection_drops();
                     continue;
@@ -486,8 +486,7 @@ impl EngineCore {
                     }
                 }
             }
-            self.sched
-                .on_drain(flow, self.fifos.len(flow) == 0, tick);
+            self.sched.on_drain(flow, self.fifos.len(flow) == 0, tick);
             progress = true;
         }
         progress

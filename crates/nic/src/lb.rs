@@ -78,13 +78,22 @@ impl LoadBalancer {
         static_flow: Option<FlowId>,
     ) -> FlowId {
         assert!(active_flows > 0, "at least one active flow required");
-        assert!(total_flows >= active_flows, "total flows below active flows");
+        assert!(
+            total_flows >= active_flows,
+            "total flows below active flows"
+        );
         let n = active_flows as u64;
         if hdr.kind == RpcKind::Response {
             return FlowId((u64::from(hdr.src_flow.raw()) % total_flows as u64) as u16);
         }
         if hdr.frame_count > 1 {
-            let h = fnv1a(&[hdr.connection_id.raw().to_le_bytes(), hdr.rpc_id.raw().to_le_bytes()].concat());
+            let h = fnv1a(
+                &[
+                    hdr.connection_id.raw().to_le_bytes(),
+                    hdr.rpc_id.raw().to_le_bytes(),
+                ]
+                .concat(),
+            );
             return FlowId((h % n) as u16);
         }
         match self.policy {
@@ -98,9 +107,22 @@ impl LoadBalancer {
                 FlowId((u64::from(pinned.raw()) % n) as u16)
             }
             LbPolicy::ObjectLevel => {
+                // A traced RPC's payload starts with the 16-byte trace
+                // context prelude; the key sits after it. Skipping keeps
+                // key→partition affinity identical whether or not the
+                // request is traced.
+                let skip = if hdr.traced {
+                    dagger_telemetry::TraceContext::WIRE_BYTES
+                } else {
+                    0
+                };
                 let (lo, hi) = self.key_range;
-                let hi = hi.min(payload.len());
-                let key = if lo < hi { &payload[lo..hi] } else { payload };
+                let (lo, hi) = (lo + skip, (hi + skip).min(payload.len()));
+                let key = if lo < hi {
+                    &payload[lo..hi]
+                } else {
+                    &payload[skip.min(payload.len())..]
+                };
                 FlowId((fnv1a(key) % n) as u16)
             }
         }
@@ -122,6 +144,7 @@ mod tests {
             frame_idx: 0,
             frame_count: frames,
             frame_payload_len: 8,
+            traced: false,
         }
     }
 
@@ -176,6 +199,23 @@ mod tests {
             seen[f.raw() as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "keys should cover all partitions");
+    }
+
+    #[test]
+    fn object_level_skips_trace_prelude() {
+        let mut lb = LoadBalancer::new(LbPolicy::ObjectLevel, (0, 8));
+        let key = *b"hotkey__";
+        let untraced = lb.steer(&req(1, 1, 1), &key, 4, 4, None);
+        // Same key behind a 16-byte trace-context prelude.
+        let mut traced_payload = vec![0xEE; 16];
+        traced_payload.extend_from_slice(&key);
+        let mut hdr = req(1, 2, 1);
+        hdr.traced = true;
+        let traced = lb.steer(&hdr, &traced_payload, 4, 4, None);
+        assert_eq!(
+            untraced, traced,
+            "tracing must not move keys between partitions"
+        );
     }
 
     #[test]

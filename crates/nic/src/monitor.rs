@@ -153,7 +153,8 @@ impl PacketMonitor {
 
     /// Counts one frame dropped for an unknown connection.
     pub fn inc_unknown_connection_drops(&self) {
-        self.unknown_connection_drops.fetch_add(1, Ordering::Relaxed);
+        self.unknown_connection_drops
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one request-buffer backpressure event.

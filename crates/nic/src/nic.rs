@@ -24,19 +24,17 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
 use dagger_telemetry::Telemetry;
-use dagger_types::{
-    ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result,
-};
+use dagger_types::{ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::arbiter::ArbiterSlot;
 use crate::connmgr::{ConnectionManager, ConnectionTuple};
 use crate::engine::{encode_ctrl_close, encode_ctrl_open, EngineCore};
-use crate::reliable::{ReliableConfig, ReliableTransport};
 use crate::fabric::{FabricPort, MemFabric};
 use crate::flow::FlowFifos;
 use crate::hcc::HostCoherentCache;
 use crate::lb::LoadBalancer;
 use crate::monitor::PacketMonitor;
+use crate::reliable::{ReliableConfig, ReliableTransport};
 use crate::reqbuf::RequestBuffer;
 use crate::ring::{ring, RingConsumer, RingProducer};
 use crate::sched::FlowScheduler;
@@ -199,10 +197,7 @@ impl Nic {
                 for (i, f) in monitor.flow_snapshots().iter().enumerate() {
                     reg.set_gauge(&format!("{prefix}.flow.{i}.tx_frames"), f.tx_frames);
                     reg.set_gauge(&format!("{prefix}.flow.{i}.rx_frames"), f.rx_frames);
-                    reg.set_gauge(
-                        &format!("{prefix}.flow.{i}.rx_ring_drops"),
-                        f.rx_ring_drops,
-                    );
+                    reg.set_gauge(&format!("{prefix}.flow.{i}.rx_ring_drops"), f.rx_ring_drops);
                 }
                 let cm = conn_mgr.lock().snapshot();
                 reg.set_gauge(
@@ -456,6 +451,7 @@ mod tests {
             frame_idx: 0,
             frame_count: 1,
             frame_payload_len: 1,
+            traced: false,
         };
         hdr.encode(line.header_mut());
         line.payload_mut()[0] = tag;
@@ -538,12 +534,20 @@ mod tests {
         let fabric = MemFabric::new();
         let telemetry = Telemetry::new();
         telemetry.tracer().enable();
-        let client =
-            Nic::start_with_telemetry(&fabric, NodeAddr(1), HardConfig::default(), Arc::clone(&telemetry))
-                .unwrap();
-        let server =
-            Nic::start_with_telemetry(&fabric, NodeAddr(2), HardConfig::default(), Arc::clone(&telemetry))
-                .unwrap();
+        let client = Nic::start_with_telemetry(
+            &fabric,
+            NodeAddr(1),
+            HardConfig::default(),
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
+        let server = Nic::start_with_telemetry(
+            &fabric,
+            NodeAddr(2),
+            HardConfig::default(),
+            Arc::clone(&telemetry),
+        )
+        .unwrap();
         let mut cflow = client.take_flow().unwrap();
         let mut sflow = server.take_flow().unwrap();
         server.softregs().set_active_flows(1);
@@ -578,7 +582,12 @@ mod tests {
         assert!(snap.registry.gauge("nic.1.tx_frames").unwrap_or(0) > 0);
         assert!(snap.registry.gauge("nic.2.rx_frames").unwrap_or(0) > 0);
         assert!(snap.registry.gauge("nic.2.flow.0.rx_frames").unwrap_or(0) > 0);
-        assert!(snap.registry.gauge("nic.1.cm.open_connections").unwrap_or(0) > 0);
+        assert!(
+            snap.registry
+                .gauge("nic.1.cm.open_connections")
+                .unwrap_or(0)
+                > 0
+        );
         client.shutdown();
         server.shutdown();
     }

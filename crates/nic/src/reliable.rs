@@ -510,7 +510,7 @@ mod tests {
         let frame = a.on_send(dgram(1, 2, 0)).unwrap().encode();
         b.on_recv(&frame).unwrap().unwrap();
         b.on_recv(&frame).unwrap(); // duplicate
-        // Skip frame 1 so frame 2 arrives out of order at b.
+                                    // Skip frame 1 so frame 2 arrives out of order at b.
         let _lost = a.on_send(dgram(1, 2, 1)).unwrap();
         let f2 = a.on_send(dgram(1, 2, 2)).unwrap().encode();
         b.on_recv(&f2).unwrap();

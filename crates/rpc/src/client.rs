@@ -11,12 +11,14 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dagger_nic::Nic;
-use dagger_telemetry::{HistogramHandle, RpcEvent, Telemetry};
+use dagger_telemetry::{current_context, HistogramHandle, OpenSpan, RpcEvent, SpanKind, Telemetry};
 use dagger_types::{ConnectionId, FlowId, FnId, Result, RpcId, RpcKind};
+
+use parking_lot::Mutex;
 
 use crate::completion::CompletionQueue;
 use crate::endpoint::FlowEndpoint;
-use crate::frag::fragment;
+use crate::frag::fragment_with_ctx;
 use crate::service::decode_response;
 
 /// Default per-call deadline. Generous because functional mode may run on a
@@ -56,9 +58,7 @@ impl RpcClient {
             endpoint,
             cid,
             next_rpc: AtomicU32::new(1),
-            timeout_us: std::sync::atomic::AtomicU64::new(
-                DEFAULT_CALL_TIMEOUT.as_micros() as u64
-            ),
+            timeout_us: std::sync::atomic::AtomicU64::new(DEFAULT_CALL_TIMEOUT.as_micros() as u64),
             telemetry,
             rtt,
         }
@@ -90,22 +90,36 @@ impl RpcClient {
         Duration::from_micros(self.timeout_us.load(Ordering::Relaxed))
     }
 
-    fn issue(&self, fn_id: FnId, payload: &[u8]) -> Result<RpcId> {
+    /// Sends the request frames and, when distributed tracing is enabled,
+    /// opens a client span parented on the calling thread's current context
+    /// (so handler-issued nested calls chain into the caller's trace) and
+    /// rides its context on the wire.
+    fn issue(&self, fn_id: FnId, payload: &[u8]) -> Result<(RpcId, Option<OpenSpan>)> {
         let rpc_id = RpcId(self.next_rpc.fetch_add(1, Ordering::Relaxed));
         self.telemetry
             .tracer()
             .record(self.cid.raw(), rpc_id.raw(), RpcEvent::ClientSend);
-        let frames = fragment(
+        let mut span = self.telemetry.spans().start(
+            format!("rpc.fn{}", fn_id.raw()),
+            SpanKind::Client,
+            current_context(),
+        );
+        if let Some(s) = span.as_mut() {
+            s.node = Some(self.nic.addr().raw() as u16);
+            s.rpc = Some((self.cid.raw(), rpc_id.raw()));
+        }
+        let frames = fragment_with_ctx(
             self.cid,
             rpc_id,
             fn_id,
             self.endpoint.flow(),
             RpcKind::Request,
             payload,
+            span.as_ref().map(OpenSpan::context),
         )?;
         self.endpoint
             .send_frames(&frames, Instant::now() + self.timeout())?;
-        Ok(rpc_id)
+        Ok((rpc_id, span))
     }
 
     /// Synchronous (blocking) call: sends the request and waits for the
@@ -117,8 +131,13 @@ impl RpcClient {
     /// not arrive within the client timeout, or the remote handler's error.
     pub fn call_sync(&self, fn_id: FnId, payload: &[u8]) -> Result<Vec<u8>> {
         let started = Instant::now();
-        let rpc_id = self.issue(fn_id, payload)?;
-        let rpc = self.endpoint.wait_for(self.cid, rpc_id, self.timeout())?;
+        let (rpc_id, span) = self.issue(fn_id, payload)?;
+        let outcome = self.endpoint.wait_for(self.cid, rpc_id, self.timeout());
+        if let Some(span) = span {
+            // Closed even on timeout: the span then records the full wait.
+            span.finish(self.telemetry.spans());
+        }
+        let rpc = outcome?;
         self.record_rtt(started);
         decode_response(&rpc.payload)
     }
@@ -137,7 +156,7 @@ impl RpcClient {
     /// Returns an error if the request cannot be written to the TX ring.
     pub fn call_async(&self, fn_id: FnId, payload: &[u8]) -> Result<PendingCall> {
         let issued = Instant::now();
-        let rpc_id = self.issue(fn_id, payload)?;
+        let (rpc_id, span) = self.issue(fn_id, payload)?;
         Ok(PendingCall {
             endpoint: Arc::clone(&self.endpoint),
             cid: self.cid,
@@ -145,6 +164,8 @@ impl RpcClient {
             timeout: self.timeout(),
             issued,
             rtt: self.rtt.clone(),
+            telemetry: Arc::clone(&self.telemetry),
+            span: Mutex::new(span),
         })
     }
 
@@ -174,6 +195,10 @@ pub struct PendingCall {
     timeout: Duration,
     issued: Instant,
     rtt: HistogramHandle,
+    telemetry: Arc<Telemetry>,
+    /// The client span opened at issue time, closed by whichever thread
+    /// observes completion.
+    span: Mutex<Option<OpenSpan>>,
 }
 
 impl PendingCall {
@@ -194,9 +219,16 @@ impl PendingCall {
         match self.endpoint.try_take(self.cid, self.rpc_id) {
             Some(rpc) => {
                 self.record_rtt();
+                self.finish_span();
                 decode_response(&rpc.payload).map(Some)
             }
             None => Ok(None),
+        }
+    }
+
+    fn finish_span(&self) {
+        if let Some(span) = self.span.lock().take() {
+            span.finish(self.telemetry.spans());
         }
     }
 
@@ -213,7 +245,9 @@ impl PendingCall {
     /// Returns [`dagger_types::DaggerError::Timeout`] on deadline, or the
     /// remote handler's error.
     pub fn wait(self) -> Result<Vec<u8>> {
-        let rpc = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout)?;
+        let outcome = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout);
+        self.finish_span();
+        let rpc = outcome?;
         self.record_rtt();
         decode_response(&rpc.payload)
     }

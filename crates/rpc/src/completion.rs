@@ -95,11 +95,7 @@ impl CompletionQueue {
     /// Returns [`DaggerError::Timeout`] if fewer than `n` completions arrive
     /// in time (already-collected completions are lost to the caller, as
     /// with a real completion queue drain).
-    pub fn wait_for(
-        &self,
-        n: usize,
-        timeout: Duration,
-    ) -> Result<Vec<(RpcId, Result<Vec<u8>>)>> {
+    pub fn wait_for(&self, n: usize, timeout: Duration) -> Result<Vec<(RpcId, Result<Vec<u8>>)>> {
         let deadline = Instant::now() + timeout;
         let mut seen = 0;
         let mut out = Vec::new();

@@ -112,7 +112,10 @@ impl FlowEndpoint {
         if !tracer.is_enabled() {
             return;
         }
-        if let Some(hdr) = frames.first().and_then(|f| RpcHeader::decode(f.header()).ok()) {
+        if let Some(hdr) = frames
+            .first()
+            .and_then(|f| RpcHeader::decode(f.header()).ok())
+        {
             if hdr.kind == RpcKind::Request && hdr.frame_idx == 0 {
                 tracer.record(
                     hdr.connection_id.raw(),

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use dagger_telemetry::TraceContext;
 use dagger_types::{
     CacheLine, ConnectionId, DaggerError, FlowId, FnId, Result, RpcHeader, RpcId, RpcKind,
     FRAME_PAYLOAD_BYTES,
@@ -26,6 +27,25 @@ pub struct CompleteRpc {
     pub header: RpcHeader,
     /// The concatenated payload.
     pub payload: Vec<u8>,
+}
+
+impl CompleteRpc {
+    /// Splits off the wire trace context when the header's `traced` bit is
+    /// set, leaving `payload` holding only the application bytes.
+    ///
+    /// Returns `None` (and leaves the RPC untouched) for untraced RPCs or
+    /// a traced RPC whose payload is too short to hold the prelude (which
+    /// cannot be produced by [`fragment_with_ctx`], but a forged frame
+    /// could claim it).
+    pub fn take_trace_context(&mut self) -> Option<TraceContext> {
+        if !self.header.traced {
+            return None;
+        }
+        let ctx = TraceContext::decode(&self.payload)?;
+        self.payload.drain(..TraceContext::WIRE_BYTES);
+        self.header.traced = false;
+        Some(ctx)
+    }
 }
 
 /// Splits `payload` into cache-line frames carrying the given identity.
@@ -64,18 +84,52 @@ pub fn fragment(
     kind: RpcKind,
     payload: &[u8],
 ) -> Result<Vec<CacheLine>> {
-    if payload.len() > MAX_RPC_PAYLOAD {
+    fragment_with_ctx(cid, rpc_id, fn_id, src_flow, kind, payload, None)
+}
+
+/// Like [`fragment`], but when `ctx` is given the 16-byte wire trace
+/// context is prepended to the payload before splitting and every frame's
+/// header carries the `traced` bit. Because the context is ordinary payload
+/// from the fabric's point of view, it survives reassembly, reordering and
+/// retransmission untouched; the receive side strips it back off with
+/// [`CompleteRpc::take_trace_context`]. With `ctx = None` this is exactly
+/// [`fragment`]: zero extra bytes on the wire.
+///
+/// # Errors
+///
+/// Returns [`DaggerError::PayloadTooLarge`] if payload plus prelude exceeds
+/// [`MAX_RPC_PAYLOAD`].
+pub fn fragment_with_ctx(
+    cid: ConnectionId,
+    rpc_id: RpcId,
+    fn_id: FnId,
+    src_flow: FlowId,
+    kind: RpcKind,
+    payload: &[u8],
+    ctx: Option<TraceContext>,
+) -> Result<Vec<CacheLine>> {
+    // One logical byte stream: prelude (if any) followed by the payload.
+    let traced = ctx.is_some();
+    let combined;
+    let bytes: &[u8] = match ctx {
+        Some(c) => {
+            combined = [c.encode().as_slice(), payload].concat();
+            &combined
+        }
+        None => payload,
+    };
+    if bytes.len() > MAX_RPC_PAYLOAD {
         return Err(DaggerError::PayloadTooLarge {
-            requested: payload.len(),
+            requested: bytes.len(),
             max: MAX_RPC_PAYLOAD,
         });
     }
-    let frame_count = payload.len().div_ceil(FRAME_PAYLOAD_BYTES).max(1) as u8;
+    let frame_count = bytes.len().div_ceil(FRAME_PAYLOAD_BYTES).max(1) as u8;
     let mut frames = Vec::with_capacity(frame_count as usize);
     for idx in 0..frame_count {
-        let start = idx as usize * FRAME_PAYLOAD_BYTES;
-        let end = (start + FRAME_PAYLOAD_BYTES).min(payload.len());
-        let chunk = &payload[start.min(payload.len())..end];
+        let start = (idx as usize * FRAME_PAYLOAD_BYTES).min(bytes.len());
+        let end = (start + FRAME_PAYLOAD_BYTES).min(bytes.len());
+        let chunk = &bytes[start..end];
         let hdr = RpcHeader {
             connection_id: cid,
             rpc_id,
@@ -85,6 +139,7 @@ pub fn fragment(
             frame_idx: idx,
             frame_count,
             frame_payload_len: chunk.len() as u8,
+            traced,
         };
         let mut line = CacheLine::zeroed();
         hdr.encode(line.header_mut());
@@ -261,14 +316,14 @@ mod tests {
 
     #[test]
     fn same_rpc_id_request_and_response_do_not_collide() {
-        let req = frames_for(&vec![1u8; 100]);
+        let req = frames_for(&[1u8; 100]);
         let resp = fragment(
             ConnectionId(1),
             RpcId(2),
             FnId(3),
             FlowId(4),
             RpcKind::Response,
-            &vec![2u8; 100],
+            &[2u8; 100],
         )
         .unwrap();
         let mut r = Reassembler::new();
@@ -324,6 +379,101 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_rides_and_strips() {
+        let ctx = TraceContext {
+            trace_id: 0x1111_2222_3333_4444,
+            span_id: 0x5555_6666_7777_8888,
+        };
+        for size in [0usize, 1, 32, 47, 48, 100, 200] {
+            let payload: Vec<u8> = (0..size).map(|i| i as u8).collect();
+            let frames = fragment_with_ctx(
+                ConnectionId(1),
+                RpcId(2),
+                FnId(3),
+                FlowId(4),
+                RpcKind::Request,
+                &payload,
+                Some(ctx),
+            )
+            .unwrap();
+            assert_eq!(
+                frames.len(),
+                (size + TraceContext::WIRE_BYTES).div_ceil(48),
+                "size {size}"
+            );
+            for f in &frames {
+                assert!(RpcHeader::decode(f.header()).unwrap().traced);
+            }
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for f in frames {
+                done = r.push(f).unwrap();
+            }
+            let mut rpc = done.unwrap();
+            assert_eq!(rpc.take_trace_context(), Some(ctx), "size {size}");
+            assert!(!rpc.header.traced, "traced bit cleared after strip");
+            assert_eq!(rpc.payload, payload, "size {size}");
+            assert_eq!(rpc.take_trace_context(), None, "strip is one-shot");
+        }
+    }
+
+    #[test]
+    fn untraced_rpc_has_no_context_and_no_extra_bytes() {
+        let with_none = fragment_with_ctx(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &[9u8; 100],
+            None,
+        )
+        .unwrap();
+        let plain = frames_for(&[9u8; 100]);
+        assert_eq!(with_none.len(), plain.len());
+        for (a, b) in with_none.iter().zip(plain.iter()) {
+            assert_eq!(a.header(), b.header(), "identical wire bytes");
+            assert_eq!(a.payload(), b.payload());
+        }
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for f in with_none {
+            done = r.push(f).unwrap();
+        }
+        assert_eq!(done.unwrap().take_trace_context(), None);
+    }
+
+    #[test]
+    fn traced_payload_budget_shrinks_by_prelude() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+        };
+        let limit = MAX_RPC_PAYLOAD - TraceContext::WIRE_BYTES;
+        let ok = fragment_with_ctx(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &vec![0u8; limit],
+            Some(ctx),
+        );
+        assert_eq!(ok.unwrap().len(), 255);
+        let err = fragment_with_ctx(
+            ConnectionId(1),
+            RpcId(2),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &vec![0u8; limit + 1],
+            Some(ctx),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DaggerError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
     fn inconsistent_frame_count_rejected() {
         let payload = vec![1u8; 100];
         let frames = frames_for(&payload);
@@ -336,7 +486,7 @@ mod tests {
             FnId(3),
             FlowId(4),
             RpcKind::Request,
-            &vec![1u8; 200],
+            &[1u8; 200],
         )
         .unwrap()[1];
         assert!(r.push(forged).is_err());

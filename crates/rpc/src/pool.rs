@@ -110,15 +110,12 @@ impl RpcClientPool {
     ///
     /// Returns [`dagger_types::DaggerError::Config`] if `i` is out of range.
     pub fn client(&self, i: usize) -> Result<Arc<RpcClient>> {
-        self.clients
-            .get(i)
-            .cloned()
-            .ok_or_else(|| {
-                dagger_types::DaggerError::Config(format!(
-                    "client index {i} out of range for pool of {}",
-                    self.clients.len()
-                ))
-            })
+        self.clients.get(i).cloned().ok_or_else(|| {
+            dagger_types::DaggerError::Config(format!(
+                "client index {i} out of range for pool of {}",
+                self.clients.len()
+            ))
+        })
     }
 
     /// Iterates over all clients.

@@ -23,8 +23,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use dagger_nic::{HostFlow, Nic, RingProducer};
-use dagger_telemetry::{Counter, HistogramHandle, RpcEvent, Telemetry};
-use dagger_types::{ConnectionId, DaggerError, FlowId, FnId, Result, RpcId, RpcKind};
+use dagger_telemetry::{
+    ContextScope, Counter, HistogramHandle, RpcEvent, SpanKind, Telemetry, TraceContext,
+};
+use dagger_types::{ConnectionId, DaggerError, FlowId, FnId, NodeAddr, Result, RpcId, RpcKind};
 
 use crate::frag::{fragment, Reassembler};
 use crate::service::{encode_response, RpcService};
@@ -50,6 +52,9 @@ struct WorkItem {
     fn_id: FnId,
     src_flow: FlowId,
     payload: Vec<u8>,
+    /// Trace context stripped from the request's wire prelude, when the
+    /// caller traced this RPC.
+    ctx: Option<TraceContext>,
     tx: Arc<Mutex<RingProducer>>,
 }
 
@@ -61,6 +66,8 @@ struct DispatchCtx {
     handled: Arc<AtomicU64>,
     errors: Arc<AtomicU64>,
     telemetry: Arc<Telemetry>,
+    /// NIC address of the hosting node, stamped on server spans.
+    node: NodeAddr,
     handler_ns: HistogramHandle,
     requests: Counter,
     handler_errors: Counter,
@@ -73,6 +80,7 @@ impl DispatchCtx {
         handled: Arc<AtomicU64>,
         errors: Arc<AtomicU64>,
         telemetry: Arc<Telemetry>,
+        node: NodeAddr,
     ) -> Self {
         let registry = telemetry.registry();
         let handler_ns = registry.histogram(SERVER_HANDLER_HISTOGRAM);
@@ -84,6 +92,7 @@ impl DispatchCtx {
             handled,
             errors,
             telemetry,
+            node,
             handler_ns,
             requests,
             handler_errors,
@@ -215,6 +224,7 @@ impl RpcThreadedServer {
             Arc::clone(&self.handled),
             Arc::clone(&self.errors),
             Arc::clone(self.nic.telemetry()),
+            self.nic.addr(),
         ));
         if let ThreadingModel::Worker { workers } = self.threading {
             if workers == 0 {
@@ -334,13 +344,15 @@ impl RpcServerThread {
             while let Some(line) = self.rx.try_pop() {
                 progress = true;
                 match self.reassembler.push(line) {
-                    Ok(Some(rpc)) if rpc.header.kind == RpcKind::Request => {
+                    Ok(Some(mut rpc)) if rpc.header.kind == RpcKind::Request => {
+                        let ctx = rpc.take_trace_context();
                         self.handle(
                             rpc.header.connection_id,
                             rpc.header.rpc_id,
                             rpc.header.fn_id,
                             rpc.header.src_flow,
                             rpc.payload,
+                            ctx,
                         );
                     }
                     // Responses landing on a server flow (symmetric stacks
@@ -362,6 +374,7 @@ impl RpcServerThread {
         fn_id: FnId,
         src_flow: FlowId,
         payload: Vec<u8>,
+        ctx: Option<TraceContext>,
     ) {
         let item = WorkItem {
             cid,
@@ -369,6 +382,7 @@ impl RpcServerThread {
             fn_id,
             src_flow,
             payload,
+            ctx,
             tx: Arc::clone(&self.tx),
         };
         match self.threading {
@@ -402,10 +416,32 @@ fn dispatch_one(ctx: &DispatchCtx, item: &WorkItem) {
     let tracer = ctx.telemetry.tracer();
     tracer.record(item.cid.raw(), item.rpc_id.raw(), RpcEvent::ServerDispatch);
     ctx.requests.inc();
+    let service = ctx.services.get(&item.fn_id.raw());
+    // A server span continues the caller's trace when the request carried a
+    // wire context. Untraced requests stay span-free: no names, no clock
+    // reads, nothing.
+    let mut span = item.ctx.and_then(|parent| {
+        let name = service.map_or_else(
+            || format!("fn{}", item.fn_id.raw()),
+            |s| s.descriptor().name().to_string(),
+        );
+        ctx.telemetry
+            .spans()
+            .start(name, SpanKind::Server, Some(parent))
+    });
+    if let Some(s) = span.as_mut() {
+        s.node = Some(ctx.node.raw() as u16);
+        s.rpc = Some((item.cid.raw(), item.rpc_id.raw()));
+    }
     let started = Instant::now();
-    let outcome = match ctx.services.get(&item.fn_id.raw()) {
-        Some(service) => service.dispatch(item.fn_id, &item.payload),
-        None => Err(DaggerError::UnknownFunction(item.fn_id.raw())),
+    let outcome = {
+        // While the handler runs, nested calls it issues inherit this
+        // server span as their parent via the thread-local context stack.
+        let _scope = span.as_ref().map(|s| ContextScope::enter(s.context()));
+        match service {
+            Some(service) => service.dispatch(item.fn_id, &item.payload),
+            None => Err(DaggerError::UnknownFunction(item.fn_id.raw())),
+        }
     };
     ctx.handler_ns
         .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
@@ -424,6 +460,9 @@ fn dispatch_one(ctx: &DispatchCtx, item: &WorkItem) {
     ) else {
         // Response too large for the fragmentation layer; the client will
         // time out (no truncated garbage on the wire).
+        if let Some(span) = span {
+            span.finish(ctx.telemetry.spans());
+        }
         return;
     };
     let mut producer = item.tx.lock();
@@ -442,5 +481,10 @@ fn dispatch_one(ctx: &DispatchCtx, item: &WorkItem) {
     }
     drop(producer);
     tracer.record(item.cid.raw(), item.rpc_id.raw(), RpcEvent::HandlerDone);
+    if let Some(span) = span {
+        // Closed after the response frames are on the TX ring, so the
+        // span covers serialization and ring write, not just the handler.
+        span.finish(ctx.telemetry.spans());
+    }
     ctx.handled.fetch_add(1, Ordering::Relaxed);
 }

@@ -24,7 +24,7 @@ use dagger_kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispa
 use dagger_kvs::Mica;
 use dagger_nic::{MemFabric, Nic};
 use dagger_rpc::{RpcClientPool, RpcThreadedServer, ThreadingModel};
-use dagger_telemetry::{Telemetry, TelemetrySnapshot};
+use dagger_telemetry::{ContextScope, SpanKind, Telemetry, TelemetrySnapshot};
 use dagger_types::{HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::trace::Tracer;
@@ -329,6 +329,7 @@ impl CheckInApi for CheckInHandler {
 pub struct FlightApp {
     tracer: Arc<Tracer>,
     telemetry: Arc<Telemetry>,
+    addrs: FlightAddrs,
     passenger_checkin: CheckInClient,
     staff_airport: KvStoreClient,
     airport_store: Arc<Mica>,
@@ -364,10 +365,12 @@ impl FlightApp {
     ///
     /// Returns an error if any NIC, server, or connection fails to come up.
     pub fn launch(fabric: &MemFabric, config: &FlightConfig) -> Result<FlightApp> {
-        let tracer = Tracer::new();
-        // One hub for all eight tiers: every NIC's collector and every
-        // RPC-stage stamp lands in the same registry and trace epoch.
+        // One hub for all eight tiers: every NIC's collector, every
+        // RPC-stage stamp, and every distributed-trace span lands in the
+        // same registry and trace epoch. The §5.7 tier tracer is bridged
+        // into the hub so tier visits nest inside their server spans.
         let telemetry = Telemetry::new();
+        let tracer = Tracer::with_telemetry(Arc::clone(&telemetry));
         let a = config.addrs;
         let mut servers = Vec::new();
         let mut nics = Vec::new();
@@ -399,11 +402,8 @@ impl FlightApp {
 
         // --- Leaf mid tiers. ---
         let flight_nic = tier_nic(fabric, a.flight, &telemetry)?;
-        let mut flight_server = RpcThreadedServer::with_threading(
-            Arc::clone(&flight_nic),
-            1,
-            config.flight_threading,
-        );
+        let mut flight_server =
+            RpcThreadedServer::with_threading(Arc::clone(&flight_nic), 1, config.flight_threading);
         flight_server.register_service(Arc::new(FlightInfoDispatch::new(FlightInfoHandler {
             tracer: Arc::clone(&tracer),
             work: config.flight_work,
@@ -501,6 +501,7 @@ impl FlightApp {
         Ok(FlightApp {
             tracer,
             telemetry,
+            addrs: a,
             passenger_checkin,
             staff_airport,
             airport_store,
@@ -522,6 +523,57 @@ impl FlightApp {
             flight,
             bags,
         })
+    }
+
+    /// Enables distributed tracing on all tiers: every RPC carries a wire
+    /// trace context and every tier opens spans, so
+    /// [`passenger_journey`](FlightApp::passenger_journey) yields connected
+    /// 8-tier trace trees in the hub's span collector.
+    pub fn enable_tracing(&self) {
+        self.telemetry.enable_tracing();
+    }
+
+    /// Disables tracing; the wire goes back to carrying zero trace bytes.
+    pub fn disable_tracing(&self) {
+        self.telemetry.disable_tracing();
+    }
+
+    /// One fully traced passenger journey: a root span covering a check-in
+    /// through all middle tiers and backends, followed by the staff
+    /// front-end looking up the fresh Airport record — touching all eight
+    /// tiers of §5.7 under a single trace.
+    ///
+    /// With tracing disabled this is just the two calls: no span, no wire
+    /// context, no extra bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport or handler errors.
+    pub fn passenger_journey(
+        &self,
+        passenger_id: u64,
+        flight: u32,
+        bags: u8,
+    ) -> Result<CheckInResponse> {
+        let mut span = self
+            .telemetry
+            .spans()
+            .start("passenger_journey", SpanKind::Internal, None);
+        if let Some(s) = span.as_mut() {
+            s.node = Some(self.addrs.passenger_fe.raw() as u16);
+        }
+        let outcome = {
+            let _scope = span.as_ref().map(|s| ContextScope::enter(s.context()));
+            let resp = self.check_in(passenger_id, flight, bags)?;
+            if resp.ok {
+                let _ = self.staff_lookup(resp.record)?;
+            }
+            Ok(resp)
+        };
+        if let Some(span) = span {
+            span.finish(self.telemetry.spans());
+        }
+        outcome
     }
 
     /// The staff front-end: asynchronously consults the Airport database.

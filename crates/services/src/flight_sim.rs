@@ -320,7 +320,12 @@ impl FlightSim {
         let rate_per_ns = load_krps * 1e-6;
         schedule_passenger(&mut sim, world.clone(), rate_per_ns, requests);
         if cfg.staff_fraction > 0.0 {
-            schedule_staff(&mut sim, world.clone(), rate_per_ns * cfg.staff_fraction, requests);
+            schedule_staff(
+                &mut sim,
+                world.clone(),
+                rate_per_ns * cfg.staff_fraction,
+                requests,
+            );
         }
         sim.run();
         let w = world.borrow();
@@ -541,7 +546,10 @@ mod tests {
             (9.0..18.0).contains(&p50),
             "Simple p50 {p50} us, paper 13.3"
         );
-        assert!((p50..45.0).contains(&p99), "Simple p99 {p99} us, paper 23.8");
+        assert!(
+            (p50..45.0).contains(&p99),
+            "Simple p99 {p99} us, paper 23.8"
+        );
         assert_eq!(r.drops, 0);
     }
 
@@ -570,11 +578,19 @@ mod tests {
         // Optimized sustains ~42 Krps with <1% drops (paper: 48 Krps)...
         let opt = FlightSim::new(FlightSimConfig::optimized());
         let at_42 = opt.run(42.0, 40_000, 1);
-        assert!(at_42.drop_rate() < 0.02, "42 Krps drops {}", at_42.drop_rate());
+        assert!(
+            at_42.drop_rate() < 0.02,
+            "42 Krps drops {}",
+            at_42.drop_rate()
+        );
         // ...which Simple cannot come close to.
         let s = FlightSim::new(FlightSimConfig::simple());
         let at_5 = s.run(5.0, 20_000, 1);
-        assert!(at_5.drop_rate() > 0.05, "Simple at 5 Krps: {}", at_5.drop_rate());
+        assert!(
+            at_5.drop_rate() > 0.05,
+            "Simple at 5 Krps: {}",
+            at_5.drop_rate()
+        );
     }
 
     #[test]
@@ -594,7 +610,11 @@ mod tests {
         let rs = cfg_s.run(load, 30_000, 3);
         let ro = cfg_o.run(load, 30_000, 3);
         assert!(rs.drop_rate() > 0.3, "Simple at 20K: {}", rs.drop_rate());
-        assert!(ro.drop_rate() < 0.02, "Optimized at 20K: {}", ro.drop_rate());
+        assert!(
+            ro.drop_rate() < 0.02,
+            "Optimized at 20K: {}",
+            ro.drop_rate()
+        );
     }
 
     #[test]

@@ -25,6 +25,11 @@ use dagger_sim::engine::Sim;
 use dagger_sim::resource::MultiServerResource;
 use dagger_sim::rng::Rng;
 use dagger_sim::Nanos;
+use dagger_telemetry::{next_id, Span, SpanKind};
+
+/// Synthetic node address stamped on the model's front-end spans (the six
+/// tiers use their tier index as node address).
+pub const FRONTEND_NODE: u16 = 100;
 
 /// RPC-size distribution of one tier's requests or responses.
 #[derive(Clone, Copy, Debug)]
@@ -239,6 +244,14 @@ pub struct SocialReport {
     pub visits: Vec<(usize, VisitBreakdown)>,
     /// End-to-end records (sums over a request's visits).
     pub e2e: Vec<VisitBreakdown>,
+    /// Synthetic distributed-trace spans (simulated timestamps), populated
+    /// when the run is traced. Each request yields a root `Internal` span,
+    /// plus a `Client`/`Server` pair per tier visit: the server span covers
+    /// the application segment, the client span's self-time is the
+    /// network-stack segments — exactly the attribution the live
+    /// [`dagger_telemetry::fig3_report`] applies, so the §3 model and real
+    /// ring-level traces flow through one analysis pipeline.
+    pub spans: Vec<Span>,
 }
 
 impl SocialReport {
@@ -297,6 +310,9 @@ pub struct SocialNetSim {
     /// When `true`, application logic and network processing share CPU
     /// cores (the shaded bars of Fig. 5).
     pub colocated: bool,
+    /// When `true`, every request emits synthetic distributed-trace spans
+    /// into [`SocialReport::spans`].
+    pub traced: bool,
 }
 
 impl Default for SocialNetSim {
@@ -305,6 +321,7 @@ impl Default for SocialNetSim {
             net_cores: 1,
             app_cores: 3,
             colocated: false,
+            traced: false,
         }
     }
 }
@@ -326,6 +343,15 @@ struct SnWorld {
     rng: Rng,
     visits: Vec<(usize, VisitBreakdown)>,
     e2e: Vec<VisitBreakdown>,
+    spans: Vec<Span>,
+}
+
+/// Identity of the trace a request chain is emitting spans into.
+#[derive(Clone, Copy)]
+struct TraceRef {
+    trace_id: u64,
+    root_span_id: u64,
+    root_start: Nanos,
 }
 
 impl SocialNetSim {
@@ -343,10 +369,11 @@ impl SocialNetSim {
             rng: Rng::new(seed),
             visits: Vec::new(),
             e2e: Vec::new(),
+            spans: Vec::new(),
         }));
         let mut sim = Sim::new();
         let rate_per_ns = qps * 1e-9;
-        schedule_request(&mut sim, world.clone(), rate_per_ns, requests);
+        schedule_request(&mut sim, world.clone(), rate_per_ns, requests, self.traced);
         sim.run();
         let w = Rc::try_unwrap(world)
             .map_err(|_| ())
@@ -356,13 +383,20 @@ impl SocialNetSim {
             qps,
             visits: w.visits,
             e2e: w.e2e,
+            spans: w.spans,
         }
     }
 }
 
 type SnShared = Rc<RefCell<SnWorld>>;
 
-fn schedule_request(sim: &mut Sim, world: SnShared, rate_per_ns: f64, remaining: u64) {
+fn schedule_request(
+    sim: &mut Sim,
+    world: SnShared,
+    rate_per_ns: f64,
+    remaining: u64,
+    traced: bool,
+) {
     let gap = {
         let mut w = world.borrow_mut();
         Exp::with_rate(rate_per_ns).sample(&mut w.rng) as u64
@@ -372,15 +406,21 @@ fn schedule_request(sim: &mut Sim, world: SnShared, rate_per_ns: f64, remaining:
             let mut w = world.borrow_mut();
             RequestKind::sample(&mut w.rng)
         };
+        let trace = traced.then(|| TraceRef {
+            trace_id: next_id(),
+            root_span_id: next_id(),
+            root_start: sim.now(),
+        });
         run_visit(
             sim,
             world.clone(),
             kind.visits(),
             0,
             VisitBreakdown::default(),
+            trace,
         );
         if remaining > 1 {
-            schedule_request(sim, world, rate_per_ns, remaining - 1);
+            schedule_request(sim, world, rate_per_ns, remaining - 1, traced);
         }
     });
 }
@@ -398,14 +438,32 @@ fn run_visit(
     visits: &'static [usize],
     idx: usize,
     acc: VisitBreakdown,
+    trace: Option<TraceRef>,
 ) {
     if idx >= visits.len() {
-        world.borrow_mut().e2e.push(acc);
+        let mut w = world.borrow_mut();
+        w.e2e.push(acc);
+        if let Some(tr) = trace {
+            // Root span over the whole request chain: its self-time is the
+            // (zero) front-end gap between sequential tier visits.
+            w.spans.push(Span {
+                trace_id: tr.trace_id,
+                span_id: tr.root_span_id,
+                parent_span_id: None,
+                name: "request".to_string(),
+                kind: SpanKind::Internal,
+                node: Some(FRONTEND_NODE),
+                start_ns: tr.root_start,
+                end_ns: sim.now(),
+                rpc: None,
+            });
+        }
         return;
     }
     let tier_idx = visits[idx];
     let profile = tiers()[tier_idx];
     let now = sim.now();
+    let visit_start = now;
     // Ingress: TCP + RPC processing of the request on the net stack.
     let (in_wait, in_done) = {
         let mut w = world.borrow_mut();
@@ -417,9 +475,8 @@ fn run_visit(
         // Application logic.
         let (app_svc, app_done) = {
             let mut w = w2.borrow_mut();
-            let svc =
-                LogNormal::with_median(profile.app_median_ns, profile.app_sigma).sample(&mut w.rng)
-                    as u64;
+            let svc = LogNormal::with_median(profile.app_median_ns, profile.app_sigma)
+                .sample(&mut w.rng) as u64;
             let svc = (svc as f64 * w.inflation) as u64;
             let (_, done) = w.app.admit(now, svc);
             // App queueing counts as app time (the paper cannot separate
@@ -446,21 +503,55 @@ fn run_visit(
                 {
                     let mut w = w4.borrow_mut();
                     w.visits.push((tier_idx, breakdown));
+                    if let Some(tr) = trace {
+                        // Client span = the whole tier visit as seen by the
+                        // front end; its self-time is exactly the ingress +
+                        // egress network-stack segments (incl. queueing).
+                        let client_id = next_id();
+                        let server_id = next_id();
+                        w.spans.push(Span {
+                            trace_id: tr.trace_id,
+                            span_id: client_id,
+                            parent_span_id: Some(tr.root_span_id),
+                            name: format!("rpc.{}", profile.name),
+                            kind: SpanKind::Client,
+                            node: Some(FRONTEND_NODE),
+                            start_ns: visit_start,
+                            end_ns: out_done,
+                            rpc: None,
+                        });
+                        // Server span = the application segment only.
+                        w.spans.push(Span {
+                            trace_id: tr.trace_id,
+                            span_id: server_id,
+                            parent_span_id: Some(client_id),
+                            name: profile.name.to_string(),
+                            kind: SpanKind::Server,
+                            node: Some(tier_idx as u16),
+                            start_ns: in_done,
+                            end_ns: app_done,
+                            rpc: None,
+                        });
+                    }
                 }
                 let next_acc = VisitBreakdown {
                     app_ns: acc.app_ns + breakdown.app_ns,
                     rpc_ns: acc.rpc_ns + breakdown.rpc_ns,
                     tcp_ns: acc.tcp_ns + breakdown.tcp_ns,
                 };
-                run_visit(sim, w4.clone(), visits, idx + 1, next_acc);
+                run_visit(sim, w4.clone(), visits, idx + 1, next_acc, trace);
             });
         });
     });
 }
 
+/// Sampled RPC sizes: all request sizes, all response sizes, and per-tier
+/// `(tier index, request, response)` triples.
+pub type RpcSizeSample = (Vec<u32>, Vec<u32>, Vec<(usize, u32, u32)>);
+
 /// Samples request/response sizes for Fig. 4 without running the time
 /// simulation.
-pub fn sample_rpc_sizes(n: usize, seed: u64) -> (Vec<u32>, Vec<u32>, Vec<(usize, u32, u32)>) {
+pub fn sample_rpc_sizes(n: usize, seed: u64) -> RpcSizeSample {
     let mut rng = Rng::new(seed);
     let profiles = tiers();
     let mut requests = Vec::new();
@@ -610,5 +701,53 @@ mod tests {
         let b = sim.run(300.0, 2_000, 7);
         assert_eq!(a.e2e.len(), b.e2e.len());
         assert_eq!(a.e2e[0].total_ns(), b.e2e[0].total_ns());
+    }
+
+    #[test]
+    fn untraced_run_emits_no_spans() {
+        let report = SocialNetSim::default().run(200.0, 500, 11);
+        assert!(report.spans.is_empty());
+    }
+
+    #[test]
+    fn traced_run_yields_connected_trees_in_fig3_band() {
+        use dagger_telemetry::TierShare;
+        let sim = SocialNetSim {
+            traced: true,
+            ..Default::default()
+        };
+        let report = sim.run(200.0, 3_000, 6);
+        assert_eq!(report.e2e.len(), 3_000);
+        assert!(!report.spans.is_empty());
+
+        let trees = dagger_telemetry::assemble(&report.spans);
+        assert_eq!(trees.len(), 3_000);
+        assert!(trees.iter().all(dagger_telemetry::TraceTree::is_connected));
+
+        let fig3 = dagger_telemetry::fig3_report(&trees);
+        assert_eq!(fig3.trace_count, 3_000);
+        // All six tiers show up in the attribution table.
+        assert_eq!(fig3.tiers.len(), 6);
+
+        // Fig. 3: networking is ~40% of tier latency on average at the
+        // median operating point, and up to ~80% for the light tiers.
+        let mean = fig3.mean_tier_share();
+        assert!(
+            (0.30..0.52).contains(&mean),
+            "mean per-tier networking share {mean} (paper: ~0.40)"
+        );
+        let max = fig3
+            .tiers
+            .iter()
+            .map(TierShare::network_share)
+            .fold(0.0f64, f64::max);
+        assert!(max > 0.60, "max tier networking share {max} (paper: ~0.80)");
+        // Every tier's span-derived share agrees with the model's own
+        // comm fraction within a loose tolerance.
+        let overall = fig3.network_share();
+        assert!(
+            (0.15..0.60).contains(&overall),
+            "overall critical-path networking share {overall}"
+        );
     }
 }

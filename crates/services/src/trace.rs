@@ -15,7 +15,9 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use dagger_telemetry::MetricsRegistry;
+use dagger_telemetry::{
+    current_context, ContextScope, MetricsRegistry, OpenSpan, SpanKind, Telemetry,
+};
 
 /// Default bound on the tracer's span buffer; the oldest spans are dropped
 /// (and counted) past this point.
@@ -64,6 +66,13 @@ pub struct Tracer {
     epoch: Instant,
     spans: Mutex<SpanBuffer>,
     dropped: AtomicU64,
+    /// When bridged to a telemetry hub, each tier visit additionally opens
+    /// a distributed [`dagger_telemetry::Span`] in the hub's span collector,
+    /// parented on the thread's current trace context (the dispatching
+    /// server span), and scopes the context so nested RPCs issued inside
+    /// the visit become its children. The legacy per-tier buffer and
+    /// [`Tracer::fold_into`] behave identically either way.
+    bridge: Option<Arc<Telemetry>>,
 }
 
 #[derive(Debug)]
@@ -89,6 +98,22 @@ impl Tracer {
                 capacity: capacity.max(1),
             }),
             dropped: AtomicU64::new(0),
+            bridge: None,
+        })
+    }
+
+    /// Creates a tracer bridged to `telemetry`: tier visits also land as
+    /// `Internal` spans in the hub's distributed-trace collector (when it
+    /// is enabled), nested under whatever span dispatched the handler.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Arc<Self> {
+        Arc::new(Tracer {
+            epoch: Instant::now(),
+            spans: Mutex::new(SpanBuffer {
+                spans: VecDeque::new(),
+                capacity: DEFAULT_SPAN_CAPACITY,
+            }),
+            dropped: AtomicU64::new(0),
+            bridge: Some(telemetry),
         })
     }
 
@@ -99,11 +124,22 @@ impl Tracer {
 
     /// Opens a span; closing it records the measurement.
     pub fn start(self: &Arc<Self>, request_id: u64, tier: &'static str) -> SpanGuard {
+        let bridged = self.bridge.as_ref().and_then(|telemetry| {
+            let span = telemetry
+                .spans()
+                .start(tier, SpanKind::Internal, current_context())?;
+            let scope = ContextScope::enter(span.context());
+            Some(BridgedSpan {
+                span,
+                _scope: scope,
+            })
+        });
         SpanGuard {
             tracer: Arc::clone(self),
             request_id,
             tier,
             start_ns: self.now_ns(),
+            bridged,
         }
     }
 
@@ -188,6 +224,14 @@ impl Tracer {
     }
 }
 
+/// The distributed-trace shadow of a [`SpanGuard`]: the open span plus the
+/// context scope that parents nested calls on it.
+#[derive(Debug)]
+struct BridgedSpan {
+    span: OpenSpan,
+    _scope: ContextScope,
+}
+
 /// An open span; records itself when closed (or dropped).
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -195,6 +239,7 @@ pub struct SpanGuard {
     request_id: u64,
     tier: &'static str,
     start_ns: u64,
+    bridged: Option<BridgedSpan>,
 }
 
 impl SpanGuard {
@@ -211,6 +256,12 @@ impl Drop for SpanGuard {
             start_ns: self.start_ns,
             end_ns,
         });
+        if let Some(BridgedSpan { span, _scope }) = self.bridged.take() {
+            drop(_scope); // pop the context before closing the span
+            if let Some(telemetry) = &self.tracer.bridge {
+                span.finish(telemetry.spans());
+            }
+        }
     }
 }
 
@@ -314,6 +365,44 @@ mod tests {
         tracer.clear();
         assert!(tracer.is_empty());
         assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn bridged_tracer_emits_distributed_spans() {
+        let telemetry = Telemetry::new();
+        let tracer = Tracer::with_telemetry(Arc::clone(&telemetry));
+        // Collector disabled: the legacy buffer still records, the
+        // distributed collector stays empty.
+        {
+            let _g = tracer.start(1, "tier-a");
+        }
+        assert_eq!(tracer.len(), 1);
+        assert!(telemetry.spans().is_empty());
+
+        telemetry.enable_tracing();
+        let parent = telemetry
+            .spans()
+            .start("root", SpanKind::Internal, None)
+            .unwrap();
+        {
+            let _scope = ContextScope::enter(parent.context());
+            let guard = tracer.start(2, "tier-b");
+            // The tier visit scopes the thread context onto itself so
+            // nested RPC issues parent correctly.
+            assert_ne!(current_context(), Some(parent.context()));
+            drop(guard);
+        }
+        let trace_id = parent.trace_id;
+        let parent_id = parent.span_id;
+        parent.finish(telemetry.spans());
+        let spans = telemetry.spans().spans();
+        assert_eq!(spans.len(), 2);
+        let tier = spans.iter().find(|s| s.name == "tier-b").unwrap();
+        assert_eq!(tier.trace_id, trace_id);
+        assert_eq!(tier.parent_span_id, Some(parent_id));
+        assert_eq!(tier.kind, SpanKind::Internal);
+        // Legacy side keeps working unchanged.
+        assert_eq!(tracer.len(), 2);
     }
 
     #[test]

@@ -106,8 +106,14 @@ impl LogNormal {
     ///
     /// Panics if `median` is not positive or `sigma` is negative.
     pub fn with_median(median: f64, sigma: f64) -> Self {
-        assert!(median > 0.0 && median.is_finite(), "median must be positive");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            median > 0.0 && median.is_finite(),
+            "median must be positive"
+        );
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         LogNormal {
             mu: median.ln(),
             sigma,
@@ -258,8 +264,7 @@ impl Zipf {
     /// Draws a rank in `[0, n)`; rank 0 is most popular.
     pub fn sample(&self, rng: &mut Rng) -> u64 {
         loop {
-            let u = self.h_integral_n
-                + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
+            let u = self.h_integral_n + rng.next_f64() * (self.h_integral_x1 - self.h_integral_n);
             let x = self.h_integral_inverse(u);
             let mut k = (x + 0.5) as i64;
             if k < 1 {
@@ -307,7 +312,10 @@ mod tests {
             last = t;
         }
         let achieved_rate = n as f64 / last as f64;
-        assert!((achieved_rate - 0.01).abs() / 0.01 < 0.03, "rate {achieved_rate}");
+        assert!(
+            (achieved_rate - 0.01).abs() / 0.01 < 0.03,
+            "rate {achieved_rate}"
+        );
     }
 
     #[test]
@@ -356,7 +364,7 @@ mod tests {
     fn zipf_rank0_most_popular() {
         let z = Zipf::new(10_000, 0.99);
         let mut rng = Rng::new(7);
-        let mut counts = vec![0u64; 10];
+        let mut counts = [0u64; 10];
         let mut total_top10 = 0u64;
         let n = 200_000;
         for _ in 0..n {
@@ -388,7 +396,10 @@ mod tests {
         }
         let ratio = c0 as f64 / c1 as f64;
         let expect = 2f64.powf(s);
-        assert!((ratio - expect).abs() / expect < 0.1, "ratio {ratio} vs {expect}");
+        assert!(
+            (ratio - expect).abs() / expect < 0.1,
+            "ratio {ratio} vs {expect}"
+        );
     }
 
     #[test]

@@ -84,9 +84,7 @@ impl HandlerModel {
     pub fn mean_ns(&self) -> f64 {
         match self {
             HandlerModel::Fixed(ns) => *ns as f64,
-            HandlerModel::LogNormal { median_ns, sigma } => {
-                median_ns * (sigma * sigma / 2.0).exp()
-            }
+            HandlerModel::LogNormal { median_ns, sigma } => median_ns * (sigma * sigma / 2.0).exp(),
             HandlerModel::Bimodal { p_a, a_ns, b_ns } => {
                 p_a * *a_ns as f64 + (1.0 - p_a) * *b_ns as f64
             }
@@ -369,26 +367,50 @@ impl RpcFabricSim {
 
         if std::env::var_os("DAGGER_SIM_DEBUG").is_some() {
             let st = state.borrow();
-            eprintln!("[sim-debug] max waits(ns): {:?} max_depth={}", st.dbg_max, st.dbg_depth_max);
+            eprintln!(
+                "[sim-debug] max waits(ns): {:?} max_depth={}",
+                st.dbg_max, st.dbg_depth_max
+            );
             let horizon = st.last_completion.max(1);
             let util = |r: &FcfsResource| r.busy_ns() as f64 / horizon as f64;
             eprintln!(
                 "[sim-debug] horizon={}us client.cpu={:?} client.fetch={:?} client.pipe={:.2} \
                  server.cpu={:?} server.fetch={:?} server.pipe={:.2} endpoint={:?} drops={}",
                 horizon / 1000,
-                st.client.cpu.iter().map(|r| (util(r) * 100.0) as u32).collect::<Vec<_>>(),
-                st.client.fetch.iter().map(|r| (util(r) * 100.0) as u32).collect::<Vec<_>>(),
+                st.client
+                    .cpu
+                    .iter()
+                    .map(|r| (util(r) * 100.0) as u32)
+                    .collect::<Vec<_>>(),
+                st.client
+                    .fetch
+                    .iter()
+                    .map(|r| (util(r) * 100.0) as u32)
+                    .collect::<Vec<_>>(),
                 util(&st.client.pipe),
-                st.server.cpu.iter().map(|r| (util(r) * 100.0) as u32).collect::<Vec<_>>(),
-                st.server.fetch.iter().map(|r| (util(r) * 100.0) as u32).collect::<Vec<_>>(),
+                st.server
+                    .cpu
+                    .iter()
+                    .map(|r| (util(r) * 100.0) as u32)
+                    .collect::<Vec<_>>(),
+                st.server
+                    .fetch
+                    .iter()
+                    .map(|r| (util(r) * 100.0) as u32)
+                    .collect::<Vec<_>>(),
                 util(&st.server.pipe),
-                st.endpoint.iter().map(|r| (util(r) * 100.0) as u32).collect::<Vec<_>>(),
+                st.endpoint
+                    .iter()
+                    .map(|r| (util(r) * 100.0) as u32)
+                    .collect::<Vec<_>>(),
                 st.drops
             );
         }
 
         let st = state.borrow();
-        let duration = st.last_completion.saturating_sub(st.first_arrival.min(st.last_completion));
+        let duration = st
+            .last_completion
+            .saturating_sub(st.first_arrival.min(st.last_completion));
         let delivered_mrps = if duration > 0 {
             st.completions as f64 * 1e3 / duration as f64
         } else {
@@ -764,7 +786,11 @@ mod tests {
         let r = sim.run(5.0, 30_000, 7);
         assert_eq!(r.completions + r.drops, 30_000);
         assert_eq!(r.drops, 0);
-        assert!((r.delivered_mrps - 5.0).abs() / 5.0 < 0.05, "{}", r.delivered_mrps);
+        assert!(
+            (r.delivered_mrps - 5.0).abs() / 5.0 < 0.05,
+            "{}",
+            r.delivered_mrps
+        );
     }
 
     #[test]
@@ -792,8 +818,14 @@ mod tests {
         let low = sim.run(2.0, 30_000, 5).rtt.p50_ns;
         let mid = sim.run(10.0, 60_000, 5).rtt.p50_ns;
         let sat = sim.run(12.2, 80_000, 5).rtt.p50_ns;
-        assert!(low > mid, "fill wait should inflate low-load latency: {low} vs {mid}");
-        assert!(sat > mid, "queueing should inflate near-saturation latency: {sat} vs {mid}");
+        assert!(
+            low > mid,
+            "fill wait should inflate low-load latency: {low} vs {mid}"
+        );
+        assert!(
+            sat > mid,
+            "queueing should inflate near-saturation latency: {sat} vs {mid}"
+        );
     }
 
     #[test]
@@ -814,7 +846,10 @@ mod tests {
         spec.server_threads = 8;
         let sat8 = RpcFabricSim::new(spec).find_saturation_mrps(3, 80_000);
         assert!(sat2 > 18.0 && sat2 < 30.0, "2 threads {sat2}");
-        assert!((34.0..46.0).contains(&sat8), "8 threads should cap near 42: {sat8}");
+        assert!(
+            (34.0..46.0).contains(&sat8),
+            "8 threads should cap near 42: {sat8}"
+        );
     }
 
     #[test]
@@ -841,10 +876,7 @@ mod tests {
 
     #[test]
     fn mmio_lower_latency_higher_than_upi() {
-        let mmio = RpcFabricSim::new(FabricSpec::dagger_echo(
-            profile_for(IfaceKind::Mmio),
-            1,
-        ));
+        let mmio = RpcFabricSim::new(FabricSpec::dagger_echo(profile_for(IfaceKind::Mmio), 1));
         let upi = RpcFabricSim::new(upi_spec(1));
         let mmio_rtt = mmio.measure_rtt_us(1);
         let upi_rtt = upi.measure_rtt_us(1);
@@ -879,4 +911,3 @@ mod tests {
         assert_eq!(r.completions + r.drops, 20_000);
     }
 }
-

@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "counters": {"name": 0},
 //!   "gauges": {"name": 0},
 //!   "histograms": {"name": {"count": 0, "mean_ns": 0.0, "p50_ns": 0,
@@ -17,21 +17,34 @@
 //!               "events": {"client_send": 0},
 //!               "stages": {"client_queue": 0},
 //!               "complete": false, "total_ns": 0}],
-//!   "dropped_traces": 0
+//!   "dropped_traces": 0,
+//!   "spans": [{"trace_id": "0000000000000001",
+//!              "span_id": "0000000000000002",
+//!              "parent_span_id": "0000000000000001",
+//!              "name": "rpc.fn1", "kind": "client", "node": 1,
+//!              "start_ns": 0, "end_ns": 0, "duration_ns": 0,
+//!              "connection_id": 0, "rpc_id": 0}],
+//!   "dropped_spans": 0
 //! }
 //! ```
 //!
-//! Keys inside `counters`/`gauges`/`histograms` are sorted by name; only
+//! Schema v2 is a strict superset of v1: all v1 keys are unchanged and the
+//! distributed-tracing `spans` / `dropped_spans` keys are appended. Keys
+//! inside `counters`/`gauges`/`histograms` are sorted by name; only
 //! observed events/stages appear in a trace's maps; `total_ns` is omitted
-//! until the round trip completes.
+//! until the round trip completes. Trace/span ids are 16-digit hex strings
+//! (u64 values routinely exceed JSON's exact-integer range);
+//! `parent_span_id`, `node`, and the `connection_id`/`rpc_id` stage-trace
+//! link are omitted when absent.
 
 use std::fmt;
 
 use crate::registry::RegistrySnapshot;
+use crate::span::Span;
 use crate::trace::{RpcEvent, RpcTrace, STAGE_NAMES};
 
 /// A point-in-time snapshot of the whole telemetry layer: every registry
-/// metric plus every retained RPC trace.
+/// metric plus every retained RPC trace and distributed-tracing span.
 #[derive(Clone, Debug, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct TelemetrySnapshot {
@@ -41,6 +54,10 @@ pub struct TelemetrySnapshot {
     pub traces: Vec<RpcTrace>,
     /// Traces evicted by the tracer's capacity bound.
     pub dropped_traces: u64,
+    /// Retained distributed-tracing spans, in completion order.
+    pub spans: Vec<Span>,
+    /// Spans evicted by the collector's capacity bound.
+    pub dropped_spans: u64,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -71,7 +88,7 @@ fn json_f64(v: f64) -> String {
 
 impl TelemetrySnapshot {
     /// Schema version emitted in the JSON output.
-    pub const JSON_VERSION: u32 = 1;
+    pub const JSON_VERSION: u32 = 2;
 
     /// Serializes the snapshot to the stable JSON schema described in the
     /// module docs. Single line, no trailing newline.
@@ -125,9 +142,49 @@ impl TelemetrySnapshot {
         }
         out.push(']');
 
-        out.push_str(&format!(",\"dropped_traces\":{}}}", self.dropped_traces));
+        out.push_str(&format!(",\"dropped_traces\":{}", self.dropped_traces));
+
+        out.push_str(",\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(s));
+        }
+        out.push(']');
+
+        out.push_str(&format!(",\"dropped_spans\":{}}}", self.dropped_spans));
         out
     }
+}
+
+fn span_json(s: &Span) -> String {
+    let mut out = format!(
+        "{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\"",
+        s.trace_id, s.span_id
+    );
+    if let Some(parent) = s.parent_span_id {
+        out.push_str(&format!(",\"parent_span_id\":\"{parent:016x}\""));
+    }
+    out.push_str(&format!(
+        ",\"name\":\"{}\",\"kind\":\"{}\"",
+        json_escape(&s.name),
+        s.kind.name()
+    ));
+    if let Some(node) = s.node {
+        out.push_str(&format!(",\"node\":{node}"));
+    }
+    out.push_str(&format!(
+        ",\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}",
+        s.start_ns,
+        s.end_ns,
+        s.duration_ns()
+    ));
+    if let Some((cid, rpc_id)) = s.rpc {
+        out.push_str(&format!(",\"connection_id\":{cid},\"rpc_id\":{rpc_id}"));
+    }
+    out.push('}');
+    out
 }
 
 fn trace_json(tr: &RpcTrace) -> String {
@@ -217,6 +274,23 @@ impl fmt::Display for TelemetrySnapshot {
                 writeln!(f)?;
             }
         }
+        if !self.spans.is_empty() {
+            writeln!(f, "spans ({} dropped):", self.dropped_spans)?;
+            for s in &self.spans {
+                write!(
+                    f,
+                    "  trace={:016x} span={:016x} {} [{}",
+                    s.trace_id,
+                    s.span_id,
+                    s.name,
+                    s.kind.name()
+                )?;
+                if let Some(node) = s.node {
+                    write!(f, "@{node}")?;
+                }
+                writeln!(f, "] {}ns", s.duration_ns())?;
+            }
+        }
         Ok(())
     }
 }
@@ -245,13 +319,25 @@ mod tests {
             registry: reg.snapshot(),
             traces: tracer.traces(),
             dropped_traces: tracer.dropped(),
+            spans: vec![Span {
+                trace_id: 0xabc,
+                span_id: 0xdef,
+                parent_span_id: Some(0xabc),
+                name: "rpc.fn1".to_string(),
+                kind: crate::span::SpanKind::Client,
+                node: Some(2),
+                start_ns: 100,
+                end_ns: 2900,
+                rpc: Some((65536, 1)),
+            }],
+            dropped_spans: 3,
         }
     }
 
     #[test]
     fn json_contains_all_sections() {
         let json = sample_snapshot().to_json();
-        assert!(json.starts_with("{\"version\":1"));
+        assert!(json.starts_with("{\"version\":2"));
         assert!(json.contains("\"nic.0.tx_frames\":7"));
         assert!(json.contains("\"nic.0.flows\":4"));
         assert!(json.contains("\"p99_ns\""));
@@ -261,7 +347,17 @@ mod tests {
         for stage in STAGE_NAMES {
             assert!(json.contains(&format!("\"{stage}\":")), "missing {stage}");
         }
-        assert!(json.ends_with("\"dropped_traces\":0}"));
+        // v1 keys are stable; the v2 span keys are appended after them.
+        let dt = json.find("\"dropped_traces\":0").expect("dropped_traces");
+        let sp = json.find("\"spans\":[").expect("spans");
+        assert!(dt < sp, "{json}");
+        assert!(json.contains("\"trace_id\":\"0000000000000abc\""), "{json}");
+        assert!(json.contains("\"parent_span_id\":\"0000000000000abc\""));
+        assert!(json.contains("\"kind\":\"client\""), "{json}");
+        assert!(json.contains("\"node\":2"), "{json}");
+        assert!(json.contains("\"duration_ns\":2800"), "{json}");
+        assert!(json.contains("\"connection_id\":65536,\"rpc_id\":1"));
+        assert!(json.ends_with("\"dropped_spans\":3}"), "{json}");
     }
 
     #[test]
@@ -280,8 +376,8 @@ mod tests {
         let json = TelemetrySnapshot::default().to_json();
         assert_eq!(
             json,
-            "{\"version\":1,\"counters\":{},\"gauges\":{},\"histograms\":{},\
-             \"traces\":[],\"dropped_traces\":0}"
+            "{\"version\":2,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"traces\":[],\"dropped_traces\":0,\"spans\":[],\"dropped_spans\":0}"
         );
     }
 

@@ -25,19 +25,29 @@ mod export;
 mod hist;
 mod registry;
 mod report;
+mod span;
 mod trace;
+mod tree;
 
 pub use export::TelemetrySnapshot;
 pub use hist::{Histogram, Summary};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, RegistrySnapshot};
 pub use report::Reporter;
+pub use span::{
+    current_context, next_id, ContextScope, OpenSpan, Span, SpanCollector, SpanKind, TraceContext,
+    DEFAULT_SPAN_CAPACITY,
+};
 pub use trace::{
-    RpcEvent, RpcTrace, RpcTracer, StageBreakdown, DEFAULT_TRACE_CAPACITY, EVENT_COUNT,
-    STAGE_NAMES,
+    RpcEvent, RpcTrace, RpcTracer, StageBreakdown, DEFAULT_TRACE_CAPACITY, EVENT_COUNT, STAGE_NAMES,
+};
+pub use tree::{
+    assemble, chrome_trace_json, fig3_report, render_waterfall, CriticalSegment, Fig3Report,
+    SpanNode, TierShare, TraceTree,
 };
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 /// Nanoseconds. Mirrors `dagger_sim::Nanos`, which is a re-export of this.
 pub type Nanos = u64;
@@ -57,15 +67,20 @@ type Collector = Box<dyn Fn(&MetricsRegistry) + Send + Sync>;
 pub struct Telemetry {
     registry: MetricsRegistry,
     tracer: RpcTracer,
+    spans: SpanCollector,
     collectors: Mutex<BTreeMap<String, Collector>>,
 }
 
 impl Telemetry {
-    /// Creates a fresh telemetry hub (tracing disabled by default).
+    /// Creates a fresh telemetry hub (tracing disabled by default). The
+    /// stage tracer and the span collector share one clock epoch, so stage
+    /// stamps land inside their owning spans on a common timeline.
     pub fn new() -> Arc<Self> {
+        let epoch = Instant::now();
         Arc::new(Telemetry {
             registry: MetricsRegistry::new(),
-            tracer: RpcTracer::new(),
+            tracer: RpcTracer::with_capacity_and_epoch(DEFAULT_TRACE_CAPACITY, epoch),
+            spans: SpanCollector::with_capacity_and_epoch(DEFAULT_SPAN_CAPACITY, epoch),
             collectors: Mutex::new(BTreeMap::new()),
         })
     }
@@ -78,6 +93,25 @@ impl Telemetry {
     /// The RPC tracer.
     pub fn tracer(&self) -> &RpcTracer {
         &self.tracer
+    }
+
+    /// The distributed-tracing span collector.
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// Enables both the stage tracer and the span collector — the switch a
+    /// process flips to start distributed tracing.
+    pub fn enable_tracing(&self) {
+        self.tracer.enable();
+        self.spans.enable();
+    }
+
+    /// Disables both the stage tracer and the span collector (retained
+    /// data is kept).
+    pub fn disable_tracing(&self) {
+        self.tracer.disable();
+        self.spans.disable();
     }
 
     /// Registers (or replaces) the collector named `name`. Collectors run
@@ -105,19 +139,25 @@ impl Telemetry {
     /// Runs every registered collector, folding external counter banks
     /// into the registry.
     pub fn collect(&self) {
-        let collectors = self.collectors.lock().unwrap_or_else(PoisonError::into_inner);
+        let collectors = self
+            .collectors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for f in collectors.values() {
             f(&self.registry);
         }
     }
 
-    /// Collects, then snapshots the registry and all retained traces.
+    /// Collects, then snapshots the registry, all retained traces, and all
+    /// retained spans.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         self.collect();
         TelemetrySnapshot {
             registry: self.registry.snapshot(),
             traces: self.tracer.traces(),
             dropped_traces: self.tracer.dropped(),
+            spans: self.spans.spans(),
+            dropped_spans: self.spans.dropped(),
         }
     }
 }

@@ -236,10 +236,7 @@ impl RegistrySnapshot {
 
     /// Looks up a gauge value by name.
     pub fn gauge(&self, name: &str) -> Option<u64> {
-        self.gauges
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Looks up a histogram summary by name.

@@ -116,10 +116,36 @@ mod tests {
     #[test]
     fn stop_is_idempotent_and_drop_safe() {
         let telemetry = Telemetry::new();
-        let mut reporter =
-            Reporter::start(telemetry, Duration::from_millis(5), |_| {});
+        let mut reporter = Reporter::start(telemetry, Duration::from_millis(5), |_| {});
         reporter.stop();
         reporter.stop();
         drop(reporter);
+    }
+
+    #[test]
+    fn drop_without_stop_flushes_final_snapshot_with_spans() {
+        let telemetry = Telemetry::new();
+        telemetry.enable_tracing();
+        let span = telemetry
+            .spans()
+            .start("drop-flush", crate::SpanKind::Internal, None)
+            .expect("tracing enabled");
+        span.finish(telemetry.spans());
+
+        let seen: Arc<Mutex<Vec<TelemetrySnapshot>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        let reporter = Reporter::start(
+            Arc::clone(&telemetry),
+            Duration::from_secs(3600),
+            move |snap| seen2.lock().unwrap().push(snap),
+        );
+        // Drop without an explicit stop(): the destructor must still join
+        // the thread and deliver the end-state snapshot, spans included.
+        drop(reporter);
+        let snaps = seen.lock().unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].spans.len(), 1);
+        assert_eq!(snaps[0].spans[0].name, "drop-flush");
+        assert!(snaps[0].to_json().contains("\"drop-flush\""));
     }
 }

@@ -208,8 +208,15 @@ impl RpcTracer {
 
     /// Creates a disabled tracer bounded to `capacity` traces (min 1).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_epoch(capacity, Instant::now())
+    }
+
+    /// Creates a disabled tracer bounded to `capacity` traces (min 1)
+    /// whose timestamps are relative to `epoch` — the hub uses this to put
+    /// stage stamps and spans on one shared timeline.
+    pub fn with_capacity_and_epoch(capacity: usize, epoch: Instant) -> Self {
         RpcTracer {
-            epoch: Instant::now(),
+            epoch,
             enabled: AtomicBool::new(false),
             dropped: AtomicU64::new(0),
             inner: Mutex::new(TracerInner {

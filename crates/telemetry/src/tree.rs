@@ -1,0 +1,755 @@
+//! Trace-tree assembly and analysis: critical path, Fig. 3-style latency
+//! attribution, a text waterfall, and a Chrome trace-event exporter.
+//!
+//! The paper's motivating measurement (Fig. 3) is the *networking share* of
+//! end-to-end microservice latency — "40% on average and up to 80%". With
+//! real spans from the distributed tracer, that number falls out of the
+//! trace tree: a client span covers an entire outbound RPC (wire + remote
+//! work), its server child covers only the remote handler, so the client
+//! span's *self time* is precisely the RPC/NIC/fabric overhead the paper
+//! attributes to networking, and the server/internal self time is the
+//! application's.
+
+use std::collections::HashMap;
+
+use crate::span::{Span, SpanKind};
+use crate::trace::{RpcEvent, RpcTrace};
+use crate::Nanos;
+
+/// One span plus its resolved children inside a [`TraceTree`].
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// The finished span.
+    pub span: Span,
+    /// Indices (into [`TraceTree::nodes`]) of this span's children, sorted
+    /// by start time.
+    pub children: Vec<usize>,
+}
+
+/// All spans of one trace, linked into a forest of parent/child trees.
+#[derive(Clone, Debug)]
+pub struct TraceTree {
+    /// The shared trace id.
+    pub trace_id: u64,
+    /// Indices of root spans (no parent, or parent not collected), sorted
+    /// by start time.
+    pub roots: Vec<usize>,
+    /// All nodes of the trace, in collection order.
+    pub nodes: Vec<SpanNode>,
+}
+
+impl TraceTree {
+    /// Earliest span start in the trace.
+    pub fn start_ns(&self) -> Nanos {
+        self.nodes
+            .iter()
+            .map(|n| n.span.start_ns)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Latest span end in the trace.
+    pub fn end_ns(&self) -> Nanos {
+        self.nodes.iter().map(|n| n.span.end_ns).max().unwrap_or(0)
+    }
+
+    /// End-to-end duration of the trace.
+    pub fn duration_ns(&self) -> Nanos {
+        self.end_ns().saturating_sub(self.start_ns())
+    }
+
+    /// Number of distinct nodes (NIC addresses) the trace touched — the
+    /// tier count of the request, in the flight app's terms.
+    pub fn tier_count(&self) -> usize {
+        let mut nodes: Vec<u16> = self.nodes.iter().filter_map(|n| n.span.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// `true` when every non-root span's parent is present in the tree —
+    /// i.e. the trace is one connected forest, not a bag of orphans.
+    pub fn is_connected(&self) -> bool {
+        self.roots.len() == 1
+    }
+
+    /// The critical path of the trace: the sequence of *self-time*
+    /// segments that bounds its end-to-end latency, computed by a backward
+    /// walk from the latest-ending root. At each step the walk jumps into
+    /// the child whose end is latest but not after the cursor, attributing
+    /// the gap to the current span's own work; segments are returned in
+    /// chronological order.
+    pub fn critical_path(&self) -> Vec<CriticalSegment> {
+        let root = match self
+            .roots
+            .iter()
+            .copied()
+            .max_by_key(|&i| self.nodes[i].span.end_ns)
+        {
+            Some(r) => r,
+            None => return Vec::new(),
+        };
+        let mut segments = Vec::new();
+        self.walk_critical(root, self.nodes[root].span.end_ns, &mut segments);
+        segments.reverse();
+        segments
+    }
+
+    fn walk_critical(&self, idx: usize, window_end: Nanos, out: &mut Vec<CriticalSegment>) {
+        let span = &self.nodes[idx].span;
+        let mut cursor = span.end_ns.min(window_end);
+        // Children latest-first; each child that ends at or before the
+        // cursor claims the interval up to its end, and the gap above it is
+        // this span's own time.
+        let mut children: Vec<usize> = self.nodes[idx].children.clone();
+        children.sort_by_key(|&c| std::cmp::Reverse(self.nodes[c].span.end_ns));
+        for c in children {
+            let child = &self.nodes[c].span;
+            if child.end_ns > cursor || child.end_ns <= span.start_ns {
+                continue;
+            }
+            if cursor > child.end_ns {
+                out.push(CriticalSegment::new(span, child.end_ns, cursor));
+            }
+            self.walk_critical(c, cursor, out);
+            cursor = child.start_ns.max(span.start_ns);
+            if cursor == span.start_ns {
+                break;
+            }
+        }
+        if cursor > span.start_ns {
+            out.push(CriticalSegment::new(span, span.start_ns, cursor));
+        }
+    }
+}
+
+/// One self-time segment on a trace's critical path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalSegment {
+    /// Span owning this slice of the path.
+    pub span_id: u64,
+    /// Owning span's name.
+    pub name: String,
+    /// Owning span's kind; `Client` segments are networking time.
+    pub kind: SpanKind,
+    /// Owning span's node.
+    pub node: Option<u16>,
+    /// Segment start, ns since epoch.
+    pub start_ns: Nanos,
+    /// Segment end, ns since epoch.
+    pub end_ns: Nanos,
+}
+
+impl CriticalSegment {
+    fn new(span: &Span, start_ns: Nanos, end_ns: Nanos) -> Self {
+        CriticalSegment {
+            span_id: span.span_id,
+            name: span.name.clone(),
+            kind: span.kind,
+            node: span.node,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// The segment's duration.
+    pub fn duration_ns(&self) -> Nanos {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Groups `spans` by trace id and links parents to children. Trees are
+/// ordered by their earliest span start; orphaned spans (parent evicted or
+/// still open) become extra roots of their trace.
+pub fn assemble(spans: &[Span]) -> Vec<TraceTree> {
+    let mut by_trace: HashMap<u64, Vec<Span>> = HashMap::new();
+    for span in spans {
+        by_trace
+            .entry(span.trace_id)
+            .or_default()
+            .push(span.clone());
+    }
+    let mut trees: Vec<TraceTree> = by_trace
+        .into_iter()
+        .map(|(trace_id, spans)| {
+            let index: HashMap<u64, usize> = spans
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.span_id, i))
+                .collect();
+            let mut nodes: Vec<SpanNode> = spans
+                .into_iter()
+                .map(|span| SpanNode {
+                    span,
+                    children: Vec::new(),
+                })
+                .collect();
+            let mut roots = Vec::new();
+            for i in 0..nodes.len() {
+                match nodes[i].span.parent_span_id.and_then(|p| index.get(&p)) {
+                    Some(&parent) if parent != i => nodes[parent].children.push(i),
+                    _ => roots.push(i),
+                }
+            }
+            let key =
+                |nodes: &[SpanNode], i: usize| (nodes[i].span.start_ns, nodes[i].span.span_id);
+            for i in 0..nodes.len() {
+                let mut kids = std::mem::take(&mut nodes[i].children);
+                kids.sort_by_key(|&c| key(&nodes, c));
+                nodes[i].children = kids;
+            }
+            roots.sort_by_key(|&r| key(&nodes, r));
+            TraceTree {
+                trace_id,
+                roots,
+                nodes,
+            }
+        })
+        .collect();
+    trees.sort_by_key(|t| (t.start_ns(), t.trace_id));
+    trees
+}
+
+/// Per-tier latency attribution of one or more traces.
+#[derive(Clone, Debug, Default)]
+pub struct Fig3Report {
+    /// Per-tier rows, sorted by total time descending.
+    pub tiers: Vec<TierShare>,
+    /// Critical-path networking time summed over all traces.
+    pub network_ns: Nanos,
+    /// Critical-path application time summed over all traces.
+    pub app_ns: Nanos,
+    /// Number of traces the report covers.
+    pub trace_count: usize,
+}
+
+/// One tier's slice of the end-to-end latency.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TierShare {
+    /// Tier label — the server span name plus node, e.g. `KvStore@15`.
+    pub tier: String,
+    /// Networking time attributed to reaching this tier (client-span self
+    /// time on the critical path whose matched server child is this tier).
+    pub network_ns: Nanos,
+    /// Application time spent inside this tier (server/internal self time
+    /// on the critical path).
+    pub app_ns: Nanos,
+}
+
+impl TierShare {
+    /// Fraction of this tier's time that is networking.
+    pub fn network_share(&self) -> f64 {
+        let total = self.network_ns + self.app_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.network_ns as f64 / total as f64
+        }
+    }
+}
+
+impl Fig3Report {
+    /// Overall networking share of critical-path latency — the paper's
+    /// Fig. 3 headline number (~0.40 on average).
+    pub fn network_share(&self) -> f64 {
+        let total = self.network_ns + self.app_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.network_ns as f64 / total as f64
+        }
+    }
+
+    /// Unweighted mean of the per-tier networking shares. Fig. 3's "~40% on
+    /// average" averages across tiers, not across time — the time-weighted
+    /// overall share underweights exactly the light tiers (up to ~80%
+    /// networking) that motivate the paper.
+    pub fn mean_tier_share(&self) -> f64 {
+        if self.tiers.is_empty() {
+            return 0.0;
+        }
+        self.tiers.iter().map(TierShare::network_share).sum::<f64>() / self.tiers.len() as f64
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 3 (live-traced): networking share of latency over {} trace(s)\n",
+            self.trace_count
+        ));
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>9}\n",
+            "tier", "network_ns", "app_ns", "net_share"
+        ));
+        for t in &self.tiers {
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12} {:>8.1}%\n",
+                t.tier,
+                t.network_ns,
+                t.app_ns,
+                t.network_share() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>8.1}%\n",
+            "TOTAL (critical path)",
+            self.network_ns,
+            self.app_ns,
+            self.network_share() * 100.0
+        ));
+        out
+    }
+}
+
+fn tier_label(span: &Span) -> String {
+    match span.node {
+        Some(node) => format!("{}@{}", span.name, node),
+        None => span.name.clone(),
+    }
+}
+
+/// Computes the live Fig. 3 report from assembled traces: every critical
+/// path is split into networking segments (client-span self time — the
+/// request is on the wire, in rings, or in the NIC engine) and application
+/// segments (server/internal self time — the handler is running). Client
+/// segments are charged to the tier they were *calling* (the span's server
+/// child) so the table reads per-callee like the paper's figure.
+pub fn fig3_report(trees: &[TraceTree]) -> Fig3Report {
+    let mut report = Fig3Report {
+        trace_count: trees.len(),
+        ..Fig3Report::default()
+    };
+    let mut tiers: HashMap<String, TierShare> = HashMap::new();
+    for tree in trees {
+        // Map client span id -> callee tier label via its server children.
+        let mut callee: HashMap<u64, String> = HashMap::new();
+        for node in &tree.nodes {
+            if node.span.kind != SpanKind::Client {
+                continue;
+            }
+            if let Some(server) = node
+                .children
+                .iter()
+                .map(|&c| &tree.nodes[c].span)
+                .find(|s| s.kind == SpanKind::Server)
+            {
+                callee.insert(node.span.span_id, tier_label(server));
+            }
+        }
+        for seg in tree.critical_path() {
+            let dur = seg.duration_ns();
+            let (label, is_network) = match seg.kind {
+                SpanKind::Client => {
+                    let label = callee
+                        .get(&seg.span_id)
+                        .cloned()
+                        .unwrap_or_else(|| format!("wire:{}", seg.name));
+                    (label, true)
+                }
+                SpanKind::Server | SpanKind::Internal => (
+                    match seg.node {
+                        Some(node) => format!("{}@{}", seg.name, node),
+                        None => seg.name.clone(),
+                    },
+                    false,
+                ),
+            };
+            let entry = tiers.entry(label.clone()).or_insert_with(|| TierShare {
+                tier: label,
+                ..TierShare::default()
+            });
+            if is_network {
+                entry.network_ns += dur;
+                report.network_ns += dur;
+            } else {
+                entry.app_ns += dur;
+                report.app_ns += dur;
+            }
+        }
+    }
+    let mut rows: Vec<TierShare> = tiers.into_values().collect();
+    rows.sort_by(|a, b| {
+        (b.network_ns + b.app_ns)
+            .cmp(&(a.network_ns + a.app_ns))
+            .then_with(|| a.tier.cmp(&b.tier))
+    });
+    report.tiers = rows;
+    report
+}
+
+const WATERFALL_WIDTH: usize = 40;
+
+/// Renders one trace as an indented text waterfall. Each line shows the
+/// span's name, kind, node, and duration, with a bar positioned on the
+/// trace's timeline; spans linked to an [`RpcTrace`] get a second line
+/// listing the NIC/ring stage stamps that fall inside them.
+pub fn render_waterfall(tree: &TraceTree, rpc_traces: &[RpcTrace]) -> String {
+    let by_key: HashMap<(u32, u32), &RpcTrace> = rpc_traces
+        .iter()
+        .map(|t| ((t.connection_id, t.rpc_id), t))
+        .collect();
+    let t0 = tree.start_ns();
+    let total = tree.duration_ns().max(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {:016x}: {} span(s), {} tier(s), {:.1} us end-to-end{}\n",
+        tree.trace_id,
+        tree.nodes.len(),
+        tree.tier_count(),
+        total as f64 / 1_000.0,
+        if tree.is_connected() {
+            ""
+        } else {
+            " [disconnected]"
+        },
+    ));
+    let mut stack: Vec<(usize, usize)> = tree.roots.iter().rev().map(|&r| (r, 0usize)).collect();
+    while let Some((idx, depth)) = stack.pop() {
+        let span = &tree.nodes[idx].span;
+        let scale = |ns: Nanos| -> usize {
+            ((ns.saturating_sub(t0)) as u128 * WATERFALL_WIDTH as u128 / total as u128) as usize
+        };
+        let (a, b) = (
+            scale(span.start_ns),
+            scale(span.end_ns).max(scale(span.start_ns) + 1),
+        );
+        let mut bar = String::with_capacity(WATERFALL_WIDTH);
+        for i in 0..WATERFALL_WIDTH {
+            bar.push(if i >= a && i < b { '#' } else { '.' });
+        }
+        let node = span.node.map(|n| format!("@{n}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{:indent$}{} [{}{}] {:>9.1} us |{}|\n",
+            "",
+            span.name,
+            span.kind.name(),
+            node,
+            span.duration_ns() as f64 / 1_000.0,
+            bar,
+            indent = depth * 2,
+        ));
+        if let Some(trace) = span.rpc.and_then(|key| by_key.get(&key)) {
+            let mut stamps: Vec<String> = Vec::new();
+            for ev in RpcEvent::all() {
+                if let Some(at) = trace.event(ev) {
+                    stamps.push(format!(
+                        "{}+{:.1}us",
+                        ev.name(),
+                        at.saturating_sub(span.start_ns) as f64 / 1_000.0
+                    ));
+                }
+            }
+            if !stamps.is_empty() {
+                out.push_str(&format!(
+                    "{:indent$}. stages: {}\n",
+                    "",
+                    stamps.join(" "),
+                    indent = depth * 2 + 2,
+                ));
+            }
+        }
+        for &c in tree.nodes[idx].children.iter().rev() {
+            stack.push((c, depth + 1));
+        }
+    }
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn micros(ns: Nanos) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Exports traces as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` format Perfetto and `chrome://tracing` load).
+/// Every span becomes a complete (`"ph":"X"`) event with `pid` = node
+/// address and its own `tid` lane; [`RpcTrace`] stamps linked to a span
+/// become instant (`"ph":"i"`) events on the same lane; each node gets a
+/// `process_name` metadata record.
+pub fn chrome_trace_json(trees: &[TraceTree], rpc_traces: &[RpcTrace]) -> String {
+    let by_key: HashMap<(u32, u32), &RpcTrace> = rpc_traces
+        .iter()
+        .map(|t| ((t.connection_id, t.rpc_id), t))
+        .collect();
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let emit = |out: &mut String, body: String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&body);
+    };
+    let mut nodes_seen: Vec<u16> = Vec::new();
+    let mut tid = 0u64;
+    for tree in trees {
+        for node in &tree.nodes {
+            let span = &node.span;
+            tid += 1;
+            let pid = span.node.unwrap_or(0);
+            if span.node.is_some() && !nodes_seen.contains(&pid) {
+                nodes_seen.push(pid);
+            }
+            let mut body = String::from("{\"name\":");
+            push_json_str(&mut body, &span.name);
+            body.push_str(&format!(
+                ",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\"",
+                span.kind.name(),
+                micros(span.start_ns),
+                micros(span.duration_ns()),
+                pid,
+                tid,
+                span.trace_id,
+                span.span_id,
+            ));
+            if let Some(parent) = span.parent_span_id {
+                body.push_str(&format!(",\"parent_span_id\":\"{parent:016x}\""));
+            }
+            body.push_str("}}");
+            emit(&mut out, body, &mut first);
+            if let Some(trace) = span.rpc.and_then(|key| by_key.get(&key)) {
+                for ev in RpcEvent::all() {
+                    if let Some(at) = trace.event(ev) {
+                        let mut body = String::from("{\"name\":");
+                        push_json_str(&mut body, ev.name());
+                        body.push_str(&format!(
+                            ",\"cat\":\"rpc_stage\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                             \"pid\":{},\"tid\":{}}}",
+                            micros(at),
+                            pid,
+                            tid,
+                        ));
+                        emit(&mut out, body, &mut first);
+                    }
+                }
+            }
+        }
+    }
+    for node in nodes_seen {
+        let body = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{node},\
+             \"args\":{{\"name\":\"node {node}\"}}}}"
+        );
+        emit(&mut out, body, &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+
+    #[allow(clippy::too_many_arguments)]
+    fn span(
+        trace_id: u64,
+        span_id: u64,
+        parent: Option<u64>,
+        name: &str,
+        kind: SpanKind,
+        node: Option<u16>,
+        start_ns: Nanos,
+        end_ns: Nanos,
+    ) -> Span {
+        Span {
+            trace_id,
+            span_id,
+            parent_span_id: parent,
+            name: name.to_string(),
+            kind,
+            node,
+            start_ns,
+            end_ns,
+            rpc: None,
+        }
+    }
+
+    /// A two-hop trace: root internal span on node 1 issues an RPC (client
+    /// span) to node 2, whose server span runs a handler.
+    fn two_hop() -> Vec<Span> {
+        vec![
+            span(9, 1, None, "journey", SpanKind::Internal, Some(1), 0, 1_000),
+            span(
+                9,
+                2,
+                Some(1),
+                "rpc.fn1",
+                SpanKind::Client,
+                Some(1),
+                100,
+                900,
+            ),
+            span(9, 3, Some(2), "Svc", SpanKind::Server, Some(2), 300, 700),
+        ]
+    }
+
+    #[test]
+    fn assemble_links_parents() {
+        let trees = assemble(&two_hop());
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert!(t.is_connected());
+        assert_eq!(t.tier_count(), 2);
+        assert_eq!(t.duration_ns(), 1_000);
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.span.name, "journey");
+        assert_eq!(root.children.len(), 1);
+        let client = &t.nodes[root.children[0]];
+        assert_eq!(client.span.name, "rpc.fn1");
+        assert_eq!(client.children.len(), 1);
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        let spans = vec![span(5, 2, Some(99), "lost", SpanKind::Server, None, 0, 10)];
+        let trees = assemble(&spans);
+        assert_eq!(trees[0].roots.len(), 1);
+        assert!(trees[0].is_connected());
+    }
+
+    #[test]
+    fn critical_path_attributes_self_time() {
+        let trees = assemble(&two_hop());
+        let path = trees[0].critical_path();
+        // journey [0,100), client [100,300), server [300,700),
+        // client [700,900), journey [900,1000) — chronological order.
+        let names: Vec<(&str, Nanos)> = path
+            .iter()
+            .map(|s| (s.name.as_str(), s.duration_ns()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("journey", 100),
+                ("rpc.fn1", 200),
+                ("Svc", 400),
+                ("rpc.fn1", 200),
+                ("journey", 100),
+            ]
+        );
+        let total: Nanos = path.iter().map(|s| s.duration_ns()).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn critical_path_picks_latest_ending_child() {
+        // Fan-out: two client calls overlap; the one ending later bounds
+        // the parent's latency and must own the path.
+        let spans = vec![
+            span(7, 1, None, "handler", SpanKind::Server, Some(1), 0, 1_000),
+            span(7, 2, Some(1), "rpc.a", SpanKind::Client, Some(1), 100, 400),
+            span(7, 3, Some(1), "rpc.b", SpanKind::Client, Some(1), 100, 800),
+        ];
+        let path = assemble(&spans)[0].critical_path();
+        let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["handler", "rpc.b", "handler"]);
+        let total: Nanos = path.iter().map(|s| s.duration_ns()).sum();
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn fig3_splits_network_and_app() {
+        let report = fig3_report(&assemble(&two_hop()));
+        // Client self time 400 (2x200) is network, charged to the callee
+        // tier Svc@2; journey 200 + server 400 are app.
+        assert_eq!(report.network_ns, 400);
+        assert_eq!(report.app_ns, 600);
+        assert!((report.network_share() - 0.4).abs() < 1e-9);
+        let svc = report.tiers.iter().find(|t| t.tier == "Svc@2").unwrap();
+        assert_eq!(svc.network_ns, 400);
+        assert_eq!(svc.app_ns, 400);
+        assert!((svc.network_share() - 0.5).abs() < 1e-9);
+        let rendered = report.render();
+        assert!(rendered.contains("Svc@2"), "{rendered}");
+        assert!(rendered.contains("40.0%"), "{rendered}");
+    }
+
+    #[test]
+    fn waterfall_renders_all_spans() {
+        let trees = assemble(&two_hop());
+        let text = render_waterfall(&trees[0], &[]);
+        assert!(text.contains("journey"), "{text}");
+        assert!(text.contains("rpc.fn1"), "{text}");
+        assert!(text.contains("Svc [server@2]"), "{text}");
+        assert!(text.contains("2 tier(s)"), "{text}");
+        // Child lines are indented beneath the root.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].starts_with("  rpc.fn1"), "{text}");
+    }
+
+    #[test]
+    fn waterfall_attaches_stage_stamps() {
+        let mut spans = two_hop();
+        spans[1].rpc = Some((42, 7));
+        let mut rpc_trace = RpcTrace {
+            connection_id: 42,
+            rpc_id: 7,
+            ..RpcTrace::default()
+        };
+        rpc_trace.events[RpcEvent::ClientSend as usize] = Some(110);
+        rpc_trace.events[RpcEvent::EngineRx as usize] = Some(250);
+        let text = render_waterfall(&assemble(&spans)[0], &[rpc_trace]);
+        assert!(text.contains("client_send+0.0us"), "{text}");
+        assert!(text.contains("engine_rx+0.1us"), "{text}");
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let mut spans = two_hop();
+        spans[1].rpc = Some((42, 7));
+        let mut rpc_trace = RpcTrace {
+            connection_id: 42,
+            rpc_id: 7,
+            ..RpcTrace::default()
+        };
+        rpc_trace.events[RpcEvent::ClientSend as usize] = Some(110);
+        let json = chrome_trace_json(&assemble(&spans), &[rpc_trace]);
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("\"name\":\"client_send\""), "{json}");
+        assert!(json.contains("\"pid\":2"), "{json}");
+        // Balanced braces/brackets — a cheap well-formedness check given
+        // no JSON parser in the workspace.
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        for c in json.chars() {
+            match c {
+                '{' => braces += 1,
+                '}' => braces -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!((braces, brackets), (0, 0));
+        // ts is microseconds with ns fraction: span start 100ns -> 0.100.
+        assert!(json.contains("\"ts\":0.100"), "{json}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_outputs() {
+        let trees = assemble(&[]);
+        assert!(trees.is_empty());
+        let report = fig3_report(&trees);
+        assert_eq!(report.network_share(), 0.0);
+        let json = chrome_trace_json(&trees, &[]);
+        assert_eq!(json, "{\"traceEvents\":[]}");
+    }
+}

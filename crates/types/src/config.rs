@@ -145,7 +145,7 @@ impl HardConfig {
             ("tx_ring_capacity", self.tx_ring_capacity),
             ("rx_ring_capacity", self.rx_ring_capacity),
         ] {
-            if !cap.is_power_of_two() || cap < 2 || cap > (1 << 20) {
+            if !cap.is_power_of_two() || !(2..=(1 << 20)).contains(&cap) {
                 return Err(DaggerError::Config(format!(
                     "{name} {cap} must be a power of two in 2..=1048576"
                 )));
@@ -291,12 +291,18 @@ mod tests {
 
     #[test]
     fn rejects_too_many_flows() {
-        assert!(HardConfig::builder().num_flows(MAX_FLOWS + 1).build().is_err());
+        assert!(HardConfig::builder()
+            .num_flows(MAX_FLOWS + 1)
+            .build()
+            .is_err());
     }
 
     #[test]
     fn rejects_non_pow2_conn_cache() {
-        assert!(HardConfig::builder().conn_cache_entries(1000).build().is_err());
+        assert!(HardConfig::builder()
+            .conn_cache_entries(1000)
+            .build()
+            .is_err());
     }
 
     #[test]

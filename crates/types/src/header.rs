@@ -10,7 +10,9 @@
 //! 4       rpc_id             4
 //! 8       fn_id              2
 //! 10      src_flow           2   flow to steer the response back to (§4.2)
-//! 12      kind               1   1 = request, 2 = response
+//! 12      kind               1   bits 0-6: 1 = request, 2 = response;
+//!                                bit 7: traced — the RPC payload starts
+//!                                with a 16-byte trace-context prelude
 //! 13      frame_idx          1   index of this frame within the RPC
 //! 14      frame_count        1   total frames of the RPC (software
 //!                                reassembly for multi-frame RPCs, §4.7)
@@ -43,6 +45,11 @@ impl RpcKind {
     }
 }
 
+/// Bit 7 of the kind byte flags a traced RPC. The remaining kind values fit
+/// comfortably in the low bits, so the flag rides the existing header for
+/// free: tracing disabled changes nothing on the wire.
+const TRACED_BIT: u8 = 0x80;
+
 /// The parsed form of the 16-byte frame header.
 ///
 /// # Example
@@ -58,6 +65,7 @@ impl RpcKind {
 ///     frame_idx: 0,
 ///     frame_count: 2,
 ///     frame_payload_len: 48,
+///     traced: false,
 /// };
 /// let mut buf = [0u8; HEADER_BYTES];
 /// hdr.encode(&mut buf);
@@ -83,6 +91,12 @@ pub struct RpcHeader {
     /// Number of payload bytes used in this frame. At most
     /// [`FRAME_PAYLOAD_BYTES`].
     pub frame_payload_len: u8,
+    /// Distributed-tracing flag (bit 7 of the kind byte): when set, the
+    /// RPC's payload begins with a 16-byte wire trace context that the RPC
+    /// layer strips before handing the payload to the application. Hardware
+    /// (the load balancer's object-level steering) uses this flag to skip
+    /// the prelude when hashing keys.
+    pub traced: bool,
 }
 
 impl RpcHeader {
@@ -97,7 +111,7 @@ impl RpcHeader {
         buf[4..8].copy_from_slice(&self.rpc_id.raw().to_le_bytes());
         buf[8..10].copy_from_slice(&self.fn_id.raw().to_le_bytes());
         buf[10..12].copy_from_slice(&self.src_flow.raw().to_le_bytes());
-        buf[12] = self.kind as u8;
+        buf[12] = self.kind as u8 | if self.traced { TRACED_BIT } else { 0 };
         buf[13] = self.frame_idx;
         buf[14] = self.frame_count;
         buf[15] = self.frame_payload_len;
@@ -122,10 +136,11 @@ impl RpcHeader {
             rpc_id: RpcId(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
             fn_id: FnId(u16::from_le_bytes(buf[8..10].try_into().unwrap())),
             src_flow: FlowId(u16::from_le_bytes(buf[10..12].try_into().unwrap())),
-            kind: RpcKind::from_u8(buf[12])?,
+            kind: RpcKind::from_u8(buf[12] & !TRACED_BIT)?,
             frame_idx: buf[13],
             frame_count: buf[14],
             frame_payload_len: buf[15],
+            traced: buf[12] & TRACED_BIT != 0,
         };
         if usize::from(hdr.frame_payload_len) > FRAME_PAYLOAD_BYTES {
             return Err(DaggerError::Wire(format!(
@@ -165,6 +180,7 @@ mod tests {
             frame_idx: 2,
             frame_count: 5,
             frame_payload_len: 48,
+            traced: false,
         }
     }
 
@@ -173,6 +189,20 @@ mod tests {
         let hdr = sample();
         let mut buf = [0u8; HEADER_BYTES];
         hdr.encode(&mut buf);
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn traced_flag_roundtrips_in_kind_byte() {
+        let mut hdr = sample();
+        hdr.traced = true;
+        let mut buf = [0u8; HEADER_BYTES];
+        hdr.encode(&mut buf);
+        assert_eq!(buf[12], 0x81, "traced request = kind 1 | bit 7");
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+        hdr.traced = false;
+        hdr.encode(&mut buf);
+        assert_eq!(buf[12], 0x01, "untraced wire bytes are unchanged");
         assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
     }
 

@@ -21,6 +21,7 @@
 //!     frame_idx: 0,
 //!     frame_count: 1,
 //!     frame_payload_len: 16,
+//!     traced: false,
 //! };
 //! let mut buf = [0u8; dagger_types::HEADER_BYTES];
 //! hdr.encode(&mut buf);

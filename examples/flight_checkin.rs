@@ -1,6 +1,8 @@
 //! The §5.7 end-to-end application: the 8-tier Flight Registration service
 //! over virtualized Dagger NICs, with the request tracer identifying the
-//! bottleneck tier, run under both threading models.
+//! bottleneck tier, run under both threading models — then a distributed
+//! trace of one passenger journey: text waterfall, critical path, live
+//! Fig. 3 latency attribution, and a Chrome trace-event export.
 //!
 //! ```sh
 //! cargo run --release --example flight_checkin
@@ -8,6 +10,7 @@
 
 use dagger::nic::MemFabric;
 use dagger::services::flight::{FlightApp, FlightConfig};
+use dagger::telemetry::{assemble, chrome_trace_json, fig3_report, render_waterfall};
 use dagger::types::Result;
 
 fn drive(label: &str, config: &FlightConfig, passengers: u64) -> Result<()> {
@@ -17,7 +20,11 @@ fn drive(label: &str, config: &FlightConfig, passengers: u64) -> Result<()> {
     let start = std::time::Instant::now();
     let mut ok = 0;
     for passenger in 0..passengers {
-        let resp = app.check_in(passenger, 100 + (passenger % 7) as u32, (passenger % 3) as u8)?;
+        let resp = app.check_in(
+            passenger,
+            100 + (passenger % 7) as u32,
+            (passenger % 3) as u8,
+        )?;
         if resp.ok {
             ok += 1;
             // The staff front-end asynchronously audits the record.
@@ -48,6 +55,53 @@ fn drive(label: &str, config: &FlightConfig, passengers: u64) -> Result<()> {
     Ok(())
 }
 
+/// Runs traced passenger journeys and prints every analysis the
+/// distributed tracer supports.
+fn trace_journeys(journeys: u64) -> Result<()> {
+    let fabric = MemFabric::new();
+    let app = FlightApp::launch(&fabric, &FlightConfig::simple())?;
+    app.enable_tracing();
+    for passenger in 0..journeys {
+        app.passenger_journey(passenger, 500, 1)?;
+    }
+
+    let spans = app.telemetry().spans().spans();
+    let rpc_traces = app.telemetry().tracer().traces();
+    let trees = assemble(&spans);
+    println!(
+        "\n=== distributed trace: {} journey(s), {} span(s) ===",
+        trees.len(),
+        spans.len()
+    );
+    if let Some(tree) = trees.first() {
+        print!("{}", render_waterfall(tree, &rpc_traces));
+        let path = tree.critical_path();
+        let path_ns: u64 = path.iter().map(|s| s.duration_ns()).sum();
+        println!(
+            "critical path: {} segment(s), {:.1} us of {:.1} us end-to-end",
+            path.len(),
+            path_ns as f64 / 1e3,
+            tree.duration_ns() as f64 / 1e3
+        );
+    }
+
+    let fig3 = fig3_report(&trees);
+    print!("{}", fig3.render());
+    println!(
+        "overall networking share: {:.1}% (mean across tiers: {:.1}%)",
+        fig3.network_share() * 100.0,
+        fig3.mean_tier_share() * 100.0
+    );
+
+    let chrome = chrome_trace_json(&trees, &rpc_traces);
+    println!(
+        "chrome trace: {} bytes (load in chrome://tracing or Perfetto)",
+        chrome.len()
+    );
+    app.shutdown();
+    Ok(())
+}
+
 fn main() -> Result<()> {
     // Simple model: every tier handles RPCs in its dispatch thread.
     let mut simple = FlightConfig::simple();
@@ -59,6 +113,12 @@ fn main() -> Result<()> {
     optimized.flight_work = 50_000;
     drive("optimized", &optimized, 40)?;
 
-    println!("(Table 4 / Fig. 15 throughput+latency numbers come from `cargo bench`'s timed model)");
+    // Distributed tracing over the same 8 tiers: wire-propagated context,
+    // one connected tree per journey, live Fig. 3 attribution.
+    trace_journeys(5)?;
+
+    println!(
+        "(Table 4 / Fig. 15 throughput+latency numbers come from `cargo bench`'s timed model)"
+    );
     Ok(())
 }

@@ -23,10 +23,7 @@ const OPS: usize = 3_000;
 const KEYS: u64 = 2_000;
 
 fn run_workload(mut do_op: impl FnMut(&KvOp)) -> std::time::Duration {
-    let mut workload = KvWorkload::new(
-        WorkloadSpec::tiny().with_keys(KEYS).read_intensive(),
-        42,
-    );
+    let mut workload = KvWorkload::new(WorkloadSpec::tiny().with_keys(KEYS).read_intensive(), 42);
     let ops: Vec<KvOp> = (0..OPS).map(|_| workload.next_op()).collect();
     let start = Instant::now();
     for op in &ops {
@@ -105,9 +102,7 @@ fn main() -> Result<()> {
 
     let mica_time = run_workload(|op| match op {
         KvOp::Get { key } => {
-            mica_client
-                .get(&KvGetRequest { key: key.clone() })
-                .unwrap();
+            mica_client.get(&KvGetRequest { key: key.clone() }).unwrap();
         }
         KvOp::Set { key, value } => {
             mica_client
@@ -126,9 +121,9 @@ fn main() -> Result<()> {
 
     // --- The same memcached behind a real kernel-TCP RPC stack. ---
     let tcp_store = Arc::new(Memcached::new(1 << 22, 8));
-    let mut tcp_server = TcpRpcServer::start(Arc::new(KvStoreDispatch::new(
-        MemcachedPort::new(Arc::clone(&tcp_store)),
-    )))?;
+    let mut tcp_server = TcpRpcServer::start(Arc::new(KvStoreDispatch::new(MemcachedPort::new(
+        Arc::clone(&tcp_store),
+    ))))?;
     let mut tcp_client = TcpRpcClient::connect(tcp_server.addr())?;
     workload.populate(KEYS, |k, v| {
         let req = KvSetRequest {

@@ -66,13 +66,23 @@ fn main() -> Result<()> {
     for tenant in 0..TENANTS {
         let server_addr = NodeAddr(u32::from(tenant) * 10 + 1);
         let client_addr = NodeAddr(u32::from(tenant) * 10 + 2);
-        let server_nic =
-            Nic::start_virtual(&fabric, server_addr, HardConfig::default(), arbiter.register())?;
-        let client_nic =
-            Nic::start_virtual(&fabric, client_addr, HardConfig::default(), arbiter.register())?;
+        let server_nic = Nic::start_virtual(
+            &fabric,
+            server_addr,
+            HardConfig::default(),
+            arbiter.register(),
+        )?;
+        let client_nic = Nic::start_virtual(
+            &fabric,
+            client_addr,
+            HardConfig::default(),
+            arbiter.register(),
+        )?;
 
         // Per-tenant soft configuration: each tenant tunes its own batching.
-        server_nic.softregs().set_batch_size(1 + (tenant as u8 % 4))?;
+        server_nic
+            .softregs()
+            .set_batch_size(1 + (tenant as u8 % 4))?;
 
         let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
         server.register_service(Arc::new(WorkDispatch::new(TenantService { id: tenant })))?;

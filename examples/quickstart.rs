@@ -77,12 +77,7 @@ fn main() -> Result<()> {
 
     // Asynchronous (non-blocking) calls complete out of band.
     let calls: Vec<_> = (0..8)
-        .map(|i| {
-            client.get_async(&GetRequest {
-                timestamp: i,
-                key,
-            })
-        })
+        .map(|i| client.get_async(&GetRequest { timestamp: i, key }))
         .collect::<Result<_>>()?;
     for call in calls {
         let resp = call.wait()?;

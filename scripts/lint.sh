@@ -15,4 +15,7 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (telemetry crate, warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -p dagger-telemetry --no-deps --quiet
+
 echo "lint OK"

@@ -80,11 +80,8 @@ fn deploy(threading: ThreadingModel, server_threads: usize) -> (Deployment, RpcC
     let fabric = MemFabric::new();
     let server_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
     let client_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
-    let mut server = RpcThreadedServer::with_threading(
-        Arc::clone(&server_nic),
-        server_threads,
-        threading,
-    );
+    let mut server =
+        RpcThreadedServer::with_threading(Arc::clone(&server_nic), server_threads, threading);
     server
         .register_service(Arc::new(TestSvcDispatch::new(TestSvcImpl)))
         .unwrap();
@@ -251,8 +248,7 @@ fn srq_shared_flow_clients() {
     )
     .unwrap();
     assert_eq!(pool.len(), 3);
-    let flows: std::collections::HashSet<u16> =
-        pool.iter().map(|c| c.flow().raw()).collect();
+    let flows: std::collections::HashSet<u16> = pool.iter().map(|c| c.flow().raw()).collect();
     assert_eq!(flows.len(), 1, "all clients share the flow");
     for (i, c) in pool.iter().enumerate() {
         let client = TestSvcClient::new(Arc::clone(c));

@@ -155,33 +155,27 @@ fn zipf_mixed_workload_against_both_stores() {
     let mcd_client = KvStoreClient::new(mcd_pool.client(0).unwrap());
     let mica_client = KvStoreClient::new(mica_pool.client(0).unwrap());
 
-    let mut workload = KvWorkload::new(
-        WorkloadSpec::tiny().with_keys(200).write_intensive(),
-        7,
-    );
+    let mut workload = KvWorkload::new(WorkloadSpec::tiny().with_keys(200).write_intensive(), 7);
     let mut gets = 0u32;
     let mut sets = 0u32;
     for _ in 0..400 {
         match workload.next_op() {
             dagger::kvs::KvOp::Set { key, value } => {
                 sets += 1;
-                assert!(mcd_client
-                    .set(&KvSetRequest {
-                        key: key.clone(),
-                        value: value.clone(),
-                    })
-                    .unwrap()
-                    .ok);
-                assert!(mica_client
-                    .set(&KvSetRequest { key, value })
-                    .unwrap()
-                    .ok);
+                assert!(
+                    mcd_client
+                        .set(&KvSetRequest {
+                            key: key.clone(),
+                            value: value.clone(),
+                        })
+                        .unwrap()
+                        .ok
+                );
+                assert!(mica_client.set(&KvSetRequest { key, value }).unwrap().ok);
             }
             dagger::kvs::KvOp::Get { key } => {
                 gets += 1;
-                let a = mcd_client
-                    .get(&KvGetRequest { key: key.clone() })
-                    .unwrap();
+                let a = mcd_client.get(&KvGetRequest { key: key.clone() }).unwrap();
                 let b = mica_client.get(&KvGetRequest { key }).unwrap();
                 // Any key both stores have seen must agree on the value.
                 if a.found && b.found {

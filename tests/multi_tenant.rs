@@ -84,9 +84,7 @@ fn two_tenants_share_one_fpga() {
         .map(|(tenant, client, pool)| {
             std::thread::spawn(move || {
                 for seq in 0..30u32 {
-                    let resp = client
-                        .poke(&TenantRequest { tenant, seq })
-                        .unwrap();
+                    let resp = client.poke(&TenantRequest { tenant, seq }).unwrap();
                     assert_eq!(resp.tenant, tenant);
                     assert_eq!(resp.seq, seq);
                 }
@@ -114,10 +112,20 @@ fn two_tenants_share_one_fpga() {
 fn per_tenant_soft_configuration_is_independent() {
     let fabric = MemFabric::new();
     let arbiter = CcipArbiter::new(2);
-    let a = Nic::start_virtual(&fabric, NodeAddr(1), HardConfig::default(), arbiter.register())
-        .unwrap();
-    let b = Nic::start_virtual(&fabric, NodeAddr(2), HardConfig::default(), arbiter.register())
-        .unwrap();
+    let a = Nic::start_virtual(
+        &fabric,
+        NodeAddr(1),
+        HardConfig::default(),
+        arbiter.register(),
+    )
+    .unwrap();
+    let b = Nic::start_virtual(
+        &fabric,
+        NodeAddr(2),
+        HardConfig::default(),
+        arbiter.register(),
+    )
+    .unwrap();
     a.softregs().set_batch_size(8).unwrap();
     b.softregs().set_batch_size(2).unwrap();
     assert_eq!(a.softregs().batch_size(), 8);

@@ -49,6 +49,7 @@ proptest! {
         is_req in any::<bool>(),
         count in 1u8..=255,
         payload_len in 0u8..=48,
+        traced in any::<bool>(),
     ) {
         let hdr = RpcHeader {
             connection_id: ConnectionId(cid),
@@ -59,6 +60,7 @@ proptest! {
             frame_idx: count - 1,
             frame_count: count,
             frame_payload_len: payload_len,
+            traced,
         };
         let mut buf = [0u8; HEADER_BYTES];
         hdr.encode(&mut buf);
@@ -292,5 +294,75 @@ proptest! {
             }
         }
         prop_assert_eq!(delivered, (0..20u8).collect::<Vec<_>>());
+    }
+
+    /// Distributed tracing: a traced RPC's wire context survives
+    /// fragmentation, an arbitrary loss pattern repaired by Go-Back-N
+    /// retransmission, and reassembly — and stripping it returns the
+    /// original payload byte for byte.
+    #[test]
+    fn trace_context_survives_loss_and_reassembly(
+        payload in prop::collection::vec(any::<u8>(), 0..300),
+        drops in prop::collection::vec(any::<bool>(), 24),
+        trace_id in any::<u64>(),
+        span_id in any::<u64>(),
+    ) {
+        use dagger::nic::reliable::{ReliableConfig, ReliableTransport, TransportFrame};
+        use dagger::nic::transport::Datagram;
+        use dagger::rpc::frag::fragment_with_ctx;
+        use dagger::telemetry::TraceContext;
+
+        let ctx = TraceContext { trace_id, span_id };
+        let frames = fragment_with_ctx(
+            ConnectionId(7),
+            RpcId(9),
+            FnId(3),
+            FlowId(0),
+            RpcKind::Request,
+            &payload,
+            Some(ctx),
+        )
+        .unwrap();
+
+        let cfg = ReliableConfig { retransmit_after_ticks: 1, window: 64 };
+        let mut sender = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut receiver = ReliableTransport::new(NodeAddr(2), cfg);
+        let mut arrived: Vec<CacheLine> = Vec::new();
+        for (i, line) in frames.iter().enumerate() {
+            let dropped = drops.get(i).copied().unwrap_or(false);
+            let frame = sender
+                .on_send(Datagram::new(NodeAddr(1), NodeAddr(2), vec![*line]))
+                .unwrap();
+            if !dropped {
+                if let Some(d) = receiver.on_recv(&frame.encode()).unwrap() {
+                    arrived.extend(d.lines);
+                }
+            }
+        }
+        for _ in 0..96 {
+            for f in receiver.on_tick() {
+                sender.on_recv(&f.encode()).unwrap();
+            }
+            for f in sender.on_tick() {
+                if let TransportFrame::Data { .. } = &f {
+                    if let Some(d) = receiver.on_recv(&f.encode()).unwrap() {
+                        arrived.extend(d.lines);
+                    }
+                }
+            }
+            if sender.fully_acked() && arrived.len() == frames.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(arrived.len(), frames.len());
+
+        let mut reasm = Reassembler::new();
+        let mut done = None;
+        for line in arrived {
+            done = reasm.push(line).unwrap();
+        }
+        let mut rpc = done.expect("reassembly completes after repair");
+        prop_assert_eq!(rpc.take_trace_context(), Some(ctx));
+        prop_assert_eq!(rpc.payload, payload);
     }
 }

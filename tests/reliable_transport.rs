@@ -128,16 +128,7 @@ fn reliable_mode_is_transparent_without_loss() {
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
     let client = LossyClient::new(pool.client(0).unwrap());
     for seq in 0..50u32 {
-        assert_eq!(
-            client
-                .probe(&Probe {
-                    seq,
-                    blob: vec![]
-                })
-                .unwrap()
-                .seq,
-            seq
-        );
+        assert_eq!(client.probe(&Probe { seq, blob: vec![] }).unwrap().seq, seq);
     }
     server.stop();
     drop(pool);

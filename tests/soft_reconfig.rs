@@ -31,7 +31,13 @@ impl ReconfHandler for BumpImpl {
     }
 }
 
-fn deploy() -> (MemFabric, Arc<Nic>, Arc<Nic>, RpcThreadedServer, RpcClientPool) {
+fn deploy() -> (
+    MemFabric,
+    Arc<Nic>,
+    Arc<Nic>,
+    RpcThreadedServer,
+    RpcClientPool,
+) {
     let fabric = MemFabric::new();
     let server_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
     let client_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();

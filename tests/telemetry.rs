@@ -69,7 +69,12 @@ fn round_trip_populates_unified_telemetry() {
 
     // A >48-byte payload forces multi-frame fragmentation on both legs.
     let data: Vec<u8> = (0..200u32).map(|i| (i * 3) as u8).collect();
-    let resp = client.echo(&Blob { tag: 7, data: data.clone() }).unwrap();
+    let resp = client
+        .echo(&Blob {
+            tag: 7,
+            data: data.clone(),
+        })
+        .unwrap();
     assert_eq!(resp.data, data);
 
     // The first RPC issued by a client has rpc id 1. HandlerDone is stamped
@@ -119,9 +124,22 @@ fn round_trip_populates_unified_telemetry() {
     assert_eq!(handler.count, 1);
     assert_eq!(snap.registry.counter("rpc.server.requests"), Some(1));
 
-    // The JSON export names every stage and the percentile fields.
+    // The JSON export names every stage and the percentile fields. Schema
+    // v2 appends the distributed-tracing keys; every v1 key must remain,
+    // spelled exactly as in v1, so existing consumers keep parsing.
     let json = snap.to_json();
-    assert!(json.contains("\"version\":1"), "{json}");
+    assert!(json.starts_with("{\"version\":2"), "{json}");
+    for v1_key in [
+        "\"counters\":",
+        "\"gauges\":",
+        "\"histograms\":",
+        "\"traces\":[",
+        "\"dropped_traces\":",
+    ] {
+        assert!(json.contains(v1_key), "v1 key {v1_key} missing: {json}");
+    }
+    assert!(json.contains("\"spans\":["), "{json}");
+    assert!(json.contains("\"dropped_spans\":"), "{json}");
     for name in STAGE_NAMES {
         assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
     }
