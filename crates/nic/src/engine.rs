@@ -357,14 +357,16 @@ impl EngineCore {
                     Ok(Some(dgram)) => dgram,
                     Ok(None) => continue, // ack, duplicate, or gap
                     Err(_) => {
-                        self.monitor.inc_unknown_connection_drops();
+                        // Undecodable off the wire (truncated or corrupted);
+                        // Go-Back-N treats it as loss and repairs.
+                        self.monitor.inc_wire_drops();
                         continue;
                     }
                 },
                 None => match Datagram::decode(&bytes) {
                     Ok(dgram) => dgram,
                     Err(_) => {
-                        self.monitor.inc_unknown_connection_drops();
+                        self.monitor.inc_wire_drops();
                         continue;
                     }
                 },

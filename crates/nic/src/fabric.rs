@@ -1,35 +1,309 @@
-//! The in-process Ethernet fabric with an L2 ToR switch.
+//! The in-process Ethernet fabric with an L2 ToR switch and a composable
+//! fault-injection layer.
 //!
 //! The paper instantiates two (or eight, §5.7) NICs on one FPGA and
 //! connects them "over our simple model of a ToR networking switch with a
 //! static switching table" (§5.1, Fig. 14). [`MemFabric`] is that switch:
 //! NICs attach under a [`NodeAddr`], the switching table maps addresses to
 //! per-port unbounded queues, and datagrams travel as encoded bytes.
+//!
+//! Real fabrics do worse than deliver: they lose, reorder, duplicate,
+//! corrupt, delay, and partition. A [`FaultPlan`] injects all of those
+//! deterministically (splitmix64-seeded), either fabric-wide or per
+//! directed link, and can be swapped mid-run (soft-reconfiguration style)
+//! — as can link partitions ([`MemFabric::partition`] /
+//! [`MemFabric::heal`]). Every injected fault is counted in a lock-free
+//! [`FaultStats`] bank and exportable as `fabric.*` telemetry gauges via
+//! [`MemFabric::register_telemetry`].
+//!
+//! # Determinism
+//!
+//! Fault *decisions* on a directed link are a pure function of the plan's
+//! seed and that link's send ordinal: each link owns an isolated splitmix64
+//! stream derived from `plan.seed` and the link endpoints, so replaying the
+//! same seed with the same per-link traffic reproduces the same drop /
+//! reorder / duplicate / corrupt / delay choices — regardless of how other
+//! links' traffic interleaves. Only the *release timing* of held (reordered
+//! or delayed) frames depends on the fabric-wide event clock, which
+//! advances on every forward and on receiver polls; a held frame is never
+//! stuck, because both ongoing traffic and the receiving NIC's poll loop
+//! drain it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 
+use dagger_telemetry::Telemetry;
 use dagger_types::{DaggerError, NodeAddr, Result};
 
-/// Deterministic drop decision state (splitmix64).
-#[derive(Debug)]
-struct LossModel {
-    prob: f64,
-    state: u64,
-}
+/// Deterministic splitmix64 stream (one per directed link).
+#[derive(Clone, Copy, Debug)]
+struct SplitMix(u64);
 
-impl LossModel {
-    fn drop_next(&mut self) -> bool {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
+impl SplitMix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.prob
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform draw in `[1, n]` (`n` of 0 yields 1).
+    fn pick1(&mut self, n: usize) -> u64 {
+        1 + self.next_u64() % (n.max(1) as u64)
+    }
+}
+
+/// Clamps a probability into `[0, 1]`; `NaN` maps to `0`.
+fn clamp_prob(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A deterministic, composable fault specification for the fabric or one
+/// directed link.
+///
+/// All probabilities are clamped into `[0, 1]` on construction (`NaN`
+/// clamps to `0`); a probability of `1.0` is legal and means "every frame"
+/// (a drop probability of `1.0` blackholes the link, like a partition).
+/// Faults compose: one frame can be duplicated *and* corrupted *and*
+/// reordered by the same plan.
+///
+/// Decisions are drawn from a splitmix64 stream seeded by `seed` and the
+/// link endpoints, so a plan replays identically for the same per-link
+/// traffic (see the module docs for the exact guarantee).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a frame is silently dropped.
+    pub drop: f64,
+    /// Probability a frame is held back so later frames overtake it.
+    pub reorder: f64,
+    /// Bound on how many fabric events a reordered frame can lag (≥ 1).
+    pub reorder_window: usize,
+    /// Probability a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability one deterministic bit of the frame is flipped.
+    pub corrupt: f64,
+    /// Probability a frame is delayed without intent to reorder it.
+    pub delay: f64,
+    /// Fabric events a delayed frame is held for (jittered in
+    /// `[1, delay_events]`).
+    pub delay_events: usize,
+    /// Root seed of the per-link decision streams.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing, seeded for later composition.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            drop: 0.0,
+            reorder: 0.0,
+            reorder_window: 8,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_events: 64,
+            seed,
+        }
+    }
+
+    /// Loss-only plan: the old `with_loss` knob.
+    pub fn lossy(prob: f64, seed: u64) -> Self {
+        Self::seeded(seed).with_drop(prob)
+    }
+
+    /// Sets the drop probability (clamped into `[0, 1]`).
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = clamp_prob(p);
+        self
+    }
+
+    /// Sets the reorder probability (clamped) and the bounded window of
+    /// fabric events a held frame can lag (`window` of 0 becomes 1).
+    pub fn with_reorder(mut self, p: f64, window: usize) -> Self {
+        self.reorder = clamp_prob(p);
+        self.reorder_window = window.max(1);
+        self
+    }
+
+    /// Sets the duplication probability (clamped).
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = clamp_prob(p);
+        self
+    }
+
+    /// Sets the bit-corruption probability (clamped).
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = clamp_prob(p);
+        self
+    }
+
+    /// Sets the delay probability (clamped) and maximum hold in fabric
+    /// events (`events` of 0 becomes 1).
+    pub fn with_delay(mut self, p: f64, events: usize) -> Self {
+        self.delay = clamp_prob(p);
+        self.delay_events = events.max(1);
+        self
+    }
+
+    /// `true` if the plan can inject at least one fault.
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0
+            || self.reorder > 0.0
+            || self.duplicate > 0.0
+            || self.corrupt > 0.0
+            || self.delay > 0.0
+    }
+}
+
+/// Lock-free injected-fault counters, shared between the switch and host
+/// observers (chaos harnesses, telemetry collectors).
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    reordered: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    partition_drops: AtomicU64,
+}
+
+/// A plain-data snapshot of [`FaultStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Frames that entered the switch (before any fault decision).
+    pub forwarded: u64,
+    /// Frames dropped by loss injection.
+    pub dropped: u64,
+    /// Frames held back so later frames overtook them.
+    pub reordered: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames with one bit flipped.
+    pub corrupted: u64,
+    /// Frames held back without reordering intent.
+    pub delayed: u64,
+    /// Frames blackholed by an active partition.
+    pub partition_drops: u64,
+}
+
+impl FaultSnapshot {
+    /// Total faults injected, of any kind.
+    pub fn total_injected(&self) -> u64 {
+        self.dropped
+            + self.reordered
+            + self.duplicated
+            + self.corrupted
+            + self.delayed
+            + self.partition_drops
+    }
+}
+
+impl FaultStats {
+    fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frame held back by reorder/delay injection, due at a fabric event.
+#[derive(Debug)]
+struct HeldFrame {
+    dst: NodeAddr,
+    bytes: Vec<u8>,
+    due: u64,
+}
+
+/// The mutable fault-injection state, behind one lock so per-link decision
+/// streams stay internally ordered.
+#[derive(Debug, Default)]
+struct FaultState {
+    global: Option<FaultPlan>,
+    links: HashMap<(NodeAddr, NodeAddr), Option<FaultPlan>>,
+    /// Per-directed-link splitmix64 streams, lazily derived from the
+    /// governing plan's seed and the endpoints.
+    streams: HashMap<(NodeAddr, NodeAddr), SplitMix>,
+    /// Frames held for later release, any destination.
+    held: Vec<HeldFrame>,
+    /// The fabric event clock: advances on forwards and on receiver polls
+    /// while frames are held.
+    event: u64,
+    /// Partitioned unordered address pairs (both directions blackholed).
+    cut_pairs: HashSet<(NodeAddr, NodeAddr)>,
+    /// Fully partitioned nodes.
+    cut_nodes: HashSet<NodeAddr>,
+}
+
+impl FaultState {
+    fn plan_for(&self, src: NodeAddr, dst: NodeAddr) -> Option<FaultPlan> {
+        match self.links.get(&(src, dst)) {
+            Some(per_link) => *per_link,
+            None => self.global,
+        }
+    }
+
+    fn stream_for(&mut self, src: NodeAddr, dst: NodeAddr, plan: &FaultPlan) -> &mut SplitMix {
+        self.streams.entry((src, dst)).or_insert_with(|| {
+            // Distinct, deterministic stream per directed link.
+            let mix = plan
+                .seed
+                .wrapping_add(0x51AB_1E00 + u64::from(src.raw()) * 0x1_0000_0001)
+                .wrapping_add(u64::from(dst.raw()).wrapping_mul(0x00D1_F4FA_11CA_B1E5));
+            SplitMix(mix)
+        })
+    }
+
+    fn is_cut(&self, src: NodeAddr, dst: NodeAddr) -> bool {
+        if self.cut_nodes.contains(&src) || self.cut_nodes.contains(&dst) {
+            return true;
+        }
+        let pair = if src.raw() <= dst.raw() {
+            (src, dst)
+        } else {
+            (dst, src)
+        };
+        self.cut_pairs.contains(&pair)
+    }
+
+    /// Removes and returns every held frame due at or before `event`.
+    fn take_due(&mut self) -> Vec<HeldFrame> {
+        let event = self.event;
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.held.len() {
+            if self.held[i].due <= event {
+                due.push(self.held.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        due
     }
 }
 
@@ -38,17 +312,20 @@ struct SwitchTable {
     ports: HashMap<NodeAddr, Sender<Vec<u8>>>,
 }
 
-/// The shared in-process network: an L2 switch with a static table and
-/// optional deterministic loss injection for failure testing.
+/// The shared in-process network: an L2 switch with a static table and a
+/// deterministic fault-injection layer for failure testing.
 #[derive(Clone, Debug, Default)]
 pub struct MemFabric {
     table: Arc<RwLock<SwitchTable>>,
-    loss: Arc<Mutex<Option<LossModel>>>,
-    dropped: Arc<AtomicU64>,
+    faults: Arc<Mutex<FaultState>>,
+    stats: Arc<FaultStats>,
+    /// Frames currently held by reorder/delay injection; lets the hot
+    /// receive path skip the fault lock when nothing is pending.
+    held_count: Arc<AtomicU64>,
 }
 
 impl MemFabric {
-    /// Creates an empty, lossless fabric.
+    /// Creates an empty, faultless fabric.
     pub fn new() -> Self {
         Self::default()
     }
@@ -57,19 +334,110 @@ impl MemFabric {
     /// probability `prob` (deterministic per `seed`). Pair with NICs built
     /// with [`dagger_types::HardConfig::reliable`].
     ///
-    /// # Panics
-    ///
-    /// Panics if `prob` is outside `[0, 1)`.
+    /// `prob` is clamped into `[0, 1]` (`NaN` clamps to `0`); a
+    /// probability of `1.0` blackholes all traffic. Shorthand for
+    /// [`MemFabric::with_faults`] with [`FaultPlan::lossy`].
     pub fn with_loss(prob: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        Self::with_faults(FaultPlan::lossy(prob, seed))
+    }
+
+    /// Creates a fabric governed fabric-wide by `plan`.
+    pub fn with_faults(plan: FaultPlan) -> Self {
         let fabric = Self::new();
-        *fabric.loss.lock() = Some(LossModel { prob, state: seed });
+        fabric.set_faults(Some(plan));
         fabric
     }
 
-    /// Frames dropped by loss injection so far.
+    /// Installs (or clears) the fabric-wide fault plan mid-run. Per-link
+    /// plans set with [`MemFabric::set_link_faults`] take precedence.
+    /// Frames already held by the previous plan still release on schedule.
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        let mut faults = self.faults.lock();
+        faults.global = plan;
+        faults.streams.clear();
+    }
+
+    /// Installs a fault plan for the directed link `src → dst`
+    /// (`Some(plan)`), forces that link clean overriding the global plan
+    /// (`Some` of an inactive plan or `None` after a global plan is set —
+    /// use [`FaultPlan::seeded`] for an explicit no-fault plan), or removes
+    /// the per-link override entirely (`None`), restoring the global plan.
+    pub fn set_link_faults(&self, src: NodeAddr, dst: NodeAddr, plan: Option<FaultPlan>) {
+        let mut faults = self.faults.lock();
+        match plan {
+            Some(p) => {
+                faults.links.insert((src, dst), Some(p));
+            }
+            None => {
+                faults.links.remove(&(src, dst));
+            }
+        }
+        faults.streams.remove(&(src, dst));
+    }
+
+    /// Partitions the pair `a ↔ b`: frames between them (both directions)
+    /// are blackholed and counted as `partition_drops` until
+    /// [`MemFabric::heal`].
+    pub fn partition(&self, a: NodeAddr, b: NodeAddr) {
+        let pair = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        self.faults.lock().cut_pairs.insert(pair);
+    }
+
+    /// Heals the pair `a ↔ b`.
+    pub fn heal(&self, a: NodeAddr, b: NodeAddr) {
+        let pair = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        self.faults.lock().cut_pairs.remove(&pair);
+    }
+
+    /// Partitions `node` from everyone (all its traffic blackholed).
+    pub fn partition_node(&self, node: NodeAddr) {
+        self.faults.lock().cut_nodes.insert(node);
+    }
+
+    /// Heals a node-level partition.
+    pub fn heal_node(&self, node: NodeAddr) {
+        self.faults.lock().cut_nodes.remove(&node);
+    }
+
+    /// Heals every pair- and node-level partition.
+    pub fn heal_all(&self) {
+        let mut faults = self.faults.lock();
+        faults.cut_pairs.clear();
+        faults.cut_nodes.clear();
+    }
+
+    /// `true` while any partition is active.
+    pub fn partitioned(&self) -> bool {
+        let faults = self.faults.lock();
+        !faults.cut_pairs.is_empty() || !faults.cut_nodes.is_empty()
+    }
+
+    /// Frames dropped by loss injection so far (excludes partition drops;
+    /// see [`MemFabric::fault_stats`] for the full bank).
     pub fn dropped_frames(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.stats.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every injected-fault counter.
+    pub fn fault_stats(&self) -> FaultSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Registers this fabric's fault counters as `fabric.*` gauges on
+    /// `telemetry` (collector name `"fabric"`), so chaos-harness
+    /// bookkeeping and exported telemetry can be reconciled.
+    pub fn register_telemetry(&self, telemetry: &Telemetry) {
+        let stats = Arc::clone(&self.stats);
+        telemetry.register_collector("fabric", move |reg| {
+            let s = stats.snapshot();
+            reg.set_gauge("fabric.forwarded", s.forwarded);
+            reg.set_gauge("fabric.dropped", s.dropped);
+            reg.set_gauge("fabric.reordered", s.reordered);
+            reg.set_gauge("fabric.duplicated", s.duplicated);
+            reg.set_gauge("fabric.corrupted", s.corrupted);
+            reg.set_gauge("fabric.delayed", s.delayed);
+            reg.set_gauge("fabric.partition_drops", s.partition_drops);
+        });
     }
 
     /// Attaches a NIC under `addr` and returns its port.
@@ -103,14 +471,8 @@ impl MemFabric {
         self.table.read().ports.len()
     }
 
-    fn forward(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
-        if let Some(loss) = self.loss.lock().as_mut() {
-            if loss.drop_next() {
-                // A real network loses frames silently.
-                self.dropped.fetch_add(1, Ordering::Relaxed);
-                return Ok(());
-            }
-        }
+    /// Delivers `bytes` into `dst`'s port queue (no fault processing).
+    fn deliver(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
         let table = self.table.read();
         match table.ports.get(&dst) {
             Some(tx) => tx
@@ -119,6 +481,108 @@ impl MemFabric {
             None => Err(DaggerError::Fabric(format!(
                 "no switch-table entry for {dst}"
             ))),
+        }
+    }
+
+    /// Releases held frames that have come due. Best-effort: a held frame
+    /// whose destination detached is discarded.
+    fn release_due(&self, state: &mut FaultState) {
+        let due = state.take_due();
+        self.held_count
+            .fetch_sub(due.len() as u64, Ordering::Relaxed);
+        for frame in due {
+            let _ = self.deliver(frame.dst, frame.bytes);
+        }
+    }
+
+    /// Called by receiving ports before polling: advances the event clock
+    /// and flushes due held frames, so delayed traffic on quiet links is
+    /// drained by the receiver's own poll loop.
+    fn poll_released(&self) {
+        if self.held_count.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut state = self.faults.lock();
+        state.event += 1;
+        self.release_due(&mut state);
+    }
+
+    fn forward(&self, src: NodeAddr, dst: NodeAddr, mut bytes: Vec<u8>) -> Result<()> {
+        // Fast path: no faults installed, nothing held, no partitions.
+        let mut state = self.faults.lock();
+        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        state.event += 1;
+        if state.is_cut(src, dst) {
+            // A partition blackholes silently, like a dead link.
+            self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
+            self.release_due(&mut state);
+            return Ok(());
+        }
+        let Some(plan) = state.plan_for(src, dst).filter(FaultPlan::is_active) else {
+            self.release_due(&mut state);
+            drop(state);
+            return self.deliver(dst, bytes);
+        };
+
+        // Draw this frame's fate from the link's deterministic stream.
+        let stream = state.stream_for(src, dst, &plan);
+        let dropped = stream.roll(plan.drop);
+        let duplicated = !dropped && stream.roll(plan.duplicate);
+        let corrupted = !dropped && stream.roll(plan.corrupt);
+        let corrupt_bit = if corrupted { stream.next_u64() } else { 0 };
+        let reordered = !dropped && stream.roll(plan.reorder);
+        let hold_events = if reordered {
+            stream.pick1(plan.reorder_window)
+        } else if !dropped && stream.roll(plan.delay) {
+            stream.pick1(plan.delay_events)
+        } else {
+            0
+        };
+        let delayed = !reordered && hold_events > 0;
+
+        if dropped {
+            self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.release_due(&mut state);
+            return Ok(());
+        }
+        if duplicated {
+            self.stats.duplicated.fetch_add(1, Ordering::Relaxed);
+        }
+        if corrupted {
+            self.stats.corrupted.fetch_add(1, Ordering::Relaxed);
+        }
+        if reordered {
+            self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+        }
+        if delayed {
+            self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // The duplicate is a faithful immediate copy (taken before
+        // corruption), so dup + corrupt yields one good and one bad frame.
+        let dup = duplicated.then(|| bytes.clone());
+        if corrupted && !bytes.is_empty() {
+            let bit = corrupt_bit % (bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+
+        if hold_events > 0 {
+            let due = state.event + hold_events;
+            state.held.push(HeldFrame { dst, bytes, due });
+            self.held_count.fetch_add(1, Ordering::Relaxed);
+            self.release_due(&mut state);
+            drop(state);
+            match dup {
+                Some(copy) => self.deliver(dst, copy),
+                None => Ok(()),
+            }
+        } else {
+            self.release_due(&mut state);
+            drop(state);
+            if let Some(copy) = dup {
+                let _ = self.deliver(dst, copy);
+            }
+            self.deliver(dst, bytes)
         }
     }
 }
@@ -144,11 +608,12 @@ impl FabricPort {
     /// Returns [`DaggerError::Fabric`] if `dst` is not in the switching
     /// table.
     pub fn send(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
-        self.fabric.forward(dst, bytes)
+        self.fabric.forward(self.addr, dst, bytes)
     }
 
     /// Receives the next queued datagram, if any.
     pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.fabric.poll_released();
         match self.rx.try_recv() {
             Ok(bytes) => Some(bytes),
             Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
@@ -243,5 +708,258 @@ mod tests {
             }
         }
         sender.join().unwrap();
+    }
+
+    #[test]
+    fn with_loss_clamps_both_bounds() {
+        // Below range: clamps to 0, drops nothing.
+        let clean = MemFabric::with_loss(-3.5, 1);
+        let a = clean.attach(NodeAddr(1)).unwrap();
+        let b = clean.attach(NodeAddr(2)).unwrap();
+        for _ in 0..50 {
+            a.send(NodeAddr(2), vec![1]).unwrap();
+        }
+        for _ in 0..50 {
+            assert!(b.try_recv().is_some());
+        }
+        assert_eq!(clean.dropped_frames(), 0);
+
+        // Above range: clamps to 1, drops everything.
+        let hole = MemFabric::with_loss(7.0, 1);
+        let a = hole.attach(NodeAddr(1)).unwrap();
+        let b = hole.attach(NodeAddr(2)).unwrap();
+        for _ in 0..50 {
+            a.send(NodeAddr(2), vec![1]).unwrap();
+        }
+        assert!(b.try_recv().is_none());
+        assert_eq!(hole.dropped_frames(), 50);
+
+        // NaN: treated as 0.
+        let nan = MemFabric::with_loss(f64::NAN, 1);
+        let a = nan.attach(NodeAddr(1)).unwrap();
+        let b = nan.attach(NodeAddr(2)).unwrap();
+        a.send(NodeAddr(2), vec![9]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![9]));
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let fabric = MemFabric::with_loss(0.5, seed);
+            let a = fabric.attach(NodeAddr(1)).unwrap();
+            let b = fabric.attach(NodeAddr(2)).unwrap();
+            (0..64u8)
+                .map(|i| {
+                    a.send(NodeAddr(2), vec![i]).unwrap();
+                    b.try_recv().is_some()
+                })
+                .collect()
+        };
+        assert_eq!(outcomes(9), outcomes(9), "same seed, same loss pattern");
+        assert_ne!(outcomes(9), outcomes(10), "different seed differs");
+    }
+
+    #[test]
+    fn duplicate_injection_delivers_twice() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(3).with_duplicate(1.0));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        a.send(NodeAddr(2), vec![5]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![5]));
+        assert_eq!(b.try_recv(), Some(vec![5]));
+        assert_eq!(b.try_recv(), None);
+        assert_eq!(fabric.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(4).with_corrupt(1.0));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        let original = vec![0u8; 32];
+        a.send(NodeAddr(2), original.clone()).unwrap();
+        let got = b.try_recv().unwrap();
+        let flipped: u32 = got
+            .iter()
+            .zip(&original)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped");
+        assert_eq!(fabric.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_frames_overtake() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(2).with_reorder(0.5, 4));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        for i in 0..200u8 {
+            a.send(NodeAddr(2), vec![i]).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(bytes) = b.try_recv() {
+            got.push(bytes[0]);
+        }
+        assert_eq!(got.len(), 200, "reorder never loses frames");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200u8).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "some frames overtook held ones");
+        assert!(fabric.fault_stats().reordered > 0);
+    }
+
+    #[test]
+    fn delayed_frames_drain_via_receiver_polls() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(5).with_delay(1.0, 16));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        a.send(NodeAddr(2), vec![1]).unwrap();
+        // No further sends: the receiver's own polls must advance the
+        // event clock and surface the frame.
+        let mut got = None;
+        for _ in 0..64 {
+            if let Some(bytes) = b.try_recv() {
+                got = Some(bytes);
+                break;
+            }
+        }
+        assert_eq!(got, Some(vec![1]));
+        assert_eq!(fabric.fault_stats().delayed, 1);
+    }
+
+    #[test]
+    fn partition_blackholes_and_heals() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        fabric.partition(NodeAddr(1), NodeAddr(2));
+        assert!(fabric.partitioned());
+        a.send(NodeAddr(2), vec![1]).unwrap();
+        b.send(NodeAddr(1), vec![2]).unwrap();
+        assert_eq!(b.try_recv(), None);
+        assert_eq!(a.try_recv(), None);
+        assert_eq!(fabric.fault_stats().partition_drops, 2);
+        fabric.heal(NodeAddr(1), NodeAddr(2));
+        assert!(!fabric.partitioned());
+        a.send(NodeAddr(2), vec![3]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![3]));
+    }
+
+    #[test]
+    fn node_partition_cuts_all_links() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        let c = fabric.attach(NodeAddr(3)).unwrap();
+        fabric.partition_node(NodeAddr(2));
+        a.send(NodeAddr(2), vec![1]).unwrap();
+        b.send(NodeAddr(3), vec![2]).unwrap();
+        a.send(NodeAddr(3), vec![3]).unwrap();
+        assert_eq!(b.try_recv(), None);
+        assert_eq!(c.try_recv(), Some(vec![3]), "unrelated link unaffected");
+        fabric.heal_node(NodeAddr(2));
+        a.send(NodeAddr(2), vec![4]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![4]));
+    }
+
+    #[test]
+    fn per_link_plan_overrides_global() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(6).with_drop(1.0));
+        fabric.set_link_faults(NodeAddr(1), NodeAddr(3), Some(FaultPlan::seeded(6)));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        let c = fabric.attach(NodeAddr(3)).unwrap();
+        a.send(NodeAddr(2), vec![1]).unwrap(); // global: dropped
+        a.send(NodeAddr(3), vec![2]).unwrap(); // override: clean
+        assert_eq!(b.try_recv(), None);
+        assert_eq!(c.try_recv(), Some(vec![2]));
+        // Removing the override restores the global plan.
+        fabric.set_link_faults(NodeAddr(1), NodeAddr(3), None);
+        a.send(NodeAddr(3), vec![3]).unwrap();
+        assert_eq!(c.try_recv(), None);
+    }
+
+    #[test]
+    fn mid_run_plan_swap() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        a.send(NodeAddr(2), vec![1]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![1]));
+        fabric.set_faults(Some(FaultPlan::seeded(1).with_drop(1.0)));
+        a.send(NodeAddr(2), vec![2]).unwrap();
+        assert_eq!(b.try_recv(), None);
+        fabric.set_faults(None);
+        a.send(NodeAddr(2), vec![3]).unwrap();
+        assert_eq!(b.try_recv(), Some(vec![3]));
+    }
+
+    #[test]
+    fn telemetry_gauges_match_fault_stats() {
+        let fabric = MemFabric::with_faults(
+            FaultPlan::seeded(11)
+                .with_drop(0.3)
+                .with_duplicate(0.3)
+                .with_corrupt(0.3),
+        );
+        let telemetry = Telemetry::new();
+        fabric.register_telemetry(&telemetry);
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let b = fabric.attach(NodeAddr(2)).unwrap();
+        for i in 0..100u8 {
+            a.send(NodeAddr(2), vec![i; 8]).unwrap();
+        }
+        while b.try_recv().is_some() {}
+        let snap = telemetry.snapshot();
+        let stats = fabric.fault_stats();
+        assert_eq!(
+            snap.registry.gauge("fabric.forwarded"),
+            Some(stats.forwarded)
+        );
+        assert_eq!(snap.registry.gauge("fabric.dropped"), Some(stats.dropped));
+        assert_eq!(
+            snap.registry.gauge("fabric.duplicated"),
+            Some(stats.duplicated)
+        );
+        assert_eq!(
+            snap.registry.gauge("fabric.corrupted"),
+            Some(stats.corrupted)
+        );
+        assert!(stats.total_injected() > 0);
+    }
+
+    #[test]
+    fn composed_plan_is_deterministic_per_seed() {
+        let run = |seed: u64| -> (Vec<Vec<u8>>, FaultSnapshot) {
+            let fabric = MemFabric::with_faults(
+                FaultPlan::seeded(seed)
+                    .with_drop(0.15)
+                    .with_reorder(0.2, 4)
+                    .with_duplicate(0.15)
+                    .with_corrupt(0.1)
+                    .with_delay(0.1, 8),
+            );
+            let a = fabric.attach(NodeAddr(1)).unwrap();
+            let b = fabric.attach(NodeAddr(2)).unwrap();
+            let mut got = Vec::new();
+            for i in 0..128u8 {
+                a.send(NodeAddr(2), vec![i; 4]).unwrap();
+                while let Some(bytes) = b.try_recv() {
+                    got.push(bytes);
+                }
+            }
+            for _ in 0..64 {
+                while let Some(bytes) = b.try_recv() {
+                    got.push(bytes);
+                }
+            }
+            (got, fabric.fault_stats())
+        };
+        let (got1, stats1) = run(77);
+        let (got2, stats2) = run(77);
+        assert_eq!(got1, got2, "same seed: byte-identical delivery");
+        assert_eq!(stats1, stats2, "same seed: identical fault counts");
+        let (got3, _) = run(78);
+        assert_ne!(got1, got3, "different seed: different chaos");
     }
 }

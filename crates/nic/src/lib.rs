@@ -49,7 +49,7 @@ pub mod softreg;
 pub mod transport;
 
 pub use connmgr::{ConnectionManager, ConnectionTuple};
-pub use fabric::{FabricPort, MemFabric};
+pub use fabric::{FabricPort, FaultPlan, FaultSnapshot, FaultStats, MemFabric};
 pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor};
 pub use nic::{HostFlow, Nic};
 pub use ring::{ring, RingConsumer, RingProducer};

@@ -20,6 +20,7 @@ pub struct PacketMonitor {
     rx_datagrams: AtomicU64,
     rx_ring_drops: AtomicU64,
     unknown_connection_drops: AtomicU64,
+    wire_drops: AtomicU64,
     reqbuf_backpressure: AtomicU64,
     cached_polls: AtomicU64,
     direct_polls: AtomicU64,
@@ -60,6 +61,9 @@ pub struct MonitorSnapshot {
     pub rx_ring_drops: u64,
     /// Frames dropped because the connection was unknown.
     pub unknown_connection_drops: u64,
+    /// Network payloads dropped as undecodable off the wire (truncated,
+    /// corrupted, or checksum-failed transport frames).
+    pub wire_drops: u64,
     /// Times the request buffer asserted backpressure.
     pub reqbuf_backpressure: u64,
     /// Frames fetched while polling the NIC's local coherent cache
@@ -157,6 +161,11 @@ impl PacketMonitor {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one undecodable network payload dropped off the wire.
+    pub fn inc_wire_drops(&self) {
+        self.wire_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one request-buffer backpressure event.
     pub fn inc_reqbuf_backpressure(&self) {
         self.reqbuf_backpressure.fetch_add(1, Ordering::Relaxed);
@@ -181,6 +190,7 @@ impl PacketMonitor {
             rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
             rx_ring_drops: self.rx_ring_drops.load(Ordering::Relaxed),
             unknown_connection_drops: self.unknown_connection_drops.load(Ordering::Relaxed),
+            wire_drops: self.wire_drops.load(Ordering::Relaxed),
             reqbuf_backpressure: self.reqbuf_backpressure.load(Ordering::Relaxed),
             cached_polls: self.cached_polls.load(Ordering::Relaxed),
             direct_polls: self.direct_polls.load(Ordering::Relaxed),
@@ -191,7 +201,10 @@ impl PacketMonitor {
 impl MonitorSnapshot {
     /// Total frames dropped for any reason.
     pub fn total_drops(&self) -> u64 {
-        self.rx_ring_drops + self.unknown_connection_drops + self.reqbuf_backpressure
+        self.rx_ring_drops
+            + self.unknown_connection_drops
+            + self.wire_drops
+            + self.reqbuf_backpressure
     }
 
     /// Fraction of received frames that were dropped.
@@ -216,6 +229,7 @@ impl MonitorSnapshot {
             unknown_connection_drops: self
                 .unknown_connection_drops
                 .saturating_sub(earlier.unknown_connection_drops),
+            wire_drops: self.wire_drops.saturating_sub(earlier.wire_drops),
             reqbuf_backpressure: self
                 .reqbuf_backpressure
                 .saturating_sub(earlier.reqbuf_backpressure),
@@ -230,7 +244,7 @@ impl std::fmt::Display for MonitorSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "tx={}f/{}d rx={}f/{}d drops={} (ring={} unknown_conn={} reqbuf={}) \
+            "tx={}f/{}d rx={}f/{}d drops={} (ring={} unknown_conn={} wire={} reqbuf={}) \
              polls(cached={} direct={})",
             self.tx_frames,
             self.tx_datagrams,
@@ -239,6 +253,7 @@ impl std::fmt::Display for MonitorSnapshot {
             self.total_drops(),
             self.rx_ring_drops,
             self.unknown_connection_drops,
+            self.wire_drops,
             self.reqbuf_backpressure,
             self.cached_polls,
             self.direct_polls
@@ -259,14 +274,16 @@ mod tests {
         m.inc_rx_datagrams();
         m.inc_rx_ring_drops();
         m.inc_unknown_connection_drops();
+        m.inc_wire_drops();
         m.inc_reqbuf_backpressure();
         let s = m.snapshot();
         assert_eq!(s.tx_frames, 3);
         assert_eq!(s.rx_frames, 5);
         assert_eq!(s.tx_datagrams, 1);
         assert_eq!(s.rx_datagrams, 1);
-        assert_eq!(s.total_drops(), 3);
-        assert!((s.drop_rate() - 0.6).abs() < 1e-9);
+        assert_eq!(s.wire_drops, 1);
+        assert_eq!(s.total_drops(), 4);
+        assert!((s.drop_rate() - 0.8).abs() < 1e-9);
     }
 
     #[test]
@@ -302,6 +319,7 @@ mod tests {
         assert!(!line.contains('\n'));
         assert!(line.contains("tx=7f"));
         assert!(line.contains("unknown_conn=1"));
+        assert!(line.contains("wire=0"));
     }
 
     #[test]

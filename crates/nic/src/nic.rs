@@ -188,6 +188,7 @@ impl Nic {
                     &format!("{prefix}.unknown_connection_drops"),
                     s.unknown_connection_drops,
                 );
+                reg.set_gauge(&format!("{prefix}.wire_drops"), s.wire_drops);
                 reg.set_gauge(
                     &format!("{prefix}.reqbuf_backpressure"),
                     s.reqbuf_backpressure,
@@ -224,6 +225,7 @@ impl Nic {
                         &format!("{prefix}.reliable.duplicate_drops"),
                         r.duplicate_drops,
                     );
+                    reg.set_gauge(&format!("{prefix}.reliable.wire_drops"), r.wire_drops);
                 }
             });
         }

@@ -25,12 +25,19 @@ use std::sync::Arc;
 
 use dagger_types::{DaggerError, NodeAddr, Result};
 
-use crate::transport::Datagram;
+use crate::transport::{wire_checksum, Datagram};
 
 /// Frame type byte: payload-carrying data frame.
 const FRAME_DATA: u8 = 1;
 /// Frame type byte: standalone cumulative acknowledgement.
 const FRAME_ACK: u8 = 2;
+/// Fixed prefix before the checksum: type byte + two u64 (data) or
+/// type byte + u64 + two u32 (ack) — both 17 bytes.
+const FRAME_PREFIX: usize = 17;
+/// Bytes of the FNV-1a integrity checksum each frame carries.
+const FRAME_CRC: usize = 4;
+/// Minimum frame size: prefix + checksum.
+const FRAME_MIN: usize = FRAME_PREFIX + FRAME_CRC;
 
 /// A sequenced transport frame as it crosses the fabric.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -57,56 +64,68 @@ pub enum TransportFrame {
 }
 
 impl TransportFrame {
-    /// Serializes to wire bytes.
+    /// Serializes to wire bytes: `[prefix 17][crc 4][body]`, where the
+    /// checksum covers the prefix and body (everything but itself).
     pub fn encode(&self) -> Vec<u8> {
-        match self {
+        let (mut out, body) = match self {
             TransportFrame::Data { seq, ack, datagram } => {
                 let body = datagram.encode();
-                let mut out = Vec::with_capacity(17 + body.len());
+                let mut out = Vec::with_capacity(FRAME_MIN + body.len());
                 out.push(FRAME_DATA);
                 out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&ack.to_le_bytes());
-                out.extend_from_slice(&body);
-                out
+                (out, body)
             }
             TransportFrame::Ack { ack, src, dst } => {
-                let mut out = Vec::with_capacity(17);
+                let mut out = Vec::with_capacity(FRAME_MIN);
                 out.push(FRAME_ACK);
                 out.extend_from_slice(&ack.to_le_bytes());
                 out.extend_from_slice(&src.raw().to_le_bytes());
                 out.extend_from_slice(&dst.raw().to_le_bytes());
-                out
+                (out, Vec::new())
             }
-        }
+        };
+        let crc = wire_checksum(&[&out, &body]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
     }
 
-    /// Parses wire bytes.
+    /// Parses wire bytes, verifying the integrity checksum first.
     ///
     /// # Errors
     ///
-    /// Returns [`DaggerError::Wire`] on malformed input.
+    /// Returns [`DaggerError::Wire`] on truncated input, an unknown frame
+    /// type, a checksum mismatch (bit corruption in flight), or a malformed
+    /// body. Never panics: any fabric-mangled byte string maps to `Err`.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         match bytes.first() {
-            Some(&FRAME_DATA) => {
-                if bytes.len() < 17 {
-                    return Err(DaggerError::Wire("truncated data frame".to_string()));
-                }
-                let seq = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
-                let ack = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
-                let datagram = Datagram::decode(&bytes[17..])?;
-                Ok(TransportFrame::Data { seq, ack, datagram })
+            Some(&FRAME_DATA) | Some(&FRAME_ACK) => {}
+            Some(other) => return Err(DaggerError::Wire(format!("unknown frame type {other}"))),
+            None => return Err(DaggerError::Wire("empty frame".to_string())),
+        }
+        if bytes.len() < FRAME_MIN {
+            return Err(DaggerError::Wire("truncated frame".to_string()));
+        }
+        let (prefix, rest) = bytes.split_at(FRAME_PREFIX);
+        let (crc_bytes, body) = rest.split_at(FRAME_CRC);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if wire_checksum(&[prefix, body]) != stored {
+            return Err(DaggerError::Wire("frame checksum mismatch".to_string()));
+        }
+        if prefix[0] == FRAME_DATA {
+            let seq = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
+            let ack = u64::from_le_bytes(prefix[9..17].try_into().unwrap());
+            let datagram = Datagram::decode(body)?;
+            Ok(TransportFrame::Data { seq, ack, datagram })
+        } else {
+            if !body.is_empty() {
+                return Err(DaggerError::Wire("bad ack frame length".to_string()));
             }
-            Some(&FRAME_ACK) => {
-                if bytes.len() != 17 {
-                    return Err(DaggerError::Wire("bad ack frame length".to_string()));
-                }
-                let ack = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
-                let src = NodeAddr(u32::from_le_bytes(bytes[9..13].try_into().unwrap()));
-                let dst = NodeAddr(u32::from_le_bytes(bytes[13..17].try_into().unwrap()));
-                Ok(TransportFrame::Ack { ack, src, dst })
-            }
-            Some(other) => Err(DaggerError::Wire(format!("unknown frame type {other}"))),
-            None => Err(DaggerError::Wire("empty frame".to_string())),
+            let ack = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
+            let src = NodeAddr(u32::from_le_bytes(prefix[9..13].try_into().unwrap()));
+            let dst = NodeAddr(u32::from_le_bytes(prefix[13..17].try_into().unwrap()));
+            Ok(TransportFrame::Ack { ack, src, dst })
         }
     }
 }
@@ -159,6 +178,9 @@ pub struct ReliableStats {
     pub out_of_order_drops: u64,
     /// Duplicate datagrams suppressed on receive.
     pub duplicate_drops: u64,
+    /// Frames rejected on receive as undecodable (truncated, unknown type,
+    /// or checksum mismatch from in-flight bit corruption).
+    pub wire_drops: u64,
 }
 
 /// A lock-free mirror of [`ReliableStats`], shared between the engine
@@ -170,6 +192,7 @@ pub struct SharedReliableStats {
     retransmissions: AtomicU64,
     out_of_order_drops: AtomicU64,
     duplicate_drops: AtomicU64,
+    wire_drops: AtomicU64,
 }
 
 impl SharedReliableStats {
@@ -179,6 +202,7 @@ impl SharedReliableStats {
             retransmissions: self.retransmissions.load(Ordering::Relaxed),
             out_of_order_drops: self.out_of_order_drops.load(Ordering::Relaxed),
             duplicate_drops: self.duplicate_drops.load(Ordering::Relaxed),
+            wire_drops: self.wire_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +214,7 @@ pub struct ReliableTransport {
     cfg: ReliableConfig,
     tx: HashMap<NodeAddr, PeerTx>,
     rx: HashMap<NodeAddr, PeerRx>,
+    wire_drops: u64,
     shared: Arc<SharedReliableStats>,
 }
 
@@ -201,6 +226,7 @@ impl ReliableTransport {
             cfg,
             tx: HashMap::new(),
             rx: HashMap::new(),
+            wire_drops: 0,
             shared: Arc::new(SharedReliableStats::default()),
         }
     }
@@ -264,9 +290,20 @@ impl ReliableTransport {
     ///
     /// # Errors
     ///
-    /// Returns [`DaggerError::Wire`] if the frame cannot be parsed.
+    /// Returns [`DaggerError::Wire`] if the frame cannot be parsed or its
+    /// checksum does not match (corruption handled as loss — the frame is
+    /// discarded and counted in `wire_drops`, and Go-Back-N repairs the
+    /// stream on timeout).
     pub fn on_recv(&mut self, bytes: &[u8]) -> Result<Option<Datagram>> {
-        match TransportFrame::decode(bytes)? {
+        let frame = match TransportFrame::decode(bytes) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.wire_drops += 1;
+                self.shared.wire_drops.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        match frame {
             TransportFrame::Ack { ack, src, .. } => {
                 self.apply_ack(src, ack);
                 Ok(None)
@@ -349,7 +386,10 @@ impl ReliableTransport {
 
     /// Aggregated statistics.
     pub fn stats(&self) -> ReliableStats {
-        let mut s = ReliableStats::default();
+        let mut s = ReliableStats {
+            wire_drops: self.wire_drops,
+            ..ReliableStats::default()
+        };
         for tx in self.tx.values() {
             s.retransmissions += tx.retransmissions;
         }
@@ -398,6 +438,45 @@ mod tests {
         assert!(TransportFrame::decode(&[9, 0, 0]).is_err());
         assert!(TransportFrame::decode(&[FRAME_DATA, 1, 2]).is_err());
         assert!(TransportFrame::decode(&[FRAME_ACK; 5]).is_err());
+    }
+
+    #[test]
+    fn checksum_rejects_bit_flips() {
+        let frame = TransportFrame::Data {
+            seq: 3,
+            ack: 1,
+            datagram: dgram(1, 2, 5),
+        };
+        let good = frame.encode();
+        assert!(TransportFrame::decode(&good).is_ok());
+        // Flip one bit at a spread of positions: every variant must be
+        // rejected, none may panic.
+        for pos in [0, 1, 8, 16, 17, 20, 21, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                TransportFrame::decode(&bad).is_err(),
+                "bit flip at byte {pos} must be caught"
+            );
+        }
+        // Truncations at every length are rejected, never panic.
+        for len in 0..good.len() {
+            assert!(TransportFrame::decode(&good[..len]).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_counted_as_wire_drops() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let mut b = ReliableTransport::new(NodeAddr(2), ReliableConfig::default());
+        let mut bytes = a.on_send(dgram(1, 2, 0)).unwrap().encode();
+        bytes[30] ^= 0x01;
+        assert!(b.on_recv(&bytes).is_err());
+        assert_eq!(b.stats().wire_drops, 1);
+        assert_eq!(b.shared_stats().snapshot().wire_drops, 1);
+        // The uncorrupted retransmission still delivers.
+        let clean = a.on_send(dgram(1, 2, 0)).unwrap(); // seq 1; seq 0 lost
+        assert!(b.on_recv(&clean.encode()).unwrap().is_none(), "gap held");
     }
 
     #[test]

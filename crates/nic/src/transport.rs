@@ -100,6 +100,24 @@ impl Datagram {
     }
 }
 
+/// Streaming FNV-1a-64 folded to 32 bits, computed over `parts` as if
+/// concatenated. Guards reliable-transport frames against fabric bit
+/// corruption: the checksum rides each frame and a mismatch on decode
+/// surfaces as [`DaggerError::Wire`], turning corruption into loss — which
+/// Go-Back-N already repairs.
+pub fn wire_checksum(parts: &[&[u8]]) -> u32 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    (h ^ (h >> 32)) as u32
+}
+
 /// The RPC-optimized Protocol unit hook (§4.5). Currently only
 /// [`Protocol::Forward`] exists — exactly the paper's idle unit — but the
 /// enum marks where congestion control / reliable delivery would plug in.
@@ -184,6 +202,15 @@ mod tests {
             NodeAddr(2),
             sample_lines(MAX_LINES_PER_DATAGRAM + 1),
         );
+    }
+
+    #[test]
+    fn wire_checksum_streams_over_parts() {
+        let whole = wire_checksum(&[b"hello world"]);
+        let split = wire_checksum(&[b"hello", b" ", b"world"]);
+        assert_eq!(whole, split, "checksum independent of chunking");
+        assert_ne!(whole, wire_checksum(&[b"hello worle"]));
+        assert_ne!(whole, wire_checksum(&[b"hello worl"]));
     }
 
     #[test]

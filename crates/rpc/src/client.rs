@@ -137,6 +137,11 @@ impl RpcClient {
             // Closed even on timeout: the span then records the full wait.
             span.finish(self.telemetry.spans());
         }
+        if outcome.is_err() {
+            // Timed out (e.g. the peer is partitioned): give up the
+            // response slot so a late arrival cannot strand endpoint state.
+            self.endpoint.abandon(self.cid, rpc_id);
+        }
         let rpc = outcome?;
         self.record_rtt(started);
         decode_response(&rpc.payload)
@@ -247,6 +252,12 @@ impl PendingCall {
     pub fn wait(self) -> Result<Vec<u8>> {
         let outcome = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout);
         self.finish_span();
+        if outcome.is_err() {
+            // Same cleanup as the sync path: a timed-out async call must
+            // not leave its (possibly late) response parked in the
+            // endpoint's ready buffer.
+            self.endpoint.abandon(self.cid, self.rpc_id);
+        }
         let rpc = outcome?;
         self.record_rtt();
         decode_response(&rpc.payload)

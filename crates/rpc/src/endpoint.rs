@@ -6,7 +6,7 @@
 //! one ring pair and "explicit locking in the RpcClient RX/TX path is
 //! required": the endpoint's internal mutexes are exactly that locking.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,11 +23,24 @@ use crate::frag::{CompleteRpc, Reassembler};
 
 type ReadyKey = (u32, u32); // (connection id, rpc id)
 
+/// Bound on remembered abandoned calls; beyond it the oldest abandonment is
+/// forgotten (its late response, should it still arrive, then surfaces in
+/// `ready` like any other — a bounded-memory trade-off, not a leak).
+const ABANDONED_CAP: usize = 1024;
+
 #[derive(Debug)]
 struct RxState {
     consumer: RingConsumer,
     reassembler: Reassembler,
     ready: HashMap<ReadyKey, CompleteRpc>,
+    /// Calls given up on (timed out); their responses are dropped on
+    /// arrival instead of parking in `ready` forever.
+    abandoned: HashSet<ReadyKey>,
+    /// FIFO of abandonment order, for bounded eviction. May hold keys no
+    /// longer in the set (already matched by a late response).
+    abandoned_order: VecDeque<ReadyKey>,
+    /// Responses that arrived after their call was abandoned.
+    late_drops: u64,
 }
 
 /// A claimed hardware flow shared by the clients issuing on it.
@@ -61,6 +74,9 @@ impl FlowEndpoint {
                 consumer: flow.rx,
                 reassembler: Reassembler::new(),
                 ready: HashMap::new(),
+                abandoned: HashSet::new(),
+                abandoned_order: VecDeque::new(),
+                late_drops: 0,
             }),
             telemetry,
         }
@@ -135,6 +151,12 @@ impl FlowEndpoint {
             match rx.reassembler.push(line) {
                 Ok(Some(rpc)) if rpc.header.kind == RpcKind::Response => {
                     let key = (rpc.header.connection_id.raw(), rpc.header.rpc_id.raw());
+                    if rx.abandoned.remove(&key) {
+                        // The caller timed out and gave up on this response;
+                        // drop it so it never parks in `ready` forever.
+                        rx.late_drops += 1;
+                        continue;
+                    }
                     if let Some(telemetry) = &self.telemetry {
                         telemetry
                             .tracer()
@@ -198,6 +220,37 @@ impl FlowEndpoint {
             }
             std::thread::yield_now();
         }
+    }
+
+    /// Gives up on the response for `(cid, rpc_id)` — the timeout path's
+    /// cleanup. Any buffered copy and any half-reassembled fragments are
+    /// discarded now; a copy still in flight is dropped on arrival (counted
+    /// in [`FlowEndpoint::late_drops`]), so a timed-out call can never
+    /// strand state in the endpoint.
+    pub fn abandon(&self, cid: ConnectionId, rpc_id: RpcId) {
+        let key = (cid.raw(), rpc_id.raw());
+        let mut rx = self.rx.lock();
+        rx.reassembler.forget(cid, rpc_id);
+        if rx.ready.remove(&key).is_some() {
+            rx.late_drops += 1;
+            return;
+        }
+        if rx.abandoned.insert(key) {
+            rx.abandoned_order.push_back(key);
+            while rx.abandoned.len() > ABANDONED_CAP {
+                match rx.abandoned_order.pop_front() {
+                    Some(old) => {
+                        rx.abandoned.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Responses that arrived after their call was abandoned (timed out).
+    pub fn late_drops(&self) -> u64 {
+        self.rx.lock().late_drops
     }
 
     /// Number of buffered, unclaimed responses.
@@ -335,6 +388,51 @@ mod tests {
         // Responses never stamp TxEnqueue, requests never ResponseComplete:
         // both events belong to the same (cid, rpc_id) trace exactly once.
         assert!(trace.event(RpcEvent::ClientSend).is_none());
+    }
+
+    #[test]
+    fn abandoned_call_drops_late_response() {
+        let (ep, _tx_c, mut rx_p) = test_endpoint();
+        ep.abandon(ConnectionId(1), RpcId(1));
+        for f in response_frames(1, 1, b"late") {
+            rx_p.try_push(f).unwrap();
+        }
+        assert_eq!(ep.poll_once(), 0, "late response not surfaced");
+        assert_eq!(ep.ready_len(), 0);
+        assert_eq!(ep.late_drops(), 1);
+        // A subsequent rpc_id on the same connection is unaffected.
+        for f in response_frames(1, 2, b"ok") {
+            rx_p.try_push(f).unwrap();
+        }
+        assert_eq!(ep.poll_once(), 1);
+        assert_eq!(
+            ep.try_take(ConnectionId(1), RpcId(2)).unwrap().payload,
+            b"ok"
+        );
+    }
+
+    #[test]
+    fn abandon_purges_buffered_response_and_partials() {
+        let (ep, _tx_c, mut rx_p) = test_endpoint();
+        // A fully buffered response is removed immediately.
+        for f in response_frames(1, 1, b"buffered") {
+            rx_p.try_push(f).unwrap();
+        }
+        ep.poll_once();
+        assert_eq!(ep.ready_len(), 1);
+        ep.abandon(ConnectionId(1), RpcId(1));
+        assert_eq!(ep.ready_len(), 0);
+        assert_eq!(ep.late_drops(), 1);
+        // Half-reassembled fragments are forgotten too.
+        let frames = response_frames(1, 2, &[7u8; 120]);
+        rx_p.try_push(frames[0]).unwrap();
+        ep.poll_once();
+        ep.abandon(ConnectionId(1), RpcId(2));
+        for f in &frames[1..] {
+            rx_p.try_push(*f).unwrap();
+        }
+        assert_eq!(ep.poll_once(), 0, "partial cannot complete after abandon");
+        assert_eq!(ep.ready_len(), 0);
     }
 
     #[test]

@@ -154,25 +154,69 @@ struct Partial {
     header: RpcHeader,
     chunks: Vec<Option<Vec<u8>>>,
     received: usize,
+    /// Arrival ordinal of this RPC's first frame; the eviction policy
+    /// drops the oldest partial when the pending bound is hit.
+    first_arrival: u64,
 }
 
 type RpcKey = (u32, u32, u8);
 
+/// Default bound on concurrently pending partial RPCs.
+pub const DEFAULT_PENDING_LIMIT: usize = 1024;
+
 /// Receive-side reassembly of multi-frame RPCs.
-#[derive(Debug, Default)]
+///
+/// Pending state is bounded: at most `limit` RPCs can be half-assembled at
+/// once, and starting one more evicts the *oldest* partial (counted in
+/// [`Reassembler::evictions`]). On a faulty fabric a lost frame would
+/// otherwise strand its siblings here forever; eviction turns that leak
+/// into a drop the reliable layer's retransmission repairs.
+#[derive(Debug)]
 pub struct Reassembler {
     partial: HashMap<RpcKey, Partial>,
+    limit: usize,
+    arrivals: u64,
+    evictions: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Self::with_limit(DEFAULT_PENDING_LIMIT)
+    }
 }
 
 impl Reassembler {
-    /// Creates an empty reassembler.
+    /// Creates an empty reassembler with the default pending bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty reassembler holding at most `limit` pending RPCs
+    /// (`limit` of 0 becomes 1).
+    pub fn with_limit(limit: usize) -> Self {
+        Reassembler {
+            partial: HashMap::new(),
+            limit: limit.max(1),
+            arrivals: 0,
+            evictions: 0,
+        }
     }
 
     /// Number of RPCs currently awaiting more frames.
     pub fn pending(&self) -> usize {
         self.partial.len()
+    }
+
+    /// Partial RPCs evicted by the pending bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Discards any half-assembled frames of `(cid, rpc_id)` (both request
+    /// and response direction) — the abandon path's cleanup.
+    pub fn forget(&mut self, cid: ConnectionId, rpc_id: RpcId) {
+        self.partial
+            .retain(|k, _| !(k.0 == cid.raw() && k.1 == rpc_id.raw()));
     }
 
     /// Feeds one received frame. Returns `Some(rpc)` when this frame
@@ -192,10 +236,25 @@ impl Reassembler {
             }));
         }
         let key: RpcKey = (hdr.connection_id.raw(), hdr.rpc_id.raw(), hdr.kind as u8);
+        if !self.partial.contains_key(&key) && self.partial.len() >= self.limit {
+            // Bound pending state: evict the oldest half-assembled RPC.
+            if let Some(oldest) = self
+                .partial
+                .iter()
+                .min_by_key(|(_, p)| p.first_arrival)
+                .map(|(k, _)| *k)
+            {
+                self.partial.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.arrivals += 1;
+        let first_arrival = self.arrivals;
         let partial = self.partial.entry(key).or_insert_with(|| Partial {
             header: hdr,
             chunks: (0..hdr.frame_count).map(|_| None).collect(),
             received: 0,
+            first_arrival,
         });
         if partial.header.frame_count != hdr.frame_count || partial.header.fn_id != hdr.fn_id {
             let got = hdr.frame_count;
@@ -471,6 +530,60 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DaggerError::PayloadTooLarge { .. }));
+    }
+
+    #[test]
+    fn pending_bound_evicts_oldest_partial() {
+        let mut r = Reassembler::with_limit(2);
+        // Start three 3-frame RPCs without finishing any: the first (rpc 0)
+        // must be evicted when rpc 2 starts.
+        for rpc in 0..3u32 {
+            let frames = fragment(
+                ConnectionId(1),
+                RpcId(rpc),
+                FnId(3),
+                FlowId(4),
+                RpcKind::Request,
+                &[rpc as u8; 120],
+            )
+            .unwrap();
+            assert!(r.push(frames[0]).unwrap().is_none());
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evictions(), 1);
+        // Completing the evicted RPC's remaining frames re-opens it as a
+        // fresh partial (its first frame is gone), so it cannot complete —
+        // but nothing panics and pending stays bounded.
+        let frames = fragment(
+            ConnectionId(1),
+            RpcId(0),
+            FnId(3),
+            FlowId(4),
+            RpcKind::Request,
+            &[0u8; 120],
+        )
+        .unwrap();
+        assert!(r.push(frames[1]).unwrap().is_none());
+        assert!(r.push(frames[2]).unwrap().is_none());
+        assert!(r.pending() <= 2);
+    }
+
+    #[test]
+    fn forget_discards_partial_state() {
+        let payload = vec![1u8; 100];
+        let frames = frames_for(&payload);
+        let mut r = Reassembler::new();
+        r.push(frames[0]).unwrap();
+        assert_eq!(r.pending(), 1);
+        r.forget(ConnectionId(1), RpcId(2));
+        assert_eq!(r.pending(), 0);
+        // Remaining frames restart a partial that can no longer complete.
+        assert!(r.push(frames[1]).unwrap().is_none());
+        assert!(r.push(frames[2]).unwrap().is_none());
+        assert_eq!(r.pending(), 1);
+        // Forgetting an unknown RPC is a no-op.
+        r.forget(ConnectionId(9), RpcId(9));
+        assert_eq!(r.pending(), 1);
     }
 
     #[test]

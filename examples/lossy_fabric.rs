@@ -1,6 +1,8 @@
 //! The §4.5 follow-up work in action: the Go-Back-N reliable transport
 //! carrying RPCs across a fabric that drops a quarter of all frames, next
-//! to the stock (unreliable) stack losing calls under the same conditions.
+//! to the stock (unreliable) stack losing calls under the same conditions —
+//! then a composed fault plan (drop + reorder + duplicate + corrupt +
+//! delay) that the reliable stack still rides out byte-for-byte.
 //!
 //! ```sh
 //! cargo run --release --example lossy_fabric
@@ -10,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dagger::idl::{dagger_message, dagger_service};
-use dagger::nic::{MemFabric, Nic};
+use dagger::nic::{FaultPlan, MemFabric, Nic};
 use dagger::rpc::{RpcClientPool, RpcThreadedServer};
 use dagger::types::{HardConfig, NodeAddr, Result};
 
@@ -37,11 +39,10 @@ impl PingHandler for EchoImpl {
     }
 }
 
-fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
-    let fabric = MemFabric::with_loss(loss, 1234);
+fn run(label: &str, fabric: &MemFabric, reliable: bool, calls: u32) -> Result<()> {
     let cfg = HardConfig::builder().reliable(reliable).build()?;
-    let server_nic = Nic::start(&fabric, NodeAddr(1), cfg.clone())?;
-    let client_nic = Nic::start(&fabric, NodeAddr(2), cfg)?;
+    let server_nic = Nic::start(fabric, NodeAddr(1), cfg.clone())?;
+    let client_nic = Nic::start(fabric, NodeAddr(2), cfg)?;
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server.register_service(Arc::new(PingDispatch::new(EchoImpl)))?;
     server.start()?;
@@ -72,9 +73,11 @@ fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
             Err(_) => {}
         }
     }
+    let faults = fabric.fault_stats();
+    println!("[{label}] {ok}/{calls} calls completed");
     println!(
-        "[{label}] {ok}/{calls} calls completed ({} frames dropped by the network)",
-        fabric.dropped_frames()
+        "  network faults: {} dropped, {} reordered, {} duplicated, {} corrupted, {} delayed",
+        faults.dropped, faults.reordered, faults.duplicated, faults.corrupted, faults.delayed
     );
     let client_delta = client_nic.monitor().snapshot().delta(&client_before);
     let server_delta = server_nic.monitor().snapshot().delta(&server_before);
@@ -90,9 +93,36 @@ fn run(label: &str, reliable: bool, loss: f64, calls: u32) -> Result<()> {
 
 fn main() -> Result<()> {
     println!("25% frame loss, 40 multi-frame echo RPCs:\n");
-    run("reliable (Go-Back-N)", true, 0.25, 40)?;
-    run("unreliable (stock)  ", false, 0.25, 40)?;
+    run(
+        "reliable (Go-Back-N)",
+        &MemFabric::with_loss(0.25, 1234),
+        true,
+        40,
+    )?;
+    run(
+        "unreliable (stock)  ",
+        &MemFabric::with_loss(0.25, 1234),
+        false,
+        40,
+    )?;
+
+    // A composed plan: every fault class at once, deterministic per seed.
+    let plan = FaultPlan::seeded(7)
+        .with_drop(0.10)
+        .with_reorder(0.15, 8)
+        .with_duplicate(0.10)
+        .with_corrupt(0.05)
+        .with_delay(0.10, 6);
+    println!("\nComposed fault plan (drop + reorder + duplicate + corrupt + delay):\n");
+    run(
+        "reliable, full chaos",
+        &MemFabric::with_faults(plan),
+        true,
+        40,
+    )?;
+
     println!("\nEvery completed call was verified byte-for-byte; the reliable");
-    println!("transport repairs loss with retransmissions, the stock stack times out.");
+    println!("transport repairs loss, reordering, duplication and corruption");
+    println!("with checksums and retransmissions; the stock stack times out.");
     Ok(())
 }

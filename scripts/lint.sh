@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo doc (telemetry crate, warnings denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc -p dagger-telemetry --no-deps --quiet
 
+echo "== chaos smoke (seeded fault-injection suite) =="
+RUST_SEED="${RUST_SEED:-1}" cargo test -q --test chaos
+
 echo "lint OK"

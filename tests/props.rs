@@ -296,6 +296,204 @@ proptest! {
         prop_assert_eq!(delivered, (0..20u8).collect::<Vec<_>>());
     }
 
+    /// Exactly-once in-order delivery over a fabric running an arbitrary
+    /// composed fault plan (drop + reorder + duplicate + corrupt + delay),
+    /// and the receiver's stats reconcile with the injected faults.
+    #[test]
+    fn reliable_exactly_once_over_faulty_fabric(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.35,
+        reorder in 0.0f64..0.35,
+        window in 1usize..8,
+        duplicate in 0.0f64..0.35,
+        corrupt in 0.0f64..0.25,
+        delay in 0.0f64..0.25,
+    ) {
+        use dagger::nic::reliable::{ReliableConfig, ReliableTransport};
+        use dagger::nic::transport::Datagram;
+        use dagger::nic::{FaultPlan, MemFabric};
+
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(drop)
+            .with_reorder(reorder, window)
+            .with_duplicate(duplicate)
+            .with_corrupt(corrupt)
+            .with_delay(delay, 8);
+        let fabric = MemFabric::with_faults(plan);
+        let pa = fabric.attach(NodeAddr(1)).unwrap();
+        let pb = fabric.attach(NodeAddr(2)).unwrap();
+        let cfg = ReliableConfig { retransmit_after_ticks: 4, window: 64 };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+
+        const N: u8 = 25;
+        let mut sent = 0u8;
+        let mut delivered: Vec<u8> = Vec::new();
+        for _round in 0..10_000 {
+            while sent < N && a.window_available(NodeAddr(2)) {
+                let mut line = CacheLine::zeroed();
+                line.as_bytes_mut()[20] = sent;
+                match a.on_send(Datagram::new(NodeAddr(1), NodeAddr(2), vec![line])) {
+                    Ok(frame) => {
+                        pa.send(NodeAddr(2), frame.encode()).unwrap();
+                        sent += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            while let Some(bytes) = pb.try_recv() {
+                if let Ok(Some(d)) = b.on_recv(&bytes) {
+                    delivered.push(d.lines[0].as_bytes()[20]);
+                }
+            }
+            while let Some(bytes) = pa.try_recv() {
+                let _ = a.on_recv(&bytes);
+            }
+            for f in b.on_tick() {
+                pb.send(NodeAddr(1), f.encode()).unwrap();
+            }
+            for f in a.on_tick() {
+                pa.send(NodeAddr(2), f.encode()).unwrap();
+            }
+            if delivered.len() == usize::from(N) && a.fully_acked() {
+                break;
+            }
+        }
+        // Exactly-once, in order, nothing lost — despite the chaos.
+        prop_assert_eq!(delivered, (0..N).collect::<Vec<_>>());
+        prop_assert!(a.fully_acked());
+
+        // Stats reconcile with the injected faults.
+        let faults = fabric.fault_stats();
+        let sa = a.stats();
+        let sb = b.stats();
+        // Only bit corruption makes frames undecodable.
+        prop_assert!(sa.wire_drops + sb.wire_drops <= faults.corrupted);
+        // Every discarded data frame is an extra arrival, and extra
+        // arrivals only come from duplication or retransmission.
+        prop_assert!(
+            sb.out_of_order_drops + sb.duplicate_drops
+                <= sa.retransmissions + faults.duplicated
+        );
+        // A faultless run discards nothing for gaps or corruption.
+        if faults.total_injected() == 0 {
+            prop_assert_eq!(sb.out_of_order_drops, 0);
+            prop_assert_eq!(sa.wire_drops + sb.wire_drops, 0);
+        }
+    }
+
+    /// `RpcHeader::decode` is total on arbitrary byte strings (truncations
+    /// included): `Err`, never a panic.
+    #[test]
+    fn rpc_header_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..40)) {
+        let _ = RpcHeader::decode(&bytes);
+    }
+
+    /// A bit-flipped valid header either fails to decode or decodes to a
+    /// header that still satisfies every field invariant — never panics,
+    /// never yields out-of-range values that could crash reassembly.
+    #[test]
+    fn rpc_header_bit_flips_stay_valid(
+        cid in any::<u32>(),
+        rpc in any::<u32>(),
+        f in 0u16..0xFFFE,
+        count in 1u8..=255,
+        bit in 0usize..(HEADER_BYTES * 8),
+    ) {
+        let hdr = RpcHeader {
+            connection_id: ConnectionId(cid),
+            rpc_id: RpcId(rpc),
+            fn_id: FnId(f),
+            src_flow: FlowId(0),
+            kind: RpcKind::Request,
+            frame_idx: 0,
+            frame_count: count,
+            frame_payload_len: 48,
+            traced: false,
+        };
+        let mut buf = [0u8; HEADER_BYTES];
+        hdr.encode(&mut buf);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        if let Ok(mangled) = RpcHeader::decode(&buf) {
+            prop_assert!(mangled.frame_payload_len <= 48);
+            prop_assert!(mangled.frame_count >= 1);
+            prop_assert!(mangled.frame_idx < mangled.frame_count);
+        }
+    }
+
+    /// The reassembler is total on arbitrary cache lines: garbage maps to
+    /// `Err`, plausible-but-forged headers at worst open bounded partial
+    /// state, and nothing panics.
+    #[test]
+    fn reassembler_total_on_arbitrary_frames(
+        raw_lines in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 64..=64), 0..40,
+        ),
+    ) {
+        let mut r = Reassembler::new();
+        for raw in raw_lines {
+            let line = CacheLine::from_bytes(raw.try_into().unwrap());
+            let _ = r.push(line);
+        }
+        prop_assert!(r.pending() <= 40);
+    }
+
+    /// Bit-flipped fragment frames never panic the reassembler, and a
+    /// clean copy of the RPC still reassembles afterwards.
+    #[test]
+    fn reassembler_survives_bit_flipped_frames(
+        payload in prop::collection::vec(any::<u8>(), 49..400),
+        bit in 0usize..512,
+        frame_pick in any::<u64>(),
+    ) {
+        let frames = fragment(
+            ConnectionId(3), RpcId(4), FnId(5), FlowId(0), RpcKind::Request, &payload,
+        ).unwrap();
+        let mut r = Reassembler::new();
+        let mut mangled = frames[(frame_pick as usize) % frames.len()];
+        let bytes = mangled.as_bytes_mut();
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = r.push(mangled); // Err or bounded partial state; no panic.
+        // A clean retransmission of the whole RPC still completes under a
+        // fresh identity (the mangled frame may have poisoned the old one).
+        let clean = fragment(
+            ConnectionId(30), RpcId(40), FnId(5), FlowId(0), RpcKind::Request, &payload,
+        ).unwrap();
+        let mut done = None;
+        for f in clean {
+            done = r.push(f).unwrap();
+        }
+        prop_assert_eq!(done.unwrap().payload, payload);
+    }
+
+    /// A bit-flipped transport frame never decodes back to the original
+    /// bytes' meaning silently changed: it is rejected (checksum) or — in
+    /// the astronomically unlikely collision — differs from the original.
+    #[test]
+    fn transport_frame_bit_flips_detected(
+        seq in any::<u64>(),
+        ack in any::<u64>(),
+        bit_seed in any::<u64>(),
+    ) {
+        use dagger::nic::reliable::TransportFrame;
+        use dagger::nic::transport::Datagram;
+        let mut line = CacheLine::zeroed();
+        line.as_bytes_mut()[20] = 0x5A;
+        let frame = TransportFrame::Data {
+            seq,
+            ack,
+            datagram: Datagram::new(NodeAddr(1), NodeAddr(2), vec![line]),
+        };
+        let mut bytes = frame.encode();
+        let bit = (bit_seed as usize) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        match TransportFrame::decode(&bytes) {
+            Err(_) => {} // caught — the common case
+            Ok(decoded) => prop_assert_ne!(decoded, frame),
+        }
+    }
+
     /// Distributed tracing: a traced RPC's wire context survives
     /// fragmentation, an arbitrary loss pattern repaired by Go-Back-N
     /// retransmission, and reassembly — and stripping it returns the

@@ -8,7 +8,7 @@ use std::time::Duration;
 use dagger::idl::{dagger_message, dagger_service};
 use dagger::nic::{MemFabric, Nic};
 use dagger::rpc::{RpcClientPool, RpcThreadedServer};
-use dagger::types::{HardConfig, NodeAddr, Result};
+use dagger::types::{DaggerError, HardConfig, NodeAddr, Result};
 
 dagger_message! {
     pub struct Probe {
@@ -22,7 +22,7 @@ dagger_service! {
         handler = LossyHandler;
         dispatch = LossyDispatch;
         client = LossyClient;
-        rpc probe(Probe) -> Probe = 1;
+        rpc probe(Probe) -> Probe = 1, async = probe_async;
     }
 }
 
@@ -110,6 +110,93 @@ fn unreliable_nics_lose_calls_under_loss() {
         "30% frame loss without reliability must lose some calls"
     );
     server.stop();
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+#[test]
+fn partitioned_peer_times_out_on_sync_and_async_paths() {
+    let fabric = MemFabric::new();
+    let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    let client = LossyClient::new(Arc::clone(&raw));
+
+    // Healthy warm-up call so the connection is fully established.
+    assert_eq!(
+        client
+            .probe(&Probe {
+                seq: 0,
+                blob: vec![]
+            })
+            .unwrap()
+            .seq,
+        0
+    );
+
+    // Cut the link and shrink the deadline so the test stays fast.
+    fabric.partition(NodeAddr(1), NodeAddr(2));
+    raw.set_timeout(Duration::from_millis(250));
+
+    // Sync path: the call must surface Timeout, not hang or panic.
+    let err = client
+        .probe(&Probe {
+            seq: 1,
+            blob: vec![2; 64],
+        })
+        .expect_err("sync call across a partition must fail");
+    assert!(
+        matches!(err, DaggerError::Timeout),
+        "expected Timeout, got {err:?}"
+    );
+
+    // Async path: issue succeeds (TX ring accepts), the wait times out.
+    let pending = client
+        .probe_async(&Probe {
+            seq: 2,
+            blob: vec![3; 64],
+        })
+        .expect("async issue writes the TX ring even when partitioned");
+    let err = pending.wait().expect_err("async wait must time out");
+    assert!(
+        matches!(err, DaggerError::Timeout),
+        "expected Timeout, got {err:?}"
+    );
+
+    // Timed-out calls must not strand responses in the completion path.
+    assert_eq!(
+        raw.endpoint().ready_len(),
+        0,
+        "completion queue must be drained after timeouts"
+    );
+    assert!(
+        fabric.fault_stats().partition_drops > 0,
+        "partition must have blackholed the request frames"
+    );
+
+    // Heal: the same client recovers without reconnecting.
+    fabric.heal(NodeAddr(1), NodeAddr(2));
+    raw.set_timeout(Duration::from_secs(20));
+    let resp = client
+        .probe(&Probe {
+            seq: 3,
+            blob: vec![4; 64],
+        })
+        .expect("call after heal must succeed");
+    assert_eq!(resp.seq, 3);
+    assert_eq!(raw.endpoint().ready_len(), 0);
+
+    server.stop();
+    drop(client);
+    drop(raw);
     drop(pool);
     client_nic.shutdown();
     server_nic.shutdown();
