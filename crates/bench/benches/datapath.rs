@@ -1,0 +1,253 @@
+//! Datapath bench — the perf-trajectory harness behind `BENCH_datapath.json`.
+//!
+//! Measures the NIC datapath three ways and prints machine-parseable
+//! `key=value` lines (consumed by `scripts/bench.sh`):
+//!
+//! * wire-encode micro-loops (datagram and reliable-frame serialization,
+//!   fresh-allocation vs pooled-buffer variants);
+//! * closed-loop sync RPC echo RTT (median + p99) and throughput, over a
+//!   clean fabric, unreliable and reliable transports;
+//! * pipelined async echo throughput.
+//!
+//! `DAGGER_BENCH_QUICK=1` shrinks the iteration counts for CI smoke runs.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dagger_bench::{banner, us};
+use dagger_idl::{dagger_message, dagger_service};
+use dagger_nic::nic::Nic;
+use dagger_nic::reliable::{ReliableConfig, ReliableTransport};
+use dagger_nic::transport::Datagram;
+use dagger_nic::MemFabric;
+use dagger_rpc::{RpcClientPool, RpcThreadedServer, Wire};
+use dagger_types::{CacheLine, HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Echo {
+        seq: u32,
+        blob: Vec<u8>,
+    }
+}
+
+dagger_service! {
+    pub service Path {
+        handler = PathHandler;
+        dispatch = PathDispatch;
+        client = PathClient;
+        rpc echo(Echo) -> Echo = 1, async = echo_async;
+    }
+}
+
+struct EchoImpl;
+impl PathHandler for EchoImpl {
+    fn echo(&self, request: Echo) -> Result<Echo> {
+        Ok(request)
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("DAGGER_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// ns/op over `iters` runs of `f`, with a short warm-up.
+fn time_op(iters: u64, mut f: impl FnMut()) -> u64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as u64 / iters.max(1)
+}
+
+fn lines(n: usize) -> Vec<CacheLine> {
+    (0..n)
+        .map(|i| {
+            let mut l = CacheLine::zeroed();
+            l.as_bytes_mut()[0] = i as u8;
+            l
+        })
+        .collect()
+}
+
+/// Wire-serialization micro-loops: the per-datagram encode cost the engine
+/// pays on every TX round.
+fn bench_encode() {
+    let iters = if quick() { 20_000 } else { 200_000 };
+    let dgram = Datagram::new(NodeAddr(1), NodeAddr(2), lines(8));
+
+    // Fresh-allocation path: what `send_datagram` did before pooling.
+    let ns = time_op(iters, || {
+        std::hint::black_box(std::hint::black_box(&dgram).encode());
+    });
+    println!("datagram_encode_alloc_ns={ns}");
+
+    let mut rel = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+    let ns = time_op(iters, || {
+        let frame = rel.on_send(std::hint::black_box(dgram.clone())).unwrap();
+        std::hint::black_box(frame.encode());
+        // Ack everything so the window never closes and unacked stays tiny.
+        let _ = rel.on_recv(
+            &dagger_nic::reliable::TransportFrame::Ack {
+                ack: u64::MAX,
+                src: NodeAddr(2),
+                dst: NodeAddr(1),
+            }
+            .encode(),
+        );
+    });
+    println!("reliable_send_encode_alloc_ns={ns}");
+
+    pooled_encode_hook(iters, &dgram);
+}
+
+/// Post-PR pooled variants; compiled whenever the pooled API exists. Kept
+/// in one place so the pre-PR baseline binary ran the identical harness
+/// minus this hook.
+fn pooled_encode_hook(iters: u64, dgram: &Datagram) {
+    // Pooled datagram encode: one buffer reused across every iteration,
+    // exactly as `send_datagram` reuses `BufPool` buffers.
+    let mut out = Vec::new();
+    let ns = time_op(iters, || {
+        std::hint::black_box(&dgram).encode_into(&mut out);
+        std::hint::black_box(&out);
+    });
+    println!("datagram_encode_pooled_ns={ns}");
+
+    // Pooled reliable send: the datagram's line vector and the wire buffer
+    // both circulate instead of being cloned/allocated per frame.
+    let mut rel = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+    let ack_bytes = dagger_nic::reliable::TransportFrame::Ack {
+        ack: u64::MAX,
+        src: NodeAddr(2),
+        dst: NodeAddr(1),
+    }
+    .encode();
+    let mut out = Vec::new();
+    let mut spare = dgram.lines.clone();
+    let ns = time_op(iters, || {
+        let d = Datagram::new(dgram.src, dgram.dst, std::mem::take(&mut spare));
+        rel.on_send_encode(d, &mut out).unwrap();
+        std::hint::black_box(&out);
+        // Ack everything so the window never closes; reclaim the retired
+        // line vector for the next iteration, as `reliable_tick` does.
+        let _ = rel.on_recv(&ack_bytes);
+        rel.drain_retired(|lines| spare = lines);
+    });
+    println!("reliable_send_encode_pooled_ns={ns}");
+}
+
+/// One closed-loop echo experiment over a fresh NIC pair.
+fn run_echo(label: &str, cfg: HardConfig, payload_len: usize, calls: u32) {
+    let fabric = MemFabric::new();
+    let server_nic = Nic::start(&fabric, NodeAddr(1), cfg.clone()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), cfg).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(PathDispatch::new(EchoImpl)))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(30));
+    let client = PathClient::new(Arc::clone(&raw));
+    let blob = vec![0x5Au8; payload_len];
+
+    // Warm-up: connection caches, pools, reassembler maps.
+    for seq in 0..calls / 10 + 1 {
+        client
+            .echo(&Echo {
+                seq,
+                blob: blob.clone(),
+            })
+            .unwrap();
+    }
+
+    let mut rtts = Vec::with_capacity(calls as usize);
+    let start = Instant::now();
+    for seq in 0..calls {
+        let t0 = Instant::now();
+        let resp = client
+            .echo(&Echo {
+                seq,
+                blob: blob.clone(),
+            })
+            .unwrap();
+        rtts.push(t0.elapsed().as_nanos() as u64);
+        assert_eq!(resp.seq, seq);
+    }
+    let total = start.elapsed();
+    rtts.sort_unstable();
+    let median = percentile(&rtts, 0.50);
+    let p99 = percentile(&rtts, 0.99);
+    let tput = f64::from(calls) / total.as_secs_f64();
+    println!("{label}_rtt_median_ns={median}");
+    println!("{label}_rtt_p99_ns={p99}");
+    println!("{label}_throughput_rps={tput:.0}");
+    println!(
+        "# {label}: median {}us  p99 {}us  {:.0} rps over {} calls",
+        us(median),
+        us(p99),
+        tput,
+        calls
+    );
+
+    // Pipelined async throughput: keep a window of calls in flight.
+    let window = 16usize;
+    let async_calls = calls;
+    let start = Instant::now();
+    let mut inflight = std::collections::VecDeque::with_capacity(window);
+    for seq in 0..async_calls {
+        if inflight.len() == window {
+            let pending: dagger_rpc::PendingCall = inflight.pop_front().unwrap();
+            pending.wait().unwrap();
+        }
+        inflight.push_back(
+            raw.call_async(
+                dagger_types::FnId(1),
+                &(Echo {
+                    seq,
+                    blob: blob.clone(),
+                })
+                .to_wire(),
+            )
+            .unwrap(),
+        );
+    }
+    for pending in inflight {
+        pending.wait().unwrap();
+    }
+    let tput = f64::from(async_calls) / start.elapsed().as_secs_f64();
+    println!("{label}_async_throughput_rps={tput:.0}");
+
+    server.stop();
+    drop(client);
+    drop(raw);
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+}
+
+fn main() {
+    banner("datapath", "NIC datapath encode + echo RTT/throughput");
+    let calls: u32 = if quick() { 300 } else { 3_000 };
+    bench_encode();
+    run_echo("datapath_sync", HardConfig::default(), 64, calls);
+    run_echo(
+        "datapath_reliable",
+        HardConfig::builder().reliable(true).build().unwrap(),
+        64,
+        calls,
+    );
+}

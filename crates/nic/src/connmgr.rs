@@ -13,6 +13,8 @@
 //! [`PacketMonitor`](crate::monitor::PacketMonitor)-style counters here.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use dagger_types::{ConnectionId, DaggerError, FlowId, LbPolicy, NodeAddr, Result};
 
@@ -58,6 +60,11 @@ pub struct ConnectionManager {
     stats: [PortStats; 3],
     spills: u64,
     open_count: u64,
+    /// Mutation generation, bumped on every successful `open`/`close`.
+    /// Engine-side tuple caches ([`crate::conncache::ConnTupleCache`])
+    /// snapshot this counter and drop their entries when it moves — the
+    /// software analogue of the HCC invalidation messages of §4.4.1.
+    generation: Arc<AtomicU64>,
 }
 
 impl ConnectionManager {
@@ -79,7 +86,20 @@ impl ConnectionManager {
             stats: [PortStats::default(); 3],
             spills: 0,
             open_count: 0,
+            generation: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Shared handle to the mutation-generation counter. Readers that cache
+    /// tuples outside the manager compare it against their snapshot to
+    /// detect staleness without taking the manager's lock.
+    pub fn generation_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.generation)
+    }
+
+    /// Current mutation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     fn index(&self, cid: ConnectionId) -> usize {
@@ -114,6 +134,7 @@ impl ConnectionManager {
         }
         self.entries[idx] = Some((cid, tuple));
         self.open_count += 1;
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -126,9 +147,11 @@ impl ConnectionManager {
         let idx = self.index(cid);
         if matches!(self.entries[idx], Some((c, _)) if c == cid) {
             self.entries[idx] = None;
+            self.generation.fetch_add(1, Ordering::Release);
             return Ok(());
         }
         if self.backing.remove(&cid).is_some() {
+            self.generation.fetch_add(1, Ordering::Release);
             return Ok(());
         }
         Err(DaggerError::UnknownConnection(cid.raw()))
@@ -332,6 +355,22 @@ mod tests {
         assert_eq!(s.tx_port, PortSnapshot { hits: 1, misses: 0 });
         assert_eq!(s.rx_port, PortSnapshot { hits: 0, misses: 1 });
         assert_eq!(s.cm_port, PortSnapshot::default());
+    }
+
+    #[test]
+    fn generation_bumps_only_on_mutation() {
+        let mut cm = ConnectionManager::new(8);
+        let g0 = cm.generation();
+        cm.open(ConnectionId(1), tuple(0, 1)).unwrap();
+        let g1 = cm.generation();
+        assert!(g1 > g0, "open must bump the generation");
+        cm.lookup(CmPort::Tx, ConnectionId(1));
+        cm.lookup(CmPort::Rx, ConnectionId(99));
+        assert_eq!(cm.generation(), g1, "lookups must not bump it");
+        assert!(cm.close(ConnectionId(99)).is_err());
+        assert_eq!(cm.generation(), g1, "failed close must not bump it");
+        cm.close(ConnectionId(1)).unwrap();
+        assert!(cm.generation() > g1, "close must bump the generation");
     }
 
     #[test]

@@ -29,15 +29,45 @@
 //! stuck, because both ongoing traffic and the receiving NIC's poll loop
 //! drain it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::{Mutex, RwLock};
 
 use dagger_telemetry::Telemetry;
 use dagger_types::{DaggerError, NodeAddr, Result};
+
+use crate::wait::EngineWaker;
+
+/// Frames a port queue preallocates room for: senders move buffers into the
+/// deque without allocating until a port falls this far behind.
+const PORT_QUEUE_CAP: usize = 1024;
+
+/// One port's receive queue: a mutex-protected deque of encoded frames.
+/// Unlike a channel, pushing a frame *moves* the sender's buffer in with no
+/// per-send allocation (below [`PORT_QUEUE_CAP`]) — the fabric is a relay
+/// of pooled buffers, not a producer of fresh ones.
+#[derive(Debug)]
+pub struct PortQueue {
+    frames: Mutex<VecDeque<Vec<u8>>>,
+}
+
+impl PortQueue {
+    fn new() -> Self {
+        PortQueue {
+            frames: Mutex::new(VecDeque::with_capacity(PORT_QUEUE_CAP)),
+        }
+    }
+
+    fn push(&self, bytes: Vec<u8>) {
+        self.frames.lock().push_back(bytes);
+    }
+
+    fn pop(&self) -> Option<Vec<u8>> {
+        self.frames.lock().pop_front()
+    }
+}
 
 /// Deterministic splitmix64 stream (one per directed link).
 #[derive(Clone, Copy, Debug)]
@@ -307,9 +337,17 @@ impl FaultState {
     }
 }
 
+/// A switch-table entry: the port's queue and, once the owning engine
+/// registers one, the waker that pulls it out of its idle park.
+#[derive(Debug)]
+struct PortEntry {
+    queue: Arc<PortQueue>,
+    waker: Option<Arc<EngineWaker>>,
+}
+
 #[derive(Debug, Default)]
 struct SwitchTable {
-    ports: HashMap<NodeAddr, Sender<Vec<u8>>>,
+    ports: HashMap<NodeAddr, PortEntry>,
 }
 
 /// The shared in-process network: an L2 switch with a static table and a
@@ -452,13 +490,28 @@ impl MemFabric {
                 "address {addr} already attached"
             )));
         }
-        let (tx, rx) = unbounded();
-        table.ports.insert(addr, tx);
+        let queue = Arc::new(PortQueue::new());
+        table.ports.insert(
+            addr,
+            PortEntry {
+                queue: Arc::clone(&queue),
+                waker: None,
+            },
+        );
         Ok(FabricPort {
             addr,
             fabric: self.clone(),
-            rx,
+            rx: queue,
         })
+    }
+
+    /// Registers the waker that frame delivery to `addr` should trip, so a
+    /// parked engine wakes as soon as traffic arrives. No-op for unknown
+    /// addresses.
+    pub fn set_waker(&self, addr: NodeAddr, waker: Arc<EngineWaker>) {
+        if let Some(entry) = self.table.write().ports.get_mut(&addr) {
+            entry.waker = Some(waker);
+        }
     }
 
     /// Detaches `addr`; queued datagrams for it are discarded.
@@ -471,13 +524,18 @@ impl MemFabric {
         self.table.read().ports.len()
     }
 
-    /// Delivers `bytes` into `dst`'s port queue (no fault processing).
+    /// Delivers `bytes` into `dst`'s port queue (no fault processing) and
+    /// wakes the owning engine if it registered a waker.
     fn deliver(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
         let table = self.table.read();
         match table.ports.get(&dst) {
-            Some(tx) => tx
-                .send(bytes)
-                .map_err(|_| DaggerError::Fabric(format!("port {dst} hung up"))),
+            Some(entry) => {
+                entry.queue.push(bytes);
+                if let Some(waker) = &entry.waker {
+                    waker.wake();
+                }
+                Ok(())
+            }
             None => Err(DaggerError::Fabric(format!(
                 "no switch-table entry for {dst}"
             ))),
@@ -592,7 +650,7 @@ impl MemFabric {
 pub struct FabricPort {
     addr: NodeAddr,
     fabric: MemFabric,
-    rx: Receiver<Vec<u8>>,
+    rx: Arc<PortQueue>,
 }
 
 impl FabricPort {
@@ -614,10 +672,7 @@ impl FabricPort {
     /// Receives the next queued datagram, if any.
     pub fn try_recv(&self) -> Option<Vec<u8>> {
         self.fabric.poll_released();
-        match self.rx.try_recv() {
-            Ok(bytes) => Some(bytes),
-            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
-        }
+        self.rx.pop()
     }
 }
 

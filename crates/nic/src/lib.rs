@@ -25,6 +25,12 @@
 //!   virtual NICs share one FPGA (Fig. 14);
 //! * [`fabric`] — the in-process Ethernet fabric with an L2 ToR switch
 //!   (the loopback methodology of §5.1);
+//! * [`bufpool`] — free lists of wire buffers and line vectors keeping the
+//!   steady-state datapath allocation-free (§4.4);
+//! * [`conncache`] — the engine-private connection-tuple cache with
+//!   generation-stamped invalidation (§4.4.1);
+//! * [`wait`] — the adaptive spin → yield → park backoff and the engine
+//!   wakeup latch;
 //! * [`engine`] — the NIC engine thread tying the RX/TX FSMs together;
 //! * [`nic`] — the assembled, virtualizable [`nic::Nic`].
 //!
@@ -33,6 +39,8 @@
 //! timing lives in `dagger-sim`.
 
 pub mod arbiter;
+pub mod bufpool;
+pub mod conncache;
 pub mod connmgr;
 pub mod engine;
 pub mod fabric;
@@ -47,10 +55,71 @@ pub mod ring;
 pub mod sched;
 pub mod softreg;
 pub mod transport;
+pub mod wait;
 
+pub use bufpool::{BufPool, BufPoolStats};
+pub use conncache::{ConnCacheStats, ConnTupleCache};
 pub use connmgr::{ConnectionManager, ConnectionTuple};
 pub use fabric::{FabricPort, FaultPlan, FaultSnapshot, FaultStats, MemFabric};
 pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor};
 pub use nic::{HostFlow, Nic};
 pub use ring::{ring, RingConsumer, RingProducer};
 pub use softreg::SoftRegisterFile;
+pub use wait::{EngineWaker, SpinWait};
+
+/// Heap-allocation counter used by the zero-allocation datapath tests: a
+/// wrapper around the system allocator that counts allocations on threads
+/// that opt in. Compiled only for this crate's unit tests; production
+/// builds keep the unmodified system allocator.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static COUNTING: Cell<bool> = const { Cell::new(false) };
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Counts heap allocations (not frees) on opted-in threads.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers to `System` for every allocation; only bookkeeping is
+    // added, and `try_with` tolerates TLS teardown during thread exit.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = COUNTING.try_with(|on| {
+                if on.get() {
+                    let _ = ALLOCS.try_with(|n| n.set(n.get() + 1));
+                }
+            });
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = COUNTING.try_with(|on| {
+                if on.get() {
+                    let _ = ALLOCS.try_with(|n| n.set(n.get() + 1));
+                }
+            });
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Runs `f` with allocation counting enabled on this thread and returns
+    /// `(allocations, result)`.
+    pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+        ALLOCS.with(|n| n.set(0));
+        COUNTING.with(|on| on.set(true));
+        let result = f();
+        COUNTING.with(|on| on.set(false));
+        (ALLOCS.with(|n| n.get()), result)
+    }
+}

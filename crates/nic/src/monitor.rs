@@ -24,6 +24,7 @@ pub struct PacketMonitor {
     reqbuf_backpressure: AtomicU64,
     cached_polls: AtomicU64,
     direct_polls: AtomicU64,
+    tx_window_deferrals: AtomicU64,
     flows: Vec<FlowCounters>,
 }
 
@@ -72,6 +73,9 @@ pub struct MonitorSnapshot {
     /// Frames fetched while polling the processor's LLC directly
     /// (high-load mode, §4.4.1).
     pub direct_polls: u64,
+    /// Datagrams deferred (including re-deferred) by reliable-transport
+    /// window backpressure.
+    pub tx_window_deferrals: u64,
 }
 
 impl PacketMonitor {
@@ -181,6 +185,11 @@ impl PacketMonitor {
         self.direct_polls.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts one datagram deferral under reliable-window backpressure.
+    pub fn inc_tx_window_deferrals(&self) {
+        self.tx_window_deferrals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all counters at once.
     pub fn snapshot(&self) -> MonitorSnapshot {
         MonitorSnapshot {
@@ -194,6 +203,7 @@ impl PacketMonitor {
             reqbuf_backpressure: self.reqbuf_backpressure.load(Ordering::Relaxed),
             cached_polls: self.cached_polls.load(Ordering::Relaxed),
             direct_polls: self.direct_polls.load(Ordering::Relaxed),
+            tx_window_deferrals: self.tx_window_deferrals.load(Ordering::Relaxed),
         }
     }
 }
@@ -235,6 +245,9 @@ impl MonitorSnapshot {
                 .saturating_sub(earlier.reqbuf_backpressure),
             cached_polls: self.cached_polls.saturating_sub(earlier.cached_polls),
             direct_polls: self.direct_polls.saturating_sub(earlier.direct_polls),
+            tx_window_deferrals: self
+                .tx_window_deferrals
+                .saturating_sub(earlier.tx_window_deferrals),
         }
     }
 }
@@ -245,7 +258,7 @@ impl std::fmt::Display for MonitorSnapshot {
         write!(
             f,
             "tx={}f/{}d rx={}f/{}d drops={} (ring={} unknown_conn={} wire={} reqbuf={}) \
-             polls(cached={} direct={})",
+             polls(cached={} direct={}) deferrals={}",
             self.tx_frames,
             self.tx_datagrams,
             self.rx_frames,
@@ -256,7 +269,8 @@ impl std::fmt::Display for MonitorSnapshot {
             self.wire_drops,
             self.reqbuf_backpressure,
             self.cached_polls,
-            self.direct_polls
+            self.direct_polls,
+            self.tx_window_deferrals
         )
     }
 }

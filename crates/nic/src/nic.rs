@@ -27,6 +27,8 @@ use dagger_telemetry::Telemetry;
 use dagger_types::{ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::arbiter::ArbiterSlot;
+use crate::bufpool::BufPool;
+use crate::conncache::ConnTupleCache;
 use crate::connmgr::{ConnectionManager, ConnectionTuple};
 use crate::engine::{encode_ctrl_close, encode_ctrl_open, EngineCore};
 use crate::fabric::{FabricPort, MemFabric};
@@ -40,6 +42,7 @@ use crate::ring::{ring, RingConsumer, RingProducer};
 use crate::sched::FlowScheduler;
 use crate::softreg::SoftRegisterFile;
 use crate::transport::Datagram;
+use crate::wait::{EngineWaker, SpinWait};
 
 /// Scheduler partial-batch timeout in engine ticks; small enough that
 /// latency in functional mode is not batch-bound.
@@ -74,6 +77,8 @@ pub struct Nic {
     ctrl_tx: Sender<(NodeAddr, Datagram)>,
     confirmed: Arc<Mutex<HashSet<u32>>>,
     telemetry: Arc<Telemetry>,
+    /// Wakes the engine out of its idle park (control sends, shutdown).
+    waker: Arc<EngineWaker>,
 }
 
 impl std::fmt::Debug for Nic {
@@ -145,11 +150,17 @@ impl Nic {
         let monitor = Arc::new(PacketMonitor::with_flows(cfg.num_flows));
         let conn_mgr = Arc::new(Mutex::new(ConnectionManager::new(cfg.conn_cache_entries)));
 
+        // Engine wakeup latch: host TX pushes, fabric deliveries, control
+        // sends, and shutdown all pull the engine out of its idle park.
+        let waker = Arc::new(EngineWaker::new());
+        fabric.set_waker(addr, Arc::clone(&waker));
+
         let mut host_flows = Vec::with_capacity(cfg.num_flows);
         let mut tx_consumers = Vec::with_capacity(cfg.num_flows);
         let mut rx_producers = Vec::with_capacity(cfg.num_flows);
         for i in 0..cfg.num_flows {
-            let (tx_p, tx_c) = ring(cfg.tx_ring_capacity);
+            let (mut tx_p, tx_c) = ring(cfg.tx_ring_capacity);
+            tx_p.set_waker(Arc::clone(&waker));
             let (rx_p, rx_c) = ring(cfg.rx_ring_capacity);
             host_flows.push(HostFlow {
                 flow: FlowId(i as u16),
@@ -167,6 +178,10 @@ impl Nic {
             .reliable
             .then(|| ReliableTransport::new(addr, ReliableConfig::default()));
         let reliable_stats = reliable.as_ref().map(ReliableTransport::shared_stats);
+        let pool = BufPool::default();
+        let pool_stats = pool.shared_stats();
+        let conn_cache = ConnTupleCache::new(conn_mgr.lock().generation_handle());
+        let conn_cache_stats = conn_cache.shared_stats();
 
         // Fold this NIC's counter banks (Packet Monitor global + per-flow,
         // Connection Manager, reliable transport) into the shared registry
@@ -195,6 +210,22 @@ impl Nic {
                 );
                 reg.set_gauge(&format!("{prefix}.cached_polls"), s.cached_polls);
                 reg.set_gauge(&format!("{prefix}.direct_polls"), s.direct_polls);
+                reg.set_gauge(
+                    &format!("{prefix}.tx_window_deferrals"),
+                    s.tx_window_deferrals,
+                );
+                reg.set_gauge(&format!("{prefix}.pool.hits"), pool_stats.hits());
+                reg.set_gauge(&format!("{prefix}.pool.misses"), pool_stats.misses());
+                reg.set_gauge(&format!("{prefix}.pool.recycled"), pool_stats.recycled());
+                reg.set_gauge(&format!("{prefix}.conncache.hits"), conn_cache_stats.hits());
+                reg.set_gauge(
+                    &format!("{prefix}.conncache.misses"),
+                    conn_cache_stats.misses(),
+                );
+                reg.set_gauge(
+                    &format!("{prefix}.conncache.invalidations"),
+                    conn_cache_stats.invalidations(),
+                );
                 for (i, f) in monitor.flow_snapshots().iter().enumerate() {
                     reg.set_gauge(&format!("{prefix}.flow.{i}.tx_frames"), f.tx_frames);
                     reg.set_gauge(&format!("{prefix}.flow.{i}.rx_frames"), f.rx_frames);
@@ -253,6 +284,11 @@ impl Nic {
             window_frames: 0,
             direct_polling: false,
             telemetry: Arc::clone(&telemetry),
+            pool,
+            conn_cache,
+            stage: Vec::new(),
+            stage_idx: Default::default(),
+            waker: Arc::clone(&waker),
         };
         let engine = std::thread::Builder::new()
             .name(format!("dagger-nic-{}", addr.raw()))
@@ -273,6 +309,7 @@ impl Nic {
             ctrl_tx,
             confirmed,
             telemetry,
+            waker,
         }))
     }
 
@@ -378,12 +415,14 @@ impl Nic {
             self.ctrl_tx
                 .send((remote, dgram))
                 .map_err(|_| DaggerError::Closed)?;
+            self.waker.wake();
             let deadline = Instant::now() + Duration::from_millis(50);
+            let mut backoff = SpinWait::new();
             while Instant::now() < deadline {
                 if self.confirmed.lock().contains(&cid.raw()) {
                     return Ok(cid);
                 }
-                std::thread::yield_now();
+                backoff.wait();
             }
         }
         let _ = self.conn_mgr.lock().close(cid);
@@ -408,6 +447,7 @@ impl Nic {
         let dgram = Datagram::new(self.addr, tuple.dest_addr, vec![ctrl]);
         // Best-effort: the remote may already be gone.
         let _ = self.ctrl_tx.send((tuple.dest_addr, dgram));
+        self.waker.wake();
         Ok(())
     }
 
@@ -425,6 +465,9 @@ impl Nic {
     /// Stops the engine thread, draining in-flight frames first.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
+        // The engine may be parked in its idle backoff; kick it so the
+        // stop flag is seen immediately rather than after the park timeout.
+        self.waker.wake();
         if let Some(handle) = self.engine.lock().take() {
             let _ = handle.join();
         }

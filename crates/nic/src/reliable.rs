@@ -19,11 +19,11 @@
 //! `on_recv`, `on_tick`), matching how the hardware would run it; the
 //! engine enables it when [`dagger_types::HardConfig::reliable`] is set.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dagger_types::{DaggerError, NodeAddr, Result};
+use dagger_types::{CacheLine, DaggerError, NodeAddr, Result};
 
 use crate::transport::{wire_checksum, Datagram};
 
@@ -38,6 +38,105 @@ const FRAME_PREFIX: usize = 17;
 const FRAME_CRC: usize = 4;
 /// Minimum frame size: prefix + checksum.
 const FRAME_MIN: usize = FRAME_PREFIX + FRAME_CRC;
+/// Maximum retired line-vectors held for recycling before excess ones are
+/// simply dropped (bounds memory if the engine stops draining).
+const RETIRED_CAP: usize = 512;
+
+/// Encodes a data frame into `out` (cleared first) without cloning the
+/// datagram: the 17-byte prefix and a 4-byte checksum placeholder go in
+/// first, the datagram body is appended in place, then the checksum —
+/// which covers prefix + body, exactly as [`TransportFrame::encode`]
+/// produces — is patched over the placeholder. Byte-identical to the
+/// owned encoding.
+fn encode_data_into(seq: u64, ack: u64, datagram: &Datagram, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(FRAME_DATA);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(&[0u8; FRAME_CRC]);
+    datagram.append_to(out);
+    let crc = wire_checksum(&[&out[..FRAME_PREFIX], &out[FRAME_MIN..]]);
+    out[FRAME_PREFIX..FRAME_MIN].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes a standalone ack frame into `out` (cleared first).
+fn encode_ack_into(ack: u64, src: NodeAddr, dst: NodeAddr, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(FRAME_ACK);
+    out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(&src.raw().to_le_bytes());
+    out.extend_from_slice(&dst.raw().to_le_bytes());
+    let crc = wire_checksum(&[&out[..FRAME_PREFIX], &[]]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Borrowed view of a frame about to go on the wire. Lets the engine
+/// encode straight into a pooled buffer without cloning the retransmit
+/// window's datagrams into owned [`TransportFrame`]s first.
+#[derive(Debug)]
+pub enum FrameView<'a> {
+    /// A sequenced data frame referencing the window's datagram.
+    Data {
+        /// Sequence number.
+        seq: u64,
+        /// Piggybacked cumulative ack.
+        ack: u64,
+        /// Borrowed payload.
+        datagram: &'a Datagram,
+    },
+    /// A standalone cumulative ack.
+    Ack {
+        /// Cumulative ack value.
+        ack: u64,
+        /// Sender.
+        src: NodeAddr,
+        /// Receiver.
+        dst: NodeAddr,
+    },
+}
+
+impl FrameView<'_> {
+    /// Where the frame is headed.
+    pub fn dst(&self) -> NodeAddr {
+        match self {
+            FrameView::Data { datagram, .. } => datagram.dst,
+            FrameView::Ack { dst, .. } => *dst,
+        }
+    }
+
+    /// Frames (cache lines) carried, for the packet monitor.
+    pub fn frame_count(&self) -> usize {
+        match self {
+            FrameView::Data { datagram, .. } => datagram.lines.len(),
+            FrameView::Ack { .. } => 0,
+        }
+    }
+
+    /// Serializes into `out` (cleared first); byte-identical to
+    /// [`TransportFrame::encode`] of the equivalent owned frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            FrameView::Data { seq, ack, datagram } => encode_data_into(*seq, *ack, datagram, out),
+            FrameView::Ack { ack, src, dst } => encode_ack_into(*ack, *src, *dst, out),
+        }
+    }
+
+    /// Clones into an owned [`TransportFrame`].
+    pub fn to_owned_frame(&self) -> TransportFrame {
+        match self {
+            FrameView::Data { seq, ack, datagram } => TransportFrame::Data {
+                seq: *seq,
+                ack: *ack,
+                datagram: (*datagram).clone(),
+            },
+            FrameView::Ack { ack, src, dst } => TransportFrame::Ack {
+                ack: *ack,
+                src: *src,
+                dst: *dst,
+            },
+        }
+    }
+}
 
 /// A sequenced transport frame as it crosses the fabric.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -67,28 +166,30 @@ impl TransportFrame {
     /// Serializes to wire bytes: `[prefix 17][crc 4][body]`, where the
     /// checksum covers the prefix and body (everything but itself).
     pub fn encode(&self) -> Vec<u8> {
-        let (mut out, body) = match self {
-            TransportFrame::Data { seq, ack, datagram } => {
-                let body = datagram.encode();
-                let mut out = Vec::with_capacity(FRAME_MIN + body.len());
-                out.push(FRAME_DATA);
-                out.extend_from_slice(&seq.to_le_bytes());
-                out.extend_from_slice(&ack.to_le_bytes());
-                (out, body)
-            }
-            TransportFrame::Ack { ack, src, dst } => {
-                let mut out = Vec::with_capacity(FRAME_MIN);
-                out.push(FRAME_ACK);
-                out.extend_from_slice(&ack.to_le_bytes());
-                out.extend_from_slice(&src.raw().to_le_bytes());
-                out.extend_from_slice(&dst.raw().to_le_bytes());
-                (out, Vec::new())
-            }
-        };
-        let crc = wire_checksum(&[&out, &body]);
-        out.extend_from_slice(&crc.to_le_bytes());
-        out.extend_from_slice(&body);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serializes into `out` (cleared first), reusing its allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_view().encode_into(out);
+    }
+
+    /// Borrowed view of this frame.
+    pub fn as_view(&self) -> FrameView<'_> {
+        match self {
+            TransportFrame::Data { seq, ack, datagram } => FrameView::Data {
+                seq: *seq,
+                ack: *ack,
+                datagram,
+            },
+            TransportFrame::Ack { ack, src, dst } => FrameView::Ack {
+                ack: *ack,
+                src: *src,
+                dst: *dst,
+            },
+        }
     }
 
     /// Parses wire bytes, verifying the integrity checksum first.
@@ -154,7 +255,8 @@ impl Default for ReliableConfig {
 struct PeerTx {
     next_seq: u64,
     /// Unacknowledged datagrams, oldest first, as `(seq, datagram)`.
-    unacked: Vec<(u64, Datagram)>,
+    /// A deque so cumulative acks retire from the front without shifting.
+    unacked: VecDeque<(u64, Datagram)>,
     ticks_since_progress: u64,
     retransmissions: u64,
 }
@@ -216,6 +318,9 @@ pub struct ReliableTransport {
     rx: HashMap<NodeAddr, PeerRx>,
     wire_drops: u64,
     shared: Arc<SharedReliableStats>,
+    /// Line vectors of datagrams retired from the window by acks, held for
+    /// the engine to recycle into its [`crate::bufpool::BufPool`].
+    retired: Vec<Vec<CacheLine>>,
 }
 
 impl ReliableTransport {
@@ -228,6 +333,7 @@ impl ReliableTransport {
             rx: HashMap::new(),
             wire_drops: 0,
             shared: Arc::new(SharedReliableStats::default()),
+            retired: Vec::new(),
         }
     }
 
@@ -260,9 +366,52 @@ impl ReliableTransport {
         }
         let seq = tx.next_seq;
         tx.next_seq += 1;
-        tx.unacked.push((seq, datagram.clone()));
+        tx.unacked.push_back((seq, datagram.clone()));
         let ack = self.pending_ack(peer);
         Ok(TransportFrame::Data { seq, ack, datagram })
+    }
+
+    /// Zero-copy send: sequences `datagram`, encodes the frame into `out`
+    /// (a pooled buffer), and *moves* the datagram into the retransmit
+    /// window instead of cloning it — the per-send clone was the single
+    /// biggest allocation on the reliable TX path.
+    ///
+    /// # Errors
+    ///
+    /// Hands the datagram back when the peer's send window is full (the
+    /// engine defers it to `pending_out`); `out` is untouched in that case.
+    pub fn on_send_encode(
+        &mut self,
+        datagram: Datagram,
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<(), Datagram> {
+        self.send_encode_inner(datagram, out, false)
+    }
+
+    /// [`ReliableTransport::on_send_encode`] minus the window check: used
+    /// by the shutdown drain, where deferring is no longer an option and
+    /// the frame must reach the wire at least once.
+    pub fn on_send_forced_encode(&mut self, datagram: Datagram, out: &mut Vec<u8>) {
+        let _ = self.send_encode_inner(datagram, out, true);
+    }
+
+    fn send_encode_inner(
+        &mut self,
+        datagram: Datagram,
+        out: &mut Vec<u8>,
+        force: bool,
+    ) -> std::result::Result<(), Datagram> {
+        let peer = datagram.dst;
+        if !force && !self.window_available(peer) {
+            return Err(datagram);
+        }
+        let ack = self.pending_ack(peer);
+        let tx = self.tx.entry(peer).or_default();
+        let seq = tx.next_seq;
+        tx.next_seq += 1;
+        encode_data_into(seq, ack, &datagram, out);
+        tx.unacked.push_back((seq, datagram));
+        Ok(())
     }
 
     fn pending_ack(&mut self, peer: NodeAddr) -> u64 {
@@ -276,12 +425,28 @@ impl ReliableTransport {
     }
 
     fn apply_ack(&mut self, peer: NodeAddr, ack: u64) {
+        let retired = &mut self.retired;
         if let Some(tx) = self.tx.get_mut(&peer) {
-            let before = tx.unacked.len();
-            tx.unacked.retain(|(seq, _)| *seq >= ack);
-            if tx.unacked.len() != before {
+            let mut progressed = false;
+            while tx.unacked.front().is_some_and(|&(seq, _)| seq < ack) {
+                let (_, datagram) = tx.unacked.pop_front().expect("front checked");
+                if retired.len() < RETIRED_CAP {
+                    retired.push(datagram.lines);
+                }
+                progressed = true;
+            }
+            if progressed {
                 tx.ticks_since_progress = 0;
             }
+        }
+    }
+
+    /// Hands the line vectors of ack-retired datagrams to `recycle`
+    /// (typically `BufPool::put_lines`), closing the buffer circulation
+    /// loop: stage → window → pool → stage.
+    pub fn drain_retired(&mut self, mut recycle: impl FnMut(Vec<CacheLine>)) {
+        for lines in self.retired.drain(..) {
+            recycle(lines);
         }
     }
 
@@ -340,23 +505,30 @@ impl ReliableTransport {
     /// retransmissions for peers whose timer expired.
     pub fn on_tick(&mut self) -> Vec<TransportFrame> {
         let mut out = Vec::new();
+        self.on_tick_with(|view| out.push(view.to_owned_frame()));
+        out
+    }
+
+    /// Allocation-free variant of [`ReliableTransport::on_tick`]: the same
+    /// timer logic, but each outgoing frame is handed to `emit` as a
+    /// borrowed [`FrameView`] so the engine can encode it straight into a
+    /// pooled buffer. In the (common) idle tick nothing is built at all.
+    pub fn on_tick_with(&mut self, mut emit: impl FnMut(FrameView<'_>)) {
         let local = self.local;
         // Standalone acks for quiet receive directions.
         for (&peer, rx) in self.rx.iter_mut() {
             if rx.ack_owed {
                 rx.ack_owed = false;
-                out.push(TransportFrame::Ack {
+                emit(FrameView::Ack {
                     ack: rx.expected,
                     src: local,
                     dst: peer,
                 });
             }
         }
-        // Retransmissions.
-        let mut acks: HashMap<NodeAddr, u64> = HashMap::new();
-        for (&peer, rx) in self.rx.iter() {
-            acks.insert(peer, rx.expected);
-        }
+        // Retransmissions; the peer's cumulative ack is read directly from
+        // the rx map (no per-tick scratch map).
+        let rx_map = &self.rx;
         for (&peer, tx) in self.tx.iter_mut() {
             if tx.unacked.is_empty() {
                 tx.ticks_since_progress = 0;
@@ -365,23 +537,45 @@ impl ReliableTransport {
             tx.ticks_since_progress += 1;
             if tx.ticks_since_progress >= self.cfg.retransmit_after_ticks {
                 tx.ticks_since_progress = 0;
-                for (seq, datagram) in &tx.unacked {
+                let ack = rx_map.get(&peer).map_or(0, |rx| rx.expected);
+                for &(seq, ref datagram) in &tx.unacked {
                     tx.retransmissions += 1;
                     self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
-                    out.push(TransportFrame::Data {
-                        seq: *seq,
-                        ack: acks.get(&peer).copied().unwrap_or(0),
-                        datagram: datagram.clone(),
-                    });
+                    emit(FrameView::Data { seq, ack, datagram });
                 }
             }
         }
-        out
+    }
+
+    /// Re-emits every unacknowledged datagram immediately, ignoring the
+    /// retransmit timer: the shutdown drain's "one last go-back-N pass", so
+    /// window-deferred datagrams flushed right after keep their ordering at
+    /// a live peer.
+    pub fn retransmit_unacked_with(&mut self, mut emit: impl FnMut(FrameView<'_>)) {
+        let rx_map = &self.rx;
+        for (&peer, tx) in self.tx.iter_mut() {
+            if tx.unacked.is_empty() {
+                continue;
+            }
+            tx.ticks_since_progress = 0;
+            let ack = rx_map.get(&peer).map_or(0, |rx| rx.expected);
+            for &(seq, ref datagram) in &tx.unacked {
+                tx.retransmissions += 1;
+                self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
+                emit(FrameView::Data { seq, ack, datagram });
+            }
+        }
     }
 
     /// `true` when every sent datagram has been acknowledged.
     pub fn fully_acked(&self) -> bool {
         self.tx.values().all(|t| t.unacked.is_empty())
+    }
+
+    /// `true` when ticks are currently pure timer noise: nothing unacked,
+    /// no ack owed, nothing retired. The engine may park only then.
+    pub fn is_idle(&self) -> bool {
+        self.fully_acked() && self.retired.is_empty() && self.rx.values().all(|r| !r.ack_owed)
     }
 
     /// Aggregated statistics.

@@ -20,6 +20,8 @@ use std::sync::Arc;
 
 use dagger_types::{CacheLine, DaggerError, Result};
 
+use crate::wait::EngineWaker;
+
 struct Slot {
     /// `true` when the slot holds a line written by the producer and not yet
     /// consumed.
@@ -86,6 +88,7 @@ pub fn ring(capacity: usize) -> (RingProducer, RingConsumer) {
             buf: Arc::clone(&buf),
             idx: 0,
             mask: capacity - 1,
+            waker: None,
         },
         RingConsumer {
             buf,
@@ -101,12 +104,20 @@ pub struct RingProducer {
     buf: Arc<RingBuffer>,
     idx: usize,
     mask: usize,
+    /// Woken on every successful push, so a consumer parked in the adaptive
+    /// backoff (the NIC engine) reacts to new lines immediately.
+    waker: Option<Arc<EngineWaker>>,
 }
 
 impl RingProducer {
     /// Ring capacity in cache lines.
     pub fn capacity(&self) -> usize {
         self.mask + 1
+    }
+
+    /// Registers the consumer-side waker tripped by each successful push.
+    pub fn set_waker(&mut self, waker: Arc<EngineWaker>) {
+        self.waker = Some(waker);
     }
 
     /// Attempts to append one cache line.
@@ -127,6 +138,9 @@ impl RingProducer {
         }
         slot.valid.store(true, Ordering::Release);
         self.idx = self.idx.wrapping_add(1);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
         Ok(())
     }
 

@@ -50,6 +50,22 @@ impl Datagram {
     /// Serializes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(DGRAM_HEADER + self.lines.len() * CACHE_LINE_BYTES);
+        self.append_to(&mut out);
+        out
+    }
+
+    /// Serializes into `out` (cleared first), reusing its allocation. The
+    /// pooled-buffer equivalent of [`Datagram::encode`]: byte-identical
+    /// output, zero heap traffic once `out` has capacity.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.reserve(DGRAM_HEADER + self.lines.len() * CACHE_LINE_BYTES);
+        self.append_to(out);
+    }
+
+    /// Appends the wire encoding to `out` without clearing it (used by the
+    /// reliable transport to build header + datagram in one buffer).
+    pub fn append_to(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&self.src.raw().to_le_bytes());
         out.extend_from_slice(&self.dst.raw().to_le_bytes());
@@ -57,7 +73,6 @@ impl Datagram {
         for line in &self.lines {
             out.extend_from_slice(line.as_bytes());
         }
-        out
     }
 
     /// Parses wire bytes back into a datagram.
@@ -67,6 +82,24 @@ impl Datagram {
     /// Returns [`DaggerError::Wire`] on bad magic, truncated input, or a
     /// length mismatch.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut lines = Vec::new();
+        let (src, dst) = Self::decode_lines_into(bytes, &mut lines)?;
+        Ok(Datagram { src, dst, lines })
+    }
+
+    /// Parses wire bytes, writing the frames into `lines` (cleared first)
+    /// so a pooled vector can absorb the decode instead of a fresh
+    /// allocation. Returns the `(src, dst)` addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Wire`] on bad magic, truncated input, or a
+    /// length mismatch; `lines` is left cleared in that case.
+    pub fn decode_lines_into(
+        bytes: &[u8],
+        lines: &mut Vec<CacheLine>,
+    ) -> Result<(NodeAddr, NodeAddr)> {
+        lines.clear();
         if bytes.len() < DGRAM_HEADER {
             return Err(DaggerError::Wire(format!(
                 "datagram too short: {} bytes",
@@ -89,14 +122,14 @@ impl Datagram {
                 bytes.len()
             )));
         }
-        let mut lines = Vec::with_capacity(count);
+        lines.reserve(count);
         for i in 0..count {
             let start = DGRAM_HEADER + i * CACHE_LINE_BYTES;
             let mut raw = [0u8; CACHE_LINE_BYTES];
             raw.copy_from_slice(&bytes[start..start + CACHE_LINE_BYTES]);
             lines.push(CacheLine::from_bytes(raw));
         }
-        Ok(Datagram { src, dst, lines })
+        Ok((src, dst))
     }
 }
 
@@ -202,6 +235,32 @@ mod tests {
             NodeAddr(2),
             sample_lines(MAX_LINES_PER_DATAGRAM + 1),
         );
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let d = Datagram::new(NodeAddr(7), NodeAddr(9), sample_lines(5));
+        let mut buf = vec![0xFFu8; 3]; // stale content must be discarded
+        d.encode_into(&mut buf);
+        assert_eq!(buf, d.encode());
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        d.encode_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "re-encode must not grow the buffer");
+        assert_eq!(buf.as_ptr(), ptr, "re-encode must not reallocate");
+    }
+
+    #[test]
+    fn decode_lines_into_reuses_vector() {
+        let d = Datagram::new(NodeAddr(7), NodeAddr(9), sample_lines(5));
+        let bytes = d.encode();
+        let mut lines = sample_lines(2); // stale content must be discarded
+        let (src, dst) = Datagram::decode_lines_into(&bytes, &mut lines).unwrap();
+        assert_eq!((src, dst), (d.src, d.dst));
+        assert_eq!(lines, d.lines);
+        // Errors leave the vector cleared, never with stale frames.
+        assert!(Datagram::decode_lines_into(&bytes[..3], &mut lines).is_err());
+        assert!(lines.is_empty());
     }
 
     #[test]

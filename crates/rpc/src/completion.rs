@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use dagger_nic::SpinWait;
 use dagger_telemetry::Counter;
 use dagger_types::{ConnectionId, DaggerError, Result, RpcId};
 
@@ -99,10 +100,14 @@ impl CompletionQueue {
         let deadline = Instant::now() + timeout;
         let mut seen = 0;
         let mut out = Vec::new();
+        let mut backoff = SpinWait::new();
         while seen < n {
             let before_callbacks = self.callbacks.lock().len();
             let batch = self.poll();
             let fired = before_callbacks - self.callbacks.lock().len();
+            if batch.len() + fired > 0 {
+                backoff.reset();
+            }
             seen += batch.len() + fired;
             out.extend(batch);
             if seen >= n {
@@ -111,7 +116,7 @@ impl CompletionQueue {
             if Instant::now() >= deadline {
                 return Err(DaggerError::Timeout);
             }
-            std::thread::yield_now();
+            backoff.wait();
         }
         Ok(out)
     }

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use dagger_nic::HostFlow;
-use dagger_nic::{RingConsumer, RingProducer};
+use dagger_nic::{RingConsumer, RingProducer, SpinWait};
 use dagger_telemetry::{RpcEvent, Telemetry};
 use dagger_types::{
     CacheLine, ConnectionId, DaggerError, FlowId, Result, RpcHeader, RpcId, RpcKind,
@@ -102,15 +102,19 @@ impl FlowEndpoint {
     pub fn send_frames(&self, frames: &[CacheLine], deadline: Instant) -> Result<()> {
         let mut tx = self.tx.lock();
         self.stamp_tx_enqueue(frames);
+        let mut backoff = SpinWait::new();
         for frame in frames {
             loop {
                 match tx.try_push(*frame) {
-                    Ok(()) => break,
+                    Ok(()) => {
+                        backoff.reset();
+                        break;
+                    }
                     Err(DaggerError::RingFull) => {
                         if Instant::now() >= deadline {
                             return Err(DaggerError::Timeout);
                         }
-                        std::thread::yield_now();
+                        backoff.wait();
                     }
                     Err(e) => return Err(e),
                 }
@@ -210,6 +214,7 @@ impl FlowEndpoint {
         timeout: Duration,
     ) -> Result<CompleteRpc> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = SpinWait::new();
         loop {
             self.poll_once();
             if let Some(rpc) = self.try_take(cid, rpc_id) {
@@ -218,7 +223,7 @@ impl FlowEndpoint {
             if Instant::now() >= deadline {
                 return Err(DaggerError::Timeout);
             }
-            std::thread::yield_now();
+            backoff.wait();
         }
     }
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Datapath perf smoke: runs the `datapath` bench (plus the `micro` and
+# `fig04_rpcsizes` benches) in quick mode and emits BENCH_datapath.json —
+# the machine-readable perf-trajectory point for this commit.
+#
+# Usage: scripts/bench.sh [--check]
+#
+#   --check   additionally compare the fresh numbers against the committed
+#             BENCH_datapath.json and fail if any latency metric regressed
+#             more than 2x or any throughput fell below half. The loose 2x
+#             bound absorbs shared-CI noise while still catching order-of-
+#             magnitude datapath regressions.
+#
+# Extra cargo flags (e.g. --offline) can be passed via CARGO_ARGS.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_datapath.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+CARGO_ARGS="${CARGO_ARGS:-}"
+CHECK=0
+[[ "${1:-}" == "--check" ]] && CHECK=1
+
+# Snapshot the committed baseline before we overwrite it.
+BASELINE=""
+if [[ $CHECK -eq 1 ]]; then
+  if [[ -f "$OUT" ]]; then
+    BASELINE="$(mktemp)"
+    cp "$OUT" "$BASELINE"
+  else
+    echo "bench.sh: --check requested but no committed $OUT baseline" >&2
+    exit 1
+  fi
+fi
+
+echo "== datapath bench (quick mode) =="
+# shellcheck disable=SC2086  # CARGO_ARGS is intentionally word-split
+DAGGER_BENCH_QUICK=1 cargo bench -q $CARGO_ARGS -p dagger-bench --bench datapath \
+  | tee "$RAW"
+
+echo
+echo "== micro bench (quick smoke) =="
+DAGGER_BENCH_QUICK=1 cargo bench -q $CARGO_ARGS -p dagger-bench --bench micro || true
+
+echo
+echo "== fig04_rpcsizes bench =="
+DAGGER_BENCH_QUICK=1 cargo bench -q $CARGO_ARGS -p dagger-bench --bench fig04_rpcsizes
+
+# Fold the datapath key=value lines into flat JSON (one metric per line so
+# the file stays grep- and diff-friendly; no jq dependency).
+awk -F= '
+  /^[a-z_0-9]+=[0-9]+$/ {
+    if (!($1 in metrics)) order[++n] = $1
+    metrics[$1] = $2
+  }
+  END {
+    printf "{\n  \"bench\": \"datapath\",\n  \"mode\": \"quick\",\n  \"metrics\": {\n"
+    for (i = 1; i <= n; i++)
+      printf "    \"%s\": %s%s\n", order[i], metrics[order[i]], (i < n ? "," : "")
+    printf "  }\n}\n"
+  }' "$RAW" > "$OUT"
+echo "wrote $OUT"
+
+if [[ $CHECK -eq 1 ]]; then
+  echo "== regression check vs committed baseline =="
+  paste \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$BASELINE" | tr -d '":,') \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$OUT" | tr -d '":,') |
+  awk '
+    $1 != $3 { printf "bench.sh: metric mismatch %s vs %s\n", $1, $3; bad = 1 }
+    # Latencies (ns): fail when the fresh number is more than 2x the baseline.
+    $1 ~ /_ns$/ && $4 > 2 * $2 {
+      printf "REGRESSION %s: %d ns -> %d ns (>2x)\n", $1, $2, $4; bad = 1
+    }
+    # Throughputs (rps): fail when the fresh number fell below half.
+    $1 ~ /_rps$/ && 2 * $4 < $2 {
+      printf "REGRESSION %s: %d rps -> %d rps (<0.5x)\n", $1, $2, $4; bad = 1
+    }
+    END { exit bad }
+  '
+  rm -f "$BASELINE"
+  echo "perf check OK"
+fi

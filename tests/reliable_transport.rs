@@ -203,6 +203,111 @@ fn partitioned_peer_times_out_on_sync_and_async_paths() {
 }
 
 #[test]
+fn shutdown_flushes_window_deferred_datagrams() {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::time::Instant;
+
+    struct CountingEcho(Arc<AtomicU32>);
+    impl LossyHandler for CountingEcho {
+        fn probe(&self, request: Probe) -> Result<Probe> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            Ok(request)
+        }
+    }
+
+    let fabric = MemFabric::new();
+    // The forced shutdown flush dumps the whole backlog at once with no
+    // live sender left to repair receiver-side drops, so the server gets a
+    // deep RX ring that absorbs the entire burst.
+    let server_cfg = HardConfig::builder()
+        .reliable(true)
+        .rx_ring_capacity(4096)
+        .build()
+        .unwrap();
+    let server_nic = Nic::start(&fabric, NodeAddr(1), server_cfg).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let served = Arc::new(AtomicU32::new(0));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(LossyDispatch::new(CountingEcho(Arc::clone(
+            &served,
+        )))))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    let client = LossyClient::new(Arc::clone(&raw));
+
+    // Healthy warm-up call so the connection is fully established.
+    assert_eq!(
+        client
+            .probe(&Probe {
+                seq: 0,
+                blob: vec![]
+            })
+            .unwrap()
+            .seq,
+        0
+    );
+
+    // Cut the link: acks stop, so the Go-Back-N window fills and the engine
+    // starts deferring datagrams to `pending_out`.
+    fabric.partition(NodeAddr(1), NodeAddr(2));
+    const CALLS: u32 = 12;
+    let mut pending = Vec::new();
+    for seq in 1..=CALLS {
+        pending.push(
+            client
+                .probe_async(&Probe {
+                    seq,
+                    blob: vec![seq as u8; 4096],
+                })
+                .expect("async issue writes the TX ring even when partitioned"),
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client_nic.monitor().snapshot().tx_window_deferrals == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "window never filled: no TX deferrals recorded"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Heal and shut the client NIC down immediately — before ack round-trips
+    // can reopen the window, and before dropping the client (whose Drop
+    // closes the connection, which would void the frames still queued in
+    // the TX ring). The engine's stop path must fetch those frames,
+    // retransmit the unacked window, and then flush the deferred datagrams
+    // onto the wire; the old stop path silently dropped `pending_out`.
+    fabric.heal(NodeAddr(1), NodeAddr(2));
+    client_nic.shutdown();
+    drop(pending);
+    drop(client);
+    drop(raw);
+    drop(pool);
+
+    // Every probe (warm-up + all deferred calls) reaches the server even
+    // though the client engine is gone.
+    let total = 1 + CALLS;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while served.load(Ordering::SeqCst) < total {
+        assert!(
+            Instant::now() < deadline,
+            "server saw only {}/{} probes after client shutdown; server monitor: {:?}",
+            served.load(Ordering::SeqCst),
+            total,
+            server_nic.monitor().snapshot()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.stop();
+    server_nic.shutdown();
+}
+
+#[test]
 fn reliable_mode_is_transparent_without_loss() {
     let fabric = MemFabric::new();
     let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
