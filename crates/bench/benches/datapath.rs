@@ -102,6 +102,7 @@ fn bench_encode() {
                 ack: u64::MAX,
                 src: NodeAddr(2),
                 dst: NodeAddr(1),
+                src_queue: 0,
             }
             .encode(),
         );
@@ -131,6 +132,7 @@ fn pooled_encode_hook(iters: u64, dgram: &Datagram) {
         ack: u64::MAX,
         src: NodeAddr(2),
         dst: NodeAddr(1),
+        src_queue: 0,
     }
     .encode();
     let mut out = Vec::new();

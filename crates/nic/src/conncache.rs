@@ -45,11 +45,21 @@ impl Hasher for U32IdentityHasher {
         // low bucket bits after HashMap's power-of-two masking.
         self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     }
+
+    fn write_u64(&mut self, v: u64) {
+        // Same multiplicative spread for u64 keys (the engine's
+        // destination-and-queue staging index packs `addr << 16 | queue`).
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
 }
 
 /// A `u32`-keyed map using the identity hasher; shared with the engine's
 /// per-destination staging index, which has the same key profile.
 pub type U32Map<V> = HashMap<u32, V, BuildHasherDefault<U32IdentityHasher>>;
+
+/// A `u64`-keyed map using the identity hasher, for keys that pack two
+/// small well-mixed values (destination address and queue).
+pub type U64Map<V> = HashMap<u64, V, BuildHasherDefault<U32IdentityHasher>>;
 
 type IdMap<V> = U32Map<V>;
 

@@ -266,6 +266,10 @@ impl FaultStats {
 #[derive(Debug)]
 struct HeldFrame {
     dst: NodeAddr,
+    /// Destination engine queue at `dst` (chosen by the sender's route
+    /// decision; release re-delivers to the same queue so holds never
+    /// break a flow's queue affinity).
+    queue: u16,
     bytes: Vec<u8>,
     due: u64,
 }
@@ -337,12 +341,15 @@ impl FaultState {
     }
 }
 
-/// A switch-table entry: the port's queue and, once the owning engine
-/// registers one, the waker that pulls it out of its idle park.
+/// A switch-table entry: one receive queue per engine queue of the attached
+/// NIC (RSS-style), per-queue wakers registered by the owning workers, and
+/// an optional live handle onto the NIC's soft-register active-queue mask
+/// consulted by [`MemFabric::route`].
 #[derive(Debug)]
 struct PortEntry {
-    queue: Arc<PortQueue>,
-    waker: Option<Arc<EngineWaker>>,
+    queues: Vec<Arc<PortQueue>>,
+    wakers: Vec<Option<Arc<EngineWaker>>>,
+    active_mask: Option<Arc<AtomicU64>>,
 }
 
 #[derive(Debug, Default)]
@@ -478,40 +485,127 @@ impl MemFabric {
         });
     }
 
-    /// Attaches a NIC under `addr` and returns its port.
+    /// Attaches a single-queue NIC under `addr` and returns its port.
     ///
     /// # Errors
     ///
     /// Returns [`DaggerError::Fabric`] if the address is already attached.
     pub fn attach(&self, addr: NodeAddr) -> Result<FabricPort> {
+        let mut ports = self.attach_queues(addr, 1)?;
+        Ok(ports.pop().expect("attach_queues(_, 1) returns one port"))
+    }
+
+    /// Attaches a NIC with `num_queues` engine queues under `addr` and
+    /// returns one [`FabricPort`] per queue (index `i` receives traffic
+    /// routed to queue `i`). The address detaches when the last of the
+    /// returned ports drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if the address is already attached.
+    pub fn attach_queues(&self, addr: NodeAddr, num_queues: usize) -> Result<Vec<FabricPort>> {
+        let n = num_queues.max(1);
         let mut table = self.table.write();
         if table.ports.contains_key(&addr) {
             return Err(DaggerError::Fabric(format!(
                 "address {addr} already attached"
             )));
         }
-        let queue = Arc::new(PortQueue::new());
+        let queues: Vec<_> = (0..n).map(|_| Arc::new(PortQueue::new())).collect();
         table.ports.insert(
             addr,
             PortEntry {
-                queue: Arc::clone(&queue),
-                waker: None,
+                queues: queues.clone(),
+                wakers: vec![None; n],
+                active_mask: None,
             },
         );
-        Ok(FabricPort {
+        let guard = Arc::new(PortGuard {
             addr,
             fabric: self.clone(),
-            rx: queue,
-        })
+        });
+        Ok(queues
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| FabricPort {
+                addr,
+                queue: i as u16,
+                fabric: self.clone(),
+                rx,
+                _guard: Arc::clone(&guard),
+            })
+            .collect())
     }
 
-    /// Registers the waker that frame delivery to `addr` should trip, so a
-    /// parked engine wakes as soon as traffic arrives. No-op for unknown
-    /// addresses.
+    /// Registers the waker that frame delivery to `addr`'s queue 0 should
+    /// trip, so a parked engine wakes as soon as traffic arrives. No-op for
+    /// unknown addresses.
     pub fn set_waker(&self, addr: NodeAddr, waker: Arc<EngineWaker>) {
+        self.set_queue_waker(addr, 0, waker);
+    }
+
+    /// Registers the waker for one engine queue of `addr`. No-op for
+    /// unknown addresses or out-of-range queues.
+    pub fn set_queue_waker(&self, addr: NodeAddr, queue: u16, waker: Arc<EngineWaker>) {
         if let Some(entry) = self.table.write().ports.get_mut(&addr) {
-            entry.waker = Some(waker);
+            if let Some(slot) = entry.wakers.get_mut(queue as usize) {
+                *slot = Some(waker);
+            }
         }
+    }
+
+    /// Hands the fabric a live handle onto `addr`'s soft-register
+    /// active-queue mask; [`MemFabric::route`] consults it for every new
+    /// route decision toward `addr`. No-op for unknown addresses.
+    pub fn set_queue_mask(&self, addr: NodeAddr, mask: Arc<AtomicU64>) {
+        if let Some(entry) = self.table.write().ports.get_mut(&addr) {
+            entry.active_mask = Some(mask);
+        }
+    }
+
+    /// Number of engine queues `addr` attached with (0 if unknown).
+    pub fn queue_count(&self, addr: NodeAddr) -> usize {
+        self.table
+            .read()
+            .ports
+            .get(&addr)
+            .map_or(0, |e| e.queues.len())
+    }
+
+    /// RSS route decision: which of `dst`'s engine queues should traffic
+    /// tagged `tag` (typically a connection hash) land on?
+    ///
+    /// Deterministic: the same `(dst queue count, active mask, tag)` always
+    /// yields the same queue, so a connection's frames stay queue-affine.
+    /// The active mask gates only *new* decisions — bits beyond the queue
+    /// count are ignored, and a mask selecting no queue falls back to "all
+    /// active" so traffic is never stranded. Unknown destinations route
+    /// to 0 (the send will fail with the switch-table error anyway).
+    pub fn route(&self, dst: NodeAddr, tag: u64) -> u16 {
+        let table = self.table.read();
+        let Some(entry) = table.ports.get(&dst) else {
+            return 0;
+        };
+        let n = entry.queues.len();
+        if n <= 1 {
+            return 0;
+        }
+        let all = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut mask = entry
+            .active_mask
+            .as_ref()
+            .map_or(0, |m| m.load(Ordering::Relaxed))
+            & all;
+        if mask == 0 {
+            mask = all;
+        }
+        // Pick the k-th set bit of the mask, k = tag mod popcount.
+        let k = tag % u64::from(mask.count_ones());
+        let mut m = mask;
+        for _ in 0..k {
+            m &= m - 1;
+        }
+        m.trailing_zeros() as u16
     }
 
     /// Detaches `addr`; queued datagrams for it are discarded.
@@ -524,14 +618,17 @@ impl MemFabric {
         self.table.read().ports.len()
     }
 
-    /// Delivers `bytes` into `dst`'s port queue (no fault processing) and
-    /// wakes the owning engine if it registered a waker.
-    fn deliver(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
+    /// Delivers `bytes` into `dst`'s per-queue port queue (no fault
+    /// processing) and wakes the owning engine worker if it registered a
+    /// waker. A queue index beyond the destination's count folds onto an
+    /// existing queue rather than losing the frame.
+    fn deliver(&self, dst: NodeAddr, queue: u16, bytes: Vec<u8>) -> Result<()> {
         let table = self.table.read();
         match table.ports.get(&dst) {
             Some(entry) => {
-                entry.queue.push(bytes);
-                if let Some(waker) = &entry.waker {
+                let qi = (queue as usize) % entry.queues.len();
+                entry.queues[qi].push(bytes);
+                if let Some(Some(waker)) = entry.wakers.get(qi) {
                     waker.wake();
                 }
                 Ok(())
@@ -549,7 +646,7 @@ impl MemFabric {
         self.held_count
             .fetch_sub(due.len() as u64, Ordering::Relaxed);
         for frame in due {
-            let _ = self.deliver(frame.dst, frame.bytes);
+            let _ = self.deliver(frame.dst, frame.queue, frame.bytes);
         }
     }
 
@@ -565,7 +662,14 @@ impl MemFabric {
         self.release_due(&mut state);
     }
 
-    fn forward(&self, src: NodeAddr, dst: NodeAddr, mut bytes: Vec<u8>) -> Result<()> {
+    /// Forwards one frame from `src` toward `dst`'s engine queue `queue`.
+    ///
+    /// The fault pipeline is queue-oblivious: decisions come from the
+    /// per-directed-link `(src, dst)` stream exactly as before (the queue
+    /// index consumes no randomness, so single-queue fault schedules replay
+    /// identically under sharding), and every delivery — immediate,
+    /// duplicate, or held-and-released — lands on the chosen queue.
+    fn forward(&self, src: NodeAddr, dst: NodeAddr, queue: u16, mut bytes: Vec<u8>) -> Result<()> {
         // Fast path: no faults installed, nothing held, no partitions.
         let mut state = self.faults.lock();
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -579,7 +683,7 @@ impl MemFabric {
         let Some(plan) = state.plan_for(src, dst).filter(FaultPlan::is_active) else {
             self.release_due(&mut state);
             drop(state);
-            return self.deliver(dst, bytes);
+            return self.deliver(dst, queue, bytes);
         };
 
         // Draw this frame's fate from the link's deterministic stream.
@@ -626,31 +730,55 @@ impl MemFabric {
 
         if hold_events > 0 {
             let due = state.event + hold_events;
-            state.held.push(HeldFrame { dst, bytes, due });
+            state.held.push(HeldFrame {
+                dst,
+                queue,
+                bytes,
+                due,
+            });
             self.held_count.fetch_add(1, Ordering::Relaxed);
             self.release_due(&mut state);
             drop(state);
             match dup {
-                Some(copy) => self.deliver(dst, copy),
+                Some(copy) => self.deliver(dst, queue, copy),
                 None => Ok(()),
             }
         } else {
             self.release_due(&mut state);
             drop(state);
             if let Some(copy) = dup {
-                let _ = self.deliver(dst, copy);
+                let _ = self.deliver(dst, queue, copy);
             }
-            self.deliver(dst, bytes)
+            self.deliver(dst, queue, bytes)
         }
     }
 }
 
-/// One NIC's attachment point on the fabric.
+/// Detaches the address when the last port of a multi-queue attachment
+/// drops (all ports of one `attach_queues` call share one guard).
+#[derive(Debug)]
+struct PortGuard {
+    addr: NodeAddr,
+    fabric: MemFabric,
+}
+
+impl Drop for PortGuard {
+    fn drop(&mut self) {
+        self.fabric.detach(self.addr);
+    }
+}
+
+/// One engine queue's attachment point on the fabric. A single-queue NIC
+/// has exactly one ([`MemFabric::attach`]); a sharded NIC holds one per
+/// worker ([`MemFabric::attach_queues`]), each receiving only the traffic
+/// routed to its queue index.
 #[derive(Debug)]
 pub struct FabricPort {
     addr: NodeAddr,
+    queue: u16,
     fabric: MemFabric,
     rx: Arc<PortQueue>,
+    _guard: Arc<PortGuard>,
 }
 
 impl FabricPort {
@@ -659,26 +787,42 @@ impl FabricPort {
         self.addr
     }
 
-    /// Sends encoded datagram bytes to `dst` through the switch.
+    /// The engine queue index this port receives for.
+    pub fn queue(&self) -> u16 {
+        self.queue
+    }
+
+    /// Sends encoded datagram bytes to `dst`'s queue 0 through the switch.
     ///
     /// # Errors
     ///
     /// Returns [`DaggerError::Fabric`] if `dst` is not in the switching
     /// table.
     pub fn send(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
-        self.fabric.forward(self.addr, dst, bytes)
+        self.send_to(dst, 0, bytes)
     }
 
-    /// Receives the next queued datagram, if any.
+    /// Sends encoded datagram bytes to a specific engine queue of `dst`
+    /// (normally one chosen by [`FabricPort::route`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if `dst` is not in the switching
+    /// table.
+    pub fn send_to(&self, dst: NodeAddr, dst_queue: u16, bytes: Vec<u8>) -> Result<()> {
+        self.fabric.forward(self.addr, dst, dst_queue, bytes)
+    }
+
+    /// RSS route decision toward `dst` for traffic tagged `tag`; see
+    /// [`MemFabric::route`].
+    pub fn route(&self, dst: NodeAddr, tag: u64) -> u16 {
+        self.fabric.route(dst, tag)
+    }
+
+    /// Receives the next datagram queued for this port's queue, if any.
     pub fn try_recv(&self) -> Option<Vec<u8>> {
         self.fabric.poll_released();
         self.rx.pop()
-    }
-}
-
-impl Drop for FabricPort {
-    fn drop(&mut self) {
-        self.fabric.detach(self.addr);
     }
 }
 
@@ -981,6 +1125,90 @@ mod tests {
             Some(stats.corrupted)
         );
         assert!(stats.total_injected() > 0);
+    }
+
+    #[test]
+    fn multi_queue_delivery_is_queue_addressed() {
+        let fabric = MemFabric::new();
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let ports = fabric.attach_queues(NodeAddr(2), 4).unwrap();
+        assert_eq!(fabric.queue_count(NodeAddr(2)), 4);
+        assert_eq!(fabric.queue_count(NodeAddr(9)), 0);
+        for q in 0..4u16 {
+            a.send_to(NodeAddr(2), q, vec![q as u8]).unwrap();
+        }
+        for (q, port) in ports.iter().enumerate() {
+            assert_eq!(port.queue(), q as u16);
+            assert_eq!(port.try_recv(), Some(vec![q as u8]), "queue {q} owns it");
+            assert_eq!(port.try_recv(), None, "no cross-queue leakage");
+        }
+        // Out-of-range queue folds onto an existing one, never lost.
+        a.send_to(NodeAddr(2), 7, vec![42]).unwrap();
+        assert_eq!(ports[3].try_recv(), Some(vec![42]), "7 % 4 = 3");
+    }
+
+    #[test]
+    fn detach_waits_for_last_queue_port() {
+        let fabric = MemFabric::new();
+        let mut ports = fabric.attach_queues(NodeAddr(1), 2).unwrap();
+        assert_eq!(fabric.ports(), 1);
+        drop(ports.pop());
+        assert_eq!(fabric.ports(), 1, "one port still alive");
+        drop(ports);
+        assert_eq!(fabric.ports(), 0, "last port detaches the address");
+    }
+
+    #[test]
+    fn route_is_deterministic_and_mask_gated() {
+        let fabric = MemFabric::new();
+        let _ports = fabric.attach_queues(NodeAddr(2), 4).unwrap();
+        // Deterministic and within range.
+        for tag in 0..256u64 {
+            let q = fabric.route(NodeAddr(2), tag);
+            assert!(q < 4);
+            assert_eq!(q, fabric.route(NodeAddr(2), tag), "same tag, same queue");
+        }
+        // All four queues reachable without a mask.
+        let hit: std::collections::HashSet<u16> =
+            (0..64u64).map(|t| fabric.route(NodeAddr(2), t)).collect();
+        assert_eq!(hit.len(), 4);
+        // A mask restricts new decisions to its set bits.
+        let mask = Arc::new(AtomicU64::new(0b0101));
+        fabric.set_queue_mask(NodeAddr(2), Arc::clone(&mask));
+        for tag in 0..64u64 {
+            let q = fabric.route(NodeAddr(2), tag);
+            assert!(q == 0 || q == 2, "masked to queues 0/2, got {q}");
+        }
+        // An all-zero (or out-of-range) mask falls back to all-active.
+        mask.store(0, Ordering::Relaxed);
+        let hit: std::collections::HashSet<u16> =
+            (0..64u64).map(|t| fabric.route(NodeAddr(2), t)).collect();
+        assert_eq!(hit.len(), 4, "zero mask = all queues");
+        mask.store(0xF0, Ordering::Relaxed); // only bits beyond queue count
+        let hit: std::collections::HashSet<u16> =
+            (0..64u64).map(|t| fabric.route(NodeAddr(2), t)).collect();
+        assert_eq!(hit.len(), 4, "mask without in-range bits = all queues");
+        // Single-queue and unknown destinations always route to 0.
+        let _a = fabric.attach(NodeAddr(1)).unwrap();
+        assert_eq!(fabric.route(NodeAddr(1), 12345), 0);
+        assert_eq!(fabric.route(NodeAddr(99), 12345), 0);
+    }
+
+    #[test]
+    fn held_frames_release_to_their_routed_queue() {
+        let fabric = MemFabric::with_faults(FaultPlan::seeded(5).with_delay(1.0, 8));
+        let a = fabric.attach(NodeAddr(1)).unwrap();
+        let ports = fabric.attach_queues(NodeAddr(2), 2).unwrap();
+        a.send_to(NodeAddr(2), 1, vec![7]).unwrap();
+        let mut got = None;
+        for _ in 0..64 {
+            assert_eq!(ports[0].try_recv(), None, "queue 0 never sees it");
+            if let Some(bytes) = ports[1].try_recv() {
+                got = Some(bytes);
+                break;
+            }
+        }
+        assert_eq!(got, Some(vec![7]), "delayed frame kept its queue");
     }
 
     #[test]

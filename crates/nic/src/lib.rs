@@ -31,7 +31,10 @@
 //!   generation-stamped invalidation (§4.4.1);
 //! * [`wait`] — the adaptive spin → yield → park backoff and the engine
 //!   wakeup latch;
-//! * [`engine`] — the NIC engine thread tying the RX/TX FSMs together;
+//! * [`xfer`] — cross-queue SPSC handoff rings moving steered frames from
+//!   the receiving engine worker to the flow-owning one;
+//! * [`engine`] — the NIC engine workers tying the RX/TX FSMs together,
+//!   sharded RSS-style across `num_queues` threads;
 //! * [`nic`] — the assembled, virtualizable [`nic::Nic`].
 //!
 //! The NIC is *functional*: it moves real bytes between real threads with
@@ -56,13 +59,14 @@ pub mod sched;
 pub mod softreg;
 pub mod transport;
 pub mod wait;
+pub mod xfer;
 
 pub use bufpool::{BufPool, BufPoolStats};
 pub use conncache::{ConnCacheStats, ConnTupleCache};
 pub use connmgr::{ConnectionManager, ConnectionTuple};
 pub use fabric::{FabricPort, FaultPlan, FaultSnapshot, FaultStats, MemFabric};
-pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor};
-pub use nic::{HostFlow, Nic};
+pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor, QueueSnapshot, QueueStats};
+pub use nic::{queue_of_flow, HostFlow, Nic};
 pub use ring::{ring, RingConsumer, RingProducer};
 pub use softreg::SoftRegisterFile;
 pub use wait::{EngineWaker, SpinWait};

@@ -78,6 +78,82 @@ pub struct MonitorSnapshot {
     pub tx_window_deferrals: u64,
 }
 
+/// Per-engine-queue counter bank for a sharded NIC: one instance per
+/// worker thread, updated only by that worker (no cross-queue contention)
+/// and exported as `nic.<addr>.q<i>.*` telemetry gauges. The aggregate
+/// [`PacketMonitor`] stays the single source of truth for whole-NIC
+/// counts; these break the datapath down per queue.
+#[derive(Debug, Default)]
+pub struct QueueStats {
+    tx_frames: AtomicU64,
+    rx_frames: AtomicU64,
+    tx_datagrams: AtomicU64,
+    rx_datagrams: AtomicU64,
+    handoff_out: AtomicU64,
+    handoff_in: AtomicU64,
+}
+
+/// A plain-data snapshot of one engine queue's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Frames this worker pulled from its TX rings.
+    pub tx_frames: u64,
+    /// Frames this worker received off its fabric port queue.
+    pub rx_frames: u64,
+    /// Datagrams this worker shipped.
+    pub tx_datagrams: u64,
+    /// Datagrams this worker received.
+    pub rx_datagrams: u64,
+    /// Steered frames handed to another worker's flow.
+    pub handoff_out: u64,
+    /// Steered frames accepted from other workers.
+    pub handoff_in: u64,
+}
+
+impl QueueStats {
+    /// Counts `n` frames pulled from this queue's TX rings.
+    pub fn add_tx_frames(&self, n: u64) {
+        self.tx_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` frames received off this queue's fabric port.
+    pub fn add_rx_frames(&self, n: u64) {
+        self.rx_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one datagram shipped by this queue.
+    pub fn inc_tx_datagrams(&self) {
+        self.tx_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one datagram received by this queue.
+    pub fn inc_rx_datagrams(&self) {
+        self.rx_datagrams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one frame handed off to another worker.
+    pub fn inc_handoff_out(&self) {
+        self.handoff_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one frame accepted from another worker.
+    pub fn inc_handoff_in(&self) {
+        self.handoff_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads all of this queue's counters at once.
+    pub fn snapshot(&self) -> QueueSnapshot {
+        QueueSnapshot {
+            tx_frames: self.tx_frames.load(Ordering::Relaxed),
+            rx_frames: self.rx_frames.load(Ordering::Relaxed),
+            tx_datagrams: self.tx_datagrams.load(Ordering::Relaxed),
+            rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
+            handoff_out: self.handoff_out.load(Ordering::Relaxed),
+            handoff_in: self.handoff_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
 impl PacketMonitor {
     /// Creates a zeroed monitor with no per-flow bank.
     pub fn new() -> Self {
@@ -356,6 +432,28 @@ mod tests {
         plain.add_flow_tx_frames(9, 1);
         assert_eq!(plain.flow_snapshot(9), None);
         assert!(plain.flow_snapshots().is_empty());
+    }
+
+    #[test]
+    fn queue_stats_accumulate_independently() {
+        let q0 = QueueStats::default();
+        let q1 = QueueStats::default();
+        q0.add_tx_frames(3);
+        q0.inc_tx_datagrams();
+        q0.inc_handoff_out();
+        q1.add_rx_frames(2);
+        q1.inc_rx_datagrams();
+        q1.inc_handoff_in();
+        let s0 = q0.snapshot();
+        let s1 = q1.snapshot();
+        assert_eq!(s0.tx_frames, 3);
+        assert_eq!(s0.tx_datagrams, 1);
+        assert_eq!(s0.handoff_out, 1);
+        assert_eq!(s0.rx_frames, 0);
+        assert_eq!(s1.rx_frames, 2);
+        assert_eq!(s1.rx_datagrams, 1);
+        assert_eq!(s1.handoff_in, 1);
+        assert_eq!(s1.tx_frames, 0);
     }
 
     #[test]

@@ -1,8 +1,18 @@
 //! The assembled Dagger NIC.
 //!
 //! [`Nic::start`] attaches a NIC to a [`MemFabric`] under a [`NodeAddr`],
-//! provisions the per-flow TX/RX cache-line rings (Fig. 7), and spawns the
-//! engine thread. Host threads claim flows with [`Nic::take_flow`] — each
+//! provisions the per-flow TX/RX cache-line rings (Fig. 7), and spawns
+//! `num_queues` engine worker threads (the multi-queue scaling knob of
+//! Fig. 11). Flows are partitioned contiguously across workers by
+//! [`queue_of_flow`]; each worker polls only its own flows' TX rings and
+//! writes only its own flows' RX rings, receives on its own fabric port
+//! queue, and hands frames steered to a foreign flow to the owning worker
+//! over an SPSC [`crate::xfer`] ring. The soft register file's
+//! active-queue mask gates *new* RSS routing decisions at runtime without
+//! re-synthesis.
+//!
+//! Host threads claim flows with [`Nic::take_flow`] (or
+//! [`Nic::take_flow_on_queue`] to pin work to one engine worker) — each
 //! [`HostFlow`] is the 1-to-1 ring pair backing one `RpcClient` or one
 //! server dispatch thread — and manage connections with
 //! [`Nic::open_connection`] / [`Nic::close_connection`], which register the
@@ -12,10 +22,13 @@
 //! Multiple NICs can share one `MemFabric` *and* one
 //! [`CcipArbiter`](crate::arbiter::CcipArbiter) — that is the NIC
 //! virtualization of Fig. 14: each tenant gets a "virtual but physical" NIC
-//! with its own rings, connection cache, and soft registers.
+//! with its own rings, connection cache, and soft registers. Virtualized
+//! NICs are single-queue: the arbiter models one physical CCI-P bus
+//! interface, so `num_queues > 1` under an arbiter slot is a configuration
+//! error.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,7 +48,7 @@ use crate::fabric::{FabricPort, MemFabric};
 use crate::flow::FlowFifos;
 use crate::hcc::HostCoherentCache;
 use crate::lb::LoadBalancer;
-use crate::monitor::PacketMonitor;
+use crate::monitor::{PacketMonitor, QueueStats};
 use crate::reliable::{ReliableConfig, ReliableTransport};
 use crate::reqbuf::RequestBuffer;
 use crate::ring::{ring, RingConsumer, RingProducer};
@@ -43,10 +56,28 @@ use crate::sched::FlowScheduler;
 use crate::softreg::SoftRegisterFile;
 use crate::transport::Datagram;
 use crate::wait::{EngineWaker, SpinWait};
+use crate::xfer::{xfer_ring, XferConsumer, XferProducer};
 
 /// Scheduler partial-batch timeout in engine ticks; small enough that
 /// latency in functional mode is not batch-bound.
 const SCHED_TIMEOUT_TICKS: u64 = 8;
+
+/// Capacity of each cross-queue handoff ring (entries). Deep enough that
+/// the receiving worker only falls back to its backlog under sustained
+/// imbalance; shallow enough to bound stranded frames at shutdown.
+const XFER_RING_CAPACITY: usize = 1024;
+
+/// The engine worker owning `flow`: flows are partitioned contiguously,
+/// `num_flows / num_queues` apiece (the first `num_flows % num_queues`
+/// partitions absorb the remainder). The mapping is total — every valid
+/// flow has exactly one owner — and monotone, so a worker's flows are one
+/// contiguous range.
+pub fn queue_of_flow(flow: usize, num_flows: usize, num_queues: usize) -> usize {
+    if num_flows == 0 || num_queues <= 1 {
+        return 0;
+    }
+    (flow.min(num_flows - 1) * num_queues) / num_flows
+}
 
 /// One hardware flow's host-side endpoints: the TX ring the host writes
 /// RPC frames into and the RX ring it polls for deliveries.
@@ -65,20 +96,24 @@ pub struct Nic {
     addr: NodeAddr,
     cfg: HardConfig,
     /// Kept to pin the fabric attachment for the NIC's lifetime (the
-    /// engine holds its own clone).
-    _port: Arc<FabricPort>,
+    /// engine workers hold their own clones).
+    _ports: Vec<Arc<FabricPort>>,
     softregs: Arc<SoftRegisterFile>,
     monitor: Arc<PacketMonitor>,
     conn_mgr: Arc<Mutex<ConnectionManager>>,
     unclaimed: Mutex<Vec<HostFlow>>,
     next_conn: AtomicU32,
     stop: Arc<AtomicBool>,
-    engine: Mutex<Option<JoinHandle<()>>>,
+    engines: Mutex<Vec<JoinHandle<()>>>,
     ctrl_tx: Sender<(NodeAddr, Datagram)>,
     confirmed: Arc<Mutex<HashSet<u32>>>,
     telemetry: Arc<Telemetry>,
-    /// Wakes the engine out of its idle park (control sends, shutdown).
-    waker: Arc<EngineWaker>,
+    /// Per-worker wakeup latches (control sends and shutdown kick all of
+    /// them; the control channel is shared, so any worker may be the one
+    /// that must notice).
+    wakers: Vec<Arc<EngineWaker>>,
+    /// Per-worker counter banks, exported as `nic.<addr>.q<i>.*`.
+    qstats: Vec<Arc<QueueStats>>,
 }
 
 impl std::fmt::Debug for Nic {
@@ -86,6 +121,7 @@ impl std::fmt::Debug for Nic {
         f.debug_struct("Nic")
             .field("addr", &self.addr)
             .field("flows", &self.cfg.num_flows)
+            .field("queues", &self.cfg.num_queues)
             .field("iface", &self.cfg.iface)
             .finish()
     }
@@ -126,8 +162,8 @@ impl Nic {
     ///
     /// # Errors
     ///
-    /// Returns an error if the configuration is invalid or the address is
-    /// already attached.
+    /// Returns an error if the configuration is invalid (virtualized NICs
+    /// must be single-queue) or the address is already attached.
     pub fn start_virtual(
         fabric: &MemFabric,
         addr: NodeAddr,
@@ -137,59 +173,153 @@ impl Nic {
         Self::start_inner(fabric, addr, cfg, Some(slot), Telemetry::new())
     }
 
+    #[allow(clippy::too_many_lines)]
     fn start_inner(
         fabric: &MemFabric,
         addr: NodeAddr,
         cfg: HardConfig,
-        arbiter: Option<ArbiterSlot>,
+        mut arbiter: Option<ArbiterSlot>,
         telemetry: Arc<Telemetry>,
     ) -> Result<Arc<Nic>> {
         cfg.validate()?;
-        let port = Arc::new(fabric.attach(addr)?);
+        if arbiter.is_some() && cfg.num_queues > 1 {
+            return Err(DaggerError::Config(
+                "NIC virtualization requires num_queues = 1 (the arbiter \
+                 models one physical CCI-P bus interface)"
+                    .to_string(),
+            ));
+        }
+        let nq = cfg.num_queues;
+        let ports: Vec<Arc<FabricPort>> = fabric
+            .attach_queues(addr, nq)?
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let softregs = Arc::new(SoftRegisterFile::default());
+        // The soft active-queue mask gates new RSS routing decisions made
+        // by *senders* toward this NIC.
+        fabric.set_queue_mask(addr, softregs.active_queue_mask_handle());
         let monitor = Arc::new(PacketMonitor::with_flows(cfg.num_flows));
         let conn_mgr = Arc::new(Mutex::new(ConnectionManager::new(cfg.conn_cache_entries)));
 
-        // Engine wakeup latch: host TX pushes, fabric deliveries, control
-        // sends, and shutdown all pull the engine out of its idle park.
-        let waker = Arc::new(EngineWaker::new());
-        fabric.set_waker(addr, Arc::clone(&waker));
+        // Engine wakeup latches, one per worker: host TX pushes on owned
+        // flows, fabric deliveries to the worker's queue, sibling handoffs,
+        // control sends, and shutdown all pull a worker out of its park.
+        let wakers: Vec<Arc<EngineWaker>> = (0..nq).map(|_| Arc::new(EngineWaker::new())).collect();
+        for (q, w) in wakers.iter().enumerate() {
+            fabric.set_queue_waker(addr, q as u16, Arc::clone(w));
+        }
 
         let mut host_flows = Vec::with_capacity(cfg.num_flows);
-        let mut tx_consumers = Vec::with_capacity(cfg.num_flows);
-        let mut rx_producers = Vec::with_capacity(cfg.num_flows);
+        // Globally indexed ring vectors per worker: `Some` at owned flows.
+        let mut tx_consumers: Vec<Vec<Option<RingConsumer>>> = (0..nq)
+            .map(|_| (0..cfg.num_flows).map(|_| None).collect())
+            .collect();
+        let mut rx_producers: Vec<Vec<Option<RingProducer>>> = (0..nq)
+            .map(|_| (0..cfg.num_flows).map(|_| None).collect())
+            .collect();
         for i in 0..cfg.num_flows {
+            let owner = queue_of_flow(i, cfg.num_flows, nq);
             let (mut tx_p, tx_c) = ring(cfg.tx_ring_capacity);
-            tx_p.set_waker(Arc::clone(&waker));
+            tx_p.set_waker(Arc::clone(&wakers[owner]));
             let (rx_p, rx_c) = ring(cfg.rx_ring_capacity);
             host_flows.push(HostFlow {
                 flow: FlowId(i as u16),
                 tx: tx_p,
                 rx: rx_c,
             });
-            tx_consumers.push(tx_c);
-            rx_producers.push(rx_p);
+            tx_consumers[owner][i] = Some(tx_c);
+            rx_producers[owner][i] = Some(rx_p);
+        }
+
+        // Handoff ring matrix: one SPSC ring per ordered worker pair.
+        let mut xfer_out: Vec<Vec<Option<XferProducer>>> =
+            (0..nq).map(|_| (0..nq).map(|_| None).collect()).collect();
+        let mut xfer_in: Vec<Vec<XferConsumer>> = (0..nq).map(|_| Vec::new()).collect();
+        for (j, out_row) in xfer_out.iter_mut().enumerate() {
+            for k in 0..nq {
+                if j == k {
+                    continue;
+                }
+                let (p, c) = xfer_ring(XFER_RING_CAPACITY);
+                out_row[k] = Some(p);
+                xfer_in[k].push(c);
+            }
         }
 
         let stop = Arc::new(AtomicBool::new(false));
+        let stop_barrier = Arc::new(AtomicUsize::new(0));
         let (ctrl_tx, ctrl_rx) = unbounded();
         let confirmed = Arc::new(Mutex::new(HashSet::new()));
-        let reliable = cfg
-            .reliable
-            .then(|| ReliableTransport::new(addr, ReliableConfig::default()));
-        let reliable_stats = reliable.as_ref().map(ReliableTransport::shared_stats);
-        let pool = BufPool::default();
-        let pool_stats = pool.shared_stats();
-        let conn_cache = ConnTupleCache::new(conn_mgr.lock().generation_handle());
-        let conn_cache_stats = conn_cache.shared_stats();
 
-        // Fold this NIC's counter banks (Packet Monitor global + per-flow,
-        // Connection Manager, reliable transport) into the shared registry
-        // on every telemetry collection. The closure captures only the
-        // shared state Arcs, not the Nic, so there is no reference cycle.
+        // Build every worker first, collecting its stat handles for the
+        // telemetry collector, then register the collector, then spawn.
+        let mut cores = Vec::with_capacity(nq);
+        let mut qstats = Vec::with_capacity(nq);
+        let mut pool_stats = Vec::with_capacity(nq);
+        let mut conncache_stats = Vec::with_capacity(nq);
+        let mut reliable_stats = Vec::new();
+        for (q, port) in ports.iter().enumerate() {
+            let reliable = cfg.reliable.then(|| {
+                ReliableTransport::new_on_queue(addr, q as u16, ReliableConfig::default())
+            });
+            if let Some(rel) = &reliable {
+                reliable_stats.push(rel.shared_stats());
+            }
+            let pool = BufPool::default();
+            pool_stats.push(pool.shared_stats());
+            let conn_cache = ConnTupleCache::new(conn_mgr.lock().generation_handle());
+            conncache_stats.push(conn_cache.shared_stats());
+            let qs = Arc::new(QueueStats::default());
+            qstats.push(Arc::clone(&qs));
+            cores.push(EngineCore {
+                addr,
+                queue_id: q as u16,
+                num_queues: nq,
+                port: Arc::clone(port),
+                tx_rings: std::mem::take(&mut tx_consumers[q]),
+                rx_rings: std::mem::take(&mut rx_producers[q]),
+                conn_mgr: Arc::clone(&conn_mgr),
+                softregs: Arc::clone(&softregs),
+                monitor: Arc::clone(&monitor),
+                lb: LoadBalancer::new(LbPolicy::Uniform, (0, 32)),
+                reqbuf: RequestBuffer::new((cfg.rx_ring_capacity * cfg.num_flows).max(64)),
+                fifos: FlowFifos::new(cfg.num_flows),
+                sched: FlowScheduler::new(cfg.num_flows, SCHED_TIMEOUT_TICKS),
+                hcc: HostCoherentCache::with_default_capacity(),
+                protocol: Default::default(),
+                arbiter: arbiter.take(),
+                stop: Arc::clone(&stop),
+                ctrl_rx: ctrl_rx.clone(),
+                confirmed: Arc::clone(&confirmed),
+                reliable,
+                pending_out: Default::default(),
+                window_frames: 0,
+                direct_polling: false,
+                telemetry: Arc::clone(&telemetry),
+                pool,
+                conn_cache,
+                stage: Vec::new(),
+                stage_idx: Default::default(),
+                waker: Arc::clone(&wakers[q]),
+                peer_wakers: wakers.clone(),
+                qstats: qs,
+                xfer_out: std::mem::take(&mut xfer_out[q]),
+                xfer_in: std::mem::take(&mut xfer_in[q]),
+                xfer_backlog: (0..nq).map(|_| Default::default()).collect(),
+                stop_barrier: Arc::clone(&stop_barrier),
+            });
+        }
+
+        // Fold this NIC's counter banks (Packet Monitor global + per-flow +
+        // per-queue, Connection Manager, per-worker pools/caches/reliable
+        // transports) into the shared registry on every telemetry
+        // collection. The closure captures only the shared state Arcs, not
+        // the Nic, so there is no reference cycle.
         {
             let monitor = Arc::clone(&monitor);
             let conn_mgr = Arc::clone(&conn_mgr);
+            let qstats = qstats.clone();
             let prefix = format!("nic.{}", addr.raw());
             let name = prefix.clone();
             telemetry.register_collector(&name, move |reg| {
@@ -214,18 +344,39 @@ impl Nic {
                     &format!("{prefix}.tx_window_deferrals"),
                     s.tx_window_deferrals,
                 );
-                reg.set_gauge(&format!("{prefix}.pool.hits"), pool_stats.hits());
-                reg.set_gauge(&format!("{prefix}.pool.misses"), pool_stats.misses());
-                reg.set_gauge(&format!("{prefix}.pool.recycled"), pool_stats.recycled());
-                reg.set_gauge(&format!("{prefix}.conncache.hits"), conn_cache_stats.hits());
+                reg.set_gauge(
+                    &format!("{prefix}.pool.hits"),
+                    pool_stats.iter().map(|p| p.hits()).sum(),
+                );
+                reg.set_gauge(
+                    &format!("{prefix}.pool.misses"),
+                    pool_stats.iter().map(|p| p.misses()).sum(),
+                );
+                reg.set_gauge(
+                    &format!("{prefix}.pool.recycled"),
+                    pool_stats.iter().map(|p| p.recycled()).sum(),
+                );
+                reg.set_gauge(
+                    &format!("{prefix}.conncache.hits"),
+                    conncache_stats.iter().map(|c| c.hits()).sum(),
+                );
                 reg.set_gauge(
                     &format!("{prefix}.conncache.misses"),
-                    conn_cache_stats.misses(),
+                    conncache_stats.iter().map(|c| c.misses()).sum(),
                 );
                 reg.set_gauge(
                     &format!("{prefix}.conncache.invalidations"),
-                    conn_cache_stats.invalidations(),
+                    conncache_stats.iter().map(|c| c.invalidations()).sum(),
                 );
+                for (q, qs) in qstats.iter().enumerate() {
+                    let qsnap = qs.snapshot();
+                    reg.set_gauge(&format!("{prefix}.q{q}.tx_frames"), qsnap.tx_frames);
+                    reg.set_gauge(&format!("{prefix}.q{q}.rx_frames"), qsnap.rx_frames);
+                    reg.set_gauge(&format!("{prefix}.q{q}.tx_datagrams"), qsnap.tx_datagrams);
+                    reg.set_gauge(&format!("{prefix}.q{q}.rx_datagrams"), qsnap.rx_datagrams);
+                    reg.set_gauge(&format!("{prefix}.q{q}.handoff_out"), qsnap.handoff_out);
+                    reg.set_gauge(&format!("{prefix}.q{q}.handoff_in"), qsnap.handoff_in);
+                }
                 for (i, f) in monitor.flow_snapshots().iter().enumerate() {
                     reg.set_gauge(&format!("{prefix}.flow.{i}.tx_frames"), f.tx_frames);
                     reg.set_gauge(&format!("{prefix}.flow.{i}.rx_frames"), f.rx_frames);
@@ -242,74 +393,61 @@ impl Nic {
                 reg.set_gauge(&format!("{prefix}.cm.tx_port_misses"), cm.tx_port.misses);
                 reg.set_gauge(&format!("{prefix}.cm.rx_port_hits"), cm.rx_port.hits);
                 reg.set_gauge(&format!("{prefix}.cm.rx_port_misses"), cm.rx_port.misses);
-                if let Some(rs) = &reliable_stats {
-                    let r = rs.snapshot();
+                if !reliable_stats.is_empty() {
+                    let mut retransmissions = 0u64;
+                    let mut out_of_order_drops = 0u64;
+                    let mut duplicate_drops = 0u64;
+                    let mut wire_drops = 0u64;
+                    for rs in &reliable_stats {
+                        let r = rs.snapshot();
+                        retransmissions += r.retransmissions;
+                        out_of_order_drops += r.out_of_order_drops;
+                        duplicate_drops += r.duplicate_drops;
+                        wire_drops += r.wire_drops;
+                    }
                     reg.set_gauge(
                         &format!("{prefix}.reliable.retransmissions"),
-                        r.retransmissions,
+                        retransmissions,
                     );
                     reg.set_gauge(
                         &format!("{prefix}.reliable.out_of_order_drops"),
-                        r.out_of_order_drops,
+                        out_of_order_drops,
                     );
                     reg.set_gauge(
                         &format!("{prefix}.reliable.duplicate_drops"),
-                        r.duplicate_drops,
+                        duplicate_drops,
                     );
-                    reg.set_gauge(&format!("{prefix}.reliable.wire_drops"), r.wire_drops);
+                    reg.set_gauge(&format!("{prefix}.reliable.wire_drops"), wire_drops);
                 }
             });
         }
 
-        let core = EngineCore {
-            addr,
-            port: Arc::clone(&port),
-            tx_rings: tx_consumers,
-            rx_rings: rx_producers,
-            conn_mgr: Arc::clone(&conn_mgr),
-            softregs: Arc::clone(&softregs),
-            monitor: Arc::clone(&monitor),
-            lb: LoadBalancer::new(LbPolicy::Uniform, (0, 32)),
-            reqbuf: RequestBuffer::new((cfg.rx_ring_capacity * cfg.num_flows).max(64)),
-            fifos: FlowFifos::new(cfg.num_flows),
-            sched: FlowScheduler::new(cfg.num_flows, SCHED_TIMEOUT_TICKS),
-            hcc: HostCoherentCache::with_default_capacity(),
-            protocol: Default::default(),
-            arbiter,
-            stop: Arc::clone(&stop),
-            ctrl_rx,
-            confirmed: Arc::clone(&confirmed),
-            reliable,
-            pending_out: Default::default(),
-            window_frames: 0,
-            direct_polling: false,
-            telemetry: Arc::clone(&telemetry),
-            pool,
-            conn_cache,
-            stage: Vec::new(),
-            stage_idx: Default::default(),
-            waker: Arc::clone(&waker),
-        };
-        let engine = std::thread::Builder::new()
-            .name(format!("dagger-nic-{}", addr.raw()))
-            .spawn(move || core.run())
-            .map_err(|e| DaggerError::Fabric(format!("failed to spawn engine: {e}")))?;
+        let mut engines = Vec::with_capacity(nq);
+        for core in cores {
+            let q = core.queue_id;
+            let handle = std::thread::Builder::new()
+                .name(format!("dagger-nic-{}-q{q}", addr.raw()))
+                .spawn(move || core.run())
+                .map_err(|e| DaggerError::Fabric(format!("failed to spawn engine: {e}")))?;
+            engines.push(handle);
+        }
 
         Ok(Arc::new(Nic {
             addr,
             cfg,
-            _port: port,
+            _ports: ports,
             softregs,
             monitor,
             conn_mgr,
             unclaimed: Mutex::new(host_flows),
             next_conn: AtomicU32::new(1),
             stop,
-            engine: Mutex::new(Some(engine)),
+            engines: Mutex::new(engines),
             ctrl_tx,
             confirmed,
             telemetry,
-            waker,
+            wakers,
+            qstats,
         }))
     }
 
@@ -331,6 +469,11 @@ impl Nic {
     /// The packet monitor.
     pub fn monitor(&self) -> &Arc<PacketMonitor> {
         &self.monitor
+    }
+
+    /// Per-worker engine counters, indexed by queue.
+    pub fn queue_stats(&self) -> &[Arc<QueueStats>] {
+        &self.qstats
     }
 
     /// The telemetry hub this NIC reports into (private to the NIC unless
@@ -355,6 +498,37 @@ impl Nic {
             )));
         }
         Ok(flows.remove(0))
+    }
+
+    /// Claims the lowest unclaimed flow owned by engine queue `queue`
+    /// (see [`queue_of_flow`]), pinning the caller's traffic to that
+    /// worker's TX/RX path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Config`] when the queue is out of range or
+    /// all of its flows are claimed.
+    pub fn take_flow_on_queue(&self, queue: usize) -> Result<HostFlow> {
+        if queue >= self.cfg.num_queues {
+            return Err(DaggerError::Config(format!(
+                "queue {queue} out of range (num_queues = {})",
+                self.cfg.num_queues
+            )));
+        }
+        let mut flows = self.unclaimed.lock();
+        let pos = flows.iter().position(|f| {
+            queue_of_flow(
+                usize::from(f.flow.raw()),
+                self.cfg.num_flows,
+                self.cfg.num_queues,
+            ) == queue
+        });
+        match pos {
+            Some(i) => Ok(flows.remove(i)),
+            None => Err(DaggerError::Config(format!(
+                "all flows of queue {queue} already claimed"
+            ))),
+        }
     }
 
     /// Flows not yet claimed.
@@ -406,16 +580,16 @@ impl Nic {
                 lb,
             },
         )?;
-        // Announce via the engine's control outbox (ordered with data,
-        // covered by the reliable transport when enabled) and wait for the
-        // remote's acknowledgement, retrying the announcement.
+        // Announce via the engines' shared control outbox (ordered with
+        // data, covered by the reliable transport when enabled) and wait
+        // for the remote's acknowledgement, retrying the announcement.
         for _attempt in 0..40 {
             let ctrl = encode_ctrl_open(cid, self.addr, src_flow, lb);
             let dgram = Datagram::new(self.addr, remote, vec![ctrl]);
             self.ctrl_tx
                 .send((remote, dgram))
                 .map_err(|_| DaggerError::Closed)?;
-            self.waker.wake();
+            self.wake_all();
             let deadline = Instant::now() + Duration::from_millis(50);
             let mut backoff = SpinWait::new();
             while Instant::now() < deadline {
@@ -447,7 +621,7 @@ impl Nic {
         let dgram = Datagram::new(self.addr, tuple.dest_addr, vec![ctrl]);
         // Best-effort: the remote may already be gone.
         let _ = self.ctrl_tx.send((tuple.dest_addr, dgram));
-        self.waker.wake();
+        self.wake_all();
         Ok(())
     }
 
@@ -462,13 +636,21 @@ impl Nic {
         self.conn_mgr.lock().open_connections()
     }
 
-    /// Stops the engine thread, draining in-flight frames first.
+    fn wake_all(&self) {
+        for w in &self.wakers {
+            w.wake();
+        }
+    }
+
+    /// Stops the engine workers, draining in-flight frames first (each
+    /// worker drains its TX side, then keeps its RX side live until every
+    /// sibling has done the same).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
-        // The engine may be parked in its idle backoff; kick it so the
+        // Workers may be parked in their idle backoff; kick them so the
         // stop flag is seen immediately rather than after the park timeout.
-        self.waker.wake();
-        if let Some(handle) = self.engine.lock().take() {
+        self.wake_all();
+        for handle in self.engines.lock().drain(..) {
             let _ = handle.join();
         }
     }
@@ -511,6 +693,31 @@ mod tests {
             std::thread::yield_now();
         }
         false
+    }
+
+    #[test]
+    fn queue_of_flow_partitions_contiguously_and_totally() {
+        // 1 queue: everything maps to 0.
+        for f in 0..8 {
+            assert_eq!(queue_of_flow(f, 8, 1), 0);
+        }
+        // Even split.
+        assert_eq!(queue_of_flow(0, 8, 4), 0);
+        assert_eq!(queue_of_flow(1, 8, 4), 0);
+        assert_eq!(queue_of_flow(2, 8, 4), 1);
+        assert_eq!(queue_of_flow(7, 8, 4), 3);
+        // Uneven split stays monotone and total, and every queue gets at
+        // least one flow when num_flows >= num_queues.
+        for (flows, queues) in [(7usize, 3usize), (5, 4), (16, 3), (9, 2)] {
+            let owners: Vec<usize> = (0..flows)
+                .map(|f| queue_of_flow(f, flows, queues))
+                .collect();
+            assert!(owners.windows(2).all(|w| w[0] <= w[1]), "not monotone");
+            assert!(owners.iter().all(|&o| o < queues), "owner out of range");
+            for q in 0..queues {
+                assert!(owners.contains(&q), "queue {q} owns no flow ({owners:?})");
+            }
+        }
     }
 
     #[test]
@@ -574,6 +781,94 @@ mod tests {
     }
 
     #[test]
+    fn multi_queue_end_to_end_with_handoff_counters() {
+        let cfg = HardConfig::builder()
+            .num_flows(4)
+            .num_queues(4)
+            .build()
+            .unwrap();
+        let fabric = MemFabric::new();
+        let client = Nic::start(&fabric, NodeAddr(1), cfg.clone()).unwrap();
+        let server = Nic::start(&fabric, NodeAddr(2), cfg).unwrap();
+
+        // One client flow per queue; the server dispatches on all four.
+        let mut cflows: Vec<HostFlow> = (0..4)
+            .map(|q| client.take_flow_on_queue(q).unwrap())
+            .collect();
+        for (q, f) in cflows.iter().enumerate() {
+            assert_eq!(queue_of_flow(usize::from(f.flow.raw()), 4, 4), q);
+        }
+        let mut sflows: Vec<HostFlow> = (0..4).map(|_| server.take_flow().unwrap()).collect();
+
+        // Several connections so the RSS hash spreads across server queues.
+        let cids: Vec<ConnectionId> = cflows
+            .iter()
+            .map(|f| {
+                let cid = client
+                    .open_connection(NodeAddr(2), f.flow, LbPolicy::Uniform)
+                    .unwrap();
+                assert!(wait_for(|| server.knows_connection(cid)));
+                cid
+            })
+            .collect();
+
+        // Pipeline a burst on every client flow.
+        const PER_FLOW: u32 = 32;
+        for (i, f) in cflows.iter_mut().enumerate() {
+            for r in 0..PER_FLOW {
+                let rpc = (i as u32) << 16 | r;
+                assert!(wait_for(|| f
+                    .tx
+                    .try_push(frame(cids[i], rpc, RpcKind::Request, f.flow.raw(), i as u8))
+                    .is_ok()));
+            }
+        }
+
+        // Every request arrives exactly once, across all server flows.
+        let mut seen = std::collections::HashSet::new();
+        assert!(wait_for(|| {
+            for f in sflows.iter_mut() {
+                while let Some(line) = f.rx.try_pop() {
+                    let hdr = RpcHeader::decode(line.header()).unwrap();
+                    assert!(seen.insert(hdr.rpc_id.raw()), "duplicate delivery");
+                }
+            }
+            seen.len() == (PER_FLOW as usize) * 4
+        }));
+
+        // All four server workers moved traffic (RSS spread) and the
+        // per-queue banks reconcile with the monitor totals.
+        let rx_per_q: Vec<u64> = server
+            .queue_stats()
+            .iter()
+            .map(|q| q.snapshot().rx_frames)
+            .collect();
+        assert!(
+            rx_per_q.iter().filter(|&&n| n > 0).count() >= 2,
+            "RSS never spread across server queues: {rx_per_q:?}"
+        );
+        let q_total: u64 = rx_per_q.iter().sum();
+        assert_eq!(q_total, server.monitor().snapshot().rx_frames);
+
+        client.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn virtual_nic_rejects_multi_queue() {
+        use crate::arbiter::CcipArbiter;
+        let fabric = MemFabric::new();
+        let arb = CcipArbiter::new(1);
+        let cfg = HardConfig::builder()
+            .num_flows(4)
+            .num_queues(2)
+            .build()
+            .unwrap();
+        let err = Nic::start_virtual(&fabric, NodeAddr(1), cfg, arb.register());
+        assert!(matches!(err, Err(DaggerError::Config(_))));
+    }
+
+    #[test]
     fn shared_telemetry_traces_engine_stages_and_flow_counters() {
         use dagger_telemetry::{RpcEvent, Telemetry};
         let fabric = MemFabric::new();
@@ -622,11 +917,13 @@ mod tests {
         let srx = server.monitor().flow_snapshot(0).unwrap();
         assert!(srx.rx_frames >= 1, "server flow 0 rx counted");
 
-        // The registered collectors fold both NICs into one registry.
+        // The registered collectors fold both NICs into one registry,
+        // including the per-queue banks.
         let snap = telemetry.snapshot();
         assert!(snap.registry.gauge("nic.1.tx_frames").unwrap_or(0) > 0);
         assert!(snap.registry.gauge("nic.2.rx_frames").unwrap_or(0) > 0);
         assert!(snap.registry.gauge("nic.2.flow.0.rx_frames").unwrap_or(0) > 0);
+        assert!(snap.registry.gauge("nic.2.q0.rx_frames").unwrap_or(0) > 0);
         assert!(
             snap.registry
                 .gauge("nic.1.cm.open_connections")

@@ -31,9 +31,12 @@ use crate::transport::{wire_checksum, Datagram};
 const FRAME_DATA: u8 = 1;
 /// Frame type byte: standalone cumulative acknowledgement.
 const FRAME_ACK: u8 = 2;
-/// Fixed prefix before the checksum: type byte + two u64 (data) or
-/// type byte + u64 + two u32 (ack) — both 17 bytes.
-const FRAME_PREFIX: usize = 17;
+/// Fixed prefix before the checksum: type byte + two u64 + sender queue
+/// u16 (data) or type byte + u64 + two u32 + sender queue u16 (ack) — both
+/// 19 bytes. The sender-queue field names the engine queue whose channel
+/// the sequence numbers belong to: under multi-queue sharding each
+/// directed (queue → queue) pairing is its own Go-Back-N session.
+const FRAME_PREFIX: usize = 19;
 /// Bytes of the FNV-1a integrity checksum each frame carries.
 const FRAME_CRC: usize = 4;
 /// Minimum frame size: prefix + checksum.
@@ -48,11 +51,12 @@ const RETIRED_CAP: usize = 512;
 /// which covers prefix + body, exactly as [`TransportFrame::encode`]
 /// produces — is patched over the placeholder. Byte-identical to the
 /// owned encoding.
-fn encode_data_into(seq: u64, ack: u64, datagram: &Datagram, out: &mut Vec<u8>) {
+fn encode_data_into(seq: u64, ack: u64, src_queue: u16, datagram: &Datagram, out: &mut Vec<u8>) {
     out.clear();
     out.push(FRAME_DATA);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(&src_queue.to_le_bytes());
     out.extend_from_slice(&[0u8; FRAME_CRC]);
     datagram.append_to(out);
     let crc = wire_checksum(&[&out[..FRAME_PREFIX], &out[FRAME_MIN..]]);
@@ -60,12 +64,13 @@ fn encode_data_into(seq: u64, ack: u64, datagram: &Datagram, out: &mut Vec<u8>) 
 }
 
 /// Encodes a standalone ack frame into `out` (cleared first).
-fn encode_ack_into(ack: u64, src: NodeAddr, dst: NodeAddr, out: &mut Vec<u8>) {
+fn encode_ack_into(ack: u64, src: NodeAddr, dst: NodeAddr, src_queue: u16, out: &mut Vec<u8>) {
     out.clear();
     out.push(FRAME_ACK);
     out.extend_from_slice(&ack.to_le_bytes());
     out.extend_from_slice(&src.raw().to_le_bytes());
     out.extend_from_slice(&dst.raw().to_le_bytes());
+    out.extend_from_slice(&src_queue.to_le_bytes());
     let crc = wire_checksum(&[&out[..FRAME_PREFIX], &[]]);
     out.extend_from_slice(&crc.to_le_bytes());
 }
@@ -81,6 +86,12 @@ pub enum FrameView<'a> {
         seq: u64,
         /// Piggybacked cumulative ack.
         ack: u64,
+        /// Engine queue of the sender that owns this channel (on the wire).
+        src_queue: u16,
+        /// Destination engine queue to route the frame to (routing
+        /// metadata only — never encoded; the datagram header already
+        /// carries the addresses and the fabric carries the queue).
+        dst_queue: u16,
         /// Borrowed payload.
         datagram: &'a Datagram,
     },
@@ -92,6 +103,10 @@ pub enum FrameView<'a> {
         src: NodeAddr,
         /// Receiver.
         dst: NodeAddr,
+        /// Engine queue of the sender (on the wire).
+        src_queue: u16,
+        /// Destination engine queue to route the ack to (routing only).
+        dst_queue: u16,
     },
 }
 
@@ -101,6 +116,13 @@ impl FrameView<'_> {
         match self {
             FrameView::Data { datagram, .. } => datagram.dst,
             FrameView::Ack { dst, .. } => *dst,
+        }
+    }
+
+    /// Destination engine queue the frame should be routed to.
+    pub fn dst_queue(&self) -> u16 {
+        match self {
+            FrameView::Data { dst_queue, .. } | FrameView::Ack { dst_queue, .. } => *dst_queue,
         }
     }
 
@@ -116,23 +138,49 @@ impl FrameView<'_> {
     /// [`TransportFrame::encode`] of the equivalent owned frame.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            FrameView::Data { seq, ack, datagram } => encode_data_into(*seq, *ack, datagram, out),
-            FrameView::Ack { ack, src, dst } => encode_ack_into(*ack, *src, *dst, out),
+            FrameView::Data {
+                seq,
+                ack,
+                src_queue,
+                datagram,
+                ..
+            } => encode_data_into(*seq, *ack, *src_queue, datagram, out),
+            FrameView::Ack {
+                ack,
+                src,
+                dst,
+                src_queue,
+                ..
+            } => encode_ack_into(*ack, *src, *dst, *src_queue, out),
         }
     }
 
     /// Clones into an owned [`TransportFrame`].
     pub fn to_owned_frame(&self) -> TransportFrame {
         match self {
-            FrameView::Data { seq, ack, datagram } => TransportFrame::Data {
+            FrameView::Data {
+                seq,
+                ack,
+                src_queue,
+                datagram,
+                ..
+            } => TransportFrame::Data {
                 seq: *seq,
                 ack: *ack,
+                src_queue: *src_queue,
                 datagram: (*datagram).clone(),
             },
-            FrameView::Ack { ack, src, dst } => TransportFrame::Ack {
+            FrameView::Ack {
+                ack,
+                src,
+                dst,
+                src_queue,
+                ..
+            } => TransportFrame::Ack {
                 ack: *ack,
                 src: *src,
                 dst: *dst,
+                src_queue: *src_queue,
             },
         }
     }
@@ -144,10 +192,14 @@ pub enum TransportFrame {
     /// A data datagram with its sequence number and a piggybacked
     /// cumulative ack of the sender's receive direction.
     Data {
-        /// Sequence number of this datagram (per sender→receiver session).
+        /// Sequence number of this datagram (per sender-queue→receiver
+        /// session).
         seq: u64,
         /// Cumulative ack: the sender has received everything below this.
         ack: u64,
+        /// Engine queue of the sender whose channel the sequence belongs
+        /// to (0 on single-queue NICs).
+        src_queue: u16,
         /// The payload datagram.
         datagram: Datagram,
     },
@@ -159,6 +211,8 @@ pub enum TransportFrame {
         src: NodeAddr,
         /// Destination of the ack.
         dst: NodeAddr,
+        /// Engine queue of the sender (0 on single-queue NICs).
+        src_queue: u16,
     },
 }
 
@@ -176,18 +230,33 @@ impl TransportFrame {
         self.as_view().encode_into(out);
     }
 
-    /// Borrowed view of this frame.
+    /// Borrowed view of this frame (routing `dst_queue` defaults to 0; a
+    /// decoded frame no longer needs routing).
     pub fn as_view(&self) -> FrameView<'_> {
         match self {
-            TransportFrame::Data { seq, ack, datagram } => FrameView::Data {
+            TransportFrame::Data {
+                seq,
+                ack,
+                src_queue,
+                datagram,
+            } => FrameView::Data {
                 seq: *seq,
                 ack: *ack,
+                src_queue: *src_queue,
+                dst_queue: 0,
                 datagram,
             },
-            TransportFrame::Ack { ack, src, dst } => FrameView::Ack {
+            TransportFrame::Ack {
+                ack,
+                src,
+                dst,
+                src_queue,
+            } => FrameView::Ack {
                 ack: *ack,
                 src: *src,
                 dst: *dst,
+                src_queue: *src_queue,
+                dst_queue: 0,
             },
         }
     }
@@ -217,8 +286,14 @@ impl TransportFrame {
         if prefix[0] == FRAME_DATA {
             let seq = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
             let ack = u64::from_le_bytes(prefix[9..17].try_into().unwrap());
+            let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
             let datagram = Datagram::decode(body)?;
-            Ok(TransportFrame::Data { seq, ack, datagram })
+            Ok(TransportFrame::Data {
+                seq,
+                ack,
+                src_queue,
+                datagram,
+            })
         } else {
             if !body.is_empty() {
                 return Err(DaggerError::Wire("bad ack frame length".to_string()));
@@ -226,7 +301,13 @@ impl TransportFrame {
             let ack = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
             let src = NodeAddr(u32::from_le_bytes(prefix[9..13].try_into().unwrap()));
             let dst = NodeAddr(u32::from_le_bytes(prefix[13..17].try_into().unwrap()));
-            Ok(TransportFrame::Ack { ack, src, dst })
+            let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
+            Ok(TransportFrame::Ack {
+                ack,
+                src,
+                dst,
+                src_queue,
+            })
         }
     }
 }
@@ -309,13 +390,23 @@ impl SharedReliableStats {
     }
 }
 
-/// Per-NIC reliable-transport state machine (Go-Back-N per peer).
+/// Per-engine-queue reliable-transport state machine: Go-Back-N per
+/// directed (local queue → peer, peer queue) channel.
+///
+/// Under multi-queue sharding each worker owns one instance. Channels are
+/// keyed `(peer address, peer queue)` on the TX side — the queue the
+/// frames were routed to — and `(peer address, peer queue)` on the RX side
+/// — the sender's queue carried in every frame — so two workers of the
+/// same peer NIC never share (and never corrupt) a sequence space.
 #[derive(Debug)]
 pub struct ReliableTransport {
     local: NodeAddr,
+    /// The engine queue this instance belongs to; stamped into every
+    /// outgoing frame as `src_queue`.
+    local_queue: u16,
     cfg: ReliableConfig,
-    tx: HashMap<NodeAddr, PeerTx>,
-    rx: HashMap<NodeAddr, PeerRx>,
+    tx: HashMap<(NodeAddr, u16), PeerTx>,
+    rx: HashMap<(NodeAddr, u16), PeerRx>,
     wire_drops: u64,
     shared: Arc<SharedReliableStats>,
     /// Line vectors of datagrams retired from the window by acks, held for
@@ -324,10 +415,17 @@ pub struct ReliableTransport {
 }
 
 impl ReliableTransport {
-    /// Creates the state machine for the NIC at `local`.
+    /// Creates the state machine for queue 0 of the NIC at `local`.
     pub fn new(local: NodeAddr, cfg: ReliableConfig) -> Self {
+        Self::new_on_queue(local, 0, cfg)
+    }
+
+    /// Creates the state machine for engine queue `queue` of the NIC at
+    /// `local`.
+    pub fn new_on_queue(local: NodeAddr, queue: u16, cfg: ReliableConfig) -> Self {
         ReliableTransport {
             local,
+            local_queue: queue,
             cfg,
             tx: HashMap::new(),
             rx: HashMap::new(),
@@ -343,32 +441,58 @@ impl ReliableTransport {
         Arc::clone(&self.shared)
     }
 
-    /// `true` if the peer's send window has room for another datagram.
+    /// `true` if the channel to the peer's queue 0 has window room.
     pub fn window_available(&self, peer: NodeAddr) -> bool {
+        self.window_available_to(peer, 0)
+    }
+
+    /// `true` if the channel to `(peer, queue)` has room for another
+    /// datagram.
+    pub fn window_available_to(&self, peer: NodeAddr, queue: u16) -> bool {
         self.tx
-            .get(&peer)
+            .get(&(peer, queue))
             .map(|t| t.unacked.len() < self.cfg.window)
             .unwrap_or(true)
     }
 
-    /// Wraps an outgoing datagram as a sequenced frame (piggybacking any
-    /// owed ack) and records it for retransmission.
+    /// Wraps an outgoing datagram as a sequenced frame on the channel to
+    /// the peer's queue 0 (piggybacking any owed ack) and records it for
+    /// retransmission.
     ///
     /// # Errors
     ///
-    /// Returns [`DaggerError::RingFull`] when the peer's send window is
+    /// Returns [`DaggerError::RingFull`] when the channel's send window is
     /// full; the caller should retry after acks arrive.
     pub fn on_send(&mut self, datagram: Datagram) -> Result<TransportFrame> {
-        let peer = datagram.dst;
-        let tx = self.tx.entry(peer).or_default();
-        if tx.unacked.len() >= self.cfg.window {
+        self.on_send_to(datagram, 0)
+    }
+
+    /// [`ReliableTransport::on_send`] on the channel to `(dst, dst_queue)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::RingFull`] when the channel's send window is
+    /// full; the caller should retry after acks arrive.
+    pub fn on_send_to(&mut self, datagram: Datagram, dst_queue: u16) -> Result<TransportFrame> {
+        let key = (datagram.dst, dst_queue);
+        if self
+            .tx
+            .get(&key)
+            .is_some_and(|t| t.unacked.len() >= self.cfg.window)
+        {
             return Err(DaggerError::RingFull);
         }
+        let ack = self.pending_ack(key);
+        let tx = self.tx.entry(key).or_default();
         let seq = tx.next_seq;
         tx.next_seq += 1;
         tx.unacked.push_back((seq, datagram.clone()));
-        let ack = self.pending_ack(peer);
-        Ok(TransportFrame::Data { seq, ack, datagram })
+        Ok(TransportFrame::Data {
+            seq,
+            ack,
+            src_queue: self.local_queue,
+            datagram,
+        })
     }
 
     /// Zero-copy send: sequences `datagram`, encodes the frame into `out`
@@ -385,37 +509,65 @@ impl ReliableTransport {
         datagram: Datagram,
         out: &mut Vec<u8>,
     ) -> std::result::Result<(), Datagram> {
-        self.send_encode_inner(datagram, out, false)
+        self.send_encode_inner(datagram, 0, out, false)
+    }
+
+    /// Zero-copy send on the channel to `(dst, dst_queue)`; see
+    /// [`ReliableTransport::on_send_encode`].
+    ///
+    /// # Errors
+    ///
+    /// Hands the datagram back when the channel's send window is full.
+    pub fn on_send_encode_to(
+        &mut self,
+        datagram: Datagram,
+        dst_queue: u16,
+        out: &mut Vec<u8>,
+    ) -> std::result::Result<(), Datagram> {
+        self.send_encode_inner(datagram, dst_queue, out, false)
     }
 
     /// [`ReliableTransport::on_send_encode`] minus the window check: used
     /// by the shutdown drain, where deferring is no longer an option and
     /// the frame must reach the wire at least once.
     pub fn on_send_forced_encode(&mut self, datagram: Datagram, out: &mut Vec<u8>) {
-        let _ = self.send_encode_inner(datagram, out, true);
+        let _ = self.send_encode_inner(datagram, 0, out, true);
+    }
+
+    /// [`ReliableTransport::on_send_forced_encode`] on the channel to
+    /// `(dst, dst_queue)`.
+    pub fn on_send_forced_encode_to(
+        &mut self,
+        datagram: Datagram,
+        dst_queue: u16,
+        out: &mut Vec<u8>,
+    ) {
+        let _ = self.send_encode_inner(datagram, dst_queue, out, true);
     }
 
     fn send_encode_inner(
         &mut self,
         datagram: Datagram,
+        dst_queue: u16,
         out: &mut Vec<u8>,
         force: bool,
     ) -> std::result::Result<(), Datagram> {
-        let peer = datagram.dst;
-        if !force && !self.window_available(peer) {
+        let key = (datagram.dst, dst_queue);
+        if !force && !self.window_available_to(key.0, key.1) {
             return Err(datagram);
         }
-        let ack = self.pending_ack(peer);
-        let tx = self.tx.entry(peer).or_default();
+        let local_queue = self.local_queue;
+        let ack = self.pending_ack(key);
+        let tx = self.tx.entry(key).or_default();
         let seq = tx.next_seq;
         tx.next_seq += 1;
-        encode_data_into(seq, ack, &datagram, out);
+        encode_data_into(seq, ack, local_queue, &datagram, out);
         tx.unacked.push_back((seq, datagram));
         Ok(())
     }
 
-    fn pending_ack(&mut self, peer: NodeAddr) -> u64 {
-        match self.rx.get_mut(&peer) {
+    fn pending_ack(&mut self, channel: (NodeAddr, u16)) -> u64 {
+        match self.rx.get_mut(&channel) {
             Some(rx) => {
                 rx.ack_owed = false;
                 rx.expected
@@ -424,9 +576,9 @@ impl ReliableTransport {
         }
     }
 
-    fn apply_ack(&mut self, peer: NodeAddr, ack: u64) {
+    fn apply_ack(&mut self, channel: (NodeAddr, u16), ack: u64) {
         let retired = &mut self.retired;
-        if let Some(tx) = self.tx.get_mut(&peer) {
+        if let Some(tx) = self.tx.get_mut(&channel) {
             let mut progressed = false;
             while tx.unacked.front().is_some_and(|&(seq, _)| seq < ack) {
                 let (_, datagram) = tx.unacked.pop_front().expect("front checked");
@@ -469,14 +621,26 @@ impl ReliableTransport {
             }
         };
         match frame {
-            TransportFrame::Ack { ack, src, .. } => {
-                self.apply_ack(src, ack);
+            TransportFrame::Ack {
+                ack,
+                src,
+                src_queue,
+                ..
+            } => {
+                // The ack's sender queue names which of our TX channels it
+                // acknowledges: we routed that traffic to (src, src_queue).
+                self.apply_ack((src, src_queue), ack);
                 Ok(None)
             }
-            TransportFrame::Data { seq, ack, datagram } => {
-                let peer = datagram.src;
-                self.apply_ack(peer, ack);
-                let rx = self.rx.entry(peer).or_default();
+            TransportFrame::Data {
+                seq,
+                ack,
+                src_queue,
+                datagram,
+            } => {
+                let channel = (datagram.src, src_queue);
+                self.apply_ack(channel, ack);
+                let rx = self.rx.entry(channel).or_default();
                 if seq == rx.expected {
                     rx.expected += 1;
                     rx.ack_owed = true;
@@ -515,21 +679,26 @@ impl ReliableTransport {
     /// pooled buffer. In the (common) idle tick nothing is built at all.
     pub fn on_tick_with(&mut self, mut emit: impl FnMut(FrameView<'_>)) {
         let local = self.local;
-        // Standalone acks for quiet receive directions.
-        for (&peer, rx) in self.rx.iter_mut() {
+        let local_queue = self.local_queue;
+        // Standalone acks for quiet receive directions. The channel key's
+        // queue is the *peer's* sending queue — which is exactly where the
+        // ack must be routed, since that worker owns the TX window.
+        for (&(peer, peer_queue), rx) in self.rx.iter_mut() {
             if rx.ack_owed {
                 rx.ack_owed = false;
                 emit(FrameView::Ack {
                     ack: rx.expected,
                     src: local,
                     dst: peer,
+                    src_queue: local_queue,
+                    dst_queue: peer_queue,
                 });
             }
         }
-        // Retransmissions; the peer's cumulative ack is read directly from
-        // the rx map (no per-tick scratch map).
+        // Retransmissions; the channel's cumulative ack is read directly
+        // from the rx map (no per-tick scratch map).
         let rx_map = &self.rx;
-        for (&peer, tx) in self.tx.iter_mut() {
+        for (&(peer, peer_queue), tx) in self.tx.iter_mut() {
             if tx.unacked.is_empty() {
                 tx.ticks_since_progress = 0;
                 continue;
@@ -537,11 +706,17 @@ impl ReliableTransport {
             tx.ticks_since_progress += 1;
             if tx.ticks_since_progress >= self.cfg.retransmit_after_ticks {
                 tx.ticks_since_progress = 0;
-                let ack = rx_map.get(&peer).map_or(0, |rx| rx.expected);
+                let ack = rx_map.get(&(peer, peer_queue)).map_or(0, |rx| rx.expected);
                 for &(seq, ref datagram) in &tx.unacked {
                     tx.retransmissions += 1;
                     self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
-                    emit(FrameView::Data { seq, ack, datagram });
+                    emit(FrameView::Data {
+                        seq,
+                        ack,
+                        src_queue: local_queue,
+                        dst_queue: peer_queue,
+                        datagram,
+                    });
                 }
             }
         }
@@ -552,17 +727,24 @@ impl ReliableTransport {
     /// window-deferred datagrams flushed right after keep their ordering at
     /// a live peer.
     pub fn retransmit_unacked_with(&mut self, mut emit: impl FnMut(FrameView<'_>)) {
+        let local_queue = self.local_queue;
         let rx_map = &self.rx;
-        for (&peer, tx) in self.tx.iter_mut() {
+        for (&(peer, peer_queue), tx) in self.tx.iter_mut() {
             if tx.unacked.is_empty() {
                 continue;
             }
             tx.ticks_since_progress = 0;
-            let ack = rx_map.get(&peer).map_or(0, |rx| rx.expected);
+            let ack = rx_map.get(&(peer, peer_queue)).map_or(0, |rx| rx.expected);
             for &(seq, ref datagram) in &tx.unacked {
                 tx.retransmissions += 1;
                 self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
-                emit(FrameView::Data { seq, ack, datagram });
+                emit(FrameView::Data {
+                    seq,
+                    ack,
+                    src_queue: local_queue,
+                    dst_queue: peer_queue,
+                    datagram,
+                });
             }
         }
     }
@@ -615,6 +797,7 @@ mod tests {
         let data = TransportFrame::Data {
             seq: 42,
             ack: 7,
+            src_queue: 3,
             datagram: dgram(1, 2, 9),
         };
         assert_eq!(TransportFrame::decode(&data.encode()).unwrap(), data);
@@ -622,6 +805,7 @@ mod tests {
             ack: 99,
             src: NodeAddr(3),
             dst: NodeAddr(4),
+            src_queue: 1,
         };
         assert_eq!(TransportFrame::decode(&ack.encode()).unwrap(), ack);
     }
@@ -639,6 +823,7 @@ mod tests {
         let frame = TransportFrame::Data {
             seq: 3,
             ack: 1,
+            src_queue: 0,
             datagram: dgram(1, 2, 5),
         };
         let good = frame.encode();
@@ -809,5 +994,78 @@ mod tests {
             }
             _ => panic!("expected data frames"),
         }
+    }
+
+    #[test]
+    fn sessions_are_per_peer_queue() {
+        // One sender worker talking to two queues of the same peer NIC:
+        // each (peer, queue) channel owns an independent sequence space.
+        let mut a = ReliableTransport::new_on_queue(NodeAddr(1), 2, ReliableConfig::default());
+        let f_q0 = a.on_send_to(dgram(1, 2, 0), 0).unwrap();
+        let f_q3 = a.on_send_to(dgram(1, 2, 1), 3).unwrap();
+        match (&f_q0, &f_q3) {
+            (
+                TransportFrame::Data {
+                    seq: s0,
+                    src_queue: sq0,
+                    ..
+                },
+                TransportFrame::Data {
+                    seq: s3,
+                    src_queue: sq3,
+                    ..
+                },
+            ) => {
+                assert_eq!((*s0, *s3), (0, 0), "independent per-queue sequences");
+                assert_eq!((*sq0, *sq3), (2, 2), "frames stamp the sender queue");
+            }
+            _ => panic!("expected data frames"),
+        }
+        assert!(a.window_available_to(NodeAddr(2), 0));
+        assert!(a.window_available_to(NodeAddr(2), 3));
+    }
+
+    #[test]
+    fn cross_queue_workers_do_not_collide_at_receiver() {
+        // Two workers of NIC 1 (queues 0 and 1) both route to the same
+        // receiving worker at NIC 2. Without the src_queue channel key
+        // their seq-0 frames would alias; with it, both deliver.
+        let cfg = ReliableConfig::default();
+        let mut a0 = ReliableTransport::new_on_queue(NodeAddr(1), 0, cfg);
+        let mut a1 = ReliableTransport::new_on_queue(NodeAddr(1), 1, cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+        let f0 = a0.on_send_to(dgram(1, 2, 10), 0).unwrap().encode();
+        let f1 = a1.on_send_to(dgram(1, 2, 20), 0).unwrap().encode();
+        let d0 = b.on_recv(&f0).unwrap().expect("queue-0 frame delivers");
+        let d1 = b.on_recv(&f1).unwrap().expect("queue-1 frame delivers");
+        assert_eq!((tag_of(&d0), tag_of(&d1)), (10, 20));
+        assert_eq!(b.stats().duplicate_drops, 0);
+        assert_eq!(b.stats().out_of_order_drops, 0);
+        // b owes acks on both channels; each standalone ack names the
+        // sender queue it acknowledges and routes back to it.
+        let mut acks = Vec::new();
+        b.on_tick_with(|view| match view {
+            FrameView::Ack {
+                src_queue,
+                dst_queue,
+                ..
+            } => acks.push((src_queue, dst_queue, view.dst())),
+            _ => panic!("expected acks only"),
+        });
+        acks.sort_unstable();
+        assert_eq!(
+            acks,
+            vec![(0, 0, NodeAddr(1)), (0, 1, NodeAddr(1))],
+            "acks carry b's queue and route to each sender worker"
+        );
+        // Applying each ack clears exactly the matching worker's window.
+        let mut ack_bytes = Vec::new();
+        b.on_tick(); // nothing further owed
+        encode_ack_into(1, NodeAddr(2), NodeAddr(1), 0, &mut ack_bytes);
+        a0.on_recv(&ack_bytes).unwrap();
+        assert!(a0.fully_acked(), "worker 0 cleared");
+        assert!(!a1.fully_acked(), "worker 1 still waiting");
+        a1.on_recv(&ack_bytes).unwrap();
+        assert!(a1.fully_acked(), "same channel key (2, 0) at worker 1");
     }
 }

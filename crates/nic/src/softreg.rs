@@ -6,7 +6,8 @@
 //! loop iteration — CCI-P batch size, auto-batching, number of active
 //! flows, and the RX load-balancer selection.
 
-use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 use dagger_types::config::MAX_BATCH;
 use dagger_types::{DaggerError, LbPolicy, Result, SoftConfigSnapshot};
@@ -22,6 +23,12 @@ pub struct SoftRegisterFile {
     /// polling its local coherent cache to polling the processor's LLC
     /// directly (§4.4.1). 0 disables the switch (always cached).
     polling_threshold: AtomicU32,
+    /// Bitmask of engine queues eligible for *new* RSS route decisions
+    /// (bit `i` = queue `i`). 0 means "all queues active". Shared with the
+    /// fabric's steering logic by handle, like the other soft registers;
+    /// masked-off queues keep draining already-routed traffic so no frames
+    /// are stranded by a reconfiguration.
+    active_queue_mask: Arc<AtomicU64>,
 }
 
 fn lb_to_u8(p: LbPolicy) -> u8 {
@@ -54,6 +61,7 @@ impl SoftRegisterFile {
             active_flows: AtomicU16::new(initial.active_flows),
             lb_policy: AtomicU8::new(lb_to_u8(initial.lb_policy)),
             polling_threshold: AtomicU32::new(4096),
+            active_queue_mask: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -118,6 +126,25 @@ impl SoftRegisterFile {
     pub fn set_polling_threshold(&self, frames_per_window: u32) {
         self.polling_threshold
             .store(frames_per_window, Ordering::Relaxed);
+    }
+
+    /// Current active-queue mask (bit `i` = queue `i`; 0 = all active).
+    pub fn active_queue_mask(&self) -> u64 {
+        self.active_queue_mask.load(Ordering::Relaxed)
+    }
+
+    /// Sets the active-queue mask. Only *new* route decisions consult the
+    /// mask: traffic already steered to a masked-off queue keeps draining.
+    /// Writing 0 re-activates every queue.
+    pub fn set_active_queue_mask(&self, mask: u64) {
+        self.active_queue_mask.store(mask, Ordering::Relaxed);
+    }
+
+    /// Shared handle onto the active-queue mask register, handed to the
+    /// fabric so its RSS `route` consults the live value without going
+    /// through the register file.
+    pub fn active_queue_mask_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.active_queue_mask)
     }
 
     /// Reads the whole register file at once.
@@ -197,6 +224,22 @@ mod tests {
             regs.set_lb_policy(p);
             assert_eq!(regs.lb_policy(), p);
         }
+    }
+
+    #[test]
+    fn queue_mask_defaults_to_all_active() {
+        let regs = SoftRegisterFile::default();
+        assert_eq!(regs.active_queue_mask(), 0, "0 = all queues active");
+        regs.set_active_queue_mask(0b101);
+        assert_eq!(regs.active_queue_mask(), 0b101);
+        let handle = regs.active_queue_mask_handle();
+        assert_eq!(handle.load(Ordering::Relaxed), 0b101);
+        handle.store(0b1, Ordering::Relaxed);
+        assert_eq!(regs.active_queue_mask(), 0b1, "handle aliases register");
+        // The mask is *not* part of the plain snapshot (it is a live
+        // steering knob, not host-visible plain data).
+        regs.apply(SoftConfigSnapshot::default()).unwrap();
+        assert_eq!(regs.active_queue_mask(), 0b1);
     }
 
     #[test]

@@ -190,6 +190,21 @@ impl SpinWait {
     pub fn wait_with(&mut self, waker: &EngineWaker) {
         self.step(Some(waker));
     }
+
+    /// One backoff step that never escalates past yielding: for waiters
+    /// that must keep ticking timers (retransmit deadlines, arbiter
+    /// rotation, deferred sends) and therefore cannot afford a timed park,
+    /// but should still be polite about the core. Shares the spin phase
+    /// with [`SpinWait::wait`] so a single site can mix the two as its
+    /// parking eligibility changes tick to tick.
+    pub fn snooze(&mut self) {
+        if self.rounds < spin_rounds() {
+            self.rounds += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +241,33 @@ mod tests {
         assert_eq!(w.park_duration(), PARK_MAX);
         w.wait(); // saturates instead of overflowing
         assert_eq!(w.rounds, u32::MAX);
+    }
+
+    #[test]
+    fn snooze_never_parks() {
+        let mut w = SpinWait::new();
+        // Even with the backoff fully escalated and the idle gate long
+        // open, a snooze step must stay in the spin/yield regime: rounds
+        // never advance past the spin phase, so `is_parking` stays false
+        // and no timed sleep delays the caller's timer ticks.
+        w.rounds = u32::MAX - 1;
+        w.idle_since = Some(Instant::now() - PARK_AFTER * 2);
+        let start = Instant::now();
+        for _ in 0..64 {
+            w.snooze();
+        }
+        assert_eq!(w.rounds, u32::MAX - 1, "snooze must not escalate rounds");
+        assert!(
+            start.elapsed() < PARK_START * 64,
+            "snooze slept like a park"
+        );
+        // A fresh snoozer walks the spin phase but stops there.
+        let mut fresh = SpinWait::new();
+        for _ in 0..(SPIN_ROUNDS + YIELD_ROUNDS + 64) {
+            fresh.snooze();
+        }
+        assert!(!fresh.is_parking());
+        assert!(fresh.rounds <= SPIN_ROUNDS);
     }
 
     #[test]

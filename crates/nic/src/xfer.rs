@@ -1,0 +1,203 @@
+//! Cross-queue frame handoff rings for the sharded NIC engine.
+//!
+//! Under RSS sharding, the worker that *receives* a frame off the fabric is
+//! not always the worker that *owns* the destination flow's RX ring (the
+//! load balancer may steer a request to any active flow). The receiving
+//! worker hands such frames to the owner through one of these rings: a
+//! lock-free SPSC ring of `(flow, cache line)` pairs with the same
+//! validity-flag ownership protocol as the host-facing [`crate::ring`]s,
+//! one ring per ordered worker pair.
+//!
+//! The handoff preserves per-flow FIFO order: one connection is routed to
+//! one receiving queue, so all of its frames that steer to a given flow
+//! traverse the same ring, in receive order.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dagger_types::{CacheLine, DaggerError, Result};
+
+struct XferSlot {
+    /// `true` while the slot holds an unconsumed handoff.
+    valid: AtomicBool,
+    entry: UnsafeCell<(u16, CacheLine)>,
+}
+
+/// Shared storage of one handoff ring.
+struct XferBuffer {
+    slots: Box<[XferSlot]>,
+}
+
+// SAFETY: same single-producer/single-consumer ownership protocol as
+// `ring::RingBuffer` — the producer touches a slot's cell only while
+// `valid == false`, the consumer only while `valid == true`, and ownership
+// transfers through the flag with Release/Acquire ordering.
+unsafe impl Sync for XferBuffer {}
+unsafe impl Send for XferBuffer {}
+
+/// Creates a handoff ring of the given capacity (power of two, >= 2) and
+/// returns its two endpoints.
+///
+/// # Panics
+///
+/// Panics if `capacity` is not a power of two or is below 2.
+pub fn xfer_ring(capacity: usize) -> (XferProducer, XferConsumer) {
+    assert!(
+        capacity.is_power_of_two() && capacity >= 2,
+        "xfer ring capacity must be a power of two >= 2"
+    );
+    let slots: Box<[XferSlot]> = (0..capacity)
+        .map(|_| XferSlot {
+            valid: AtomicBool::new(false),
+            entry: UnsafeCell::new((0, CacheLine::zeroed())),
+        })
+        .collect();
+    let buf = Arc::new(XferBuffer { slots });
+    (
+        XferProducer {
+            buf: Arc::clone(&buf),
+            idx: 0,
+            mask: capacity - 1,
+        },
+        XferConsumer {
+            buf,
+            idx: 0,
+            mask: capacity - 1,
+        },
+    )
+}
+
+/// The handing-off worker's endpoint.
+pub struct XferProducer {
+    buf: Arc<XferBuffer>,
+    idx: usize,
+    mask: usize,
+}
+
+impl std::fmt::Debug for XferProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XferProducer")
+            .field("capacity", &(self.mask + 1))
+            .finish()
+    }
+}
+
+impl XferProducer {
+    /// Attempts to hand one steered frame to the owning worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::RingFull`] if the owner has not drained the
+    /// next slot yet.
+    pub fn try_push(&mut self, flow: u16, line: CacheLine) -> Result<()> {
+        let slot = &self.buf.slots[self.idx & self.mask];
+        if slot.valid.load(Ordering::Acquire) {
+            return Err(DaggerError::RingFull);
+        }
+        // SAFETY: `valid` is false, so the producer owns the cell.
+        unsafe {
+            *slot.entry.get() = (flow, line);
+        }
+        slot.valid.store(true, Ordering::Release);
+        self.idx = self.idx.wrapping_add(1);
+        Ok(())
+    }
+}
+
+/// The owning worker's endpoint.
+pub struct XferConsumer {
+    buf: Arc<XferBuffer>,
+    idx: usize,
+    mask: usize,
+}
+
+impl std::fmt::Debug for XferConsumer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XferConsumer")
+            .field("capacity", &(self.mask + 1))
+            .finish()
+    }
+}
+
+impl XferConsumer {
+    /// Takes the next handed-off `(flow, line)` pair, if any.
+    pub fn try_pop(&mut self) -> Option<(u16, CacheLine)> {
+        let slot = &self.buf.slots[self.idx & self.mask];
+        if !slot.valid.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: `valid` is true, so the consumer owns the cell.
+        let entry = unsafe { *slot.entry.get() };
+        slot.valid.store(false, Ordering::Release);
+        self.idx = self.idx.wrapping_add(1);
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with(b: u8) -> CacheLine {
+        let mut l = CacheLine::zeroed();
+        l.payload_mut()[0] = b;
+        l
+    }
+
+    #[test]
+    fn fifo_order_with_flow_tags() {
+        let (mut tx, mut rx) = xfer_ring(8);
+        for i in 0..5u16 {
+            tx.try_push(i, line_with(i as u8)).unwrap();
+        }
+        for i in 0..5u16 {
+            let (flow, line) = rx.try_pop().unwrap();
+            assert_eq!(flow, i);
+            assert_eq!(line.payload()[0], i as u8);
+        }
+        assert!(rx.try_pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_until_drained() {
+        let (mut tx, mut rx) = xfer_ring(2);
+        tx.try_push(0, line_with(0)).unwrap();
+        tx.try_push(1, line_with(1)).unwrap();
+        assert_eq!(tx.try_push(2, line_with(2)), Err(DaggerError::RingFull));
+        assert_eq!(rx.try_pop().unwrap().0, 0);
+        tx.try_push(2, line_with(2)).unwrap();
+    }
+
+    #[test]
+    fn cross_thread_handoff_preserves_order() {
+        let (mut tx, mut rx) = xfer_ring(16);
+        const N: u16 = 20_000;
+        let producer = std::thread::spawn(move || {
+            let mut pushed = 0u16;
+            while pushed < N {
+                match tx.try_push(pushed, line_with(pushed as u8)) {
+                    Ok(()) => pushed = pushed.wrapping_add(1),
+                    Err(_) => std::hint::spin_loop(),
+                }
+            }
+        });
+        let mut expected = 0u16;
+        while expected < N {
+            if let Some((flow, line)) = rx.try_pop() {
+                assert_eq!(flow, expected);
+                assert_eq!(line.payload()[0], expected as u8);
+                expected = expected.wrapping_add(1);
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_capacity_panics() {
+        let _ = xfer_ring(3);
+    }
+}

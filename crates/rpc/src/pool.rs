@@ -89,6 +89,47 @@ impl RpcClientPool {
         Ok(RpcClientPool { remote, clients })
     }
 
+    /// Connects `clients` clients, spreading their flows round-robin
+    /// across the NIC's engine queues (each flow pinned to a worker via
+    /// [`Nic::take_flow_on_queue`]), so a multi-queue NIC drives all of
+    /// its TX workers even with few clients. Falls back to any unclaimed
+    /// flow once a queue's partition is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the NIC has too few unclaimed flows, `clients`
+    /// is zero, or connection setup fails.
+    pub fn connect_per_queue(
+        nic: Arc<Nic>,
+        remote: NodeAddr,
+        clients: usize,
+        lb: LbPolicy,
+    ) -> Result<Self> {
+        if clients == 0 {
+            return Err(dagger_types::DaggerError::Config(
+                "pool needs at least one client".to_string(),
+            ));
+        }
+        let num_queues = nic.config().num_queues;
+        let mut pool_clients = Vec::with_capacity(clients);
+        for i in 0..clients {
+            let host_flow = nic
+                .take_flow_on_queue(i % num_queues)
+                .or_else(|_| nic.take_flow())?;
+            let flow_id = host_flow.flow;
+            let endpoint = Arc::new(FlowEndpoint::with_telemetry(
+                host_flow,
+                Arc::clone(nic.telemetry()),
+            ));
+            let cid = nic.open_connection(remote, flow_id, lb)?;
+            pool_clients.push(Arc::new(RpcClient::new(Arc::clone(&nic), endpoint, cid)));
+        }
+        Ok(RpcClientPool {
+            remote,
+            clients: pool_clients,
+        })
+    }
+
     /// The remote host this pool targets.
     pub fn remote(&self) -> NodeAddr {
         self.remote

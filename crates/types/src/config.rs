@@ -91,10 +91,21 @@ pub struct HardConfig {
     /// sharing a fabric must agree on this setting (it changes the wire
     /// format).
     pub reliable: bool,
+    /// Number of engine queues (worker threads). Each queue owns a
+    /// contiguous slice of the hardware flows plus its own fabric RX queue,
+    /// buffer pool, and reliable-transport channels — the functional
+    /// equivalent of per-thread RX/TX queues in eRPC/FaSST. Must satisfy
+    /// `1 <= num_queues <= num_flows` and `num_queues <= 64` (the
+    /// soft-register active-queue mask is one u64).
+    pub num_queues: usize,
 }
 
 /// Maximum number of flows a single NIC supports (Table 1).
 pub const MAX_FLOWS: usize = 512;
+
+/// Maximum number of engine queues: the soft-register active-queue mask is
+/// a single `u64`, one bit per queue.
+pub const MAX_QUEUES: usize = 64;
 
 /// Maximum connection-cache entries (power-of-two bound above the paper's
 /// 153 K figure from Table 1's BRAM budget).
@@ -109,6 +120,7 @@ impl Default for HardConfig {
             conn_cache_entries: 1024,
             iface: IfaceKind::Upi,
             reliable: false,
+            num_queues: 1,
         }
     }
 }
@@ -150,6 +162,18 @@ impl HardConfig {
                     "{name} {cap} must be a power of two in 2..=1048576"
                 )));
             }
+        }
+        if self.num_queues == 0 || self.num_queues > MAX_QUEUES {
+            return Err(DaggerError::Config(format!(
+                "num_queues {} outside 1..={MAX_QUEUES}",
+                self.num_queues
+            )));
+        }
+        if self.num_queues > self.num_flows {
+            return Err(DaggerError::Config(format!(
+                "num_queues {} exceeds num_flows {} (each queue needs at least one flow)",
+                self.num_queues, self.num_flows
+            )));
         }
         Ok(())
     }
@@ -195,6 +219,12 @@ impl HardConfigBuilder {
     /// Enables the reliable transport (Go-Back-N, §4.5 follow-up work).
     pub fn reliable(mut self, on: bool) -> Self {
         self.config.reliable = on;
+        self
+    }
+
+    /// Sets the number of engine queues (worker threads).
+    pub fn num_queues(mut self, n: usize) -> Self {
+        self.config.num_queues = n;
         self
     }
 
@@ -295,6 +325,28 @@ mod tests {
             .num_flows(MAX_FLOWS + 1)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_queue_counts() {
+        assert!(HardConfig::builder().num_queues(0).build().is_err());
+        assert!(HardConfig::builder()
+            .num_queues(MAX_QUEUES + 1)
+            .num_flows(MAX_FLOWS)
+            .build()
+            .is_err());
+        // More queues than flows: at least one queue would own no flow.
+        assert!(HardConfig::builder()
+            .num_flows(2)
+            .num_queues(4)
+            .build()
+            .is_err());
+        let cfg = HardConfig::builder()
+            .num_flows(8)
+            .num_queues(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_queues, 4);
     }
 
     #[test]

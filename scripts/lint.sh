@@ -21,4 +21,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc -p dagger-telemetry --no-deps --quiet
 echo "== chaos smoke (seeded fault-injection suite) =="
 RUST_SEED="${RUST_SEED:-1}" cargo test -q --test chaos
 
+echo "== loom-style model checks (exhaustive interleavings) =="
+RUSTFLAGS="--cfg loom" cargo test -q -p dagger-nic --test loom_models
+
+echo "== multi-queue chaos smoke =="
+RUST_SEED="${RUST_SEED:-1}" cargo test -q --test multi_queue
+
 echo "lint OK"

@@ -245,6 +245,7 @@ proptest! {
         let frame = TransportFrame::Data {
             seq,
             ack,
+            src_queue: 0,
             datagram: Datagram::new(NodeAddr(1), NodeAddr(2), vec![CacheLine::zeroed()]),
         };
         prop_assert_eq!(TransportFrame::decode(&frame.encode()).unwrap(), frame);
@@ -483,6 +484,7 @@ proptest! {
         let frame = TransportFrame::Data {
             seq,
             ack,
+            src_queue: 0,
             datagram: Datagram::new(NodeAddr(1), NodeAddr(2), vec![line]),
         };
         let mut bytes = frame.encode();
@@ -614,12 +616,79 @@ proptest! {
 
             // The sequenced reliable wrapper must agree with itself the same
             // way (its CRC is patched in place over the reused buffer).
-            let frame = TransportFrame::Data { seq, ack, datagram: dgram };
+            let frame = TransportFrame::Data { seq, ack, src_queue: 0, datagram: dgram };
             let fresh_frame = frame.encode();
             frame.encode_into(&mut reused_frame);
             prop_assert_eq!(&fresh_frame, &reused_frame);
             let frame_back = TransportFrame::decode(&reused_frame).unwrap();
             prop_assert_eq!(frame_back, frame);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Multi-queue sharding: `queue_of_flow` is total, monotone, and covers
+    /// every queue when there are at least as many flows — the contiguous
+    /// partition the engine workers rely on to claim ring ownership.
+    #[test]
+    fn queue_of_flow_partitions_flows(nf in 1usize..64, nq in 1usize..64) {
+        use dagger::nic::queue_of_flow;
+        let mut last = 0;
+        let mut seen = std::collections::HashSet::new();
+        for flow in 0..nf {
+            let q = queue_of_flow(flow, nf, nq);
+            prop_assert!(q < nq);
+            prop_assert!(q >= last, "partition must be monotone in the flow id");
+            last = q;
+            seen.insert(q);
+        }
+        if nq > 1 {
+            prop_assert_eq!(seen.len(), nq.min(nf), "every queue must own some flow");
+        }
+        // Out-of-range flow ids clamp into the last partition, never panic.
+        prop_assert_eq!(queue_of_flow(nf + 100, nf, nq), queue_of_flow(nf - 1, nf, nq));
+    }
+
+    /// RSS steering is deterministic and queue-affine for any connection
+    /// tuple under every `LbPolicy`: the route tag depends only on the
+    /// connection id (never on the LB policy, which steers server dispatch
+    /// flows, not engine queues), and the fabric maps the tag onto an
+    /// active queue of the destination — the same one on every decision,
+    /// for any nonempty active mask.
+    #[test]
+    fn steering_deterministic_and_queue_affine(
+        cid in any::<u32>(),
+        nq in 2u16..=16,
+        mask_bits in any::<u16>(),
+        policy_pick in 0usize..3,
+    ) {
+        use std::sync::Arc;
+        use std::sync::atomic::AtomicU64;
+        use dagger::nic::engine::conn_route_tag;
+        use dagger::nic::MemFabric;
+
+        // The tag is a pure function of the connection id; the configured
+        // LB policy must not perturb it.
+        let _policy = [LbPolicy::Uniform, LbPolicy::Static, LbPolicy::ObjectLevel][policy_pick];
+        let tag = conn_route_tag(ConnectionId(cid));
+        prop_assert_eq!(tag, conn_route_tag(ConnectionId(cid)));
+
+        let fabric = MemFabric::new();
+        let ports = fabric.attach_queues(NodeAddr(9), usize::from(nq)).unwrap();
+        let mask = (u64::from(mask_bits) | 1) & ((1u64 << nq) - 1);
+        fabric.set_queue_mask(NodeAddr(9), Arc::new(AtomicU64::new(mask)));
+
+        let q = fabric.route(NodeAddr(9), tag);
+        prop_assert_eq!(q, fabric.route(NodeAddr(9), tag), "route must be deterministic");
+        prop_assert_eq!(q, ports[0].route(NodeAddr(9), tag), "port view must agree");
+        prop_assert!(q < nq);
+        prop_assert!(mask & (1 << q) != 0, "route must land on an active queue");
+        // The decision is the k-th active queue with k = tag mod popcount,
+        // so distinct tuples spread while each tuple stays affine.
+        let k = tag % u64::from(mask.count_ones());
+        let expect = (0u16..64).filter(|b| mask & (1 << b) != 0).nth(k as usize).unwrap();
+        prop_assert_eq!(q, expect);
     }
 }
