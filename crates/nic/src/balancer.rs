@@ -1,0 +1,329 @@
+//! Telemetry-driven elastic RSS controller: the first closed-loop consumer
+//! of the time-series engine.
+//!
+//! A background thread subscribes to the [`dagger_telemetry::TelemetryBus`]
+//! and watches this NIC's per-queue `nic.<addr>.q<i>.rx_frames` gauge
+//! series. When one receive queue sustains a load skew above threshold
+//! (a hotspot: many connections hashing onto one queue), the controller
+//! rewrites the `queue.mask` soft register to exclude the hot queue —
+//! senders' fresh RSS routes then spread those connections over the
+//! remaining queues, migrating each connection through the engine's
+//! drain-and-handoff step (see [`crate::engine`] module docs) so per-flow
+//! order and exactly-once delivery survive the move. Once traffic quiets,
+//! the full mask is restored.
+//!
+//! The control loop is deliberately conservative: a skew must *sustain*
+//! for several consecutive observation windows before the mask changes,
+//! and a cooldown separates consecutive rewrites, so transient bursts and
+//! measurement noise cannot flap the mask.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dagger_telemetry::{BusEvent, BusEventKind, Telemetry};
+use dagger_types::NodeAddr;
+
+use crate::softreg::SoftRegisterFile;
+
+/// Tuning knobs of the elastic RSS controller.
+#[derive(Clone, Debug)]
+pub struct BalancerConfig {
+    /// Observation window: the thread samples the series engine and
+    /// re-evaluates once per interval.
+    pub poll_interval: Duration,
+    /// Max-over-mean per-queue load ratio that counts as a hotspot.
+    pub skew_threshold: f64,
+    /// Consecutive skewed windows required before the mask is rewritten.
+    pub sustain: u32,
+    /// Windows to wait after a rewrite before considering another.
+    pub cooldown: u32,
+    /// Windows with fewer total received frames than this are ignored for
+    /// shedding (idle noise), and — once shed — count toward recovery.
+    pub min_window_frames: u64,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            poll_interval: Duration::from_millis(2),
+            skew_threshold: 2.0,
+            sustain: 3,
+            cooldown: 8,
+            min_window_frames: 64,
+        }
+    }
+}
+
+/// Controller state: either the full mask is active, or one hot queue has
+/// been shed from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Balanced,
+    Shed { hot: usize },
+}
+
+/// Handle to the running controller thread. Stops (and restores the full
+/// queue mask) on [`stop`](QueueBalancer::stop) or drop.
+pub struct QueueBalancer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl QueueBalancer {
+    /// Spawns the controller for one NIC.
+    ///
+    /// `telemetry` must be the hub the NIC's collector registers its
+    /// per-queue gauges with; `softregs` the NIC's own register file
+    /// (its mask handle is shared with the fabric's RSS router).
+    pub fn start(
+        telemetry: Arc<Telemetry>,
+        softregs: Arc<SoftRegisterFile>,
+        addr: NodeAddr,
+        num_queues: usize,
+        cfg: BalancerConfig,
+    ) -> QueueBalancer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name(format!("dagger-balancer-{}", addr.raw()))
+            .spawn(move || run(&telemetry, &softregs, addr, num_queues, &cfg, &stop2))
+            .expect("spawn queue balancer");
+        QueueBalancer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the controller and joins its thread. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for QueueBalancer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for QueueBalancer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueueBalancer")
+            .field("running", &self.handle.is_some())
+            .finish()
+    }
+}
+
+fn run(
+    telemetry: &Arc<Telemetry>,
+    softregs: &SoftRegisterFile,
+    addr: NodeAddr,
+    num_queues: usize,
+    cfg: &BalancerConfig,
+    stop: &AtomicBool,
+) {
+    let bus = Arc::clone(telemetry.bus());
+    let mut reader = telemetry.subscribe();
+    // Resolve the per-queue rx_frames series ids up front; the interner
+    // returns the same id the sampling engine publishes under.
+    let series_ids: Vec<u32> = (0..num_queues)
+        .map(|q| bus.intern(&format!("nic.{}.q{q}.rx_frames", addr.raw())))
+        .collect();
+    let polls = telemetry
+        .registry()
+        .counter(&format!("nic.{}.balancer.polls", addr.raw()));
+    let remaps = telemetry
+        .registry()
+        .counter(&format!("nic.{}.balancer.remaps", addr.raw()));
+    let restores = telemetry
+        .registry()
+        .counter(&format!("nic.{}.balancer.restores", addr.raw()));
+
+    let full_mask = if num_queues >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << num_queues) - 1
+    };
+    // Cumulative rx_frames totals per queue: `cur` tracks the latest gauge
+    // values off the bus, `base` the values at the previous decision.
+    let mut cur = vec![0u64; num_queues];
+    let mut base = vec![0u64; num_queues];
+    let mut events: Vec<BusEvent> = Vec::new();
+    let mut state = State::Balanced;
+    let mut streak: u32 = 0;
+    let mut cooldown: u32 = 0;
+
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(cfg.poll_interval);
+        // Drive the sampling grid ourselves: collectors refresh the
+        // per-queue gauges and the series engine publishes the changes
+        // this reader is about to drain.
+        telemetry.sample_now();
+        polls.add(1);
+        reader.poll(&mut events);
+        for ev in events.drain(..) {
+            if ev.kind != BusEventKind::GaugeSet {
+                continue;
+            }
+            if let Some(q) = series_ids.iter().position(|&id| id == ev.series) {
+                cur[q] = ev.value;
+            }
+        }
+        let loads: Vec<u64> = (0..num_queues)
+            .map(|q| cur[q].saturating_sub(base[q]))
+            .collect();
+        base.copy_from_slice(&cur);
+        let total: u64 = loads.iter().sum();
+        cooldown = cooldown.saturating_sub(1);
+
+        match state {
+            State::Balanced => {
+                // Hotspot detection over this window's per-queue deltas.
+                let (hot, &max) = loads
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &l)| l)
+                    .unwrap_or((0, &0));
+                let mean = total as f64 / num_queues as f64;
+                let skewed = total >= cfg.min_window_frames
+                    && mean > 0.0
+                    && max as f64 / mean >= cfg.skew_threshold;
+                streak = if skewed { streak + 1 } else { 0 };
+                if streak >= cfg.sustain && cooldown == 0 && num_queues > 1 {
+                    softregs.set_active_queue_mask(full_mask & !(1u64 << hot));
+                    remaps.add(1);
+                    state = State::Shed { hot };
+                    streak = 0;
+                    cooldown = cfg.cooldown;
+                }
+            }
+            State::Shed { .. } => {
+                // Restore once the load subsides: re-admitting the shed
+                // queue under the same traffic would just re-create the
+                // hotspot (the route hash is deterministic), so recovery
+                // keys on quiet, not on momentary balance.
+                let quiet = total < cfg.min_window_frames;
+                streak = if quiet { streak + 1 } else { 0 };
+                if streak >= cfg.sustain && cooldown == 0 {
+                    softregs.set_active_queue_mask(0); // 0 = all queues
+                    restores.add(1);
+                    state = State::Balanced;
+                    streak = 0;
+                    cooldown = cfg.cooldown;
+                }
+            }
+        }
+    }
+    // Leave the register file the way a fresh NIC starts: all queues
+    // active. A mask that outlives its controller would silently pin the
+    // NIC to a subset forever.
+    if state != State::Balanced {
+        softregs.set_active_queue_mask(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagger_telemetry::SeriesConfig;
+
+    /// Drives the controller with synthetic per-queue gauge advances and
+    /// watches the soft mask: a sustained hotspot on q1 must shed q1, and
+    /// quiet must restore the full mask.
+    #[test]
+    fn sheds_hot_queue_and_restores_on_quiet() {
+        let telemetry = Telemetry::with_series_config(SeriesConfig::default());
+        let softregs = Arc::new(SoftRegisterFile::default());
+        let addr = NodeAddr(9);
+        let reg = telemetry.registry();
+        let g: Vec<_> = (0..4)
+            .map(|q| reg.gauge(&format!("nic.9.q{q}.rx_frames")))
+            .collect();
+        let cfg = BalancerConfig {
+            poll_interval: Duration::from_millis(1),
+            skew_threshold: 2.0,
+            sustain: 2,
+            cooldown: 1,
+            min_window_frames: 32,
+        };
+        let mut bal =
+            QueueBalancer::start(Arc::clone(&telemetry), Arc::clone(&softregs), addr, 4, cfg);
+        // Feed a hotspot: q1 takes ~90% of the frames.
+        let mut totals = [0u64; 4];
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while softregs.active_queue_mask() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "balancer never shed the hot queue"
+            );
+            for (q, t) in totals.iter_mut().enumerate() {
+                *t += if q == 1 { 900 } else { 30 };
+                g[q].set(*t);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            softregs.active_queue_mask(),
+            0b1101,
+            "mask must exclude exactly the hot queue"
+        );
+        // Quiet: gauges stop advancing; the mask must come back.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while softregs.active_queue_mask() != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "balancer never restored the full mask"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        bal.stop();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.registry.counter("nic.9.balancer.remaps"), Some(1));
+        assert_eq!(snap.registry.counter("nic.9.balancer.restores"), Some(1));
+    }
+
+    #[test]
+    fn transient_burst_below_sustain_does_not_remap() {
+        let telemetry = Telemetry::with_series_config(SeriesConfig::default());
+        let softregs = Arc::new(SoftRegisterFile::default());
+        let reg = telemetry.registry();
+        let g1 = reg.gauge("nic.7.q1.rx_frames");
+        let cfg = BalancerConfig {
+            poll_interval: Duration::from_millis(1),
+            sustain: 50, // far more windows than the burst below lasts
+            ..BalancerConfig::default()
+        };
+        let mut bal = QueueBalancer::start(
+            Arc::clone(&telemetry),
+            Arc::clone(&softregs),
+            NodeAddr(7),
+            2,
+            cfg,
+        );
+        g1.set(10_000); // one skewed window, then silence
+        std::thread::sleep(Duration::from_millis(40));
+        bal.stop();
+        assert_eq!(softregs.active_queue_mask(), 0, "mask must not move");
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_drop_safe() {
+        let telemetry = Telemetry::new();
+        let softregs = Arc::new(SoftRegisterFile::default());
+        let mut bal = QueueBalancer::start(
+            telemetry,
+            softregs,
+            NodeAddr(3),
+            2,
+            BalancerConfig::default(),
+        );
+        bal.stop();
+        bal.stop();
+        drop(bal);
+    }
+}

@@ -30,13 +30,21 @@
 //! frames steered to one flow traverse at most one handoff ring — per-flow
 //! FIFO order survives the sharding.
 //!
+//! The affinity is *elastic*: when the balancer rewrites the active-queue
+//! mask, connections migrate to their new queue via drain-and-handoff. The
+//! sender pins each connection to its old channel until that channel is
+//! fully acked (so nothing is in flight when it switches), and the receiver
+//! stamps every data frame with a per-flow arrival sequence at steer time,
+//! releasing frames to delivery in stamp order — frames that legitimately
+//! cross receive queues mid-remap still deliver in arrival order.
+//!
 //! When the NIC shares the physical bus with other virtual NICs, the engine
 //! takes a grant from the [`CcipArbiter`](crate::arbiter::CcipArbiter)
 //! before each bus round (Fig. 14); virtualization is single-queue (the
 //! arbiter models one physical CCI-P bus interface).
 
-use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
@@ -239,11 +247,55 @@ pub(crate) struct EngineCore {
     /// Per-destination-queue overflow for handoffs that found their ring
     /// full; retried each tick ahead of new handoffs so per-flow order is
     /// kept.
-    pub xfer_backlog: Vec<VecDeque<(u16, CacheLine)>>,
+    pub xfer_backlog: Vec<VecDeque<(u16, u64, CacheLine)>>,
     /// Shutdown rendezvous: a worker increments it once it has drained its
     /// own TX side, and keeps its RX side live until every sibling has.
     pub stop_barrier: Arc<AtomicUsize>,
+    /// NIC-wide per-flow arrival sequence counters, shared by every worker
+    /// of this NIC. The steering worker stamps each data frame at steer
+    /// time (`rx_frame`), and the owning worker releases frames to delivery
+    /// in stamp order — so per-flow order survives an elastic RSS remap
+    /// that moves a flow's traffic across receive queues mid-stream.
+    pub flow_seq: Arc<Vec<AtomicU64>>,
+    /// Next arrival sequence to deliver, per flow (global indexing; only
+    /// this worker's owned flows ever advance).
+    pub next_deliver: Vec<u64>,
+    /// Out-of-order arrivals parked until their gap fills, per owned flow.
+    /// Empty in steady state: entries appear only while a remap (or a
+    /// forced switch under loss) has the same flow's frames in flight on
+    /// two receive paths at once.
+    pub hold: Vec<BTreeMap<u64, CacheLine>>,
+    /// Tick when the current oldest hold of each flow was parked (drives
+    /// the stall valve).
+    pub hold_since: Vec<u64>,
+    /// Total held frames across all flows (fast zero check per tick).
+    pub held_frames: usize,
+    /// Sender side of the remap protocol: per-connection pinned destination
+    /// queue plus drain state (see [`EngineCore::pin_route`]).
+    pub route_pins: U64Map<RoutePin>,
 }
+
+/// A connection's pinned destination queue on the sender side. When the
+/// RSS route moves (the balancer rewrote the active-queue mask), the pin
+/// holds the connection on its old channel until that channel is fully
+/// acked — the drain step of drain-and-handoff.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RoutePin {
+    pub queue: u16,
+    /// Tick when the fresh route last agreed with the pin; once they
+    /// diverge this ages, bounding the drain via
+    /// [`REMAP_DRAIN_DEADLINE_TICKS`].
+    pub agreed_at: u64,
+}
+
+/// Ticks a diverged route pin may wait for its old channel to drain before
+/// the switch is forced (livelock bound under sustained loss; the
+/// receiver's hold queue and stall valve absorb the overlap).
+pub(crate) const REMAP_DRAIN_DEADLINE_TICKS: u64 = 4096;
+
+/// Ticks an out-of-order hold may wait for its gap to fill before the
+/// owner presumes the missing arrival lost and releases past it.
+pub(crate) const HOLD_STALL_TICKS: u64 = 2048;
 
 /// One `(destination, queue)`'s staged lines for the current TX round. The
 /// `lines` vector circulates: stage → datagram → (wire or retransmit
@@ -276,10 +328,11 @@ impl EngineCore {
             let mut progress = false;
             progress |= self.flush_pending();
             progress |= self.flush_backlog();
-            progress |= self.ctrl_round();
-            progress |= self.tx_round();
+            progress |= self.ctrl_round(tick);
+            progress |= self.tx_round(tick);
             progress |= self.rx_round(tick);
             progress |= self.inbox_round(tick);
+            progress |= self.release_stalled(tick);
             progress |= self.deliver_round(tick, false);
             self.reliable_tick();
             if progress {
@@ -317,8 +370,8 @@ impl EngineCore {
     /// the loopback fabric) at the last moment are not stranded in a ring
     /// nobody drains. A final sweep then flushes what has already arrived.
     fn shutdown_drain(&mut self, tick: u64) {
-        self.ctrl_round();
-        while self.tx_round() {}
+        self.ctrl_round(tick);
+        while self.tx_round(tick) {}
         self.flush_pending();
         self.flush_backlog();
         self.stop_barrier.fetch_add(1, Ordering::AcqRel);
@@ -337,6 +390,9 @@ impl EngineCore {
         while self.rx_round(tick) {}
         self.flush_backlog();
         while self.inbox_round(tick) {}
+        // Frames still parked for ordering release now regardless of gaps:
+        // their missing predecessors are not coming.
+        self.force_release_holds(tick);
         self.deliver_round(tick, true);
         self.drain_pending_on_stop();
         // Handoffs that never fit their ring die with this worker; account
@@ -349,13 +405,15 @@ impl EngineCore {
 
     /// Parking is safe only when nothing tick-driven is outstanding: no
     /// arbiter rotation to keep granting, no window-deferred datagrams, no
-    /// staged FIFO slots awaiting delivery, no handoffs waiting for ring
-    /// space, and the reliable transport has neither unacked frames, owed
-    /// acks, nor retired buffers to recycle.
+    /// staged FIFO slots awaiting delivery, no out-of-order holds waiting
+    /// on the stall valve, no handoffs waiting for ring space, and the
+    /// reliable transport has neither unacked frames, owed acks, nor
+    /// retired buffers to recycle.
     fn can_idle_park(&self) -> bool {
         self.arbiter.is_none()
             && self.pending_out.is_empty()
             && self.fifos.is_empty()
+            && self.held_frames == 0
             && self.xfer_backlog.iter().all(VecDeque::is_empty)
             && self
                 .reliable
@@ -410,7 +468,7 @@ impl EngineCore {
 
     /// TX FSM: fetch up to `B` frames from each owned flow's TX ring and
     /// ship them grouped by `(destination, destination queue)`.
-    fn tx_round(&mut self) -> bool {
+    fn tx_round(&mut self, tick: u64) -> bool {
         let batch = self.softregs.batch_size() as usize;
         // Every provisioned flow has a live TX FSM; the active-flow register
         // only narrows RX request steering (client flows beyond it still
@@ -465,10 +523,10 @@ impl EngineCore {
                     continue;
                 };
                 // RSS: the connection's tag pins it to one engine queue of
-                // the destination (new decisions honor the active mask).
-                let dst_queue = self
-                    .port
-                    .route(tuple.dest_addr, conn_route_tag(hdr.connection_id));
+                // the destination (new decisions honor the active mask);
+                // the pin layer holds a remapped connection on its old
+                // channel until that channel drains.
+                let dst_queue = self.pin_route(hdr.connection_id, tuple.dest_addr, tick);
                 let key = stage_key(tuple.dest_addr, dst_queue);
                 let idx = match self.stage_idx.get(&key) {
                     Some(&i) => i,
@@ -520,6 +578,59 @@ impl EngineCore {
             self.send_datagram(dgram, dst_queue);
         }
         progress
+    }
+
+    /// Resolves the destination queue for one connection through the route
+    /// pin layer — the sender half of drain-and-handoff.
+    ///
+    /// Steady state this is the plain RSS route. When the fresh route
+    /// diverges from the pinned queue (the balancer rewrote the active
+    /// mask), the connection keeps transmitting on its *old* channel until
+    /// every datagram sent there has been acked: at that point all old
+    /// frames have been received — and arrival-stamped — by the remote NIC,
+    /// so the switch cannot reorder the flow. A tick deadline bounds the
+    /// drain under sustained loss; the receiver's hold queue and stall
+    /// valve absorb whatever overlap a forced switch lets through.
+    fn pin_route(&mut self, cid: ConnectionId, dst: NodeAddr, tick: u64) -> u16 {
+        let fresh = self.port.route(dst, conn_route_tag(cid));
+        let key = u64::from(cid.raw());
+        let Some(pin) = self.route_pins.get(&key).copied() else {
+            self.route_pins.insert(
+                key,
+                RoutePin {
+                    queue: fresh,
+                    agreed_at: tick,
+                },
+            );
+            return fresh;
+        };
+        if pin.queue == fresh {
+            if let Some(p) = self.route_pins.get_mut(&key) {
+                p.agreed_at = tick;
+            }
+            return fresh;
+        }
+        let drained = self
+            .reliable
+            .as_ref()
+            .is_none_or(|rel| rel.channel_fully_acked(dst, pin.queue));
+        if drained || tick.wrapping_sub(pin.agreed_at) >= REMAP_DRAIN_DEADLINE_TICKS {
+            if drained {
+                self.qstats.inc_remaps();
+            } else {
+                self.qstats.inc_forced_remaps();
+            }
+            self.route_pins.insert(
+                key,
+                RoutePin {
+                    queue: fresh,
+                    agreed_at: tick,
+                },
+            );
+            fresh
+        } else {
+            pin.queue
+        }
     }
 
     /// Ships one datagram toward `dst_queue` of its destination, through
@@ -596,14 +707,14 @@ impl EngineCore {
                 continue;
             };
             let mut pushed = false;
-            while let Some((flow, line)) = self.xfer_backlog[owner].pop_front() {
-                match ring.try_push(flow, line) {
+            while let Some((flow, seq, line)) = self.xfer_backlog[owner].pop_front() {
+                match ring.try_push(flow, seq, line) {
                     Ok(()) => {
                         progress = true;
                         pushed = true;
                     }
                     Err(_) => {
-                        self.xfer_backlog[owner].push_front((flow, line));
+                        self.xfer_backlog[owner].push_front((flow, seq, line));
                         break;
                     }
                 }
@@ -618,7 +729,7 @@ impl EngineCore {
     /// Drains the host's control outbox. Each control datagram is routed
     /// like data: its connection's tag picks the destination queue, so an
     /// open/close and the connection's data frames share a channel.
-    fn ctrl_round(&mut self) -> bool {
+    fn ctrl_round(&mut self, tick: u64) -> bool {
         let mut progress = false;
         for _ in 0..16 {
             let Ok((dst, dgram)) = self.ctrl_rx.try_recv() else {
@@ -629,7 +740,7 @@ impl EngineCore {
                 .lines
                 .first()
                 .and_then(|l| RpcHeader::decode(l.header()).ok())
-                .map_or(0, |h| self.port.route(dst, conn_route_tag(h.connection_id)));
+                .map_or(0, |h| self.pin_route(h.connection_id, dst, tick));
             self.send_datagram(dgram, dst_queue);
         }
         progress
@@ -712,19 +823,48 @@ impl EngineCore {
         for i in 0..self.xfer_in.len() {
             // Bounded like the port drain, for fairness across inboxes.
             for _ in 0..64 {
-                let Some((flow, line)) = self.xfer_in[i].try_pop() else {
+                let Some((flow, seq, line)) = self.xfer_in[i].try_pop() else {
                     break;
                 };
                 progress = true;
                 self.qstats.inc_handoff_in();
-                self.accept_frame(usize::from(flow), line, tick);
+                self.accept_frame(usize::from(flow), seq, line, tick);
             }
         }
         progress
     }
 
-    /// Stages one steered frame for an owned flow (request buffer + FIFO).
-    fn accept_frame(&mut self, flow: usize, line: CacheLine, tick: u64) {
+    /// Accepts one steered frame for an owned flow, releasing to the
+    /// request buffer + FIFO in arrival-stamp order.
+    ///
+    /// In steady state `seq` always equals the flow's `next_deliver` (one
+    /// receive path, FIFO handoff rings) and this is a straight stage.
+    /// During a remap the same flow's frames can reach the owner via two
+    /// paths at once — its own port queue and a sibling's handoff ring —
+    /// so later stamps park in the hold queue until the gap fills (or the
+    /// stall valve gives up on a lost predecessor).
+    fn accept_frame(&mut self, flow: usize, seq: u64, line: CacheLine, tick: u64) {
+        if seq > self.next_deliver[flow] {
+            if self.hold[flow].is_empty() {
+                self.hold_since[flow] = tick;
+            }
+            self.hold[flow].insert(seq, line);
+            self.held_frames += 1;
+            self.qstats.inc_reorder_holds();
+            return;
+        }
+        self.stage_frame(flow, line, tick);
+        if seq == self.next_deliver[flow] {
+            self.next_deliver[flow] = seq + 1;
+            self.drain_holds(flow, tick);
+        }
+        // seq < next_deliver cannot happen with unique fetch_add stamps
+        // (the stall valve only ever skips *missing* stamps forward); the
+        // frame was staged above regardless, so nothing is lost even then.
+    }
+
+    /// Stages one in-order frame into the request buffer + FIFO.
+    fn stage_frame(&mut self, flow: usize, line: CacheLine, tick: u64) {
         match self.reqbuf.alloc(line) {
             Some(slot) => {
                 self.fifos.push(flow, slot);
@@ -734,19 +874,76 @@ impl EngineCore {
         }
     }
 
+    /// Releases consecutive held frames now that `next_deliver` advanced.
+    fn drain_holds(&mut self, flow: usize, tick: u64) {
+        while let Some(entry) = self.hold[flow].first_entry() {
+            if *entry.key() != self.next_deliver[flow] {
+                break;
+            }
+            let line = entry.remove();
+            self.held_frames -= 1;
+            self.next_deliver[flow] += 1;
+            self.hold_since[flow] = tick;
+            self.stage_frame(flow, line, tick);
+        }
+    }
+
+    /// The stall valve: a hold whose gap has not filled within
+    /// [`HOLD_STALL_TICKS`] presumes its missing predecessors lost (e.g.
+    /// dropped on the old path of a forced remap switch) and releases past
+    /// them, so a lost frame costs latency, never liveness.
+    fn release_stalled(&mut self, tick: u64) -> bool {
+        if self.held_frames == 0 {
+            return false;
+        }
+        let mut progress = false;
+        for flow in 0..self.hold.len() {
+            if self.hold[flow].is_empty()
+                || tick.wrapping_sub(self.hold_since[flow]) < HOLD_STALL_TICKS
+            {
+                continue;
+            }
+            if let Some((&seq, _)) = self.hold[flow].first_key_value() {
+                self.next_deliver[flow] = seq;
+                self.qstats.inc_reorder_flushes();
+                self.drain_holds(flow, tick);
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Shutdown: releases every held frame in stamp order regardless of
+    /// gaps — missing predecessors are not coming.
+    fn force_release_holds(&mut self, tick: u64) {
+        if self.held_frames == 0 {
+            return;
+        }
+        for flow in 0..self.hold.len() {
+            while let Some(entry) = self.hold[flow].first_entry() {
+                let seq = *entry.key();
+                let line = entry.remove();
+                self.held_frames -= 1;
+                self.next_deliver[flow] = seq + 1;
+                self.qstats.inc_reorder_flushes();
+                self.stage_frame(flow, line, tick);
+            }
+        }
+    }
+
     /// Hands one steered frame to the worker owning `flow`, preserving
     /// arrival order behind any backlog toward the same worker.
-    fn handoff(&mut self, owner: usize, flow: u16, line: CacheLine) {
+    fn handoff(&mut self, owner: usize, flow: u16, seq: u64, line: CacheLine) {
         self.qstats.inc_handoff_out();
         if self.xfer_backlog[owner].is_empty() {
             if let Some(ring) = self.xfer_out[owner].as_mut() {
-                if ring.try_push(flow, line).is_ok() {
+                if ring.try_push(flow, seq, line).is_ok() {
                     self.peer_wakers[owner].wake();
                     return;
                 }
             }
         }
-        self.xfer_backlog[owner].push_back((flow, line));
+        self.xfer_backlog[owner].push_back((flow, seq, line));
     }
 
     fn rx_frame(&mut self, line: CacheLine, tick: u64) {
@@ -818,10 +1015,14 @@ impl EngineCore {
             .steer(&hdr, line.payload(), n, total, Some(tuple.src_flow))
             .raw() as usize;
         let owner = queue_of_flow(flow, total, self.num_queues);
+        // Arrival stamp: the NIC-wide per-flow sequence fixes this frame's
+        // delivery position *here*, before the local/handoff fork, so both
+        // paths observe one total order per flow.
+        let seq = self.flow_seq[flow].fetch_add(1, Ordering::Relaxed);
         if owner == usize::from(self.queue_id) {
-            self.accept_frame(flow, line, tick);
+            self.accept_frame(flow, seq, line, tick);
         } else {
-            self.handoff(owner, flow as u16, line);
+            self.handoff(owner, flow as u16, seq, line);
         }
     }
 
@@ -962,6 +1163,12 @@ mod tests {
             xfer_in: Vec::new(),
             xfer_backlog: vec![VecDeque::new()],
             stop_barrier: Arc::new(AtomicUsize::new(0)),
+            flow_seq: Arc::new(vec![AtomicU64::new(0)]),
+            next_deliver: vec![0],
+            hold: vec![BTreeMap::new()],
+            hold_since: vec![0],
+            held_frames: 0,
+            route_pins: U64Map::default(),
         };
         (core, host_tx, host_rx)
     }
@@ -1007,6 +1214,7 @@ mod tests {
         let telemetry = Telemetry::new();
         let stop_barrier = Arc::new(AtomicUsize::new(0));
         let wakers: Vec<_> = (0..2).map(|_| Arc::new(EngineWaker::new())).collect();
+        let flow_seq = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
 
         let (host_tx, engine_rx) = ring(64);
         let (engine_tx0, host_rx0) = ring(64);
@@ -1062,6 +1270,12 @@ mod tests {
                     xfer_in: std::mem::take(&mut xfer_in[q]),
                     xfer_backlog: vec![VecDeque::new(), VecDeque::new()],
                     stop_barrier: Arc::clone(&stop_barrier),
+                    flow_seq: Arc::clone(&flow_seq),
+                    next_deliver: vec![0, 0],
+                    hold: vec![BTreeMap::new(), BTreeMap::new()],
+                    hold_since: vec![0, 0],
+                    held_frames: 0,
+                    route_pins: U64Map::default(),
                 }
             })
             .collect();
@@ -1121,7 +1335,7 @@ mod tests {
         for i in 0..burst {
             host_tx.try_push(data_frame(i)).unwrap();
         }
-        core.tx_round();
+        core.tx_round(0);
         core.rx_round(tick);
         core.deliver_round(tick, true);
         while host_rx.try_pop().is_some() {}
@@ -1140,7 +1354,7 @@ mod tests {
         for i in 0..16 {
             host_tx.try_push(data_frame(i)).unwrap();
         }
-        let (allocs, progressed) = alloc_counter::count_allocs(|| core.tx_round());
+        let (allocs, progressed) = alloc_counter::count_allocs(|| core.tx_round(0));
         assert!(progressed, "tx_round saw no frames");
         assert_eq!(
             allocs, 0,
@@ -1191,7 +1405,7 @@ mod tests {
         for i in 0..burst {
             host_tx.try_push(response_frame(i, (i % 2) as u16)).unwrap();
         }
-        cores[0].tx_round();
+        cores[0].tx_round(0);
         for core in cores.iter_mut() {
             core.rx_round(tick);
             core.flush_backlog();
@@ -1236,7 +1450,7 @@ mod tests {
         for i in 0..16 {
             host_tx.try_push(response_frame(i, (i % 2) as u16)).unwrap();
         }
-        let (tx_allocs, tx_progress) = alloc_counter::count_allocs(|| cores[0].tx_round());
+        let (tx_allocs, tx_progress) = alloc_counter::count_allocs(|| cores[0].tx_round(0));
         assert!(tx_progress, "sharded tx_round saw no frames");
         assert_eq!(
             tx_allocs, 0,
@@ -1274,7 +1488,7 @@ mod tests {
                     .try_push(response_frame(rpc, (rpc % 2) as u16))
                     .unwrap();
             }
-            cores[0].tx_round();
+            cores[0].tx_round(0);
             for t in 0..2 {
                 let tick = u64::from(round) * 2 + t;
                 for core in cores.iter_mut() {

@@ -42,6 +42,7 @@
 //! timing lives in `dagger-sim`.
 
 pub mod arbiter;
+pub mod balancer;
 pub mod bufpool;
 pub mod conncache;
 pub mod connmgr;
@@ -61,6 +62,7 @@ pub mod transport;
 pub mod wait;
 pub mod xfer;
 
+pub use balancer::{BalancerConfig, QueueBalancer};
 pub use bufpool::{BufPool, BufPoolStats};
 pub use conncache::{ConnCacheStats, ConnTupleCache};
 pub use connmgr::{ConnectionManager, ConnectionTuple};

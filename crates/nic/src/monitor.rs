@@ -5,6 +5,7 @@
 //! tracing of §5.7 and for the drop-rate criteria of §5.6).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Lock-free NIC statistics, shared between the engine thread and the host.
 ///
@@ -26,6 +27,9 @@ pub struct PacketMonitor {
     direct_polls: AtomicU64,
     tx_window_deferrals: AtomicU64,
     flows: Vec<FlowCounters>,
+    /// Per-queue banks of a sharded NIC, attached once at engine start so
+    /// whole-NIC snapshots carry the per-queue breakdown too.
+    queues: OnceLock<Vec<Arc<QueueStats>>>,
 }
 
 /// Per-flow counter bank (one entry per ring pair).
@@ -48,7 +52,7 @@ pub struct FlowSnapshot {
 }
 
 /// A plain-data snapshot of every counter.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MonitorSnapshot {
     /// Frames sent to the network.
     pub tx_frames: u64,
@@ -76,6 +80,9 @@ pub struct MonitorSnapshot {
     /// Datagrams deferred (including re-deferred) by reliable-transport
     /// window backpressure.
     pub tx_window_deferrals: u64,
+    /// Per-queue counters of a sharded NIC (empty when no queue banks are
+    /// attached, e.g. a standalone monitor).
+    pub queues: Vec<QueueSnapshot>,
 }
 
 /// Per-engine-queue counter bank for a sharded NIC: one instance per
@@ -91,6 +98,10 @@ pub struct QueueStats {
     rx_datagrams: AtomicU64,
     handoff_out: AtomicU64,
     handoff_in: AtomicU64,
+    reorder_holds: AtomicU64,
+    reorder_flushes: AtomicU64,
+    remaps: AtomicU64,
+    forced_remaps: AtomicU64,
 }
 
 /// A plain-data snapshot of one engine queue's counters.
@@ -108,6 +119,34 @@ pub struct QueueSnapshot {
     pub handoff_out: u64,
     /// Steered frames accepted from other workers.
     pub handoff_in: u64,
+    /// Handed-off frames held back to restore per-flow arrival order.
+    pub reorder_holds: u64,
+    /// Holds released past a gap by the stall valve (or shutdown flush).
+    pub reorder_flushes: u64,
+    /// Connections this worker switched to a new destination queue after
+    /// a clean channel drain (elastic RSS remap).
+    pub remaps: u64,
+    /// Remap switches forced by the drain deadline with the old channel
+    /// still unacked.
+    pub forced_remaps: u64,
+}
+
+impl QueueSnapshot {
+    /// Per-field saturating difference `self - earlier`.
+    pub fn delta(&self, earlier: &QueueSnapshot) -> QueueSnapshot {
+        QueueSnapshot {
+            tx_frames: self.tx_frames.saturating_sub(earlier.tx_frames),
+            rx_frames: self.rx_frames.saturating_sub(earlier.rx_frames),
+            tx_datagrams: self.tx_datagrams.saturating_sub(earlier.tx_datagrams),
+            rx_datagrams: self.rx_datagrams.saturating_sub(earlier.rx_datagrams),
+            handoff_out: self.handoff_out.saturating_sub(earlier.handoff_out),
+            handoff_in: self.handoff_in.saturating_sub(earlier.handoff_in),
+            reorder_holds: self.reorder_holds.saturating_sub(earlier.reorder_holds),
+            reorder_flushes: self.reorder_flushes.saturating_sub(earlier.reorder_flushes),
+            remaps: self.remaps.saturating_sub(earlier.remaps),
+            forced_remaps: self.forced_remaps.saturating_sub(earlier.forced_remaps),
+        }
+    }
 }
 
 impl QueueStats {
@@ -141,6 +180,29 @@ impl QueueStats {
         self.handoff_in.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one frame held back (or re-held) waiting for an earlier
+    /// arrival during a cross-queue handoff.
+    pub fn inc_reorder_holds(&self) {
+        self.reorder_holds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one hold released past its gap by the stall valve (the
+    /// missing predecessor was presumed lost) or by the shutdown flush.
+    pub fn inc_reorder_flushes(&self) {
+        self.reorder_flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection switched to a new destination queue after its
+    /// old channel drained cleanly.
+    pub fn inc_remaps(&self) {
+        self.remaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one remap switch forced by the drain deadline.
+    pub fn inc_forced_remaps(&self) {
+        self.forced_remaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads all of this queue's counters at once.
     pub fn snapshot(&self) -> QueueSnapshot {
         QueueSnapshot {
@@ -150,6 +212,10 @@ impl QueueStats {
             rx_datagrams: self.rx_datagrams.load(Ordering::Relaxed),
             handoff_out: self.handoff_out.load(Ordering::Relaxed),
             handoff_in: self.handoff_in.load(Ordering::Relaxed),
+            reorder_holds: self.reorder_holds.load(Ordering::Relaxed),
+            reorder_flushes: self.reorder_flushes.load(Ordering::Relaxed),
+            remaps: self.remaps.load(Ordering::Relaxed),
+            forced_remaps: self.forced_remaps.load(Ordering::Relaxed),
         }
     }
 }
@@ -171,6 +237,22 @@ impl PacketMonitor {
     /// Number of per-flow counter entries (0 when built with `new`).
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Attaches the sharded engine's per-queue counter banks so every
+    /// [`snapshot`](PacketMonitor::snapshot) carries the per-queue
+    /// breakdown. First attachment wins; later calls are ignored (the bank
+    /// set is fixed for the NIC's lifetime).
+    pub fn attach_queue_stats(&self, banks: Vec<Arc<QueueStats>>) {
+        let _ = self.queues.set(banks);
+    }
+
+    /// Reads every attached queue bank (empty when none are attached).
+    pub fn queue_snapshots(&self) -> Vec<QueueSnapshot> {
+        self.queues
+            .get()
+            .map(|banks| banks.iter().map(|b| b.snapshot()).collect())
+            .unwrap_or_default()
     }
 
     /// Counts `n` frames pulled from flow `flow`'s TX ring.
@@ -280,6 +362,7 @@ impl PacketMonitor {
             cached_polls: self.cached_polls.load(Ordering::Relaxed),
             direct_polls: self.direct_polls.load(Ordering::Relaxed),
             tx_window_deferrals: self.tx_window_deferrals.load(Ordering::Relaxed),
+            queues: self.queue_snapshots(),
         }
     }
 }
@@ -324,6 +407,15 @@ impl MonitorSnapshot {
             tx_window_deferrals: self
                 .tx_window_deferrals
                 .saturating_sub(earlier.tx_window_deferrals),
+            queues: self
+                .queues
+                .iter()
+                .enumerate()
+                .map(|(i, q)| match earlier.queues.get(i) {
+                    Some(e) => q.delta(e),
+                    None => *q,
+                })
+                .collect(),
         }
     }
 }
@@ -347,7 +439,24 @@ impl std::fmt::Display for MonitorSnapshot {
             self.cached_polls,
             self.direct_polls,
             self.tx_window_deferrals
-        )
+        )?;
+        for (i, q) in self.queues.iter().enumerate() {
+            write!(
+                f,
+                " q{i}[tx={}f/{}d rx={}f/{}d ho={}/{} held={}/{} rm={}/{}]",
+                q.tx_frames,
+                q.tx_datagrams,
+                q.rx_frames,
+                q.rx_datagrams,
+                q.handoff_out,
+                q.handoff_in,
+                q.reorder_holds,
+                q.reorder_flushes,
+                q.remaps,
+                q.forced_remaps
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -454,6 +563,51 @@ mod tests {
         assert_eq!(s1.rx_datagrams, 1);
         assert_eq!(s1.handoff_in, 1);
         assert_eq!(s1.tx_frames, 0);
+    }
+
+    #[test]
+    fn snapshot_delta_and_display_carry_attached_queue_banks() {
+        let m = PacketMonitor::new();
+        let banks: Vec<Arc<QueueStats>> = (0..2).map(|_| Arc::new(QueueStats::default())).collect();
+        m.attach_queue_stats(banks.clone());
+        banks[0].add_tx_frames(4);
+        banks[1].add_rx_frames(9);
+        banks[1].inc_handoff_in();
+        let before = m.snapshot();
+        assert_eq!(before.queues.len(), 2);
+        assert_eq!(before.queues[0].tx_frames, 4);
+        assert_eq!(before.queues[1].rx_frames, 9);
+        banks[0].add_tx_frames(6);
+        banks[1].inc_reorder_holds();
+        let d = m.snapshot().delta(&before);
+        assert_eq!(d.queues[0].tx_frames, 6);
+        assert_eq!(d.queues[1].rx_frames, 0);
+        assert_eq!(d.queues[1].reorder_holds, 1);
+        let line = m.snapshot().to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("q0[tx=10f"), "{line}");
+        assert!(line.contains("q1["), "{line}");
+        assert!(line.contains("held=1"), "{line}");
+        // Re-attachment is ignored: the first bank set stays live.
+        m.attach_queue_stats(vec![Arc::new(QueueStats::default())]);
+        assert_eq!(m.snapshot().queues.len(), 2);
+        // A monitor without banks keeps the old single-line shape.
+        let plain = PacketMonitor::new().snapshot();
+        assert!(plain.queues.is_empty());
+        assert!(!plain.to_string().contains("q0["));
+    }
+
+    #[test]
+    fn delta_tolerates_mismatched_queue_counts() {
+        let m = PacketMonitor::new();
+        m.attach_queue_stats(vec![Arc::new(QueueStats::default())]);
+        m.queues.get().unwrap()[0].add_tx_frames(5);
+        // An earlier snapshot taken before banks were attached has no
+        // queue entries; the delta falls back to the raw later values.
+        let earlier = MonitorSnapshot::default();
+        let d = m.snapshot().delta(&earlier);
+        assert_eq!(d.queues.len(), 1);
+        assert_eq!(d.queues[0].tx_frames, 5);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! error.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +40,7 @@ use dagger_telemetry::Telemetry;
 use dagger_types::{ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::arbiter::ArbiterSlot;
+use crate::balancer::QueueBalancer;
 use crate::bufpool::BufPool;
 use crate::conncache::ConnTupleCache;
 use crate::connmgr::{ConnectionManager, ConnectionTuple};
@@ -251,6 +252,10 @@ impl Nic {
         let stop_barrier = Arc::new(AtomicUsize::new(0));
         let (ctrl_tx, ctrl_rx) = unbounded();
         let confirmed = Arc::new(Mutex::new(HashSet::new()));
+        // NIC-wide per-flow arrival sequence counters: stamped by whichever
+        // worker steers a frame, consumed in order by the flow's owner.
+        let flow_seq: Arc<Vec<AtomicU64>> =
+            Arc::new((0..cfg.num_flows).map(|_| AtomicU64::new(0)).collect());
 
         // Build every worker first, collecting its stat handles for the
         // telemetry collector, then register the collector, then spawn.
@@ -308,8 +313,18 @@ impl Nic {
                 xfer_in: std::mem::take(&mut xfer_in[q]),
                 xfer_backlog: (0..nq).map(|_| Default::default()).collect(),
                 stop_barrier: Arc::clone(&stop_barrier),
+                flow_seq: Arc::clone(&flow_seq),
+                next_deliver: vec![0; cfg.num_flows],
+                hold: (0..cfg.num_flows).map(|_| Default::default()).collect(),
+                hold_since: vec![0; cfg.num_flows],
+                held_frames: 0,
+                route_pins: Default::default(),
             });
         }
+
+        // Per-queue banks ride along in every whole-NIC monitor snapshot
+        // (delta/Display included), not just in the telemetry gauges.
+        monitor.attach_queue_stats(qstats.clone());
 
         // Fold this NIC's counter banks (Packet Monitor global + per-flow +
         // per-queue, Connection Manager, per-worker pools/caches/reliable
@@ -376,6 +391,13 @@ impl Nic {
                     reg.set_gauge(&format!("{prefix}.q{q}.rx_datagrams"), qsnap.rx_datagrams);
                     reg.set_gauge(&format!("{prefix}.q{q}.handoff_out"), qsnap.handoff_out);
                     reg.set_gauge(&format!("{prefix}.q{q}.handoff_in"), qsnap.handoff_in);
+                    reg.set_gauge(&format!("{prefix}.q{q}.reorder_holds"), qsnap.reorder_holds);
+                    reg.set_gauge(
+                        &format!("{prefix}.q{q}.reorder_flushes"),
+                        qsnap.reorder_flushes,
+                    );
+                    reg.set_gauge(&format!("{prefix}.q{q}.remaps"), qsnap.remaps);
+                    reg.set_gauge(&format!("{prefix}.q{q}.forced_remaps"), qsnap.forced_remaps);
                 }
                 for (i, f) in monitor.flow_snapshots().iter().enumerate() {
                     reg.set_gauge(&format!("{prefix}.flow.{i}.tx_frames"), f.tx_frames);
@@ -480,6 +502,19 @@ impl Nic {
     /// one was passed to [`Nic::start_with_telemetry`]).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// Spawns the telemetry-driven elastic RSS controller for this NIC:
+    /// a closed loop from the per-queue `rx_frames` series back into the
+    /// `queue.mask` soft register (see [`crate::balancer`]).
+    pub fn start_balancer(&self, cfg: crate::balancer::BalancerConfig) -> QueueBalancer {
+        QueueBalancer::start(
+            Arc::clone(&self.telemetry),
+            Arc::clone(&self.softregs),
+            self.addr,
+            self.cfg.num_queues.max(1),
+            cfg,
+        )
     }
 
     /// Claims the next unclaimed flow (ring pair). Flows are claimed in

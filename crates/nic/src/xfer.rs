@@ -4,13 +4,16 @@
 //! not always the worker that *owns* the destination flow's RX ring (the
 //! load balancer may steer a request to any active flow). The receiving
 //! worker hands such frames to the owner through one of these rings: a
-//! lock-free SPSC ring of `(flow, cache line)` pairs with the same
-//! validity-flag ownership protocol as the host-facing [`crate::ring`]s,
-//! one ring per ordered worker pair.
+//! lock-free SPSC ring of `(flow, arrival seq, cache line)` triples with
+//! the same validity-flag ownership protocol as the host-facing
+//! [`crate::ring`]s, one ring per ordered worker pair.
 //!
-//! The handoff preserves per-flow FIFO order: one connection is routed to
-//! one receiving queue, so all of its frames that steer to a given flow
-//! traverse the same ring, in receive order.
+//! Each entry carries the flow's NIC-wide arrival sequence number, stamped
+//! at steer time by the receiving worker. While a single connection stays
+//! routed to one receiving queue, ring FIFO order alone preserves per-flow
+//! order; during an elastic RSS remap the same flow's frames can traverse
+//! *different* rings concurrently, and the owner uses the sequence numbers
+//! to re-establish arrival order before delivery.
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,7 +24,7 @@ use dagger_types::{CacheLine, DaggerError, Result};
 struct XferSlot {
     /// `true` while the slot holds an unconsumed handoff.
     valid: AtomicBool,
-    entry: UnsafeCell<(u16, CacheLine)>,
+    entry: UnsafeCell<(u16, u64, CacheLine)>,
 }
 
 /// Shared storage of one handoff ring.
@@ -50,7 +53,7 @@ pub fn xfer_ring(capacity: usize) -> (XferProducer, XferConsumer) {
     let slots: Box<[XferSlot]> = (0..capacity)
         .map(|_| XferSlot {
             valid: AtomicBool::new(false),
-            entry: UnsafeCell::new((0, CacheLine::zeroed())),
+            entry: UnsafeCell::new((0, 0, CacheLine::zeroed())),
         })
         .collect();
     let buf = Arc::new(XferBuffer { slots });
@@ -90,14 +93,14 @@ impl XferProducer {
     ///
     /// Returns [`DaggerError::RingFull`] if the owner has not drained the
     /// next slot yet.
-    pub fn try_push(&mut self, flow: u16, line: CacheLine) -> Result<()> {
+    pub fn try_push(&mut self, flow: u16, seq: u64, line: CacheLine) -> Result<()> {
         let slot = &self.buf.slots[self.idx & self.mask];
         if slot.valid.load(Ordering::Acquire) {
             return Err(DaggerError::RingFull);
         }
         // SAFETY: `valid` is false, so the producer owns the cell.
         unsafe {
-            *slot.entry.get() = (flow, line);
+            *slot.entry.get() = (flow, seq, line);
         }
         slot.valid.store(true, Ordering::Release);
         self.idx = self.idx.wrapping_add(1);
@@ -121,8 +124,8 @@ impl std::fmt::Debug for XferConsumer {
 }
 
 impl XferConsumer {
-    /// Takes the next handed-off `(flow, line)` pair, if any.
-    pub fn try_pop(&mut self) -> Option<(u16, CacheLine)> {
+    /// Takes the next handed-off `(flow, seq, line)` triple, if any.
+    pub fn try_pop(&mut self) -> Option<(u16, u64, CacheLine)> {
         let slot = &self.buf.slots[self.idx & self.mask];
         if !slot.valid.load(Ordering::Acquire) {
             return None;
@@ -149,11 +152,13 @@ mod tests {
     fn fifo_order_with_flow_tags() {
         let (mut tx, mut rx) = xfer_ring(8);
         for i in 0..5u16 {
-            tx.try_push(i, line_with(i as u8)).unwrap();
+            tx.try_push(i, u64::from(i) * 10, line_with(i as u8))
+                .unwrap();
         }
         for i in 0..5u16 {
-            let (flow, line) = rx.try_pop().unwrap();
+            let (flow, seq, line) = rx.try_pop().unwrap();
             assert_eq!(flow, i);
+            assert_eq!(seq, u64::from(i) * 10);
             assert_eq!(line.payload()[0], i as u8);
         }
         assert!(rx.try_pop().is_none());
@@ -162,11 +167,11 @@ mod tests {
     #[test]
     fn full_ring_rejects_until_drained() {
         let (mut tx, mut rx) = xfer_ring(2);
-        tx.try_push(0, line_with(0)).unwrap();
-        tx.try_push(1, line_with(1)).unwrap();
-        assert_eq!(tx.try_push(2, line_with(2)), Err(DaggerError::RingFull));
+        tx.try_push(0, 0, line_with(0)).unwrap();
+        tx.try_push(1, 1, line_with(1)).unwrap();
+        assert_eq!(tx.try_push(2, 2, line_with(2)), Err(DaggerError::RingFull));
         assert_eq!(rx.try_pop().unwrap().0, 0);
-        tx.try_push(2, line_with(2)).unwrap();
+        tx.try_push(2, 2, line_with(2)).unwrap();
     }
 
     #[test]
@@ -176,7 +181,7 @@ mod tests {
         let producer = std::thread::spawn(move || {
             let mut pushed = 0u16;
             while pushed < N {
-                match tx.try_push(pushed, line_with(pushed as u8)) {
+                match tx.try_push(pushed, u64::from(pushed), line_with(pushed as u8)) {
                     Ok(()) => pushed = pushed.wrapping_add(1),
                     Err(_) => std::hint::spin_loop(),
                 }
@@ -184,8 +189,9 @@ mod tests {
         });
         let mut expected = 0u16;
         while expected < N {
-            if let Some((flow, line)) = rx.try_pop() {
+            if let Some((flow, seq, line)) = rx.try_pop() {
                 assert_eq!(flow, expected);
+                assert_eq!(seq, u64::from(expected));
                 assert_eq!(line.payload()[0], expected as u8);
                 expected = expected.wrapping_add(1);
             } else {

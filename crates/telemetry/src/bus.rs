@@ -1,0 +1,373 @@
+//! The telemetry bus: a lock-free broadcast ring for metric deltas.
+//!
+//! In-process consumers (the NIC's elastic RSS balancer, future policy
+//! engines) need a push feed of "series X changed to V at tick T" without
+//! polling the whole registry and diffing it themselves. The bus is a
+//! fixed-capacity seqlock ring written by the series engine's sampling
+//! pass and read by any number of independent cursors:
+//!
+//! * **Single logical writer.** Publishes happen under the series engine's
+//!   mutex, so slots are never written concurrently. Each slot carries the
+//!   global event index (+1) in its `seq` field, stored with `Release`
+//!   ordering *after* the payload fields.
+//! * **Wait-free readers.** A [`BusReader`] keeps a private cursor. For
+//!   each event it checks `seq == cursor + 1` before *and* after reading
+//!   the payload; a mismatch means the writer lapped it mid-read, and the
+//!   reader resyncs to the oldest retained event, counting the skipped
+//!   span as *lagged* rather than delivering torn data.
+//! * **No allocation on the publish path.** Series names are interned to
+//!   dense `u32` ids at registration; events carry ids, and readers
+//!   resolve them back to names on their own time.
+//!
+//! Readers that fall more than `capacity` events behind lose the overwritten
+//! span — by design: telemetry consumers want fresh signal, not a complete
+//! history (the exporter covers that).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Default number of retained events (must be a power of two).
+pub const DEFAULT_BUS_CAPACITY: usize = 4096;
+
+/// What kind of change a [`BusEvent`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusEventKind {
+    /// A counter advanced; `value` is the delta since the previous sample.
+    CounterDelta,
+    /// A gauge changed; `value` is the new absolute value.
+    GaugeSet,
+    /// An SLO began burning faster than its budget; `value` is the burn
+    /// rate in milli-units (1000 = exactly at budget).
+    SloBreach,
+    /// A breached SLO dropped back under budget; `value` is the burn rate
+    /// in milli-units.
+    SloRecover,
+}
+
+impl BusEventKind {
+    fn to_u64(self) -> u64 {
+        match self {
+            BusEventKind::CounterDelta => 0,
+            BusEventKind::GaugeSet => 1,
+            BusEventKind::SloBreach => 2,
+            BusEventKind::SloRecover => 3,
+        }
+    }
+
+    fn from_u64(v: u64) -> Self {
+        match v {
+            1 => BusEventKind::GaugeSet,
+            2 => BusEventKind::SloBreach,
+            3 => BusEventKind::SloRecover,
+            _ => BusEventKind::CounterDelta,
+        }
+    }
+}
+
+/// One published change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusEvent {
+    /// Interned series id; resolve with [`TelemetryBus::resolve`].
+    pub series: u32,
+    /// Change kind.
+    pub kind: BusEventKind,
+    /// Delta (counters), new value (gauges), or burn-rate milli (SLOs).
+    pub value: u64,
+    /// Sampling tick (series-engine resolution units) the change was
+    /// observed at.
+    pub tick: u64,
+}
+
+/// One seqlock slot. `seq` holds the 1-based global event index of the
+/// payload currently stored; 0 means "never written".
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    /// `kind << 32 | series`, packed so payload is two atomics wide.
+    meta: AtomicU64,
+    value: AtomicU64,
+    tick: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Interner {
+    by_name: BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+/// The broadcast ring. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct TelemetryBus {
+    slots: Vec<Slot>,
+    /// Total events ever published (next event's 0-based index).
+    head: AtomicU64,
+    names: RwLock<Interner>,
+}
+
+impl TelemetryBus {
+    /// Creates a bus retaining `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two or is < 2.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(
+            capacity.is_power_of_two() && capacity >= 2,
+            "bus capacity must be a power of two >= 2"
+        );
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(0),
+                meta: AtomicU64::new(0),
+                value: AtomicU64::new(0),
+                tick: AtomicU64::new(0),
+            })
+            .collect();
+        Arc::new(TelemetryBus {
+            slots,
+            head: AtomicU64::new(0),
+            names: RwLock::new(Interner::default()),
+        })
+    }
+
+    /// Number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events published so far.
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Interns `name`, returning its dense id (stable for the lifetime of
+    /// the bus).
+    pub fn intern(&self, name: &str) -> u32 {
+        if let Some(&id) = self
+            .names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_name
+            .get(name)
+        {
+            return id;
+        }
+        let mut w = self.names.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(&id) = w.by_name.get(name) {
+            return id;
+        }
+        let id = u32::try_from(w.names.len()).expect("series id space exhausted");
+        w.names.push(name.to_string());
+        w.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_name
+            .get(name)
+            .copied()
+    }
+
+    /// Resolves an id back to its series name.
+    pub fn resolve(&self, id: u32) -> Option<String> {
+        self.names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .names
+            .get(id as usize)
+            .cloned()
+    }
+
+    /// Publishes one event. Must only be called by the single logical
+    /// writer (the series engine, serialized under its mutex).
+    pub(crate) fn publish(&self, series: u32, kind: BusEventKind, value: u64, tick: u64) {
+        let n = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(n as usize) & (self.slots.len() - 1)];
+        slot.meta
+            .store((kind.to_u64() << 32) | u64::from(series), Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.tick.store(tick, Ordering::Relaxed);
+        // Payload first, then the slot's seq, then the global head — each
+        // Release so a reader that observes the head sees the payload.
+        slot.seq.store(n + 1, Ordering::Release);
+        self.head.store(n + 1, Ordering::Release);
+    }
+
+    /// Creates an independent reader cursor positioned at the current head
+    /// (it will only see events published after this call).
+    pub fn subscribe(self: &Arc<Self>) -> BusReader {
+        BusReader {
+            bus: Arc::clone(self),
+            cursor: self.head.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// A private cursor over the bus. Each reader advances independently;
+/// slow readers lose overwritten events (reported as *lagged*), never see
+/// torn ones.
+#[derive(Debug)]
+pub struct BusReader {
+    bus: Arc<TelemetryBus>,
+    cursor: u64,
+}
+
+impl BusReader {
+    /// Drains every currently-available event into `out`. Returns the
+    /// number of events that were overwritten before this reader got to
+    /// them (0 when fully caught up).
+    pub fn poll(&mut self, out: &mut Vec<BusEvent>) -> u64 {
+        let mut lagged = 0u64;
+        loop {
+            let head = self.bus.head.load(Ordering::Acquire);
+            if self.cursor >= head {
+                return lagged;
+            }
+            let cap = self.bus.slots.len() as u64;
+            if head - self.cursor > cap {
+                let oldest = head - cap;
+                lagged += oldest - self.cursor;
+                self.cursor = oldest;
+            }
+            let slot = &self.bus.slots[(self.cursor as usize) & (self.bus.slots.len() - 1)];
+            let seq_before = slot.seq.load(Ordering::Acquire);
+            if seq_before != self.cursor + 1 {
+                // The writer lapped us between the head check and here;
+                // retry, which will resync the cursor.
+                lagged += 1;
+                self.cursor += 1;
+                continue;
+            }
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let value = slot.value.load(Ordering::Relaxed);
+            let tick = slot.tick.load(Ordering::Relaxed);
+            // Seqlock validation: if the slot was rewritten while we read
+            // the payload, discard it as lagged.
+            if slot.seq.load(Ordering::Acquire) != self.cursor + 1 {
+                lagged += 1;
+                self.cursor += 1;
+                continue;
+            }
+            out.push(BusEvent {
+                series: (meta & 0xFFFF_FFFF) as u32,
+                kind: BusEventKind::from_u64(meta >> 32),
+                value,
+                tick,
+            });
+            self.cursor += 1;
+        }
+    }
+
+    /// The bus this reader is attached to.
+    pub fn bus(&self) -> &Arc<TelemetryBus> {
+        &self.bus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_in_order() {
+        let bus = TelemetryBus::new(8);
+        let mut r = bus.subscribe();
+        let id = bus.intern("nic.0.q0.rx_frames");
+        bus.publish(id, BusEventKind::CounterDelta, 5, 1);
+        bus.publish(id, BusEventKind::GaugeSet, 7, 2);
+        let mut out = Vec::new();
+        assert_eq!(r.poll(&mut out), 0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, 5);
+        assert_eq!(out[0].kind, BusEventKind::CounterDelta);
+        assert_eq!(out[1].value, 7);
+        assert_eq!(out[1].kind, BusEventKind::GaugeSet);
+        assert_eq!(
+            bus.resolve(out[0].series).as_deref(),
+            Some("nic.0.q0.rx_frames")
+        );
+    }
+
+    #[test]
+    fn subscriber_only_sees_events_after_subscription() {
+        let bus = TelemetryBus::new(8);
+        bus.publish(0, BusEventKind::GaugeSet, 1, 0);
+        let mut r = bus.subscribe();
+        bus.publish(0, BusEventKind::GaugeSet, 2, 1);
+        let mut out = Vec::new();
+        assert_eq!(r.poll(&mut out), 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 2);
+    }
+
+    #[test]
+    fn lapped_reader_reports_lag_and_resyncs() {
+        let bus = TelemetryBus::new(4);
+        let mut r = bus.subscribe();
+        for i in 0..10u64 {
+            bus.publish(0, BusEventKind::CounterDelta, i, i);
+        }
+        let mut out = Vec::new();
+        let lagged = r.poll(&mut out);
+        assert_eq!(lagged, 6, "10 published, 4 retained");
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].value, 6);
+        assert_eq!(out[3].value, 9);
+        // Caught up now.
+        out.clear();
+        assert_eq!(r.poll(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interning_is_stable_and_idempotent() {
+        let bus = TelemetryBus::new(4);
+        let a = bus.intern("x");
+        let b = bus.intern("y");
+        assert_ne!(a, b);
+        assert_eq!(bus.intern("x"), a);
+        assert_eq!(bus.lookup("y"), Some(b));
+        assert_eq!(bus.lookup("z"), None);
+        assert_eq!(bus.resolve(b).as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_events() {
+        let bus = TelemetryBus::new(64);
+        let mut r = bus.subscribe();
+        let writer = {
+            let bus = Arc::clone(&bus);
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // value and tick always match; a torn read would break that.
+                    bus.publish(3, BusEventKind::CounterDelta, i, i);
+                }
+            })
+        };
+        let mut out = Vec::new();
+        let mut seen = 0u64;
+        let mut lagged = 0u64;
+        while seen + lagged < 50_000 {
+            out.clear();
+            lagged += r.poll(&mut out);
+            for ev in &out {
+                assert_eq!(ev.value, ev.tick, "torn event {ev:?}");
+                assert_eq!(ev.series, 3);
+            }
+            seen += out.len() as u64;
+        }
+        writer.join().unwrap();
+        assert_eq!(seen + lagged, 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_capacity_panics() {
+        let _ = TelemetryBus::new(3);
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "version": 2,
+//!   "version": 3,
 //!   "counters": {"name": 0},
 //!   "gauges": {"name": 0},
 //!   "histograms": {"name": {"count": 0, "mean_ns": 0.0, "p50_ns": 0,
@@ -24,23 +24,43 @@
 //!              "name": "rpc.fn1", "kind": "client", "node": 1,
 //!              "start_ns": 0, "end_ns": 0, "duration_ns": 0,
 //!              "connection_id": 0, "rpc_id": 0}],
-//!   "dropped_spans": 0
+//!   "dropped_spans": 0,
+//!   "series": {"resolution_us": 1000, "samples": 0,
+//!              "counters": {"name": {"total": 0, "window_delta": 0,
+//!                                    "rate_per_sec": 0.0,
+//!                                    "ewma_per_sec": 0.0}},
+//!              "gauges": {"name": {"last": 0, "window_max": 0,
+//!                                  "window_mean": 0.0, "ewma": 0.0}},
+//!              "histograms": {"name": {"count": 0, "p50_ns": 0,
+//!                                      "p90_ns": 0, "p99_ns": 0}}},
+//!   "slo": {"objectives": [{"name": "rtt", "target_ppm": 999000,
+//!                           "burn_rate_milli": 0,
+//!                           "budget_remaining_ppm": 1000000,
+//!                           "breached": false, "window_bad": 0,
+//!                           "window_total": 0}],
+//!           "events": [{"name": "rtt", "tick": 0, "kind": "breach",
+//!                       "burn_milli": 0}],
+//!           "dropped_events": 0}
 //! }
 //! ```
 //!
-//! Schema v2 is a strict superset of v1: all v1 keys are unchanged and the
-//! distributed-tracing `spans` / `dropped_spans` keys are appended. Keys
-//! inside `counters`/`gauges`/`histograms` are sorted by name; only
-//! observed events/stages appear in a trace's maps; `total_ns` is omitted
-//! until the round trip completes. Trace/span ids are 16-digit hex strings
-//! (u64 values routinely exceed JSON's exact-integer range);
-//! `parent_span_id`, `node`, and the `connection_id`/`rpc_id` stage-trace
-//! link are omitted when absent.
+//! Each schema version is a strict superset of the previous one. v2 kept
+//! all v1 keys and appended the distributed-tracing `spans` /
+//! `dropped_spans`; v3 keeps all v2 keys and appends the windowed `series`
+//! section and the `slo` section. Keys inside
+//! `counters`/`gauges`/`histograms` (registry and series alike) are sorted
+//! by name; only observed events/stages appear in a trace's maps;
+//! `total_ns` is omitted until the round trip completes. Trace/span ids
+//! are 16-digit hex strings (u64 values routinely exceed JSON's
+//! exact-integer range); `parent_span_id`, `node`, and the
+//! `connection_id`/`rpc_id` stage-trace link are omitted when absent.
 
 use std::fmt;
 
 use crate::registry::RegistrySnapshot;
+use crate::slo::{SloEventKind, SloReport};
 use crate::span::Span;
+use crate::timeseries::SeriesSnapshot;
 use crate::trace::{RpcEvent, RpcTrace, STAGE_NAMES};
 
 /// A point-in-time snapshot of the whole telemetry layer: every registry
@@ -58,6 +78,10 @@ pub struct TelemetrySnapshot {
     pub spans: Vec<Span>,
     /// Spans evicted by the collector's capacity bound.
     pub dropped_spans: u64,
+    /// Windowed time-series stats (rates, EWMAs, windowed quantiles).
+    pub series: SeriesSnapshot,
+    /// SLO objectives, budgets, and threshold-crossing events.
+    pub slo: SloReport,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -88,7 +112,7 @@ fn json_f64(v: f64) -> String {
 
 impl TelemetrySnapshot {
     /// Schema version emitted in the JSON output.
-    pub const JSON_VERSION: u32 = 2;
+    pub const JSON_VERSION: u32 = 3;
 
     /// Serializes the snapshot to the stable JSON schema described in the
     /// module docs. Single line, no trailing newline.
@@ -153,7 +177,94 @@ impl TelemetrySnapshot {
         }
         out.push(']');
 
-        out.push_str(&format!(",\"dropped_spans\":{}}}", self.dropped_spans));
+        out.push_str(&format!(",\"dropped_spans\":{}", self.dropped_spans));
+
+        out.push_str(&format!(
+            ",\"series\":{{\"resolution_us\":{},\"samples\":{}",
+            self.series.resolution_us, self.series.samples
+        ));
+        out.push_str(",\"counters\":{");
+        for (i, (name, s)) in self.series.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"total\":{},\"window_delta\":{},\"rate_per_sec\":{},\"ewma_per_sec\":{}}}",
+                json_escape(name),
+                s.total,
+                s.window_delta,
+                json_f64(s.rate_per_sec),
+                json_f64(s.ewma_per_sec)
+            ));
+        }
+        out.push('}');
+        out.push_str(",\"gauges\":{");
+        for (i, (name, s)) in self.series.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"last\":{},\"window_max\":{},\"window_mean\":{},\"ewma\":{}}}",
+                json_escape(name),
+                s.last,
+                s.window_max,
+                json_f64(s.window_mean),
+                json_f64(s.ewma)
+            ));
+        }
+        out.push('}');
+        out.push_str(",\"histograms\":{");
+        for (i, (name, s)) in self.series.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+                json_escape(name),
+                s.count,
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns
+            ));
+        }
+        out.push_str("}}");
+
+        out.push_str(",\"slo\":{\"objectives\":[");
+        for (i, o) in self.slo.objectives.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"target_ppm\":{},\"burn_rate_milli\":{},\"budget_remaining_ppm\":{},\"breached\":{},\"window_bad\":{},\"window_total\":{}}}",
+                json_escape(&o.name),
+                o.target_ppm,
+                o.burn_rate_milli,
+                o.budget_remaining_ppm,
+                o.breached,
+                o.window_bad,
+                o.window_total
+            ));
+        }
+        out.push_str("],\"events\":[");
+        for (i, ev) in self.slo.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"tick\":{},\"kind\":\"{}\",\"burn_milli\":{}}}",
+                json_escape(&ev.name),
+                ev.tick,
+                match ev.kind {
+                    SloEventKind::Breach => "breach",
+                    SloEventKind::Recover => "recover",
+                },
+                ev.burn_milli
+            ));
+        }
+        out.push_str(&format!(
+            "],\"dropped_events\":{}}}}}",
+            self.slo.dropped_events
+        ));
         out
     }
 }
@@ -274,6 +385,33 @@ impl fmt::Display for TelemetrySnapshot {
                 writeln!(f)?;
             }
         }
+        if !self.series.histograms.is_empty() {
+            writeln!(
+                f,
+                "windowed quantiles ({}us grid):",
+                self.series.resolution_us
+            )?;
+            for (name, w) in &self.series.histograms {
+                writeln!(
+                    f,
+                    "  {name}: n={} p50={}ns p99={}ns",
+                    w.count, w.p50_ns, w.p99_ns
+                )?;
+            }
+        }
+        if !self.slo.objectives.is_empty() {
+            writeln!(f, "slo:")?;
+            for o in &self.slo.objectives {
+                writeln!(
+                    f,
+                    "  {}: burn={:.2}x budget_remaining={:.1}% {}",
+                    o.name,
+                    o.burn_rate_milli as f64 / 1000.0,
+                    o.budget_remaining_ppm as f64 / 10_000.0,
+                    if o.breached { "BREACHED" } else { "ok" }
+                )?;
+            }
+        }
         if !self.spans.is_empty() {
             writeln!(f, "spans ({} dropped):", self.dropped_spans)?;
             for s in &self.spans {
@@ -331,13 +469,15 @@ mod tests {
                 rpc: Some((65536, 1)),
             }],
             dropped_spans: 3,
+            series: SeriesSnapshot::default(),
+            slo: SloReport::default(),
         }
     }
 
     #[test]
     fn json_contains_all_sections() {
         let json = sample_snapshot().to_json();
-        assert!(json.starts_with("{\"version\":2"));
+        assert!(json.starts_with("{\"version\":3"));
         assert!(json.contains("\"nic.0.tx_frames\":7"));
         assert!(json.contains("\"nic.0.flows\":4"));
         assert!(json.contains("\"p99_ns\""));
@@ -357,7 +497,11 @@ mod tests {
         assert!(json.contains("\"node\":2"), "{json}");
         assert!(json.contains("\"duration_ns\":2800"), "{json}");
         assert!(json.contains("\"connection_id\":65536,\"rpc_id\":1"));
-        assert!(json.ends_with("\"dropped_spans\":3}"), "{json}");
+        // v3 appends the series and slo sections after dropped_spans.
+        let ds = json.find("\"dropped_spans\":3").expect("dropped_spans");
+        let se = json.find("\"series\":{").expect("series");
+        let sl = json.find("\"slo\":{").expect("slo");
+        assert!(ds < se && se < sl, "{json}");
     }
 
     #[test]
@@ -376,8 +520,67 @@ mod tests {
         let json = TelemetrySnapshot::default().to_json();
         assert_eq!(
             json,
-            "{\"version\":2,\"counters\":{},\"gauges\":{},\"histograms\":{},\
-             \"traces\":[],\"dropped_traces\":0,\"spans\":[],\"dropped_spans\":0}"
+            "{\"version\":3,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"traces\":[],\"dropped_traces\":0,\"spans\":[],\"dropped_spans\":0,\
+             \"series\":{\"resolution_us\":0,\"samples\":0,\"counters\":{},\
+             \"gauges\":{},\"histograms\":{}},\
+             \"slo\":{\"objectives\":[],\"events\":[],\"dropped_events\":0}}"
+        );
+    }
+
+    #[test]
+    fn json_emits_series_and_slo_payloads() {
+        let mut snap = sample_snapshot();
+        snap.series.resolution_us = 1000;
+        snap.series.samples = 42;
+        snap.series.counters.push((
+            "nic.0.tx_frames".to_string(),
+            crate::timeseries::CounterStat {
+                total: 7,
+                window_delta: 7,
+                rate_per_sec: 700.0,
+                ewma_per_sec: 650.5,
+            },
+        ));
+        snap.series.histograms.push((
+            "rpc.client.rtt_ns".to_string(),
+            crate::timeseries::WindowSummary {
+                count: 3,
+                p50_ns: 2047,
+                p90_ns: 3071,
+                p99_ns: 3071,
+            },
+        ));
+        snap.slo.objectives.push(crate::slo::SloSnapshot {
+            name: "rtt".to_string(),
+            target_ppm: 999_000,
+            burn_rate_milli: 1500,
+            budget_remaining_ppm: 250_000,
+            breached: true,
+            window_bad: 3,
+            window_total: 2000,
+        });
+        snap.slo.events.push(crate::slo::SloEvent {
+            name: "rtt".to_string(),
+            tick: 9,
+            kind: SloEventKind::Breach,
+            burn_milli: 1500,
+        });
+        let json = snap.to_json();
+        assert!(json.contains("\"rate_per_sec\":700"), "{json}");
+        assert!(json.contains("\"ewma_per_sec\":650.5"), "{json}");
+        assert!(
+            json.contains("\"rpc.client.rtt_ns\":{\"count\":3,\"p50_ns\":2047"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"name\":\"rtt\",\"target_ppm\":999000,\"burn_rate_milli\":1500"),
+            "{json}"
+        );
+        assert!(json.contains("\"breached\":true"), "{json}");
+        assert!(
+            json.contains("\"kind\":\"breach\",\"burn_milli\":1500"),
+            "{json}"
         );
     }
 

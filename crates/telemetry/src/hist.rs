@@ -17,6 +17,10 @@ const SUB_BITS: u32 = 5;
 const SUB_BUCKETS: usize = 1 << SUB_BITS; // 32
 const GROUPS: usize = 64 - SUB_BITS as usize + 1;
 
+/// Total bucket count shared by [`Histogram`] and the windowed quantile
+/// sketch in `timeseries` (which diffs raw bucket counts).
+pub(crate) const NUM_BUCKETS: usize = GROUPS * SUB_BUCKETS;
+
 /// A log-linear latency histogram over `u64` nanosecond values.
 ///
 /// # Example
@@ -51,7 +55,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: u64) -> usize {
+    pub(crate) fn bucket_index(value: u64) -> usize {
         if value < SUB_BUCKETS as u64 {
             return value as usize;
         }
@@ -61,7 +65,7 @@ impl Histogram {
         group * SUB_BUCKETS + sub
     }
 
-    fn bucket_high(index: usize) -> u64 {
+    pub(crate) fn bucket_high(index: usize) -> u64 {
         let group = index / SUB_BUCKETS;
         let sub = (index % SUB_BUCKETS) as u64;
         if group == 0 {
@@ -162,6 +166,13 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Raw per-bucket counts, indexed by [`Histogram::bucket_index`]. The
+    /// windowed sketch diffs these against a remembered baseline to derive
+    /// quantiles over a time window without re-recording samples.
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// Produces a plain-data summary of this histogram.

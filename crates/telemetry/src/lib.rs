@@ -21,22 +21,28 @@
 //! The crate is intentionally dependency-free (std only) so it sits below
 //! every other crate, even `dagger-types`, without cycles.
 
+mod bus;
 mod export;
 mod hist;
 mod registry;
 mod report;
+mod slo;
 mod span;
+mod timeseries;
 mod trace;
 mod tree;
 
+pub use bus::{BusEvent, BusEventKind, BusReader, TelemetryBus, DEFAULT_BUS_CAPACITY};
 pub use export::TelemetrySnapshot;
 pub use hist::{Histogram, Summary};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, RegistrySnapshot};
 pub use report::Reporter;
+pub use slo::{SloEvent, SloEventKind, SloKind, SloReport, SloSnapshot, SloSpec};
 pub use span::{
     current_context, next_id, ContextScope, OpenSpan, Span, SpanCollector, SpanKind, TraceContext,
     DEFAULT_SPAN_CAPACITY,
 };
+pub use timeseries::{CounterStat, GaugeStat, SeriesConfig, SeriesSnapshot, WindowSummary};
 pub use trace::{
     RpcEvent, RpcTrace, RpcTracer, StageBreakdown, DEFAULT_TRACE_CAPACITY, EVENT_COUNT, STAGE_NAMES,
 };
@@ -69,6 +75,8 @@ pub struct Telemetry {
     tracer: RpcTracer,
     spans: SpanCollector,
     collectors: Mutex<BTreeMap<String, Collector>>,
+    series: Mutex<timeseries::SeriesEngine>,
+    bus: Arc<TelemetryBus>,
 }
 
 impl Telemetry {
@@ -76,12 +84,20 @@ impl Telemetry {
     /// stage tracer and the span collector share one clock epoch, so stage
     /// stamps land inside their owning spans on a common timeline.
     pub fn new() -> Arc<Self> {
+        Self::with_series_config(SeriesConfig::default())
+    }
+
+    /// Creates a telemetry hub with a custom series-engine grid (sampling
+    /// resolution, ring depth, quantile window shape).
+    pub fn with_series_config(cfg: SeriesConfig) -> Arc<Self> {
         let epoch = Instant::now();
         Arc::new(Telemetry {
             registry: MetricsRegistry::new(),
             tracer: RpcTracer::with_capacity_and_epoch(DEFAULT_TRACE_CAPACITY, epoch),
             spans: SpanCollector::with_capacity_and_epoch(DEFAULT_SPAN_CAPACITY, epoch),
             collectors: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(timeseries::SeriesEngine::new(cfg, epoch)),
+            bus: TelemetryBus::new(DEFAULT_BUS_CAPACITY),
         })
     }
 
@@ -148,16 +164,56 @@ impl Telemetry {
         }
     }
 
-    /// Collects, then snapshots the registry, all retained traces, and all
-    /// retained spans.
+    /// The telemetry bus carrying per-sample metric deltas.
+    pub fn bus(&self) -> &Arc<TelemetryBus> {
+        &self.bus
+    }
+
+    /// Subscribes a new reader cursor to the telemetry bus.
+    pub fn subscribe(&self) -> BusReader {
+        self.bus.subscribe()
+    }
+
+    /// Declares an SLO; evaluated on every sampling pass, exported as
+    /// `slo.<name>.{burn_rate,budget_remaining}` gauges plus bus events on
+    /// burn-threshold crossings.
+    pub fn register_slo(&self, spec: SloSpec) {
+        self.series
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .register_slo(spec, &self.bus);
+    }
+
+    /// Runs collectors, then samples every registered metric into the
+    /// series engine. Idempotent within one resolution tick, so concurrent
+    /// drivers (reporter, balancer, snapshots) collapse onto one grid.
+    /// Returns whether a sample was actually taken.
+    pub fn sample_now(&self) -> bool {
+        self.collect();
+        self.series
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .sample(&self.registry, &self.bus, false)
+    }
+
+    /// Collects, force-samples the series engine (so the tail of the
+    /// current window is never lost), then snapshots the registry, the
+    /// windowed series, the SLO state, and all retained traces and spans.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         self.collect();
+        let (series, slo) = {
+            let mut engine = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+            engine.sample(&self.registry, &self.bus, true);
+            engine.snapshot()
+        };
         TelemetrySnapshot {
             registry: self.registry.snapshot(),
             traces: self.tracer.traces(),
             dropped_traces: self.tracer.dropped(),
             spans: self.spans.spans(),
             dropped_spans: self.spans.dropped(),
+            series,
+            slo,
         }
     }
 }

@@ -99,6 +99,12 @@ impl HistogramHandle {
             .unwrap_or_else(PoisonError::into_inner)
             .summary()
     }
+
+    /// Runs `f` against the inner histogram under its lock. The series
+    /// engine uses this to diff raw bucket counts without cloning.
+    pub(crate) fn with_histogram<R>(&self, f: impl FnOnce(&Histogram) -> R) -> R {
+        f(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
 }
 
 /// The registry of named metrics.
@@ -178,6 +184,44 @@ impl MetricsRegistry {
     /// Convenience: adds `n` to the counter `name`.
     pub fn add_counter(&self, name: &str, n: u64) {
         self.counter(name).add(n);
+    }
+
+    /// Visits every registered counter as `(name, current_value)`, in name
+    /// order. Used by the series engine's sampling pass.
+    pub(crate) fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, c) in self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            f(name, c.get());
+        }
+    }
+
+    /// Visits every registered gauge as `(name, current_value)`, in name
+    /// order.
+    pub(crate) fn visit_gauges(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, g) in self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            f(name, g.get());
+        }
+    }
+
+    /// Visits every registered histogram handle, in name order.
+    pub(crate) fn visit_histograms(&self, mut f: impl FnMut(&str, &HistogramHandle)) {
+        for (name, h) in self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
+            f(name, h);
+        }
     }
 
     /// A consistent-enough point-in-time view of every metric, sorted by

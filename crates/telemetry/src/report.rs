@@ -37,12 +37,19 @@ impl Reporter {
                 let tick = interval.clamp(Duration::from_micros(100), Duration::from_millis(20));
                 while !stop2.load(Ordering::Relaxed) {
                     std::thread::sleep(tick);
+                    // Drive the series engine between flushes so windowed
+                    // quantiles, rates, and SLO burn evaluation advance on
+                    // their own grid, not just at flush boundaries.
+                    telemetry.sample_now();
                     if last_flush.elapsed() >= interval {
                         sink(telemetry.snapshot());
                         last_flush = Instant::now();
                     }
                 }
-                // Final flush so shutdown always captures the end state.
+                // Final flush so shutdown always captures the end state —
+                // snapshot() force-samples, so the tail of the last series
+                // window (anything recorded since the final grid point) is
+                // included rather than dropped.
                 sink(telemetry.snapshot());
             })
             .expect("spawn telemetry reporter");
@@ -147,5 +154,37 @@ mod tests {
         assert_eq!(snaps[0].spans.len(), 1);
         assert_eq!(snaps[0].spans[0].name, "drop-flush");
         assert!(snaps[0].to_json().contains("\"drop-flush\""));
+    }
+
+    #[test]
+    fn final_flush_emits_the_last_incomplete_window() {
+        // Regression: data recorded after the last periodic flush (and
+        // after the last sampling grid point) must still show up in the
+        // windowed series of the final snapshot, because the shutdown
+        // flush force-samples before reading the windows.
+        let telemetry = Telemetry::new();
+        let seen: Arc<Mutex<Vec<TelemetrySnapshot>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        let reporter = Reporter::start(
+            Arc::clone(&telemetry),
+            Duration::from_secs(3600), // no periodic flush will fire
+            move |snap| seen2.lock().unwrap().push(snap),
+        );
+        // Let the reporter take at least one grid sample first, so the
+        // records below land strictly inside the final (incomplete) window.
+        std::thread::sleep(Duration::from_millis(5));
+        let h = telemetry.registry().histogram("rpc.client.rtt_ns");
+        for _ in 0..32 {
+            h.record(1_000);
+        }
+        telemetry.registry().counter("rpc.sent").add(7);
+        drop(reporter);
+        let snaps = seen.lock().unwrap();
+        assert_eq!(snaps.len(), 1);
+        let w = snaps[0].series.histogram("rpc.client.rtt_ns").unwrap();
+        assert_eq!(w.count, 32, "tail of the last window was dropped");
+        assert!(w.p99_ns >= 1_000);
+        assert_eq!(snaps[0].series.counter("rpc.sent").unwrap().total, 7);
+        assert!(snaps[0].series.samples >= 1);
     }
 }

@@ -9,7 +9,9 @@
 #             BENCH_datapath.json and fail if any latency metric regressed
 #             more than 2x or any throughput fell below half. The loose 2x
 #             bound absorbs shared-CI noise while still catching order-of-
-#             magnitude datapath regressions.
+#             magnitude datapath regressions. The telemetry sampling
+#             overhead metric is gated absolutely: live sampling may cost
+#             at most 3% (30 permille) on the reliable echo median.
 #
 # Extra cargo flags (e.g. --offline) can be passed via CARGO_ARGS.
 
@@ -78,6 +80,11 @@ if [[ $CHECK -eq 1 ]]; then
     # Throughputs (rps): fail when the fresh number fell below half.
     $1 ~ /_rps$/ && 2 * $4 < $2 {
       printf "REGRESSION %s: %d rps -> %d rps (<0.5x)\n", $1, $2, $4; bad = 1
+    }
+    # Telemetry sampling overhead: absolute budget, not baseline-relative —
+    # live sampling must stay within 3% of the dark reliable echo median.
+    $1 ~ /_overhead_permille$/ && $4 > 30 {
+      printf "REGRESSION %s: %d permille (> 30 = 3%% budget)\n", $1, $4; bad = 1
     }
     END { exit bad }
   '

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 use dagger::idl::{dagger_message, dagger_service};
 use dagger::nic::{MemFabric, Nic};
 use dagger::rpc::{RpcClientPool, RpcThreadedServer};
-use dagger::telemetry::{Telemetry, STAGE_NAMES};
+use dagger::telemetry::{SloSpec, Telemetry, STAGE_NAMES};
 use dagger::types::{HardConfig, NodeAddr, Result};
 
 dagger_message! {
@@ -40,6 +40,14 @@ fn round_trip_populates_unified_telemetry() {
     // Both NICs share one telemetry hub: one registry, one trace epoch.
     let telemetry = Telemetry::new();
     telemetry.tracer().enable();
+    // Declare a latency SLO up front: evaluated on every sampling pass,
+    // surfaced as `slo.<name>.*` gauges and an `slo` JSON section.
+    telemetry.register_slo(SloSpec::latency(
+        "client_rtt",
+        "rpc.client.rtt_ns",
+        Duration::from_secs(5).as_nanos() as u64, // generous: the RPC must be "good"
+        0.99,
+    ));
 
     let fabric = MemFabric::new();
     let server_nic = Nic::start_with_telemetry(
@@ -112,7 +120,9 @@ fn round_trip_populates_unified_telemetry() {
     assert!(sf.rx_frames >= 5, "server flow rx {}", sf.rx_frames);
 
     // The registry snapshot carries the NIC collectors' gauges, the client
-    // RTT histogram, and the server handler histogram.
+    // RTT histogram, and the server handler histogram. `snapshot()` also
+    // force-samples the series engine, so the windowed views below include
+    // the RPC that just completed.
     let snap = telemetry.snapshot();
     assert!(snap.registry.gauge("nic.2.tx_frames").unwrap() > 0);
     assert!(snap.registry.gauge("nic.1.rx_frames").unwrap() > 0);
@@ -124,11 +134,37 @@ fn round_trip_populates_unified_telemetry() {
     assert_eq!(handler.count, 1);
     assert_eq!(snap.registry.counter("rpc.server.requests"), Some(1));
 
+    // The windowed series engine saw the RTT sample: its snapshot carries
+    // a windowed quantile summary for the client RTT histogram.
+    let win = snap
+        .series
+        .histogram("rpc.client.rtt_ns")
+        .expect("windowed rtt summary");
+    assert!(win.count >= 1, "windowed rtt count {}", win.count);
+    assert!(win.p99_ns > 0, "windowed rtt p99 {}", win.p99_ns);
+
+    // The SLO declared up front was evaluated: one good RPC, no breach,
+    // full budget, and the burn-rate/budget gauges are published.
+    let obj = snap
+        .slo
+        .objectives
+        .iter()
+        .find(|o| o.name == "client_rtt")
+        .expect("client_rtt objective");
+    assert!(!obj.breached, "a 5s threshold must not breach: {obj:?}");
+    assert_eq!(obj.budget_remaining_ppm, 1_000_000, "{obj:?}");
+    assert_eq!(snap.registry.gauge("slo.client_rtt.burn_rate"), Some(0));
+    assert_eq!(
+        snap.registry.gauge("slo.client_rtt.budget_remaining"),
+        Some(1_000_000)
+    );
+
     // The JSON export names every stage and the percentile fields. Schema
-    // v2 appends the distributed-tracing keys; every v1 key must remain,
-    // spelled exactly as in v1, so existing consumers keep parsing.
+    // v3 appends the `series` and `slo` sections; every v1/v2 key must
+    // remain, spelled exactly as before, so existing consumers keep
+    // parsing.
     let json = snap.to_json();
-    assert!(json.starts_with("{\"version\":2"), "{json}");
+    assert!(json.starts_with("{\"version\":3"), "{json}");
     for v1_key in [
         "\"counters\":",
         "\"gauges\":",
@@ -140,6 +176,18 @@ fn round_trip_populates_unified_telemetry() {
     }
     assert!(json.contains("\"spans\":["), "{json}");
     assert!(json.contains("\"dropped_spans\":"), "{json}");
+    for v3_key in [
+        "\"series\":{",
+        "\"resolution_us\":",
+        "\"rate_per_sec\":",
+        "\"slo\":{",
+        "\"objectives\":[",
+        "\"burn_rate_milli\":",
+        "\"budget_remaining_ppm\":",
+    ] {
+        assert!(json.contains(v3_key), "v3 key {v3_key} missing: {json}");
+    }
+    assert!(json.contains("\"client_rtt\""), "{json}");
     for name in STAGE_NAMES {
         assert!(json.contains(&format!("\"{name}\"")), "missing {name}");
     }
