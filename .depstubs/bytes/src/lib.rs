@@ -1,0 +1,2 @@
+//! Offline build stub for `bytes`; the workspace declares the dependency but
+//! has no call sites, so an empty crate satisfies the build.

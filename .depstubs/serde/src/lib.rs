@@ -1,0 +1,11 @@
+//! Offline build stub for `serde`: marker traits plus no-op derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+pub trait Serializer {}
+
+pub trait Deserializer<'de> {}
