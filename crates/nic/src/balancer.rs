@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dagger_telemetry::{BusEvent, BusEventKind, Telemetry};
+use dagger_telemetry::{BusEvent, BusEventKind, FlightEventKind, Telemetry};
 use dagger_types::NodeAddr;
 
 use crate::softreg::SoftRegisterFile;
@@ -197,6 +197,12 @@ fn run(
                 if streak >= cfg.sustain && cooldown == 0 && num_queues > 1 {
                     softregs.set_active_queue_mask(full_mask & !(1u64 << hot));
                     remaps.add(1);
+                    telemetry.flight().record(
+                        FlightEventKind::QueueShed,
+                        addr.raw(),
+                        hot as u64,
+                        max,
+                    );
                     state = State::Shed { hot };
                     streak = 0;
                     cooldown = cfg.cooldown;
@@ -212,6 +218,9 @@ fn run(
                 if streak >= cfg.sustain && cooldown == 0 {
                     softregs.set_active_queue_mask(0); // 0 = all queues
                     restores.add(1);
+                    telemetry
+                        .flight()
+                        .record(FlightEventKind::QueueRestore, addr.raw(), 0, total);
                     state = State::Balanced;
                     streak = 0;
                     cooldown = cfg.cooldown;

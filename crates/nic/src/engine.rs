@@ -50,7 +50,7 @@ use std::sync::Arc;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
-use dagger_telemetry::{RpcEvent, Telemetry};
+use dagger_telemetry::{FlightEventKind, RpcEvent, Telemetry};
 use dagger_types::{
     CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, RpcKind, HEADER_BYTES,
 };
@@ -65,7 +65,7 @@ use crate::hcc::HostCoherentCache;
 use crate::lb::{fnv1a, LoadBalancer};
 use crate::monitor::{PacketMonitor, QueueStats};
 use crate::nic::queue_of_flow;
-use crate::reliable::ReliableTransport;
+use crate::reliable::{FrameView, ReliableTransport};
 use crate::reqbuf::RequestBuffer;
 use crate::ring::{RingConsumer, RingProducer};
 use crate::sched::FlowScheduler;
@@ -620,6 +620,18 @@ impl EngineCore {
             } else {
                 self.qstats.inc_forced_remaps();
             }
+            // Flight-recorder breadcrumb: which connection moved queues,
+            // and whether the drain completed or the deadline forced it.
+            self.telemetry.flight().record(
+                if drained {
+                    FlightEventKind::Remap
+                } else {
+                    FlightEventKind::ForcedRemap
+                },
+                self.addr.raw(),
+                u64::from(pin.queue),
+                u64::from(fresh),
+            );
             self.route_pins.insert(
                 key,
                 RoutePin {
@@ -757,11 +769,25 @@ impl EngineCore {
         let pool = &mut self.pool;
         rel.drain_retired(|lines| pool.put_lines(lines));
         let port = &self.port;
+        // Data frames emitted here are always retransmissions (first sends
+        // go through `send_datagram`); count them for the flight recorder.
+        let mut retransmits = 0u64;
         rel.on_tick_with(|view| {
+            if matches!(view, FrameView::Data { .. }) {
+                retransmits += 1;
+            }
             let mut out = pool.get_bytes();
             view.encode_into(&mut out);
             let _ = port.send_to(view.dst(), view.dst_queue(), out);
         });
+        if retransmits > 0 {
+            self.telemetry.flight().record(
+                FlightEventKind::RetransmitBurst,
+                self.addr.raw(),
+                u64::from(self.queue_id),
+                retransmits,
+            );
+        }
     }
 
     /// RX FSM: drain this worker's fabric port queue, handle control

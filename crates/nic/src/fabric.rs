@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use dagger_telemetry::Telemetry;
+use dagger_telemetry::{FlightEventKind, FlightRecorder, Telemetry, FLIGHT_ALL_NODES};
 use dagger_types::{DaggerError, NodeAddr, Result};
 
 use crate::wait::EngineWaker;
@@ -367,6 +367,10 @@ pub struct MemFabric {
     /// Frames currently held by reorder/delay injection; lets the hot
     /// receive path skip the fault lock when nothing is pending.
     held_count: Arc<AtomicU64>,
+    /// Flight recorder of the telemetry hub registered via
+    /// [`MemFabric::register_telemetry`]; partition/heal mutations land
+    /// there so diagnosis bundles can see the injected fault window.
+    flight: Arc<Mutex<Option<Arc<FlightRecorder>>>>,
 }
 
 impl MemFabric {
@@ -426,22 +430,26 @@ impl MemFabric {
     pub fn partition(&self, a: NodeAddr, b: NodeAddr) {
         let pair = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         self.faults.lock().cut_pairs.insert(pair);
+        self.record_fault(FlightEventKind::Partition, a.raw(), u64::from(b.raw()));
     }
 
     /// Heals the pair `a ↔ b`.
     pub fn heal(&self, a: NodeAddr, b: NodeAddr) {
         let pair = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
         self.faults.lock().cut_pairs.remove(&pair);
+        self.record_fault(FlightEventKind::Heal, a.raw(), u64::from(b.raw()));
     }
 
     /// Partitions `node` from everyone (all its traffic blackholed).
     pub fn partition_node(&self, node: NodeAddr) {
         self.faults.lock().cut_nodes.insert(node);
+        self.record_fault(FlightEventKind::Partition, node.raw(), FLIGHT_ALL_NODES);
     }
 
     /// Heals a node-level partition.
     pub fn heal_node(&self, node: NodeAddr) {
         self.faults.lock().cut_nodes.remove(&node);
+        self.record_fault(FlightEventKind::Heal, node.raw(), FLIGHT_ALL_NODES);
     }
 
     /// Heals every pair- and node-level partition.
@@ -449,6 +457,17 @@ impl MemFabric {
         let mut faults = self.faults.lock();
         faults.cut_pairs.clear();
         faults.cut_nodes.clear();
+        drop(faults);
+        self.record_fault(FlightEventKind::Heal, u32::MAX, FLIGHT_ALL_NODES);
+    }
+
+    /// Stamps a partition/heal breadcrumb into the registered telemetry
+    /// hub's flight recorder (no-op before `register_telemetry`). `b` is
+    /// the peer node, or [`FLIGHT_ALL_NODES`] for node/fabric-wide cuts.
+    fn record_fault(&self, kind: FlightEventKind, node: u32, b: u64) {
+        if let Some(flight) = self.flight.lock().as_ref() {
+            flight.record(kind, node, 0, b);
+        }
     }
 
     /// `true` while any partition is active.
@@ -472,6 +491,7 @@ impl MemFabric {
     /// `telemetry` (collector name `"fabric"`), so chaos-harness
     /// bookkeeping and exported telemetry can be reconciled.
     pub fn register_telemetry(&self, telemetry: &Telemetry) {
+        *self.flight.lock() = Some(Arc::clone(telemetry.flight()));
         let stats = Arc::clone(&self.stats);
         telemetry.register_collector("fabric", move |reg| {
             let s = stats.snapshot();

@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
-use dagger_telemetry::Telemetry;
+use dagger_telemetry::{FlightEventKind, Telemetry};
 use dagger_types::{ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result};
 
 use crate::arbiter::ArbiterSlot;
@@ -337,6 +337,12 @@ impl Nic {
             let qstats = qstats.clone();
             let prefix = format!("nic.{}", addr.raw());
             let name = prefix.clone();
+            let flight = Arc::clone(telemetry.flight());
+            let addr_raw = addr.raw();
+            // Previous collection's pooled-buffer miss total: a growing
+            // miss count after the pools have warmed (recycled > 0) means
+            // steady-state exhaustion, worth a flight-recorder event.
+            let prev_misses = AtomicU64::new(0);
             telemetry.register_collector(&name, move |reg| {
                 let s = monitor.snapshot();
                 reg.set_gauge(&format!("{prefix}.tx_frames"), s.tx_frames);
@@ -359,18 +365,23 @@ impl Nic {
                     &format!("{prefix}.tx_window_deferrals"),
                     s.tx_window_deferrals,
                 );
+                let misses: u64 = pool_stats.iter().map(|p| p.misses()).sum();
+                let recycled: u64 = pool_stats.iter().map(|p| p.recycled()).sum();
                 reg.set_gauge(
                     &format!("{prefix}.pool.hits"),
                     pool_stats.iter().map(|p| p.hits()).sum(),
                 );
-                reg.set_gauge(
-                    &format!("{prefix}.pool.misses"),
-                    pool_stats.iter().map(|p| p.misses()).sum(),
-                );
-                reg.set_gauge(
-                    &format!("{prefix}.pool.recycled"),
-                    pool_stats.iter().map(|p| p.recycled()).sum(),
-                );
+                reg.set_gauge(&format!("{prefix}.pool.misses"), misses);
+                reg.set_gauge(&format!("{prefix}.pool.recycled"), recycled);
+                let prev = prev_misses.swap(misses, Ordering::Relaxed);
+                if misses > prev && recycled > 0 {
+                    flight.record(
+                        FlightEventKind::PoolExhausted,
+                        addr_raw,
+                        misses - prev,
+                        misses,
+                    );
+                }
                 reg.set_gauge(
                     &format!("{prefix}.conncache.hits"),
                     conncache_stats.iter().map(|c| c.hits()).sum(),

@@ -133,6 +133,7 @@ impl RpcClient {
         let started = Instant::now();
         let (rpc_id, span) = self.issue(fn_id, payload)?;
         let outcome = self.endpoint.wait_for(self.cid, rpc_id, self.timeout());
+        let ids = span.as_ref().map(|s| (s.trace_id, s.span_id));
         if let Some(span) = span {
             // Closed even on timeout: the span then records the full wait.
             span.finish(self.telemetry.spans());
@@ -143,13 +144,21 @@ impl RpcClient {
             self.endpoint.abandon(self.cid, rpc_id);
         }
         let rpc = outcome?;
-        self.record_rtt(started);
+        self.record_rtt(started, ids);
         decode_response(&rpc.payload)
     }
 
-    fn record_rtt(&self, started: Instant) {
-        self.rtt
-            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    /// Records the RTT sample; traced calls also stamp the histogram
+    /// bucket's exemplar so tail percentiles dereference to a trace.
+    fn record_rtt(&self, started: Instant, ids: Option<(u64, u64)>) {
+        let v = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match ids {
+            Some((trace_id, span_id)) => {
+                self.rtt
+                    .record_traced(v, trace_id, span_id, self.telemetry.tick_now());
+            }
+            None => self.rtt.record(v),
+        }
     }
 
     /// Asynchronous (non-blocking) call: returns a [`PendingCall`] that can
@@ -223,23 +232,32 @@ impl PendingCall {
         self.endpoint.poll_once();
         match self.endpoint.try_take(self.cid, self.rpc_id) {
             Some(rpc) => {
-                self.record_rtt();
-                self.finish_span();
+                self.record_rtt(self.finish_span());
                 decode_response(&rpc.payload).map(Some)
             }
             None => Ok(None),
         }
     }
 
-    fn finish_span(&self) {
-        if let Some(span) = self.span.lock().take() {
+    /// Closes the client span (if still open) and returns its identity so
+    /// the RTT sample can carry it as an exemplar.
+    fn finish_span(&self) -> Option<(u64, u64)> {
+        self.span.lock().take().map(|span| {
+            let ids = (span.trace_id, span.span_id);
             span.finish(self.telemetry.spans());
-        }
+            ids
+        })
     }
 
-    fn record_rtt(&self) {
-        self.rtt
-            .record(u64::try_from(self.issued.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    fn record_rtt(&self, ids: Option<(u64, u64)>) {
+        let v = u64::try_from(self.issued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match ids {
+            Some((trace_id, span_id)) => {
+                self.rtt
+                    .record_traced(v, trace_id, span_id, self.telemetry.tick_now());
+            }
+            None => self.rtt.record(v),
+        }
     }
 
     /// Blocks until the response arrives (bounded by the issuing client's
@@ -251,7 +269,7 @@ impl PendingCall {
     /// remote handler's error.
     pub fn wait(self) -> Result<Vec<u8>> {
         let outcome = self.endpoint.wait_for(self.cid, self.rpc_id, self.timeout);
-        self.finish_span();
+        let ids = self.finish_span();
         if outcome.is_err() {
             // Same cleanup as the sync path: a timed-out async call must
             // not leave its (possibly late) response parked in the
@@ -259,7 +277,7 @@ impl PendingCall {
             self.endpoint.abandon(self.cid, self.rpc_id);
         }
         let rpc = outcome?;
-        self.record_rtt();
+        self.record_rtt(ids);
         decode_response(&rpc.payload)
     }
 }

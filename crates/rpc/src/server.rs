@@ -443,8 +443,18 @@ fn dispatch_one(ctx: &DispatchCtx, item: &WorkItem) {
             None => Err(DaggerError::UnknownFunction(item.fn_id.raw())),
         }
     };
-    ctx.handler_ns
-        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let handler_elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    match span.as_ref() {
+        // Traced dispatch: stamp the handler-latency bucket's exemplar with
+        // this server span so tail percentiles resolve to a trace.
+        Some(s) => ctx.handler_ns.record_traced(
+            handler_elapsed,
+            s.trace_id,
+            s.span_id,
+            ctx.telemetry.tick_now(),
+        ),
+        None => ctx.handler_ns.record(handler_elapsed),
+    }
     if outcome.is_err() {
         ctx.errors.fetch_add(1, Ordering::Relaxed);
         ctx.handler_errors.inc();

@@ -40,14 +40,29 @@
 //!                           "window_total": 0}],
 //!           "events": [{"name": "rtt", "tick": 0, "kind": "breach",
 //!                       "burn_milli": 0}],
-//!           "dropped_events": 0}
+//!           "dropped_events": 0},
+//!   "exemplars": {"rpc.client.rtt_ns": [{"trace_id": "0000000000000001",
+//!                                        "span_id": "0000000000000002",
+//!                                        "value_ns": 0, "tick": 0}]},
+//!   "events": {"entries": [{"tick": 0, "kind": "remap", "node": 0,
+//!                           "a": 0, "b": 0}],
+//!              "dropped": 0},
+//!   "bundles": {"entries": [{"slo": "rtt", "tick": 0, "burn_milli": 0,
+//!                            "threshold_ns": 0, "exemplars": [],
+//!                            "traces": [{"trace_id": "0000000000000001",
+//!                                        "duration_ns": 0, "spans": [],
+//!                                        "critical_path": []}],
+//!                            "series": {}, "events": []}],
+//!               "dropped": 0}
 //! }
 //! ```
 //!
 //! Each schema version is a strict superset of the previous one. v2 kept
 //! all v1 keys and appended the distributed-tracing `spans` /
 //! `dropped_spans`; v3 keeps all v2 keys and appends the windowed `series`
-//! section and the `slo` section. Keys inside
+//! section and the `slo` section; v4 keeps all v3 keys and appends the
+//! forensics sections — histogram `exemplars`, flight-recorder `events`,
+//! and SLO-breach diagnosis `bundles` (DESIGN.md §15). Keys inside
 //! `counters`/`gauges`/`histograms` (registry and series alike) are sorted
 //! by name; only observed events/stages appear in a trace's maps;
 //! `total_ns` is omitted until the round trip completes. Trace/span ids
@@ -57,6 +72,9 @@
 
 use std::fmt;
 
+use crate::bundle::DiagnosisBundle;
+use crate::flight::FlightEvent;
+use crate::hist::Exemplar;
 use crate::registry::RegistrySnapshot;
 use crate::slo::{SloEventKind, SloReport};
 use crate::span::Span;
@@ -82,6 +100,17 @@ pub struct TelemetrySnapshot {
     pub series: SeriesSnapshot,
     /// SLO objectives, budgets, and threshold-crossing events.
     pub slo: SloReport,
+    /// Per-histogram exemplars (most recent traced sample per bucket),
+    /// sorted by histogram name; histograms without exemplars are omitted.
+    pub exemplars: Vec<(String, Vec<Exemplar>)>,
+    /// Flight-recorder events, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Flight-recorder events overwritten by the ring before this snapshot.
+    pub dropped_events: u64,
+    /// Retained SLO-breach diagnosis bundles, oldest first.
+    pub bundles: Vec<DiagnosisBundle>,
+    /// Bundles evicted by the [`crate::bundle::MAX_BUNDLES`] bound.
+    pub dropped_bundles: u64,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -112,7 +141,7 @@ fn json_f64(v: f64) -> String {
 
 impl TelemetrySnapshot {
     /// Schema version emitted in the JSON output.
-    pub const JSON_VERSION: u32 = 3;
+    pub const JSON_VERSION: u32 = 4;
 
     /// Serializes the snapshot to the stable JSON schema described in the
     /// module docs. Single line, no trailing newline.
@@ -179,55 +208,8 @@ impl TelemetrySnapshot {
 
         out.push_str(&format!(",\"dropped_spans\":{}", self.dropped_spans));
 
-        out.push_str(&format!(
-            ",\"series\":{{\"resolution_us\":{},\"samples\":{}",
-            self.series.resolution_us, self.series.samples
-        ));
-        out.push_str(",\"counters\":{");
-        for (i, (name, s)) in self.series.counters.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\"{}\":{{\"total\":{},\"window_delta\":{},\"rate_per_sec\":{},\"ewma_per_sec\":{}}}",
-                json_escape(name),
-                s.total,
-                s.window_delta,
-                json_f64(s.rate_per_sec),
-                json_f64(s.ewma_per_sec)
-            ));
-        }
-        out.push('}');
-        out.push_str(",\"gauges\":{");
-        for (i, (name, s)) in self.series.gauges.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\"{}\":{{\"last\":{},\"window_max\":{},\"window_mean\":{},\"ewma\":{}}}",
-                json_escape(name),
-                s.last,
-                s.window_max,
-                json_f64(s.window_mean),
-                json_f64(s.ewma)
-            ));
-        }
-        out.push('}');
-        out.push_str(",\"histograms\":{");
-        for (i, (name, s)) in self.series.histograms.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
-                json_escape(name),
-                s.count,
-                s.p50_ns,
-                s.p90_ns,
-                s.p99_ns
-            ));
-        }
-        out.push_str("}}");
+        out.push_str(",\"series\":");
+        out.push_str(&series_json(&self.series));
 
         out.push_str(",\"slo\":{\"objectives\":[");
         for (i, o) in self.slo.objectives.iter().enumerate() {
@@ -262,11 +244,184 @@ impl TelemetrySnapshot {
             ));
         }
         out.push_str(&format!(
-            "],\"dropped_events\":{}}}}}",
+            "],\"dropped_events\":{}}}",
             self.slo.dropped_events
         ));
+
+        // v4 forensics sections: exemplars, flight events, bundles.
+        out.push_str(",\"exemplars\":{");
+        for (i, (name, exs)) in self.exemplars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":[", json_escape(name)));
+            for (j, ex) in exs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&exemplar_json(ex));
+            }
+            out.push(']');
+        }
+        out.push('}');
+
+        out.push_str(",\"events\":{\"entries\":[");
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&flight_event_json(ev));
+        }
+        out.push_str(&format!("],\"dropped\":{}}}", self.dropped_events));
+
+        out.push_str(",\"bundles\":{\"entries\":[");
+        for (i, b) in self.bundles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&bundle_json(b));
+        }
+        out.push_str(&format!("],\"dropped\":{}}}", self.dropped_bundles));
+        out.push('}');
         out
     }
+}
+
+fn series_json(series: &SeriesSnapshot) -> String {
+    let mut out = format!(
+        "{{\"resolution_us\":{},\"samples\":{}",
+        series.resolution_us, series.samples
+    );
+    out.push_str(",\"counters\":{");
+    for (i, (name, s)) in series.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"total\":{},\"window_delta\":{},\"rate_per_sec\":{},\"ewma_per_sec\":{}}}",
+            json_escape(name),
+            s.total,
+            s.window_delta,
+            json_f64(s.rate_per_sec),
+            json_f64(s.ewma_per_sec)
+        ));
+    }
+    out.push('}');
+    out.push_str(",\"gauges\":{");
+    for (i, (name, s)) in series.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"last\":{},\"window_max\":{},\"window_mean\":{},\"ewma\":{}}}",
+            json_escape(name),
+            s.last,
+            s.window_max,
+            json_f64(s.window_mean),
+            json_f64(s.ewma)
+        ));
+    }
+    out.push('}');
+    out.push_str(",\"histograms\":{");
+    for (i, (name, s)) in series.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
+            json_escape(name),
+            s.count,
+            s.p50_ns,
+            s.p90_ns,
+            s.p99_ns
+        ));
+    }
+    out.push_str("}}");
+    out
+}
+
+fn exemplar_json(ex: &Exemplar) -> String {
+    format!(
+        "{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"value_ns\":{},\"tick\":{}}}",
+        ex.trace_id, ex.span_id, ex.value, ex.tick
+    )
+}
+
+fn flight_event_json(ev: &FlightEvent) -> String {
+    format!(
+        "{{\"tick\":{},\"kind\":\"{}\",\"node\":{},\"a\":{},\"b\":{}}}",
+        ev.tick,
+        ev.kind.name(),
+        ev.node,
+        ev.a,
+        ev.b
+    )
+}
+
+fn bundle_json(b: &DiagnosisBundle) -> String {
+    let mut out = format!(
+        "{{\"slo\":\"{}\",\"tick\":{},\"burn_milli\":{}",
+        json_escape(&b.slo),
+        b.tick,
+        b.burn_milli
+    );
+    if let Some(t) = b.threshold_ns {
+        out.push_str(&format!(",\"threshold_ns\":{t}"));
+    }
+    out.push_str(",\"exemplars\":[");
+    for (i, ex) in b.exemplars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&exemplar_json(ex));
+    }
+    out.push_str("],\"traces\":[");
+    for (i, tr) in b.traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace_id\":\"{:016x}\",\"duration_ns\":{},\"spans\":[",
+            tr.trace_id, tr.duration_ns
+        ));
+        for (j, s) in tr.spans.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_json(s));
+        }
+        out.push_str("],\"critical_path\":[");
+        for (j, seg) in tr.critical_path.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"span_id\":\"{:016x}\",\"name\":\"{}\",\"kind\":\"{}\"",
+                seg.span_id,
+                json_escape(&seg.name),
+                seg.kind.name()
+            ));
+            if let Some(node) = seg.node {
+                out.push_str(&format!(",\"node\":{node}"));
+            }
+            out.push_str(&format!(
+                ",\"start_ns\":{},\"end_ns\":{}}}",
+                seg.start_ns, seg.end_ns
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"series\":");
+    out.push_str(&series_json(&b.series));
+    out.push_str(",\"events\":[");
+    for (i, ev) in b.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&flight_event_json(ev));
+    }
+    out.push_str("]}");
+    out
 }
 
 fn span_json(s: &Span) -> String {
@@ -429,6 +584,34 @@ impl fmt::Display for TelemetrySnapshot {
                 writeln!(f, "] {}ns", s.duration_ns())?;
             }
         }
+        if !self.events.is_empty() {
+            writeln!(f, "flight events ({} dropped):", self.dropped_events)?;
+            for e in &self.events {
+                writeln!(
+                    f,
+                    "  tick {} {} node={} a={} b={}",
+                    e.tick,
+                    e.kind.name(),
+                    e.node,
+                    e.a,
+                    e.b
+                )?;
+            }
+        }
+        if !self.bundles.is_empty() {
+            writeln!(f, "diagnosis bundles ({} dropped):", self.dropped_bundles)?;
+            for b in &self.bundles {
+                writeln!(
+                    f,
+                    "  {} @tick {} burn={:.2}x ({} exemplars, {} events)",
+                    b.slo,
+                    b.tick,
+                    b.burn_milli as f64 / 1000.0,
+                    b.exemplars.len(),
+                    b.events.len()
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -471,13 +654,18 @@ mod tests {
             dropped_spans: 3,
             series: SeriesSnapshot::default(),
             slo: SloReport::default(),
+            exemplars: Vec::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+            bundles: Vec::new(),
+            dropped_bundles: 0,
         }
     }
 
     #[test]
     fn json_contains_all_sections() {
         let json = sample_snapshot().to_json();
-        assert!(json.starts_with("{\"version\":3"));
+        assert!(json.starts_with("{\"version\":4"));
         assert!(json.contains("\"nic.0.tx_frames\":7"));
         assert!(json.contains("\"nic.0.flows\":4"));
         assert!(json.contains("\"p99_ns\""));
@@ -497,11 +685,18 @@ mod tests {
         assert!(json.contains("\"node\":2"), "{json}");
         assert!(json.contains("\"duration_ns\":2800"), "{json}");
         assert!(json.contains("\"connection_id\":65536,\"rpc_id\":1"));
-        // v3 appends the series and slo sections after dropped_spans.
+        // v3 appends the series and slo sections after dropped_spans; v4
+        // appends exemplars, flight events, and bundles after slo.
         let ds = json.find("\"dropped_spans\":3").expect("dropped_spans");
         let se = json.find("\"series\":{").expect("series");
         let sl = json.find("\"slo\":{").expect("slo");
-        assert!(ds < se && se < sl, "{json}");
+        let ex = json.find("\"exemplars\":{").expect("exemplars");
+        let ev = json.find("\"events\":{\"entries\":[").expect("events");
+        let bu = json.find("\"bundles\":{\"entries\":[").expect("bundles");
+        assert!(
+            ds < se && se < sl && sl < ex && ex < ev && ev < bu,
+            "{json}"
+        );
     }
 
     #[test]
@@ -520,11 +715,13 @@ mod tests {
         let json = TelemetrySnapshot::default().to_json();
         assert_eq!(
             json,
-            "{\"version\":3,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+            "{\"version\":4,\"counters\":{},\"gauges\":{},\"histograms\":{},\
              \"traces\":[],\"dropped_traces\":0,\"spans\":[],\"dropped_spans\":0,\
              \"series\":{\"resolution_us\":0,\"samples\":0,\"counters\":{},\
              \"gauges\":{},\"histograms\":{}},\
-             \"slo\":{\"objectives\":[],\"events\":[],\"dropped_events\":0}}"
+             \"slo\":{\"objectives\":[],\"events\":[],\"dropped_events\":0},\
+             \"exemplars\":{},\"events\":{\"entries\":[],\"dropped\":0},\
+             \"bundles\":{\"entries\":[],\"dropped\":0}}"
         );
     }
 
@@ -582,6 +779,81 @@ mod tests {
             json.contains("\"kind\":\"breach\",\"burn_milli\":1500"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn json_emits_forensics_payloads() {
+        use crate::bundle::BundleTrace;
+        use crate::flight::FlightEventKind;
+        use crate::tree::CriticalSegment;
+        let ex = Exemplar {
+            trace_id: 0xabc,
+            span_id: 0xdef,
+            value: 5_000_000,
+            tick: 17,
+        };
+        let ev = FlightEvent {
+            tick: 16,
+            kind: FlightEventKind::Partition,
+            node: 1,
+            a: 1,
+            b: 2,
+        };
+        let mut snap = sample_snapshot();
+        snap.exemplars
+            .push(("rpc.client.rtt_ns".to_string(), vec![ex]));
+        snap.events.push(ev);
+        snap.dropped_events = 2;
+        snap.bundles.push(DiagnosisBundle {
+            slo: "client_rtt".to_string(),
+            tick: 17,
+            burn_milli: 2500,
+            threshold_ns: Some(1_000_000),
+            exemplars: vec![ex],
+            traces: vec![BundleTrace {
+                trace_id: 0xabc,
+                duration_ns: 2800,
+                spans: snap.spans.clone(),
+                critical_path: vec![CriticalSegment {
+                    span_id: 0xdef,
+                    name: "rpc.fn1".to_string(),
+                    kind: crate::span::SpanKind::Client,
+                    node: Some(2),
+                    start_ns: 100,
+                    end_ns: 2900,
+                }],
+            }],
+            series: SeriesSnapshot::default(),
+            events: vec![ev],
+        });
+        snap.dropped_bundles = 1;
+        let json = snap.to_json();
+        assert!(
+            json.contains(
+                "\"exemplars\":{\"rpc.client.rtt_ns\":[{\"trace_id\":\"0000000000000abc\",\
+                 \"span_id\":\"0000000000000def\",\"value_ns\":5000000,\"tick\":17}]}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"events\":{\"entries\":[{\"tick\":16,\"kind\":\"partition\",\
+                 \"node\":1,\"a\":1,\"b\":2}],\"dropped\":2}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"bundles\":{\"entries\":[{\"slo\":\"client_rtt\",\"tick\":17,\"burn_milli\":2500,\"threshold_ns\":1000000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"critical_path\":[{\"span_id\":\"0000000000000def\",\"name\":\"rpc.fn1\",\"kind\":\"client\",\"node\":2,\"start_ns\":100,\"end_ns\":2900}]"),
+            "{json}"
+        );
+        assert!(json.ends_with("\"dropped\":1}}"), "{json}");
+        let text = snap.to_string();
+        assert!(text.contains("flight events (2 dropped):"), "{text}");
+        assert!(text.contains("client_rtt @tick 17 burn=2.50x"), "{text}");
     }
 
     #[test]

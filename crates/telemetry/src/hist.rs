@@ -21,6 +21,25 @@ const GROUPS: usize = 64 - SUB_BITS as usize + 1;
 /// sketch in `timeseries` (which diffs raw bucket counts).
 pub(crate) const NUM_BUCKETS: usize = GROUPS * SUB_BUCKETS;
 
+/// A Prometheus-style exemplar: the most recent traced sample that landed
+/// in a histogram bucket. A percentile resolved by [`Histogram::percentile`]
+/// dereferences through the exemplar of its bucket to a concrete traced
+/// request — the join point between metrics and distributed traces
+/// (DESIGN.md §15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Exemplar {
+    /// Trace the sample belonged to.
+    pub trace_id: u64,
+    /// Span that recorded the sample (client call span / server handler span).
+    pub span_id: u64,
+    /// The recorded value, in the histogram's unit (nanoseconds here).
+    pub value: u64,
+    /// Sampling-grid tick at record time, aligning the exemplar with the
+    /// series windows and flight-recorder events of the same moment.
+    pub tick: u64,
+}
+
 /// A log-linear latency histogram over `u64` nanosecond values.
 ///
 /// # Example
@@ -37,6 +56,9 @@ pub(crate) const NUM_BUCKETS: usize = GROUPS * SUB_BUCKETS;
 #[derive(Clone, Debug)]
 pub struct Histogram {
     counts: Vec<u64>,
+    // Per-bucket most-recent traced sample; allocated lazily on the first
+    // `record_traced` so untraced histograms pay nothing.
+    exemplars: Vec<Option<Exemplar>>,
     total: u64,
     sum: u128,
     min: u64,
@@ -48,6 +70,7 @@ impl Histogram {
     pub fn new() -> Self {
         Histogram {
             counts: vec![0; GROUPS * SUB_BUCKETS],
+            exemplars: Vec::new(),
             total: 0,
             sum: 0,
             min: u64::MAX,
@@ -86,6 +109,51 @@ impl Histogram {
         self.sum += u128::from(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+    }
+
+    /// Records one value carrying its trace identity: besides the normal
+    /// count update, the bucket's exemplar slot is overwritten with this
+    /// `(trace_id, span_id, value, tick)` — "most recent traced sample per
+    /// bucket" semantics, so tail buckets always point at a live example of
+    /// what made them tail.
+    pub fn record_traced(&mut self, value: Nanos, trace_id: u64, span_id: u64, tick: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if trace_id != 0 {
+            if self.exemplars.is_empty() {
+                self.exemplars = vec![None; NUM_BUCKETS];
+            }
+            self.exemplars[idx] = Some(Exemplar {
+                trace_id,
+                span_id,
+                value,
+                tick,
+            });
+        }
+    }
+
+    /// All populated exemplars, in bucket order (ascending value edge).
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.exemplars.iter().filter_map(|e| *e).collect()
+    }
+
+    /// Exemplars from buckets whose entire range lies above `threshold` —
+    /// the "tail buckets" of a latency SLO with that threshold. Mirrors the
+    /// badness rule in `slo.rs`: a bucket is bad iff its index is strictly
+    /// greater than the threshold's own bucket.
+    pub fn exemplars_above(&self, threshold: u64) -> Vec<Exemplar> {
+        if self.exemplars.is_empty() {
+            return Vec::new();
+        }
+        let bad_from = Self::bucket_index(threshold);
+        self.exemplars[bad_from + 1..]
+            .iter()
+            .filter_map(|e| *e)
+            .collect()
     }
 
     /// Records `n` occurrences of one value.
@@ -157,7 +225,8 @@ impl Histogram {
         self.max
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Exemplars keep the sample
+    /// with the larger tick per bucket ("most recent" across both inputs).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
@@ -166,6 +235,18 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if !other.exemplars.is_empty() {
+            if self.exemplars.is_empty() {
+                self.exemplars = vec![None; NUM_BUCKETS];
+            }
+            for (mine, theirs) in self.exemplars.iter_mut().zip(other.exemplars.iter()) {
+                match (&mine, theirs) {
+                    (None, Some(e)) => *mine = Some(*e),
+                    (Some(m), Some(e)) if e.tick > m.tick => *mine = Some(*e),
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Raw per-bucket counts, indexed by [`Histogram::bucket_index`]. The
@@ -361,6 +442,60 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.percentile(100.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn exemplars_track_most_recent_per_bucket() {
+        let mut h = Histogram::new();
+        assert!(h.exemplars().is_empty());
+        h.record_traced(1_000, 0xA, 0x1, 5);
+        h.record_traced(1_000, 0xB, 0x2, 6); // same bucket: overwrites
+        h.record_traced(9_000_000, 0xC, 0x3, 7);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].trace_id, 0xB);
+        assert_eq!(ex[0].tick, 6);
+        assert_eq!(ex[1].trace_id, 0xC);
+        // Untraced records never displace an exemplar.
+        h.record(1_000);
+        assert_eq!(h.exemplars().len(), 2);
+        // trace_id 0 means "no trace": counted, not stored.
+        h.record_traced(77, 0, 0, 9);
+        assert_eq!(h.exemplars().len(), 2);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn exemplars_above_returns_tail_buckets_only() {
+        let mut h = Histogram::new();
+        h.record_traced(100, 1, 1, 0);
+        h.record_traced(1_000_000, 2, 2, 1);
+        let tail = h.exemplars_above(10_000);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].trace_id, 2);
+        // A value in the threshold's own bucket is not "above" it.
+        let same = h.exemplars_above(1_000_000);
+        assert!(same.is_empty(), "{same:?}");
+        assert!(h.exemplars_above(u64::MAX).is_empty());
+        assert_eq!(h.exemplars_above(0).len(), 2);
+    }
+
+    #[test]
+    fn merge_keeps_newest_exemplar_per_bucket() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_traced(500, 0xA, 1, 10);
+        b.record_traced(500, 0xB, 2, 20);
+        b.record_traced(64_000, 0xD, 4, 5);
+        a.merge(&b);
+        let ex = a.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].trace_id, 0xB, "newer tick wins the shared bucket");
+        assert_eq!(ex[1].trace_id, 0xD, "unopposed exemplar carried over");
+        // Merging an exemplar-free histogram leaves exemplars intact.
+        let plain = Histogram::new();
+        a.merge(&plain);
+        assert_eq!(a.exemplars().len(), 2);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 //! The crate is intentionally dependency-free (std only) so it sits below
 //! every other crate, even `dagger-types`, without cycles.
 
+mod bundle;
 mod bus;
 mod export;
+mod flight;
 mod hist;
 mod registry;
 mod report;
@@ -32,9 +34,13 @@ mod timeseries;
 mod trace;
 mod tree;
 
+pub use bundle::{BundleTrace, DiagnosisBundle, MAX_BUNDLES};
 pub use bus::{BusEvent, BusEventKind, BusReader, TelemetryBus, DEFAULT_BUS_CAPACITY};
 pub use export::TelemetrySnapshot;
-pub use hist::{Histogram, Summary};
+pub use flight::{
+    FlightEvent, FlightEventKind, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_ALL_NODES,
+};
+pub use hist::{Exemplar, Histogram, Summary};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, RegistrySnapshot};
 pub use report::Reporter;
 pub use slo::{SloEvent, SloEventKind, SloKind, SloReport, SloSnapshot, SloSpec};
@@ -77,6 +83,15 @@ pub struct Telemetry {
     collectors: Mutex<BTreeMap<String, Collector>>,
     series: Mutex<timeseries::SeriesEngine>,
     bus: Arc<TelemetryBus>,
+    flight: Arc<FlightRecorder>,
+    bundles: Mutex<BundleStore>,
+}
+
+/// Bounded retention of captured diagnosis bundles.
+#[derive(Default)]
+struct BundleStore {
+    bundles: Vec<DiagnosisBundle>,
+    dropped: u64,
 }
 
 impl Telemetry {
@@ -91,6 +106,9 @@ impl Telemetry {
     /// resolution, ring depth, quantile window shape).
     pub fn with_series_config(cfg: SeriesConfig) -> Arc<Self> {
         let epoch = Instant::now();
+        // The recorder clamps its resolution exactly like the series
+        // engine, so flight-event ticks and sample ticks share one grid.
+        let resolution = cfg.resolution.max(std::time::Duration::from_micros(10));
         Arc::new(Telemetry {
             registry: MetricsRegistry::new(),
             tracer: RpcTracer::with_capacity_and_epoch(DEFAULT_TRACE_CAPACITY, epoch),
@@ -98,6 +116,8 @@ impl Telemetry {
             collectors: Mutex::new(BTreeMap::new()),
             series: Mutex::new(timeseries::SeriesEngine::new(cfg, epoch)),
             bus: TelemetryBus::new(DEFAULT_BUS_CAPACITY),
+            flight: FlightRecorder::with_epoch(DEFAULT_FLIGHT_CAPACITY, epoch, resolution),
+            bundles: Mutex::new(BundleStore::default()),
         })
     }
 
@@ -169,6 +189,36 @@ impl Telemetry {
         &self.bus
     }
 
+    /// The flight recorder: components drop structured engine events here
+    /// (remaps, retransmit bursts, partitions, SLO crossings).
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// The current sampling-grid tick — cheap (no locks), for stamping
+    /// exemplars so they align with series windows and flight events.
+    pub fn tick_now(&self) -> u64 {
+        self.flight.tick_now()
+    }
+
+    /// Diagnosis bundles captured so far (oldest first, bounded at
+    /// [`MAX_BUNDLES`]).
+    pub fn bundles(&self) -> Vec<DiagnosisBundle> {
+        self.bundles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bundles
+            .clone()
+    }
+
+    /// Bundles dropped by the retention bound.
+    pub fn dropped_bundles(&self) -> u64 {
+        self.bundles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .dropped
+    }
+
     /// Subscribes a new reader cursor to the telemetry bus.
     pub fn subscribe(&self) -> BusReader {
         self.bus.subscribe()
@@ -190,21 +240,82 @@ impl Telemetry {
     /// Returns whether a sample was actually taken.
     pub fn sample_now(&self) -> bool {
         self.collect();
-        self.series
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .sample(&self.registry, &self.bus, false)
+        let (sampled, fresh) = {
+            let mut engine = self.series.lock().unwrap_or_else(PoisonError::into_inner);
+            let sampled = engine.sample(&self.registry, &self.bus, &self.flight, false);
+            (sampled, self.capture_breaches(&mut engine))
+        };
+        self.store_bundles(fresh);
+        sampled
+    }
+
+    /// Freezes a diagnosis bundle for every breach the engine observed
+    /// since the last drain. Runs under the series mutex (it needs the
+    /// engine's windowed snapshot as of the breach sample); the exemplar,
+    /// span, and flight reads are lock-free.
+    fn capture_breaches(&self, engine: &mut timeseries::SeriesEngine) -> Vec<DiagnosisBundle> {
+        let breaches = engine.take_breaches();
+        if breaches.is_empty() {
+            return Vec::new();
+        }
+        let radius = engine.window_ticks_cfg();
+        let (series, _) = engine.snapshot();
+        let spans = self.spans.spans();
+        breaches
+            .iter()
+            .map(|b| {
+                DiagnosisBundle::capture(
+                    b,
+                    &self.registry,
+                    &spans,
+                    &self.flight,
+                    series.clone(),
+                    radius,
+                )
+            })
+            .collect()
+    }
+
+    /// Appends captured bundles under the retention bound.
+    fn store_bundles(&self, fresh: Vec<DiagnosisBundle>) {
+        if fresh.is_empty() {
+            return;
+        }
+        let mut store = self.bundles.lock().unwrap_or_else(PoisonError::into_inner);
+        for b in fresh {
+            if store.bundles.len() >= MAX_BUNDLES {
+                store.bundles.remove(0);
+                store.dropped += 1;
+            }
+            store.bundles.push(b);
+        }
     }
 
     /// Collects, force-samples the series engine (so the tail of the
     /// current window is never lost), then snapshots the registry, the
-    /// windowed series, the SLO state, and all retained traces and spans.
+    /// windowed series, the SLO state, all retained traces and spans, the
+    /// histogram exemplars, the flight-recorder events, and any captured
+    /// diagnosis bundles.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         self.collect();
-        let (series, slo) = {
+        let (series, slo, fresh) = {
             let mut engine = self.series.lock().unwrap_or_else(PoisonError::into_inner);
-            engine.sample(&self.registry, &self.bus, true);
-            engine.snapshot()
+            engine.sample(&self.registry, &self.bus, &self.flight, true);
+            let fresh = self.capture_breaches(&mut engine);
+            let (series, slo) = engine.snapshot();
+            (series, slo, fresh)
+        };
+        self.store_bundles(fresh);
+        let mut exemplars = Vec::new();
+        self.registry.visit_histograms(|name, handle| {
+            let ex = handle.with_histogram(|h| h.exemplars());
+            if !ex.is_empty() {
+                exemplars.push((name.to_string(), ex));
+            }
+        });
+        let (bundles, dropped_bundles) = {
+            let store = self.bundles.lock().unwrap_or_else(PoisonError::into_inner);
+            (store.bundles.clone(), store.dropped)
         };
         TelemetrySnapshot {
             registry: self.registry.snapshot(),
@@ -214,6 +325,11 @@ impl Telemetry {
             dropped_spans: self.spans.dropped(),
             series,
             slo,
+            exemplars,
+            events: self.flight.snapshot(),
+            dropped_events: self.flight.dropped(),
+            bundles,
+            dropped_bundles,
         }
     }
 }

@@ -76,6 +76,15 @@ impl HistogramHandle {
             .record(value);
     }
 
+    /// Records one value with its trace identity, updating the bucket's
+    /// exemplar (see [`crate::Exemplar`]).
+    pub fn record_traced(&self, value: Nanos, trace_id: u64, span_id: u64, tick: u64) {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record_traced(value, trace_id, span_id, tick);
+    }
+
     /// Records `n` occurrences of `value`.
     pub fn record_n(&self, value: Nanos, n: u64) {
         self.0

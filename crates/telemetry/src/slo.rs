@@ -22,6 +22,7 @@
 use std::collections::VecDeque;
 
 use crate::bus::{BusEventKind, TelemetryBus};
+use crate::flight::{FlightEventKind, FlightRecorder};
 
 /// Bound on the retained threshold-crossing event log; older events are
 /// dropped (and counted) once exceeded.
@@ -182,6 +183,19 @@ pub struct SloReport {
     pub dropped_events: u64,
 }
 
+/// A just-fired breach crossing, queued so the telemetry hub can freeze a
+/// diagnosis bundle once the sampling pass releases the series mutex.
+#[derive(Clone, Debug)]
+pub(crate) struct BreachCapture {
+    /// The breached objective (carries the histogram/counter names and
+    /// threshold the capture needs).
+    pub spec: SloSpec,
+    /// Tick of the crossing sample.
+    pub tick: u64,
+    /// Burn rate at the crossing, milli-scaled.
+    pub burn_milli: u64,
+}
+
 #[derive(Debug)]
 struct SloState {
     spec: SloSpec,
@@ -202,6 +216,8 @@ pub(crate) struct SloTracker {
     slos: Vec<SloState>,
     events: VecDeque<SloEvent>,
     dropped_events: u64,
+    /// Breach crossings awaiting bundle capture (drained by the hub).
+    pending_captures: Vec<BreachCapture>,
 }
 
 impl SloTracker {
@@ -239,6 +255,7 @@ impl SloTracker {
         tick: u64,
         mut window_of: impl FnMut(&SloKind) -> SloWindow,
         bus: &TelemetryBus,
+        flight: &FlightRecorder,
         gauge_updates: &mut Vec<(String, u64)>,
     ) {
         for state in &mut self.slos {
@@ -291,6 +308,28 @@ impl SloTracker {
                         state.burn_milli,
                         tick,
                     );
+                    // The crossing also lands on the flight recorder (at
+                    // the sample's own tick, not "now") so a bundle's
+                    // event slice shows the breach inline with the engine
+                    // events that caused it — and a breach queues a
+                    // diagnosis-bundle capture for the hub.
+                    flight.record_at(
+                        tick,
+                        match kind {
+                            SloEventKind::Breach => FlightEventKind::SloBreach,
+                            SloEventKind::Recover => FlightEventKind::SloRecover,
+                        },
+                        0,
+                        state.burn_milli,
+                        0,
+                    );
+                    if kind == SloEventKind::Breach {
+                        self.pending_captures.push(BreachCapture {
+                            spec: state.spec.clone(),
+                            tick,
+                            burn_milli: state.burn_milli,
+                        });
+                    }
                     if self.events.len() >= MAX_EVENTS {
                         self.events.pop_front();
                         self.dropped_events += 1;
@@ -304,6 +343,11 @@ impl SloTracker {
                 }
             }
         }
+    }
+
+    /// Drains breach crossings queued since the last drain.
+    pub(crate) fn take_captures(&mut self) -> Vec<BreachCapture> {
+        std::mem::take(&mut self.pending_captures)
     }
 
     pub(crate) fn snapshot(&self) -> SloReport {
@@ -331,6 +375,11 @@ impl SloTracker {
 mod tests {
     use super::*;
     use crate::bus::TelemetryBus;
+    use std::time::{Duration, Instant};
+
+    fn test_flight() -> std::sync::Arc<FlightRecorder> {
+        FlightRecorder::with_epoch(64, Instant::now(), Duration::from_millis(1))
+    }
 
     fn eval(
         tracker: &mut SloTracker,
@@ -339,7 +388,7 @@ mod tests {
         bus: &TelemetryBus,
     ) -> Vec<(String, u64)> {
         let mut gauges = Vec::new();
-        tracker.evaluate(tick, |_| win, bus, &mut gauges);
+        tracker.evaluate(tick, |_| win, bus, &test_flight(), &mut gauges);
         gauges
     }
 
@@ -476,5 +525,41 @@ mod tests {
     #[should_panic(expected = "target must be in")]
     fn out_of_range_target_panics() {
         let _ = SloSpec::latency("x", "h", 1, 1.0);
+    }
+
+    #[test]
+    fn breach_queues_capture_and_flight_event_recover_does_not() {
+        let bus = TelemetryBus::new(16);
+        let flight = test_flight();
+        let mut t = SloTracker::default();
+        t.register(SloSpec::latency("rtt", "h", 1000, 0.99), &bus);
+        let bad = SloWindow {
+            window_bad: 10,
+            window_total: 100,
+            sample_bad: 10,
+            sample_total: 100,
+        };
+        let good = SloWindow {
+            window_bad: 0,
+            window_total: 100,
+            sample_bad: 0,
+            sample_total: 100,
+        };
+        let mut gauges = Vec::new();
+        t.evaluate(7, |_| bad, &bus, &flight, &mut gauges);
+        t.evaluate(8, |_| bad, &bus, &flight, &mut gauges); // sustained: no new capture
+        t.evaluate(9, |_| good, &bus, &flight, &mut gauges);
+        let captures = t.take_captures();
+        assert_eq!(captures.len(), 1, "one breach, one capture");
+        assert_eq!(captures[0].tick, 7);
+        assert_eq!(captures[0].spec.name, "rtt");
+        assert!(captures[0].burn_milli >= 1000);
+        assert!(t.take_captures().is_empty(), "drain is one-shot");
+        let kinds: Vec<FlightEventKind> = flight.snapshot().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![FlightEventKind::SloBreach, FlightEventKind::SloRecover]
+        );
+        assert_eq!(flight.snapshot()[0].tick, 7, "stamped at the sample tick");
     }
 }

@@ -31,9 +31,10 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use crate::bus::{BusEventKind, TelemetryBus};
+use crate::flight::FlightRecorder;
 use crate::hist::{Histogram, NUM_BUCKETS};
 use crate::registry::MetricsRegistry;
-use crate::slo::{SloKind, SloReport, SloSpec, SloTracker, SloWindow};
+use crate::slo::{BreachCapture, SloKind, SloReport, SloSpec, SloTracker, SloWindow};
 
 /// EWMA smoothing factor applied per sample.
 const EWMA_ALPHA: f64 = 0.2;
@@ -145,6 +146,31 @@ impl ValueRing {
             (_, Some(b)) => Some(b),
             (first, None) => first,
         }
+    }
+
+    /// Total counter increase across the window starting after `min_tick`,
+    /// summed pairwise with each step clamped at 0. A plain
+    /// `last - window_base` collapses to ~0 when the counter resets
+    /// mid-window (component restart re-zeroes its bank); pairwise
+    /// clamping drops only the one negative step, keeping every real
+    /// increment on both sides of the reset.
+    fn window_increase(&self, min_tick: u64) -> u64 {
+        let mut prev: Option<u64> = None;
+        let mut first = true;
+        let mut sum = 0u64;
+        for (t, v) in self.iter() {
+            if first && !self.wrapped && t >= min_tick {
+                // Entire history retained and it starts inside the window:
+                // the pre-history value is exactly 0 (mirrors
+                // `window_base`), so the first sample is all increase.
+                sum += v;
+            } else if t > min_tick {
+                sum += v.saturating_sub(prev.unwrap_or(v));
+            }
+            prev = Some(v);
+            first = false;
+        }
+        sum
     }
 }
 
@@ -324,6 +350,7 @@ impl SeriesEngine {
         &mut self,
         registry: &MetricsRegistry,
         bus: &TelemetryBus,
+        flight: &FlightRecorder,
         force: bool,
     ) -> bool {
         let elapsed = self.epoch.elapsed();
@@ -352,12 +379,17 @@ impl SeriesEngine {
                     ewma_rate: 0.0,
                     seen: false,
                 });
+            // Clamped at 0: a counter reset (component restart) yields one
+            // zero delta instead of a huge wrapped value.
             let delta = v.saturating_sub(s.last);
             s.last_delta = delta;
             if delta > 0 || !s.seen {
                 bus.publish(s.id, BusEventKind::CounterDelta, delta, tick);
             }
             if dt_secs > 0.0 {
+                // Cast audit: `delta` is one sample's growth (≪ 2^53), so
+                // the u64→f64 conversion is exact regardless of how large
+                // the cumulative counter has grown.
                 let inst = delta as f64 / dt_secs;
                 s.ewma_rate = if s.seen {
                     EWMA_ALPHA * inst + (1.0 - EWMA_ALPHA) * s.ewma_rate
@@ -384,6 +416,11 @@ impl SeriesEngine {
             if v != s.last || !s.seen {
                 bus.publish(s.id, BusEventKind::GaugeSet, v, tick);
             }
+            // Cast audit: gauges are absolute values, so this u64→f64 cast
+            // rounds above 2^53 (~9e15). Registry gauges are operational
+            // levels (queue depths, frame counts) that sit far below that
+            // bound; a gauge near u64::MAX would smooth with ≈1-ulp
+            // relative error, which the EWMA's ±α tolerance dwarfs.
             s.ewma = if s.seen {
                 EWMA_ALPHA * v as f64 + (1.0 - EWMA_ALPHA) * s.ewma
             } else {
@@ -488,11 +525,7 @@ impl SeriesEngine {
                         let Some(s) = counters.get(name) else {
                             return (0, 0);
                         };
-                        let windowed = s
-                            .ring
-                            .window_base(min_tick)
-                            .map_or(0, |(_, base)| s.last.saturating_sub(base));
-                        (windowed, s.last_delta)
+                        (s.ring.window_increase(min_tick), s.last_delta)
                     };
                     let (good_win, good_sample) = delta_of(good);
                     let (total_win, total_sample) = delta_of(total);
@@ -505,12 +538,25 @@ impl SeriesEngine {
                 }
             },
             bus,
+            flight,
             pending,
         );
         for (name, v) in pending.drain(..) {
             registry.set_gauge(&name, v);
         }
         true
+    }
+
+    /// Drains breach crossings observed by recent samples; the hub turns
+    /// each into a diagnosis bundle outside the series mutex.
+    pub(crate) fn take_breaches(&mut self) -> Vec<BreachCapture> {
+        self.slos.take_captures()
+    }
+
+    /// The rolling window width in ticks (the hub uses it as the
+    /// flight-slice radius when freezing bundles).
+    pub(crate) fn window_ticks_cfg(&self) -> u64 {
+        self.cfg.window_ticks()
     }
 
     /// Builds the windowed-series and SLO sections of a snapshot.
@@ -524,9 +570,14 @@ impl SeriesEngine {
             .counters
             .iter()
             .map(|(name, s)| {
-                let (base_tick, base) = s.ring.window_base(min_tick).unwrap_or((now_tick, s.last));
-                let (last_tick, last) = s.ring.last().unwrap_or((now_tick, s.last));
-                let window_delta = last.saturating_sub(base);
+                let (base_tick, _) = s.ring.window_base(min_tick).unwrap_or((now_tick, s.last));
+                let (last_tick, _) = s.ring.last().unwrap_or((now_tick, s.last));
+                // Pairwise clamped, not `last - base`: survives counter
+                // resets mid-window. Cast audit: window deltas are bounded
+                // by per-window growth (≪ 2^53), so the f64 rate math below
+                // is exact even when the cumulative counter itself exceeds
+                // f64's integer range.
+                let window_delta = s.ring.window_increase(min_tick);
                 let span = last_tick.saturating_sub(base_tick) as f64 * res_secs;
                 let rate = if span > 0.0 {
                     window_delta as f64 / span
@@ -640,18 +691,22 @@ mod tests {
         SeriesEngine::new(SeriesConfig::default(), Instant::now())
     }
 
+    fn fr() -> std::sync::Arc<FlightRecorder> {
+        FlightRecorder::with_epoch(64, Instant::now(), Duration::from_millis(1))
+    }
+
     #[test]
     fn sampling_is_idempotent_per_tick_and_force_overrides() {
         let reg = MetricsRegistry::new();
         let bus = TelemetryBus::new(64);
         let mut e = engine();
         reg.counter("c").add(5);
-        assert!(e.sample(&reg, &bus, false));
+        assert!(e.sample(&reg, &bus, &fr(), false));
         // Same tick (1 ms resolution; this runs in far less): skipped.
-        assert!(!e.sample(&reg, &bus, false));
+        assert!(!e.sample(&reg, &bus, &fr(), false));
         // Forced: runs anyway and picks up new data in place.
         reg.counter("c").add(3);
-        assert!(e.sample(&reg, &bus, true));
+        assert!(e.sample(&reg, &bus, &fr(), true));
         let (snap, _) = e.snapshot();
         assert_eq!(snap.counter("c").unwrap().total, 8);
         assert_eq!(snap.counter("c").unwrap().window_delta, 8);
@@ -664,9 +719,9 @@ mod tests {
         let mut r = bus.subscribe();
         let mut e = engine();
         reg.counter("c").add(4);
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         reg.counter("c").add(6);
-        e.sample(&reg, &bus, true);
+        e.sample(&reg, &bus, &fr(), true);
         let mut out = Vec::new();
         r.poll(&mut out);
         let deltas: Vec<u64> = out
@@ -685,10 +740,10 @@ mod tests {
         let mut r = bus.subscribe();
         let mut e = engine();
         reg.gauge("g").set(7);
-        e.sample(&reg, &bus, false);
-        e.sample(&reg, &bus, true); // unchanged: no event
+        e.sample(&reg, &bus, &fr(), false);
+        e.sample(&reg, &bus, &fr(), true); // unchanged: no event
         reg.gauge("g").set(9);
-        e.sample(&reg, &bus, true);
+        e.sample(&reg, &bus, &fr(), true);
         let mut out = Vec::new();
         r.poll(&mut out);
         let values: Vec<u64> = out.iter().map(|ev| ev.value).collect();
@@ -704,7 +759,7 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         let (snap, _) = e.snapshot();
         let w = snap.histogram("lat").unwrap();
         assert_eq!(w.count, 1000);
@@ -719,9 +774,9 @@ mod tests {
         let mut e = engine();
         let h = reg.histogram("lat");
         h.record(100);
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         h.record(200);
-        e.sample(&reg, &bus, true);
+        e.sample(&reg, &bus, &fr(), true);
         let (snap, _) = e.snapshot();
         assert_eq!(snap.histogram("lat").unwrap().count, 2);
     }
@@ -739,7 +794,7 @@ mod tests {
             h.record(100);
             h.record(100_000);
         }
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         let (_, slo) = e.snapshot();
         let obj = &slo.objectives[0];
         assert!(obj.breached, "{obj:?}");
@@ -760,7 +815,7 @@ mod tests {
         );
         reg.counter("req.good").add(90);
         reg.counter("req.total").add(100);
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         let (_, slo) = e.snapshot();
         let obj = &slo.objectives[0];
         assert_eq!(obj.window_bad, 10);
@@ -781,10 +836,10 @@ mod tests {
             Instant::now(),
         );
         reg.counter("c").add(10);
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         std::thread::sleep(Duration::from_millis(2));
         reg.counter("c").add(90);
-        e.sample(&reg, &bus, false);
+        e.sample(&reg, &bus, &fr(), false);
         let (snap, _) = e.snapshot();
         let c = snap.counter("c").unwrap();
         // The window reaches back past the series' start, so the whole
@@ -792,6 +847,75 @@ mod tests {
         assert_eq!(c.window_delta, 100);
         assert!(c.rate_per_sec > 0.0);
         assert!(c.ewma_per_sec > 0.0);
+    }
+
+    #[test]
+    fn counter_reset_mid_window_keeps_forward_progress() {
+        // Regression: a counter that resets mid-window (component restart)
+        // must not collapse the window delta to ~0 — only the one negative
+        // step is clamped; increments on both sides of the reset survive.
+        let mut r = ValueRing::new(8);
+        r.push(1, 100);
+        r.push(2, 150); // +50
+        r.push(3, 10); // reset: clamped step, not -140
+        r.push(4, 40); // +30
+        assert_eq!(r.window_increase(0), 180, "100 + 50 + 0 + 30");
+        // With the base sample strictly inside retained history the
+        // pre-window value (150 at tick 2) is excluded; the old
+        // last-minus-base rule would have collapsed to
+        // 40.saturating_sub(150) = 0 here.
+        assert_eq!(r.window_increase(2), 30, "0 + 30 after base tick 2");
+    }
+
+    #[test]
+    fn snapshot_window_delta_survives_counter_reset() {
+        let reg = MetricsRegistry::new();
+        let bus = TelemetryBus::new(64);
+        let mut e = engine();
+        // Drive the ring directly through the engine by mutating the
+        // registry counter between forced samples (forced samples may land
+        // on one tick; same-tick pushes overwrite, so spread ticks).
+        let c = reg.counter("c");
+        c.add(100);
+        e.sample(&reg, &bus, &fr(), true);
+        // Simulate a reset: a fresh engine sees the registry anew. Registry
+        // counters are monotonic, so emulate the reset at the ring level
+        // via a second series observing a smaller value — push directly.
+        let s = e.counters.get_mut("c").unwrap();
+        s.ring.push(s.ring.last().unwrap().0 + 1, 10); // reset to 10
+        s.ring.push(s.ring.last().unwrap().0 + 1, 60); // +50 after reset
+        s.last = 60;
+        let (snap, _) = e.snapshot();
+        let stat = snap.counter("c").unwrap();
+        // 100 (pre-reset) + 0 (clamped reset step) + 50 (post-reset).
+        assert_eq!(stat.window_delta, 150, "{stat:?}");
+        assert!(stat.rate_per_sec > 0.0);
+    }
+
+    #[test]
+    fn availability_slo_window_survives_counter_reset() {
+        let reg = MetricsRegistry::new();
+        let bus = TelemetryBus::new(64);
+        let mut e = engine();
+        e.register_slo(
+            SloSpec::availability("ok", "req.good", "req.total", 0.99),
+            &bus,
+        );
+        reg.counter("req.good").add(90);
+        reg.counter("req.total").add(100);
+        e.sample(&reg, &bus, &fr(), true);
+        for name in ["req.good", "req.total"] {
+            let s = e.counters.get_mut(name).unwrap();
+            let (t, v) = s.ring.last().unwrap();
+            s.ring.push(t + 1, 0); // reset
+            s.ring.push(t + 2, v / 10); // partial regrowth
+        }
+        // The windowed totals still reflect pre-reset traffic: 100 + 10,
+        // not the collapsed last-minus-base 10.
+        let good = e.counters.get("req.good").unwrap();
+        assert_eq!(good.ring.window_increase(0), 99);
+        let total = e.counters.get("req.total").unwrap();
+        assert_eq!(total.ring.window_increase(0), 110);
     }
 
     #[test]

@@ -51,15 +51,27 @@ echo
 echo "== fig04_rpcsizes bench =="
 DAGGER_BENCH_QUICK=1 cargo bench -q $CARGO_ARGS -p dagger-bench --bench fig04_rpcsizes
 
+# Run metadata, so every trajectory point says where it came from. All
+# values are JSON *strings* on purpose: the --check parser below pairs up
+# numeric `"key": N` entries, and metadata must stay invisible to it.
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+CORES="$(nproc 2>/dev/null || echo unknown)"
+SEED="${RUST_SEED:-unset}"
+
 # Fold the datapath key=value lines into flat JSON (one metric per line so
 # the file stays grep- and diff-friendly; no jq dependency).
-awk -F= '
+awk -F= -v sha="$GIT_SHA" -v cores="$CORES" -v seed="$SEED" '
   /^[a-z_0-9]+=[0-9]+$/ {
     if (!($1 in metrics)) order[++n] = $1
     metrics[$1] = $2
   }
   END {
-    printf "{\n  \"bench\": \"datapath\",\n  \"mode\": \"quick\",\n  \"metrics\": {\n"
+    printf "{\n  \"bench\": \"datapath\",\n  \"mode\": \"quick\",\n"
+    printf "  \"meta\": {\n"
+    printf "    \"git_sha\": \"%s\",\n", sha
+    printf "    \"cores\": \"%s\",\n", cores
+    printf "    \"rust_seed\": \"%s\"\n", seed
+    printf "  },\n  \"metrics\": {\n"
     for (i = 1; i <= n; i++)
       printf "    \"%s\": %s%s\n", order[i], metrics[order[i]], (i < n ? "," : "")
     printf "  }\n}\n"

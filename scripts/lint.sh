@@ -9,6 +9,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== DESIGN.md section references =="
+# Every "DESIGN.md §N" cited from a code comment must resolve to a real
+# "## N." heading, so the design doc and the code can't drift apart.
+for sec in $(grep -rhoE 'DESIGN\.md §[0-9]+' crates examples tests benches 2>/dev/null \
+               | grep -oE '[0-9]+$' | sort -un); do
+  grep -qE "^## ${sec}\." DESIGN.md \
+    || { echo "lint.sh: code references DESIGN.md §${sec} but DESIGN.md has no '## ${sec}.' heading" >&2; exit 1; }
+done
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

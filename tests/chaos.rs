@@ -69,6 +69,38 @@ fn env_seed() -> u64 {
         .unwrap_or(0xC0FFEE)
 }
 
+/// Scope guard: when a chaos invariant panics, dump the full telemetry
+/// snapshot — v4 JSON with flight-recorder events and any SLO diagnosis
+/// bundles — to `target/chaos-diagnosis/` so CI can upload it as a
+/// failure-forensics artifact (see the chaos job in ci.yml).
+struct DiagnosisDump {
+    label: String,
+    seed: u64,
+    telemetry: Arc<Telemetry>,
+    armed: bool,
+}
+
+impl Drop for DiagnosisDump {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() {
+            return;
+        }
+        let dir = std::path::Path::new("target/chaos-diagnosis");
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(format!("{}-seed{}.json", self.label, self.seed));
+        if std::fs::write(&path, self.telemetry.snapshot().to_json()).is_ok() {
+            eprintln!(
+                "[{} seed={}] diagnosis snapshot written to {}",
+                self.label,
+                self.seed,
+                path.display()
+            );
+        }
+    }
+}
+
 /// Runs one chaos scenario once and returns the fabric's fault counters.
 ///
 /// Panics (with `label` and `seed` in the message) if any invariant fails.
@@ -84,6 +116,12 @@ fn run_chaos(
     let fabric = MemFabric::with_faults(plan);
     let telemetry = Telemetry::new();
     fabric.register_telemetry(&telemetry);
+    let mut dump = DiagnosisDump {
+        label: label.to_string(),
+        seed,
+        telemetry: Arc::clone(&telemetry),
+        armed: true,
+    };
 
     let mut servers = Vec::new();
     let mut server_nics = Vec::new();
@@ -185,6 +223,7 @@ fn run_chaos(
             "[{label} seed={seed}] telemetry gauge {gauge} diverges from fault_stats"
         );
     }
+    dump.armed = false;
     stats
 }
 

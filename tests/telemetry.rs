@@ -39,7 +39,7 @@ impl BlobHandler for EchoImpl {
 fn round_trip_populates_unified_telemetry() {
     // Both NICs share one telemetry hub: one registry, one trace epoch.
     let telemetry = Telemetry::new();
-    telemetry.tracer().enable();
+    telemetry.enable_tracing();
     // Declare a latency SLO up front: evaluated on every sampling pass,
     // surfaced as `slo.<name>.*` gauges and an `slo` JSON section.
     telemetry.register_slo(SloSpec::latency(
@@ -159,12 +159,30 @@ fn round_trip_populates_unified_telemetry() {
         Some(1_000_000)
     );
 
+    // Tracing was on for the whole run, so the RTT sample carried its
+    // client span as an exemplar: the tail of the histogram dereferences
+    // to a concrete traced request.
+    let rtt_exemplars = snap
+        .exemplars
+        .iter()
+        .find(|(name, _)| name == "rpc.client.rtt_ns")
+        .map(|(_, exs)| exs.as_slice())
+        .expect("rtt exemplars");
+    assert_eq!(rtt_exemplars.len(), 1, "{rtt_exemplars:?}");
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.trace_id == rtt_exemplars[0].trace_id
+                && s.span_id == rtt_exemplars[0].span_id),
+        "exemplar must resolve to a retained span: {rtt_exemplars:?}"
+    );
+
     // The JSON export names every stage and the percentile fields. Schema
-    // v3 appends the `series` and `slo` sections; every v1/v2 key must
-    // remain, spelled exactly as before, so existing consumers keep
-    // parsing.
+    // v4 appends the `exemplars`/`events`/`bundles` sections; every
+    // v1/v2/v3 key must remain, spelled exactly as before, so existing
+    // consumers keep parsing.
     let json = snap.to_json();
-    assert!(json.starts_with("{\"version\":3"), "{json}");
+    assert!(json.starts_with("{\"version\":4"), "{json}");
     for v1_key in [
         "\"counters\":",
         "\"gauges\":",
@@ -186,6 +204,13 @@ fn round_trip_populates_unified_telemetry() {
         "\"budget_remaining_ppm\":",
     ] {
         assert!(json.contains(v3_key), "v3 key {v3_key} missing: {json}");
+    }
+    for v4_key in [
+        "\"exemplars\":{",
+        "\"events\":{\"entries\":[",
+        "\"bundles\":{\"entries\":[",
+    ] {
+        assert!(json.contains(v4_key), "v4 key {v4_key} missing: {json}");
     }
     assert!(json.contains("\"client_rtt\""), "{json}");
     for name in STAGE_NAMES {
