@@ -16,6 +16,14 @@
 //! for several consecutive observation windows before the mask changes,
 //! and a cooldown separates consecutive rewrites, so transient bursts and
 //! measurement noise cannot flap the mask.
+//!
+//! The mask the controller writes reaches senders through the
+//! [`crate::fabric::Fabric`] seam (`set_queue_mask`): the in-process
+//! switch consults it live on every route, while the UDP backend applies
+//! it to locally-attached destinations only — a remote sender spreads by
+//! declared queue count and the receiver folds, so a mask rewrite narrows
+//! in-process traffic immediately and cross-process traffic behaviorally
+//! (frames still land, on fewer distinct staging queues).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -175,7 +175,9 @@ pub(crate) struct EngineCore {
     pub queue_id: u16,
     /// Total engine queues of this NIC.
     pub num_queues: usize,
-    pub port: Arc<FabricPort>,
+    /// This worker's attachment point on the fabric backend (in-memory
+    /// switch, UDP socket, …) — the engine is backend-oblivious.
+    pub port: Arc<dyn FabricPort>,
     /// TX ring consumers, indexed by *global* flow id; `Some` only at the
     /// flows this worker owns (see [`queue_of_flow`]).
     pub tx_rings: Vec<Option<RingConsumer>>,

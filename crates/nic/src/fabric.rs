@@ -54,19 +54,139 @@ pub struct PortQueue {
 }
 
 impl PortQueue {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         PortQueue {
             frames: Mutex::new(VecDeque::with_capacity(PORT_QUEUE_CAP)),
         }
     }
 
-    fn push(&self, bytes: Vec<u8>) {
+    pub(crate) fn push(&self, bytes: Vec<u8>) {
         self.frames.lock().push_back(bytes);
     }
 
-    fn pop(&self) -> Option<Vec<u8>> {
+    pub(crate) fn pop(&self) -> Option<Vec<u8>> {
         self.frames.lock().pop_front()
     }
+
+    /// Frames currently staged (used by bounded backends to cap RX staging).
+    pub(crate) fn len(&self) -> usize {
+        self.frames.lock().len()
+    }
+}
+
+/// The transport seam beneath the NIC: a network of `(node, queue)`
+/// attachment points that moves encoded wire frames.
+///
+/// Dagger's FPGA NIC swaps its physical attachment (PCIe, UDP, memory
+/// interconnect) beneath an unchanged RPC API; this trait is the software
+/// analogue of that seam. Everything above it — the Go-Back-N reliable
+/// layer, RSS steering, the elastic balancer, chaos harnesses — is written
+/// against `Fabric`/[`FabricPort`] only, so backends are interchangeable:
+///
+/// * [`MemFabric`] — the in-process ToR switch with deterministic fault
+///   injection ([`FaultPlan`]); faults remain a *decorator at this layer*.
+/// * [`crate::fabric_udp::UdpFabric`] — one `std::net::UdpSocket` per NIC;
+///   loss/reorder/duplication are whatever the real network does, and the
+///   same GBN + checksum machinery above absorbs them.
+///
+/// # Contract
+///
+/// * **Framing**: a send of N bytes is received as exactly N bytes or not
+///   at all (datagram semantics — no streaming, no partial delivery).
+/// * **Queue addressing**: `send_to(dst, q, ..)` lands on `dst`'s port for
+///   queue `q % queue_count(dst)`; an out-of-range queue folds, it never
+///   loses the frame.
+/// * **Nonblocking receive**: [`FabricPort::try_recv`] never blocks; wakers
+///   registered via [`Fabric::set_queue_waker`] fire when traffic arrives
+///   so parked engines ([`crate::wait::SpinWait`]) resume promptly.
+/// * **Loss/order**: backends MAY drop, reorder, duplicate, or corrupt
+///   frames (injected or real); callers needing reliability run the GBN
+///   layer. Backends SHOULD preserve per-`(sender, queue)` FIFO order in
+///   the fault-free case.
+/// * **Shutdown**: [`Fabric::quiesce`] flushes or discards in-flight
+///   frames (held by fault injection, or still in a socket/pump) so that a
+///   stopping engine can drain its rings and know nothing more arrives.
+pub trait Fabric: Send + Sync + std::fmt::Debug {
+    /// Attaches a NIC with `num_queues` engine queues under `addr`,
+    /// returning one port per queue (index `i` receives traffic routed to
+    /// queue `i`). The address detaches when the last returned port drops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if the address is already attached
+    /// or the backend cannot bind its endpoint.
+    fn attach_queues(&self, addr: NodeAddr, num_queues: usize) -> Result<Vec<Arc<dyn FabricPort>>>;
+
+    /// Registers the waker tripped when a frame lands on `addr`'s engine
+    /// queue `queue`. No-op for unknown addresses or out-of-range queues.
+    fn set_queue_waker(&self, addr: NodeAddr, queue: u16, waker: Arc<EngineWaker>);
+
+    /// Hands the fabric a live handle onto `addr`'s active-queue soft
+    /// register; [`Fabric::route`] consults it for new route decisions.
+    fn set_queue_mask(&self, addr: NodeAddr, mask: Arc<AtomicU64>);
+
+    /// Number of engine queues `addr` attached with (0 if unknown).
+    fn queue_count(&self, addr: NodeAddr) -> usize;
+
+    /// RSS route decision: which of `dst`'s engine queues should traffic
+    /// tagged `tag` land on? Deterministic per `(dst, tag)` while the
+    /// active mask is stable, so flows stay queue-affine.
+    fn route(&self, dst: NodeAddr, tag: u64) -> u16;
+
+    /// Flushes frames the fabric itself still holds (fault-injection holds,
+    /// socket/pump staging) into their destination queues, or waits until
+    /// they have landed. Engine shutdown calls this before its final ring
+    /// drain so "rings empty" really means "fabric drained". Best-effort
+    /// and bounded: frames for detached destinations are discarded.
+    fn quiesce(&self);
+
+    /// Frames currently in flight inside the fabric (held, staged, or on
+    /// the wire toward a destination this instance owns). `0` after a
+    /// successful [`Fabric::quiesce`] with no concurrent senders.
+    fn in_flight(&self) -> usize;
+}
+
+/// One engine queue's attachment point on a [`Fabric`] backend.
+///
+/// Sends are addressed to a `(node, queue)` pair; receives are
+/// nonblocking pops of this port's own staging queue. Dropping the last
+/// port of an attachment detaches the address.
+pub trait FabricPort: Send + Sync + std::fmt::Debug {
+    /// The address this port is attached under.
+    fn addr(&self) -> NodeAddr;
+
+    /// The engine queue index this port receives for.
+    fn queue(&self) -> u16;
+
+    /// Sends encoded datagram bytes to a specific engine queue of `dst`
+    /// (normally one chosen by [`FabricPort::route`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaggerError::Fabric`] if `dst` is unknown to the backend.
+    /// Transient wire-level loss is NOT an error: backends that cannot
+    /// confirm delivery report success and let the GBN layer recover.
+    fn send_to(&self, dst: NodeAddr, dst_queue: u16, bytes: Vec<u8>) -> Result<()>;
+
+    /// Sends to `dst`'s queue 0.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FabricPort::send_to`].
+    fn send(&self, dst: NodeAddr, bytes: Vec<u8>) -> Result<()> {
+        self.send_to(dst, 0, bytes)
+    }
+
+    /// RSS route decision toward `dst`; see [`Fabric::route`].
+    fn route(&self, dst: NodeAddr, tag: u64) -> u16;
+
+    /// Receives the next datagram staged for this port's queue, if any.
+    /// Never blocks.
+    fn try_recv(&self) -> Option<Vec<u8>>;
+
+    /// The fabric this port belongs to (for shutdown-time
+    /// [`Fabric::quiesce`] without threading a second handle around).
+    fn fabric(&self) -> &dyn Fabric;
 }
 
 /// Deterministic splitmix64 stream (one per directed link).
@@ -510,20 +630,20 @@ impl MemFabric {
     /// # Errors
     ///
     /// Returns [`DaggerError::Fabric`] if the address is already attached.
-    pub fn attach(&self, addr: NodeAddr) -> Result<FabricPort> {
+    pub fn attach(&self, addr: NodeAddr) -> Result<MemFabricPort> {
         let mut ports = self.attach_queues(addr, 1)?;
         Ok(ports.pop().expect("attach_queues(_, 1) returns one port"))
     }
 
     /// Attaches a NIC with `num_queues` engine queues under `addr` and
-    /// returns one [`FabricPort`] per queue (index `i` receives traffic
+    /// returns one [`MemFabricPort`] per queue (index `i` receives traffic
     /// routed to queue `i`). The address detaches when the last of the
     /// returned ports drops.
     ///
     /// # Errors
     ///
     /// Returns [`DaggerError::Fabric`] if the address is already attached.
-    pub fn attach_queues(&self, addr: NodeAddr, num_queues: usize) -> Result<Vec<FabricPort>> {
+    pub fn attach_queues(&self, addr: NodeAddr, num_queues: usize) -> Result<Vec<MemFabricPort>> {
         let n = num_queues.max(1);
         let mut table = self.table.write();
         if table.ports.contains_key(&addr) {
@@ -547,7 +667,7 @@ impl MemFabric {
         Ok(queues
             .into_iter()
             .enumerate()
-            .map(|(i, rx)| FabricPort {
+            .map(|(i, rx)| MemFabricPort {
                 addr,
                 queue: i as u16,
                 fabric: self.clone(),
@@ -682,6 +802,27 @@ impl MemFabric {
         self.release_due(&mut state);
     }
 
+    /// Flushes every frame still held by reorder/delay injection into its
+    /// destination queue, regardless of due time. Shutdown calls this so
+    /// the engine's final ring drain sees everything the fabric was
+    /// holding; chaos determinism is unaffected because release consumes
+    /// no stream randomness and the fault was already counted at hold
+    /// time. Held frames for detached destinations are discarded.
+    pub fn quiesce(&self) {
+        let mut state = self.faults.lock();
+        let held = std::mem::take(&mut state.held);
+        self.held_count
+            .fetch_sub(held.len() as u64, Ordering::Relaxed);
+        for frame in held {
+            let _ = self.deliver(frame.dst, frame.queue, frame.bytes);
+        }
+    }
+
+    /// Frames currently held by reorder/delay injection.
+    pub fn in_flight(&self) -> usize {
+        self.held_count.load(Ordering::Relaxed) as usize
+    }
+
     /// Forwards one frame from `src` toward `dst`'s engine queue `queue`.
     ///
     /// The fault pipeline is queue-oblivious: decisions come from the
@@ -774,6 +915,42 @@ impl MemFabric {
     }
 }
 
+/// [`MemFabric`] behind the portable seam: delegates to the inherent
+/// methods (which keep their concrete-typed signatures for in-process
+/// fault-plan tooling) and erases the port type.
+impl Fabric for MemFabric {
+    fn attach_queues(&self, addr: NodeAddr, num_queues: usize) -> Result<Vec<Arc<dyn FabricPort>>> {
+        Ok(MemFabric::attach_queues(self, addr, num_queues)?
+            .into_iter()
+            .map(|p| Arc::new(p) as Arc<dyn FabricPort>)
+            .collect())
+    }
+
+    fn set_queue_waker(&self, addr: NodeAddr, queue: u16, waker: Arc<EngineWaker>) {
+        MemFabric::set_queue_waker(self, addr, queue, waker);
+    }
+
+    fn set_queue_mask(&self, addr: NodeAddr, mask: Arc<AtomicU64>) {
+        MemFabric::set_queue_mask(self, addr, mask);
+    }
+
+    fn queue_count(&self, addr: NodeAddr) -> usize {
+        MemFabric::queue_count(self, addr)
+    }
+
+    fn route(&self, dst: NodeAddr, tag: u64) -> u16 {
+        MemFabric::route(self, dst, tag)
+    }
+
+    fn quiesce(&self) {
+        MemFabric::quiesce(self);
+    }
+
+    fn in_flight(&self) -> usize {
+        MemFabric::in_flight(self)
+    }
+}
+
 /// Detaches the address when the last port of a multi-queue attachment
 /// drops (all ports of one `attach_queues` call share one guard).
 #[derive(Debug)]
@@ -788,12 +965,14 @@ impl Drop for PortGuard {
     }
 }
 
-/// One engine queue's attachment point on the fabric. A single-queue NIC
-/// has exactly one ([`MemFabric::attach`]); a sharded NIC holds one per
-/// worker ([`MemFabric::attach_queues`]), each receiving only the traffic
-/// routed to its queue index.
+/// One engine queue's attachment point on the in-memory fabric. A
+/// single-queue NIC has exactly one ([`MemFabric::attach`]); a sharded NIC
+/// holds one per worker ([`MemFabric::attach_queues`]), each receiving only
+/// the traffic routed to its queue index. The engine consumes it as a
+/// `dyn` [`FabricPort`]; the inherent methods below keep the concrete type
+/// usable directly in fault-plan tooling and tests.
 #[derive(Debug)]
-pub struct FabricPort {
+pub struct MemFabricPort {
     addr: NodeAddr,
     queue: u16,
     fabric: MemFabric,
@@ -801,7 +980,7 @@ pub struct FabricPort {
     _guard: Arc<PortGuard>,
 }
 
-impl FabricPort {
+impl MemFabricPort {
     /// The address this port is attached under.
     pub fn addr(&self) -> NodeAddr {
         self.addr
@@ -823,7 +1002,7 @@ impl FabricPort {
     }
 
     /// Sends encoded datagram bytes to a specific engine queue of `dst`
-    /// (normally one chosen by [`FabricPort::route`]).
+    /// (normally one chosen by [`MemFabricPort::route`]).
     ///
     /// # Errors
     ///
@@ -843,6 +1022,32 @@ impl FabricPort {
     pub fn try_recv(&self) -> Option<Vec<u8>> {
         self.fabric.poll_released();
         self.rx.pop()
+    }
+}
+
+impl FabricPort for MemFabricPort {
+    fn addr(&self) -> NodeAddr {
+        MemFabricPort::addr(self)
+    }
+
+    fn queue(&self) -> u16 {
+        MemFabricPort::queue(self)
+    }
+
+    fn send_to(&self, dst: NodeAddr, dst_queue: u16, bytes: Vec<u8>) -> Result<()> {
+        MemFabricPort::send_to(self, dst, dst_queue, bytes)
+    }
+
+    fn route(&self, dst: NodeAddr, tag: u64) -> u16 {
+        MemFabricPort::route(self, dst, tag)
+    }
+
+    fn try_recv(&self) -> Option<Vec<u8>> {
+        MemFabricPort::try_recv(self)
+    }
+
+    fn fabric(&self) -> &dyn Fabric {
+        &self.fabric
     }
 }
 

@@ -23,8 +23,11 @@
 //! * [`hcc`] — the 128 KB direct-mapped Host Coherent Cache model;
 //! * [`arbiter`] — the fair round-robin CCI-P bus arbiter used when several
 //!   virtual NICs share one FPGA (Fig. 14);
-//! * [`fabric`] — the in-process Ethernet fabric with an L2 ToR switch
-//!   (the loopback methodology of §5.1);
+//! * [`fabric`] — the [`fabric::Fabric`] transport seam plus the
+//!   in-process Ethernet fabric with an L2 ToR switch (the loopback
+//!   methodology of §5.1);
+//! * [`fabric_udp`] — the UDP backend of the seam: one socket per NIC, so
+//!   two NICs run in separate processes or hosts over loopback/LAN;
 //! * [`bufpool`] — free lists of wire buffers and line vectors keeping the
 //!   steady-state datapath allocation-free (§4.4);
 //! * [`conncache`] — the engine-private connection-tuple cache with
@@ -48,6 +51,7 @@ pub mod conncache;
 pub mod connmgr;
 pub mod engine;
 pub mod fabric;
+pub mod fabric_udp;
 pub mod flow;
 pub mod hcc;
 pub mod lb;
@@ -66,7 +70,10 @@ pub use balancer::{BalancerConfig, QueueBalancer};
 pub use bufpool::{BufPool, BufPoolStats};
 pub use conncache::{ConnCacheStats, ConnTupleCache};
 pub use connmgr::{ConnectionManager, ConnectionTuple};
-pub use fabric::{FabricPort, FaultPlan, FaultSnapshot, FaultStats, MemFabric};
+pub use fabric::{
+    Fabric, FabricPort, FaultPlan, FaultSnapshot, FaultStats, MemFabric, MemFabricPort,
+};
+pub use fabric_udp::UdpFabric;
 pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor, QueueSnapshot, QueueStats};
 pub use nic::{queue_of_flow, HostFlow, Nic};
 pub use ring::{ring, RingConsumer, RingProducer};

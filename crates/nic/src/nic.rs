@@ -1,6 +1,7 @@
 //! The assembled Dagger NIC.
 //!
-//! [`Nic::start`] attaches a NIC to a [`MemFabric`] under a [`NodeAddr`],
+//! [`Nic::start`] attaches a NIC to a [`Fabric`] backend (the in-process
+//! switch, the UDP fabric, …) under a [`NodeAddr`],
 //! provisions the per-flow TX/RX cache-line rings (Fig. 7), and spawns
 //! `num_queues` engine worker threads (the multi-queue scaling knob of
 //! Fig. 11). Flows are partitioned contiguously across workers by
@@ -19,7 +20,7 @@
 //! tuple in the local Connection Manager and announce it to the remote NIC
 //! with an in-band control frame.
 //!
-//! Multiple NICs can share one `MemFabric` *and* one
+//! Multiple NICs can share one fabric *and* one
 //! [`CcipArbiter`](crate::arbiter::CcipArbiter) — that is the NIC
 //! virtualization of Fig. 14: each tenant gets a "virtual but physical" NIC
 //! with its own rings, connection cache, and soft registers. Virtualized
@@ -45,7 +46,7 @@ use crate::bufpool::BufPool;
 use crate::conncache::ConnTupleCache;
 use crate::connmgr::{ConnectionManager, ConnectionTuple};
 use crate::engine::{encode_ctrl_close, encode_ctrl_open, EngineCore};
-use crate::fabric::{FabricPort, MemFabric};
+use crate::fabric::{Fabric, FabricPort};
 use crate::flow::FlowFifos;
 use crate::hcc::HostCoherentCache;
 use crate::lb::LoadBalancer;
@@ -98,7 +99,7 @@ pub struct Nic {
     cfg: HardConfig,
     /// Kept to pin the fabric attachment for the NIC's lifetime (the
     /// engine workers hold their own clones).
-    _ports: Vec<Arc<FabricPort>>,
+    _ports: Vec<Arc<dyn FabricPort>>,
     softregs: Arc<SoftRegisterFile>,
     monitor: Arc<PacketMonitor>,
     conn_mgr: Arc<Mutex<ConnectionManager>>,
@@ -136,7 +137,7 @@ impl Nic {
     ///
     /// Returns an error if the configuration is invalid or the address is
     /// already attached.
-    pub fn start(fabric: &MemFabric, addr: NodeAddr, cfg: HardConfig) -> Result<Arc<Nic>> {
+    pub fn start(fabric: &dyn Fabric, addr: NodeAddr, cfg: HardConfig) -> Result<Arc<Nic>> {
         Self::start_inner(fabric, addr, cfg, None, Telemetry::new())
     }
 
@@ -150,7 +151,7 @@ impl Nic {
     /// Returns an error if the configuration is invalid or the address is
     /// already attached.
     pub fn start_with_telemetry(
-        fabric: &MemFabric,
+        fabric: &dyn Fabric,
         addr: NodeAddr,
         cfg: HardConfig,
         telemetry: Arc<Telemetry>,
@@ -166,7 +167,7 @@ impl Nic {
     /// Returns an error if the configuration is invalid (virtualized NICs
     /// must be single-queue) or the address is already attached.
     pub fn start_virtual(
-        fabric: &MemFabric,
+        fabric: &dyn Fabric,
         addr: NodeAddr,
         cfg: HardConfig,
         slot: ArbiterSlot,
@@ -176,7 +177,7 @@ impl Nic {
 
     #[allow(clippy::too_many_lines)]
     fn start_inner(
-        fabric: &MemFabric,
+        fabric: &dyn Fabric,
         addr: NodeAddr,
         cfg: HardConfig,
         mut arbiter: Option<ArbiterSlot>,
@@ -191,11 +192,7 @@ impl Nic {
             ));
         }
         let nq = cfg.num_queues;
-        let ports: Vec<Arc<FabricPort>> = fabric
-            .attach_queues(addr, nq)?
-            .into_iter()
-            .map(Arc::new)
-            .collect();
+        let ports: Vec<Arc<dyn FabricPort>> = fabric.attach_queues(addr, nq)?;
         let softregs = Arc::new(SoftRegisterFile::default());
         // The soft active-queue mask gates new RSS routing decisions made
         // by *senders* toward this NIC.
@@ -696,6 +693,14 @@ impl Nic {
         // Workers may be parked in their idle backoff; kick them so the
         // stop flag is seen immediately rather than after the park timeout.
         self.wake_all();
+        // "Rings empty" does not mean "fabric drained": frames can still be
+        // held by fault injection or sitting in a socket buffer. Quiesce
+        // the fabric while the workers' phase-2 RX sweep is still live, so
+        // everything it flushes lands in this NIC's final drain instead of
+        // leaking a pooled buffer.
+        if let Some(port) = self._ports.first() {
+            port.fabric().quiesce();
+        }
         for handle in self.engines.lock().drain(..) {
             let _ = handle.join();
         }
@@ -711,6 +716,7 @@ impl Drop for Nic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::MemFabric;
     use dagger_types::{CacheLine, FnId, RpcHeader, RpcId, RpcKind};
 
     fn frame(cid: ConnectionId, rpc: u32, kind: RpcKind, src_flow: u16, tag: u8) -> CacheLine {

@@ -18,6 +18,13 @@
 //! The state machine is synchronous and engine-driven (`on_send`,
 //! `on_recv`, `on_tick`), matching how the hardware would run it; the
 //! engine enables it when [`dagger_types::HardConfig::reliable`] is set.
+//!
+//! The layer is fabric-backend-oblivious: it sees only frame bytes moving
+//! through the [`crate::fabric::Fabric`] seam. Over the in-process switch
+//! it repairs *injected* faults (seeded, deterministic — the chaos
+//! replay-equivalence test pins identical retransmit counters across
+//! runs); over the UDP backend it repairs whatever the real network does,
+//! with the same window, checksum, and go-back-N machinery.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};

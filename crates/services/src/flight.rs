@@ -11,7 +11,7 @@
 //! front-end."
 //!
 //! Every tier runs as a real [`RpcThreadedServer`] over its own NIC on a
-//! shared [`MemFabric`] (the virtualized-NIC deployment of Fig. 14); the
+//! shared [`Fabric`] backend (the virtualized-NIC deployment of Fig. 14); the
 //! dependency shapes — fan-out from Check-in, the Passport→Citizens chain,
 //! many-to-one into Airport — and the per-tier threading models are all
 //! exercised with real threads and real bytes.
@@ -22,7 +22,7 @@ use std::sync::Arc;
 use dagger_idl::{dagger_message, dagger_service};
 use dagger_kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispatch, MicaPort};
 use dagger_kvs::Mica;
-use dagger_nic::{MemFabric, Nic};
+use dagger_nic::{Fabric, Nic};
 use dagger_rpc::{RpcClientPool, RpcThreadedServer, ThreadingModel};
 use dagger_telemetry::{ContextScope, SpanKind, Telemetry, TelemetrySnapshot};
 use dagger_types::{HardConfig, LbPolicy, NodeAddr, Result};
@@ -347,7 +347,7 @@ impl std::fmt::Debug for FlightApp {
     }
 }
 
-fn tier_nic(fabric: &MemFabric, addr: NodeAddr, telemetry: &Arc<Telemetry>) -> Result<Arc<Nic>> {
+fn tier_nic(fabric: &dyn Fabric, addr: NodeAddr, telemetry: &Arc<Telemetry>) -> Result<Arc<Nic>> {
     let cfg = HardConfig::builder()
         .num_flows(8)
         .tx_ring_capacity(256)
@@ -364,7 +364,7 @@ impl FlightApp {
     /// # Errors
     ///
     /// Returns an error if any NIC, server, or connection fails to come up.
-    pub fn launch(fabric: &MemFabric, config: &FlightConfig) -> Result<FlightApp> {
+    pub fn launch(fabric: &dyn Fabric, config: &FlightConfig) -> Result<FlightApp> {
         // One hub for all eight tiers: every NIC's collector, every
         // RPC-stage stamp, and every distributed-trace span lands in the
         // same registry and trace epoch. The §5.7 tier tracer is bridged

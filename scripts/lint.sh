@@ -18,6 +18,29 @@ for sec in $(grep -rhoE 'DESIGN\.md §[0-9]+' crates examples tests benches 2>/d
     || { echo "lint.sh: code references DESIGN.md §${sec} but DESIGN.md has no '## ${sec}.' heading" >&2; exit 1; }
 done
 
+echo "== fabric encapsulation (concrete backends stay behind the seam) =="
+# Library code must depend on the Fabric/FabricPort traits only: naming a
+# concrete backend couples the stack to one transport and breaks the
+# backend-parameterized conformance suite's premise. The seam itself
+# (fabric.rs, fabric_udp.rs), the re-export hub (crates/nic/src/lib.rs),
+# comments, and unit-test modules (everything from the first #[cfg(test)])
+# are exempt; construction belongs to composition roots — tests, examples,
+# and binaries.
+fabric_violations=0
+while IFS= read -r f; do
+  case "$f" in
+    */fabric.rs|*/fabric_udp.rs|crates/nic/src/lib.rs) continue ;;
+  esac
+  hits=$(awk '/#\[cfg\(test\)\]/{exit} !/^[[:space:]]*\/\//' "$f" \
+           | grep -nE '\b(MemFabric|UdpFabric|MemFabricPort|UdpFabricPort)\b' || true)
+  if [ -n "$hits" ]; then
+    echo "lint.sh: $f names a concrete fabric type; depend on the Fabric trait instead:" >&2
+    echo "$hits" >&2
+    fabric_violations=1
+  fi
+done < <(find crates -path '*/src/*.rs' -type f)
+[ "$fabric_violations" -eq 0 ] || exit 1
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 

@@ -1,0 +1,240 @@
+//! Shared harness for the backend-parameterized transport conformance
+//! suite: everything here is generic over the [`Fabric`] seam, so the same
+//! assertions run against the in-process switch ([`MemFabric`]) and real
+//! sockets ([`UdpFabric`]) without modification.
+//!
+//! The invariants a conforming backend must uphold (with the reliable
+//! Go-Back-N transport enabled above it):
+//!
+//! * **byte-exact exactly-once** — every RPC's response echoes its payload
+//!   byte for byte, matched to its caller, and the server handler fires
+//!   exactly once per call (GBN absorbs whatever the wire loses,
+//!   duplicates, or reorders);
+//! * **per-flow FIFO** — pipelined calls from one client are dispatched at
+//!   the server in issue order (the per-`(peer, queue)` sequence spaces of
+//!   §4.5 plus in-order flow FIFOs);
+//! * **drained-telemetry reconciliation** — after all engines stop, the
+//!   exported `nic.*` gauges equal the packet monitors' own counters and
+//!   the fabric reports nothing in flight once quiesced.
+
+#![allow(dead_code)]
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dagger::idl::{dagger_message, dagger_service};
+use dagger::nic::{Fabric, Nic};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::telemetry::Telemetry;
+use dagger::types::{HardConfig, NodeAddr, Result};
+
+dagger_message! {
+    pub struct Conf {
+        client: u32,
+        seq: u32,
+        body: Vec<u8>,
+    }
+}
+
+dagger_service! {
+    pub service Conform {
+        handler = ConformHandler;
+        dispatch = ConformDispatch;
+        client = ConformClient;
+        rpc echo(Conf) -> Conf = 1, async = echo_async;
+    }
+}
+
+/// Echo implementation that records `(client, seq)` arrival order — the
+/// server-side evidence for the exactly-once and per-flow FIFO checks.
+pub struct RecordingEcho(pub Arc<Mutex<Vec<(u32, u32)>>>);
+
+impl ConformHandler for RecordingEcho {
+    fn echo(&self, request: Conf) -> Result<Conf> {
+        self.0.lock().unwrap().push((request.client, request.seq));
+        Ok(request)
+    }
+}
+
+pub fn reliable_cfg() -> HardConfig {
+    HardConfig::builder().reliable(true).build().unwrap()
+}
+
+/// Deterministic multi-line payload for client `client`'s call `seq`.
+pub fn body_for(client: u32, seq: u32) -> Vec<u8> {
+    (0..96u32)
+        .map(|i| (i.wrapping_mul(31) ^ seq.wrapping_mul(7) ^ client) as u8)
+        .collect()
+}
+
+/// How many async calls a client keeps in flight at once. Deep enough that
+/// the per-flow FIFO check exercises real pipelining (several requests
+/// queued behind each other in the TX ring and the GBN window), shallow
+/// enough to stay clear of ring capacity.
+const PIPELINE_DEPTH: usize = 8;
+
+/// Runs the full conformance scenario against `fabric` and panics (with
+/// `label` in the message) if any invariant fails.
+///
+/// `n_clients` clients, each on its own NIC, issue `calls` pipelined async
+/// echoes to one server NIC; all NICs share one telemetry hub so the final
+/// reconciliation sweep sees every side.
+pub fn run_conformance(label: &str, fabric: &dyn Fabric, n_clients: u32, calls: u32) {
+    let telemetry = Telemetry::new();
+    let arrivals = Arc::new(Mutex::new(Vec::new()));
+
+    let server_nic =
+        Nic::start_with_telemetry(fabric, NodeAddr(1), reliable_cfg(), Arc::clone(&telemetry))
+            .unwrap_or_else(|e| panic!("[{label}] server start: {e}"));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(ConformDispatch::new(RecordingEcho(Arc::clone(
+            &arrivals,
+        )))))
+        .unwrap();
+    server.start().unwrap();
+
+    let mut client_nics = Vec::new();
+    let mut pools = Vec::new();
+    for c in 0..n_clients {
+        let nic = Nic::start_with_telemetry(
+            fabric,
+            NodeAddr(100 + c),
+            reliable_cfg(),
+            Arc::clone(&telemetry),
+        )
+        .unwrap_or_else(|e| panic!("[{label}] client {c} start: {e}"));
+        let pool = RpcClientPool::connect(Arc::clone(&nic), NodeAddr(1), 1)
+            .unwrap_or_else(|e| panic!("[{label}] client {c} connect: {e}"));
+        client_nics.push(nic);
+        pools.push(pool);
+    }
+
+    // Pipelined issue: each client keeps PIPELINE_DEPTH async calls in
+    // flight, asserting byte-exact echoes matched to the right caller.
+    let workers: Vec<_> = pools
+        .iter()
+        .enumerate()
+        .map(|(c, pool)| {
+            let c = c as u32;
+            let raw = pool.client(0).unwrap();
+            raw.set_timeout(Duration::from_secs(30));
+            let client = ConformClient::new(raw);
+            let label = label.to_string();
+            std::thread::spawn(move || {
+                let mut window = Vec::with_capacity(PIPELINE_DEPTH);
+                for seq in 0..calls {
+                    let pending = client
+                        .echo_async(&Conf {
+                            client: c,
+                            seq,
+                            body: body_for(c, seq),
+                        })
+                        .unwrap_or_else(|e| panic!("[{label}] client {c} issue {seq} failed: {e}"));
+                    window.push((seq, pending));
+                    if window.len() == PIPELINE_DEPTH {
+                        drain_window(&label, c, &mut window);
+                    }
+                }
+                drain_window(&label, c, &mut window);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // No stranded responses in any completion queue.
+    for (c, pool) in pools.iter().enumerate() {
+        let ready = pool.client(0).unwrap().endpoint().ready_len();
+        assert_eq!(
+            ready, 0,
+            "[{label}] client {c}: {ready} responses stuck in queue"
+        );
+    }
+
+    server.stop();
+    drop(pools);
+    for nic in client_nics.iter() {
+        nic.shutdown();
+    }
+    server_nic.shutdown();
+
+    // Exactly-once at the handler: one dispatch per issued call, no
+    // duplicates surviving GBN, none lost.
+    let arrivals = arrivals.lock().unwrap();
+    assert_eq!(
+        arrivals.len(),
+        (n_clients * calls) as usize,
+        "[{label}] handler fired {} times for {} calls",
+        arrivals.len(),
+        n_clients * calls
+    );
+
+    // Per-flow FIFO: each client's dispatch subsequence is exactly its
+    // issue order 0..calls (clients may interleave with each other).
+    for c in 0..n_clients {
+        let seqs: Vec<u32> = arrivals
+            .iter()
+            .filter(|(cl, _)| *cl == c)
+            .map(|&(_, seq)| seq)
+            .collect();
+        let expect: Vec<u32> = (0..calls).collect();
+        assert_eq!(
+            seqs, expect,
+            "[{label}] client {c}: server dispatch order broke per-flow FIFO"
+        );
+    }
+
+    // Drained fabric: quiesce is idempotent after shutdown (the NICs
+    // already quiesced on their stop path) and nothing stays in flight.
+    fabric.quiesce();
+    assert_eq!(
+        fabric.in_flight(),
+        0,
+        "[{label}] fabric still reports frames in flight after quiesce"
+    );
+
+    // Telemetry reconciliation: with every engine stopped the exported
+    // gauges must equal the monitors' own quiescent counters, for every
+    // NIC on the shared hub.
+    let snap = telemetry.snapshot();
+    for nic in client_nics.iter().chain(std::iter::once(&server_nic)) {
+        let mon = nic.monitor().snapshot();
+        let prefix = format!("nic.{}", nic.addr().raw());
+        for (gauge, expect) in [
+            ("tx_frames", mon.tx_frames),
+            ("rx_frames", mon.rx_frames),
+            ("tx_datagrams", mon.tx_datagrams),
+            ("rx_datagrams", mon.rx_datagrams),
+        ] {
+            assert_eq!(
+                snap.registry.gauge(&format!("{prefix}.{gauge}")),
+                Some(expect),
+                "[{label}] {prefix}.{gauge} diverges from the packet monitor"
+            );
+        }
+    }
+}
+
+/// Waits out a window of pending async calls, checking each echo.
+fn drain_window(label: &str, c: u32, window: &mut Vec<(u32, dagger::rpc::TypedCall<Conf>)>) {
+    for (seq, pending) in window.drain(..) {
+        let resp = pending
+            .wait()
+            .unwrap_or_else(|e| panic!("[{label}] client {c} call {seq} failed: {e}"));
+        assert_eq!(
+            resp.client, c,
+            "[{label}] client {c} call {seq}: response cross-wired to another client"
+        );
+        assert_eq!(
+            resp.seq, seq,
+            "[{label}] client {c}: response for wrong call"
+        );
+        assert_eq!(
+            resp.body,
+            body_for(c, seq),
+            "[{label}] client {c} call {seq}: payload mangled"
+        );
+    }
+}

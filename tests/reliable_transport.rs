@@ -1,40 +1,38 @@
 //! Failure-injection integration tests: the Go-Back-N reliable transport
 //! (the §4.5 follow-up work) over a fabric that deterministically drops
 //! frames.
+//!
+//! These scenarios are [`MemFabric`]-specific on purpose — loss rates,
+//! partitions, and heal timing are scripted through the fault-injection
+//! decorator, which real-socket backends do not carry. The
+//! backend-portable invariants (exactly-once, per-flow FIFO, telemetry
+//! reconciliation) live in `tests/transport_conformance.rs`, built on the
+//! same shared harness (`tests/common/mod.rs`) this file draws its
+//! service definition from.
+
+mod common;
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use dagger::idl::{dagger_message, dagger_service};
+use common::{reliable_cfg, Conf, ConformClient, ConformDispatch, ConformHandler};
 use dagger::nic::{MemFabric, Nic};
 use dagger::rpc::{RpcClientPool, RpcThreadedServer};
 use dagger::types::{DaggerError, HardConfig, NodeAddr, Result};
 
-dagger_message! {
-    pub struct Probe {
-        seq: u32,
-        blob: Vec<u8>,
-    }
-}
-
-dagger_service! {
-    pub service Lossy {
-        handler = LossyHandler;
-        dispatch = LossyDispatch;
-        client = LossyClient;
-        rpc probe(Probe) -> Probe = 1, async = probe_async;
-    }
-}
-
 struct EchoImpl;
-impl LossyHandler for EchoImpl {
-    fn probe(&self, request: Probe) -> Result<Probe> {
+impl ConformHandler for EchoImpl {
+    fn echo(&self, request: Conf) -> Result<Conf> {
         Ok(request)
     }
 }
 
-fn reliable_cfg() -> HardConfig {
-    HardConfig::builder().reliable(true).build().unwrap()
+fn probe(seq: u32, body: Vec<u8>) -> Conf {
+    Conf {
+        client: 0,
+        seq,
+        body,
+    }
 }
 
 #[test]
@@ -45,24 +43,21 @@ fn reliable_nics_survive_heavy_loss() {
     let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server
-        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .register_service(Arc::new(ConformDispatch::new(EchoImpl)))
         .unwrap();
     server.start().unwrap();
 
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
     let raw = pool.client(0).unwrap();
     raw.set_timeout(Duration::from_secs(20));
-    let client = LossyClient::new(raw);
+    let client = ConformClient::new(raw);
 
     for seq in 0..60u32 {
         let resp = client
-            .probe(&Probe {
-                seq,
-                blob: vec![seq as u8; 100], // multi-frame payload
-            })
+            .echo(&probe(seq, vec![seq as u8; 100])) // multi-frame payload
             .unwrap_or_else(|e| panic!("call {seq} failed under loss: {e}"));
         assert_eq!(resp.seq, seq);
-        assert_eq!(resp.blob, vec![seq as u8; 100]);
+        assert_eq!(resp.body, vec![seq as u8; 100]);
     }
     assert!(
         fabric.dropped_frames() > 10,
@@ -82,7 +77,7 @@ fn unreliable_nics_lose_calls_under_loss() {
     let client_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server
-        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .register_service(Arc::new(ConformDispatch::new(EchoImpl)))
         .unwrap();
     server.start().unwrap();
 
@@ -91,17 +86,11 @@ fn unreliable_nics_lose_calls_under_loss() {
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
     let raw = pool.client(0).unwrap();
     raw.set_timeout(Duration::from_millis(200));
-    let client = LossyClient::new(raw);
+    let client = ConformClient::new(raw);
 
     let mut failures = 0;
     for seq in 0..30u32 {
-        if client
-            .probe(&Probe {
-                seq,
-                blob: vec![1; 32],
-            })
-            .is_err()
-        {
+        if client.echo(&probe(seq, vec![1; 32])).is_err() {
             failures += 1;
         }
     }
@@ -122,25 +111,16 @@ fn partitioned_peer_times_out_on_sync_and_async_paths() {
     let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server
-        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .register_service(Arc::new(ConformDispatch::new(EchoImpl)))
         .unwrap();
     server.start().unwrap();
 
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
     let raw = pool.client(0).unwrap();
-    let client = LossyClient::new(Arc::clone(&raw));
+    let client = ConformClient::new(Arc::clone(&raw));
 
     // Healthy warm-up call so the connection is fully established.
-    assert_eq!(
-        client
-            .probe(&Probe {
-                seq: 0,
-                blob: vec![]
-            })
-            .unwrap()
-            .seq,
-        0
-    );
+    assert_eq!(client.echo(&probe(0, vec![])).unwrap().seq, 0);
 
     // Cut the link and shrink the deadline so the test stays fast.
     fabric.partition(NodeAddr(1), NodeAddr(2));
@@ -148,10 +128,7 @@ fn partitioned_peer_times_out_on_sync_and_async_paths() {
 
     // Sync path: the call must surface Timeout, not hang or panic.
     let err = client
-        .probe(&Probe {
-            seq: 1,
-            blob: vec![2; 64],
-        })
+        .echo(&probe(1, vec![2; 64]))
         .expect_err("sync call across a partition must fail");
     assert!(
         matches!(err, DaggerError::Timeout),
@@ -160,10 +137,7 @@ fn partitioned_peer_times_out_on_sync_and_async_paths() {
 
     // Async path: issue succeeds (TX ring accepts), the wait times out.
     let pending = client
-        .probe_async(&Probe {
-            seq: 2,
-            blob: vec![3; 64],
-        })
+        .echo_async(&probe(2, vec![3; 64]))
         .expect("async issue writes the TX ring even when partitioned");
     let err = pending.wait().expect_err("async wait must time out");
     assert!(
@@ -186,10 +160,7 @@ fn partitioned_peer_times_out_on_sync_and_async_paths() {
     fabric.heal(NodeAddr(1), NodeAddr(2));
     raw.set_timeout(Duration::from_secs(20));
     let resp = client
-        .probe(&Probe {
-            seq: 3,
-            blob: vec![4; 64],
-        })
+        .echo(&probe(3, vec![4; 64]))
         .expect("call after heal must succeed");
     assert_eq!(resp.seq, 3);
     assert_eq!(raw.endpoint().ready_len(), 0);
@@ -208,8 +179,8 @@ fn shutdown_flushes_window_deferred_datagrams() {
     use std::time::Instant;
 
     struct CountingEcho(Arc<AtomicU32>);
-    impl LossyHandler for CountingEcho {
-        fn probe(&self, request: Probe) -> Result<Probe> {
+    impl ConformHandler for CountingEcho {
+        fn echo(&self, request: Conf) -> Result<Conf> {
             self.0.fetch_add(1, Ordering::SeqCst);
             Ok(request)
         }
@@ -229,7 +200,7 @@ fn shutdown_flushes_window_deferred_datagrams() {
     let served = Arc::new(AtomicU32::new(0));
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server
-        .register_service(Arc::new(LossyDispatch::new(CountingEcho(Arc::clone(
+        .register_service(Arc::new(ConformDispatch::new(CountingEcho(Arc::clone(
             &served,
         )))))
         .unwrap();
@@ -237,19 +208,10 @@ fn shutdown_flushes_window_deferred_datagrams() {
 
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
     let raw = pool.client(0).unwrap();
-    let client = LossyClient::new(Arc::clone(&raw));
+    let client = ConformClient::new(Arc::clone(&raw));
 
     // Healthy warm-up call so the connection is fully established.
-    assert_eq!(
-        client
-            .probe(&Probe {
-                seq: 0,
-                blob: vec![]
-            })
-            .unwrap()
-            .seq,
-        0
-    );
+    assert_eq!(client.echo(&probe(0, vec![])).unwrap().seq, 0);
 
     // Cut the link: acks stop, so the Go-Back-N window fills and the engine
     // starts deferring datagrams to `pending_out`.
@@ -259,10 +221,7 @@ fn shutdown_flushes_window_deferred_datagrams() {
     for seq in 1..=CALLS {
         pending.push(
             client
-                .probe_async(&Probe {
-                    seq,
-                    blob: vec![seq as u8; 4096],
-                })
+                .echo_async(&probe(seq, vec![seq as u8; 4096]))
                 .expect("async issue writes the TX ring even when partitioned"),
         );
     }
@@ -305,6 +264,17 @@ fn shutdown_flushes_window_deferred_datagrams() {
 
     server.stop();
     server_nic.shutdown();
+
+    // The shutdown paths quiesced the fabric (frames held by fault
+    // injection were force-released into their destination queues), so
+    // nothing is left in flight; a further quiesce is idempotent.
+    assert_eq!(
+        fabric.in_flight(),
+        0,
+        "frames still held by the fabric after both NICs shut down"
+    );
+    fabric.quiesce();
+    assert_eq!(fabric.in_flight(), 0);
 }
 
 #[test]
@@ -314,13 +284,13 @@ fn reliable_mode_is_transparent_without_loss() {
     let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
     let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
     server
-        .register_service(Arc::new(LossyDispatch::new(EchoImpl)))
+        .register_service(Arc::new(ConformDispatch::new(EchoImpl)))
         .unwrap();
     server.start().unwrap();
     let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
-    let client = LossyClient::new(pool.client(0).unwrap());
+    let client = ConformClient::new(pool.client(0).unwrap());
     for seq in 0..50u32 {
-        assert_eq!(client.probe(&Probe { seq, blob: vec![] }).unwrap().seq, seq);
+        assert_eq!(client.echo(&probe(seq, vec![])).unwrap().seq, seq);
     }
     server.stop();
     drop(pool);

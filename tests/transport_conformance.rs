@@ -1,0 +1,239 @@
+//! Backend-parameterized transport conformance suite.
+//!
+//! Every test here runs through the [`Fabric`] seam only, so the same
+//! invariants are proved for the in-process switch ([`MemFabric`]) and for
+//! real UDP sockets over loopback ([`UdpFabric`]): byte-exact exactly-once
+//! delivery, per-flow FIFO dispatch, drained-telemetry reconciliation, and
+//! a backend-independent wire format (the golden-frame test). See
+//! `tests/common/mod.rs` for the shared harness.
+
+mod common;
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use common::{body_for, reliable_cfg, Conf, ConformClient, ConformDispatch, RecordingEcho};
+use dagger::nic::{Fabric, MemFabric, Nic, UdpFabric};
+use dagger::rpc::{RpcClientPool, RpcThreadedServer};
+use dagger::types::{CacheLine, NodeAddr, CACHE_LINE_BYTES};
+
+const CLIENTS: u32 = 3;
+const CALLS: u32 = 40;
+
+#[test]
+fn mem_fabric_conformance() {
+    common::run_conformance("mem", &MemFabric::new(), CLIENTS, CALLS);
+}
+
+#[test]
+fn udp_fabric_conformance() {
+    common::run_conformance("udp", &UdpFabric::new(), CLIENTS, CALLS);
+}
+
+/// The wire format is a property of the transport, not the backend: a
+/// [`Datagram`]'s `encode_into` bytes are pinned against the documented
+/// layout (magic, src, dst, count, 64-byte lines — all little-endian), and
+/// both backends must carry those bytes to the receiver unmodified.
+#[test]
+fn golden_frame_bytes_identical_across_backends() {
+    use dagger::nic::transport::Datagram;
+
+    let lines: Vec<CacheLine> = (0..3u8)
+        .map(|i| {
+            let mut raw = [0u8; CACHE_LINE_BYTES];
+            for (j, b) in raw.iter_mut().enumerate() {
+                *b = i.wrapping_mul(67).wrapping_add(j as u8);
+            }
+            CacheLine::from_bytes(raw)
+        })
+        .collect();
+    let datagram = Datagram::new(NodeAddr(7), NodeAddr(9), lines.clone());
+
+    // Golden bytes straight from the documented layout.
+    let mut golden = Vec::new();
+    golden.extend_from_slice(b"DGGR");
+    golden.extend_from_slice(&7u32.to_le_bytes());
+    golden.extend_from_slice(&9u32.to_le_bytes());
+    golden.extend_from_slice(&(lines.len() as u16).to_le_bytes());
+    for line in &lines {
+        golden.extend_from_slice(line.as_bytes());
+    }
+
+    let mut encoded = Vec::new();
+    datagram.encode_into(&mut encoded);
+    assert_eq!(
+        encoded, golden,
+        "encode_into diverged from the pinned layout"
+    );
+
+    // Both backends are transparent pipes for those bytes.
+    for (label, fabric) in [
+        ("mem", &MemFabric::new() as &dyn Fabric),
+        ("udp", &UdpFabric::new() as &dyn Fabric),
+    ] {
+        let tx = fabric.attach_queues(NodeAddr(7), 1).unwrap();
+        let rx = fabric.attach_queues(NodeAddr(9), 1).unwrap();
+        tx[0].send(NodeAddr(9), golden.clone()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let got = loop {
+            if let Some(bytes) = rx[0].try_recv() {
+                break bytes;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "[{label}] golden frame never delivered"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        };
+        assert_eq!(got, golden, "[{label}] backend mutated the frame bytes");
+    }
+}
+
+/// Regression for the shutdown/drain seam on a real-socket backend: a NIC
+/// stopped while datagrams are still in kernel buffers must neither panic
+/// nor leave the fabric reporting frames in flight — `Nic::shutdown`
+/// quiesces the fabric before the engines' final RX sweep retires, and
+/// `quiesce` stays idempotent afterwards.
+#[test]
+fn udp_shutdown_with_in_flight_datagrams_quiesces() {
+    let fabric = UdpFabric::new();
+    let arrivals = Arc::new(Mutex::new(Vec::new()));
+    let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(ConformDispatch::new(RecordingEcho(Arc::clone(
+            &arrivals,
+        )))))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(10));
+    let client = ConformClient::new(Arc::clone(&raw));
+
+    // Warm-up call so the connection is fully established.
+    assert_eq!(
+        client
+            .echo(&Conf {
+                client: 0,
+                seq: 0,
+                body: vec![],
+            })
+            .unwrap()
+            .seq,
+        0
+    );
+
+    // Issue a burst of async calls and shut the client NIC down while
+    // their datagrams can still be sitting in loopback socket buffers.
+    let mut pending = Vec::new();
+    for seq in 1..=24u32 {
+        pending.push(
+            client
+                .echo_async(&Conf {
+                    client: 0,
+                    seq,
+                    body: body_for(0, seq),
+                })
+                .unwrap(),
+        );
+    }
+    client_nic.shutdown();
+    drop(pending);
+    drop(client);
+    drop(raw);
+    drop(pool);
+
+    server.stop();
+    server_nic.shutdown();
+
+    fabric.quiesce();
+    assert_eq!(
+        fabric.in_flight(),
+        0,
+        "datagrams left unaccounted after both NICs quiesced"
+    );
+}
+
+/// The handler-visible effect of the shutdown flush on a real socket
+/// backend: every async call issued before `shutdown()` still reaches the
+/// server (the engine's stop path drains the TX ring, retransmits the
+/// unacked window, and the fabric quiesce holds the door for datagrams
+/// still in kernel buffers).
+#[test]
+fn udp_shutdown_flush_delivers_issued_calls() {
+    struct CountingEcho(Arc<AtomicU32>);
+    impl common::ConformHandler for CountingEcho {
+        fn echo(&self, request: Conf) -> dagger::types::Result<Conf> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            Ok(request)
+        }
+    }
+
+    let fabric = UdpFabric::new();
+    let served = Arc::new(AtomicU32::new(0));
+    let server_nic = Nic::start(&fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    let client_nic = Nic::start(&fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(ConformDispatch::new(CountingEcho(Arc::clone(
+            &served,
+        )))))
+        .unwrap();
+    server.start().unwrap();
+
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(10));
+    let client = ConformClient::new(Arc::clone(&raw));
+    assert_eq!(
+        client
+            .echo(&Conf {
+                client: 0,
+                seq: 0,
+                body: vec![],
+            })
+            .unwrap()
+            .seq,
+        0
+    );
+
+    const CALLS: u32 = 12;
+    let mut pending = Vec::new();
+    for seq in 1..=CALLS {
+        pending.push(
+            client
+                .echo_async(&Conf {
+                    client: 0,
+                    seq,
+                    body: body_for(0, seq),
+                })
+                .unwrap(),
+        );
+    }
+    client_nic.shutdown();
+    drop(pending);
+    drop(client);
+    drop(raw);
+    drop(pool);
+
+    let total = 1 + CALLS;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while served.load(Ordering::SeqCst) < total {
+        assert!(
+            Instant::now() < deadline,
+            "server saw only {}/{} echoes after client shutdown",
+            served.load(Ordering::SeqCst),
+            total
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.stop();
+    server_nic.shutdown();
+    fabric.quiesce();
+    assert_eq!(fabric.in_flight(), 0);
+}

@@ -1,0 +1,119 @@
+//! Two-process integration test: spawns the `udp_pair` example twice —
+//! once as the server, once as the client — and checks real RPCs cross a
+//! real UDP socket between separate OS processes. This is the seam the
+//! in-process suites cannot cover: two fabric instances, two address
+//! spaces, peer discovery from the encapsulation header, and a clean
+//! drain on both sides.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// The example binary cargo built alongside this test
+/// (`target/<profile>/examples/udp_pair`); the test binary itself runs
+/// from `target/<profile>/deps/`.
+fn example_bin() -> Option<PathBuf> {
+    let mut dir = std::env::current_exe().ok()?;
+    dir.pop(); // test binary name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir
+        .join("examples")
+        .join(format!("udp_pair{}", std::env::consts::EXE_SUFFIX));
+    bin.exists().then_some(bin)
+}
+
+/// Kills a child on scope exit so a failed assertion never leaks an
+/// orphaned process holding the socket.
+struct Reap(Child, &'static str);
+
+impl Drop for Reap {
+    fn drop(&mut self) {
+        if self.0.try_wait().map_or(true, |s| s.is_none()) {
+            eprintln!("reaping {} process", self.1);
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+}
+
+fn wait_with_deadline(child: &mut Child, what: &str, secs: u64) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} still running after {secs}s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn udp_pair_runs_across_processes() {
+    let Some(bin) = example_bin() else {
+        // `cargo test` builds examples, but a bare test binary run (or a
+        // stripped target dir) may not have it; skip rather than fail.
+        eprintln!("skipping: udp_pair example binary not built");
+        return;
+    };
+
+    let mut server = Reap(
+        Command::new(&bin)
+            .arg("server")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn server"),
+        "server",
+    );
+
+    // The server prints `PORT=<n>` once its socket is bound; read it off a
+    // thread so a wedged child cannot hang the test.
+    let stdout = server.0.stdout.take().expect("server stdout piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let Some(port) = line.strip_prefix("PORT=") {
+                let _ = tx.send(port.trim().to_string());
+            }
+        }
+    });
+    let port = rx
+        .recv_timeout(Duration::from_secs(20))
+        .expect("server never printed PORT=");
+    let port: u16 = port.parse().expect("PORT= line carries a port number");
+
+    let mut client = Reap(
+        Command::new(&bin)
+            .args(["client", &format!("127.0.0.1:{port}"), "16"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn client"),
+        "client",
+    );
+
+    let client_status = wait_with_deadline(&mut client.0, "client", 60);
+    assert!(client_status.success(), "client exited {client_status}");
+    let mut client_out = String::new();
+    std::io::Read::read_to_string(
+        client.0.stdout.as_mut().expect("client stdout piped"),
+        &mut client_out,
+    )
+    .expect("read client stdout");
+    assert!(
+        client_out.contains("OK 16"),
+        "client did not verify all echoes: {client_out:?}"
+    );
+
+    // The client's sentinel call tells the server to exit on its own.
+    let server_status = wait_with_deadline(&mut server.0, "server", 30);
+    assert!(server_status.success(), "server exited {server_status}");
+}
