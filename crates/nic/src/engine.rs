@@ -275,6 +275,15 @@ pub(crate) struct EngineCore {
     /// Sender side of the remap protocol: per-connection pinned destination
     /// queue plus drain state (see [`EngineCore::pin_route`]).
     pub route_pins: U64Map<RoutePin>,
+    /// Per-flow TX fetch scratch: the batch-pop target of `tx_round`.
+    /// Persistent so the steady-state round never allocates.
+    pub tx_scratch: Vec<CacheLine>,
+    /// Encoded datagrams staged by the current round, submitted with one
+    /// [`FabricPort::send_many`] per round (doorbell amortization: the
+    /// backend is poked once per round, not once per datagram).
+    pub wire_out: Vec<(NodeAddr, u16, Vec<u8>)>,
+    /// Frame count of each staged datagram, parallel to `wire_out`.
+    pub wire_counts: Vec<u64>,
 }
 
 /// A connection's pinned destination queue on the sender side. When the
@@ -332,10 +341,11 @@ impl EngineCore {
             progress |= self.flush_backlog();
             progress |= self.ctrl_round(tick);
             progress |= self.tx_round(tick);
-            progress |= self.rx_round(tick);
-            progress |= self.inbox_round(tick);
+            let rx_moved = self.rx_round(tick);
+            let inbox_moved = self.inbox_round(tick);
+            progress |= rx_moved | inbox_moved;
             progress |= self.release_stalled(tick);
-            progress |= self.deliver_round(tick, false);
+            progress |= self.deliver_round(tick, false, !(rx_moved || inbox_moved));
             self.reliable_tick();
             if progress {
                 idle.reset();
@@ -382,7 +392,7 @@ impl EngineCore {
             let mut progress = self.rx_round(tick);
             progress |= self.inbox_round(tick);
             progress |= self.flush_backlog();
-            progress |= self.deliver_round(tick, true);
+            progress |= self.deliver_round(tick, true, true);
             if progress {
                 idle.reset();
             } else {
@@ -395,7 +405,7 @@ impl EngineCore {
         // Frames still parked for ordering release now regardless of gaps:
         // their missing predecessors are not coming.
         self.force_release_holds(tick);
-        self.deliver_round(tick, true);
+        self.deliver_round(tick, true, true);
         self.drain_pending_on_stop();
         // Handoffs that never fit their ring die with this worker; account
         // for them so shutdown cannot silently lose frames.
@@ -487,19 +497,26 @@ impl EngineCore {
         let mut used = 0usize;
         let mut progress = false;
         for flow in 0..n {
-            for _ in 0..batch {
-                let Some(line) = self.tx_rings[flow].as_mut().and_then(RingConsumer::try_pop)
-                else {
-                    break;
-                };
-                progress = true;
-                self.window_frames += 1;
-                self.monitor.add_flow_tx_frames(flow, 1);
-                if self.direct_polling {
-                    self.monitor.add_direct_polls(1);
-                } else {
-                    self.monitor.add_cached_polls(1);
-                }
+            // One batch pop per flow per tick: the whole burst is fetched
+            // in a single ring pass, then staged frame by frame.
+            self.tx_scratch.clear();
+            let fetched = match self.tx_rings[flow].as_mut() {
+                Some(ring) => ring.try_pop_batch(&mut self.tx_scratch, batch),
+                None => 0,
+            };
+            if fetched == 0 {
+                continue;
+            }
+            progress = true;
+            self.window_frames += fetched as u64;
+            self.monitor.add_flow_tx_frames(flow, fetched as u64);
+            if self.direct_polling {
+                self.monitor.add_direct_polls(fetched as u64);
+            } else {
+                self.monitor.add_cached_polls(fetched as u64);
+            }
+            for i in 0..fetched {
+                let line = self.tx_scratch[i];
                 let Ok(hdr) = RpcHeader::decode(line.header()) else {
                     self.monitor.inc_unknown_connection_drops();
                     continue;
@@ -579,6 +596,7 @@ impl EngineCore {
                 .process_tx(Datagram::new(self.addr, dst, lines));
             self.send_datagram(dgram, dst_queue);
         }
+        self.flush_wire();
         progress
     }
 
@@ -680,12 +698,31 @@ impl EngineCore {
                 self.pool.put_lines(dgram.lines);
             }
         }
-        if self.port.send_to(dst, dst_queue, out).is_ok() {
-            self.monitor.add_tx_frames(count);
+        // Stage for the round's single `send_many` submit; every round that
+        // can reach here ends with a `flush_wire` call.
+        self.wire_out.push((dst, dst_queue, out));
+        self.wire_counts.push(count);
+    }
+
+    /// Submits every datagram the current round staged with one
+    /// [`FabricPort::send_many`] call — the doorbell amortization of
+    /// §4.4.1. Counters are stamped per batch; datagrams the backend
+    /// rejected (unknown destination) are counted as drops.
+    fn flush_wire(&mut self) {
+        if self.wire_out.is_empty() {
+            return;
+        }
+        let staged = self.wire_out.len();
+        let frames: u64 = self.wire_counts.iter().sum();
+        self.wire_counts.clear();
+        let sent = self.port.send_many(&mut self.wire_out);
+        self.monitor.add_tx_frames(frames);
+        self.qstats.add_tx_frames(frames);
+        for _ in 0..sent {
             self.monitor.inc_tx_datagrams();
-            self.qstats.add_tx_frames(count);
             self.qstats.inc_tx_datagrams();
-        } else {
+        }
+        for _ in sent..staged {
             self.monitor.inc_unknown_connection_drops();
         }
     }
@@ -705,6 +742,7 @@ impl EngineCore {
             };
             self.send_datagram(dgram, dst_queue);
         }
+        self.flush_wire();
         true
     }
 
@@ -757,6 +795,7 @@ impl EngineCore {
                 .map_or(0, |h| self.pin_route(h.connection_id, dst, tick));
             self.send_datagram(dgram, dst_queue);
         }
+        self.flush_wire();
         progress
     }
 
@@ -770,7 +809,11 @@ impl EngineCore {
         };
         let pool = &mut self.pool;
         rel.drain_retired(|lines| pool.put_lines(lines));
-        let port = &self.port;
+        // Acks and retransmissions of one tick ship as one `send_many`
+        // batch; `wire_out` is always empty between rounds, so borrowing it
+        // here keeps the staging vector's capacity shared with the rounds.
+        debug_assert!(self.wire_out.is_empty());
+        let mut wire = std::mem::take(&mut self.wire_out);
         // Data frames emitted here are always retransmissions (first sends
         // go through `send_datagram`); count them for the flight recorder.
         let mut retransmits = 0u64;
@@ -780,8 +823,12 @@ impl EngineCore {
             }
             let mut out = pool.get_bytes();
             view.encode_into(&mut out);
-            let _ = port.send_to(view.dst(), view.dst_queue(), out);
+            wire.push((view.dst(), view.dst_queue(), out));
         });
+        if !wire.is_empty() {
+            let _ = self.port.send_many(&mut wire);
+        }
+        self.wire_out = wire;
         if retransmits > 0 {
             self.telemetry.flight().record(
                 FlightEventKind::RetransmitBurst,
@@ -828,20 +875,36 @@ impl EngineCore {
             // The wire buffer's journey ends here: recycle it so this
             // engine's own TX side (and future RX decodes) reuse it.
             self.pool.put_bytes(bytes);
-            let Some(dgram) = decoded else {
-                continue;
-            };
-            let dgram = self.protocol.process_rx(dgram);
-            self.monitor.inc_rx_datagrams();
-            self.monitor.add_rx_frames(dgram.lines.len() as u64);
-            self.qstats.inc_rx_datagrams();
-            self.qstats.add_rx_frames(dgram.lines.len() as u64);
-            for &line in &dgram.lines {
-                self.rx_frame(line, tick);
+            if let Some(dgram) = decoded {
+                self.absorb_datagram(dgram, tick);
             }
-            self.pool.put_lines(dgram.lines);
+            // Selective repeat may have released buffered successors when
+            // the arrival above filled a gap; deliver the whole run now.
+            while let Some(dgram) = self
+                .reliable
+                .as_mut()
+                .and_then(ReliableTransport::next_ready)
+            {
+                self.absorb_datagram(dgram, tick);
+            }
         }
+        // Control acknowledgements staged by `rx_frame` ship here.
+        self.flush_wire();
         progress
+    }
+
+    /// Steers one decoded, in-sequence datagram's frames into the RX path
+    /// and recycles its line vector.
+    fn absorb_datagram(&mut self, dgram: Datagram, tick: u64) {
+        let dgram = self.protocol.process_rx(dgram);
+        self.monitor.inc_rx_datagrams();
+        self.monitor.add_rx_frames(dgram.lines.len() as u64);
+        self.qstats.inc_rx_datagrams();
+        self.qstats.add_rx_frames(dgram.lines.len() as u64);
+        for &line in &dgram.lines {
+            self.rx_frame(line, tick);
+        }
+        self.pool.put_lines(dgram.lines);
     }
 
     /// Drains the handoff inboxes: frames siblings received off the fabric
@@ -1056,15 +1119,25 @@ impl EngineCore {
 
     /// Delivery: the flow scheduler picks formed batches and the CCI-P
     /// transmitter writes them into the RX rings. `drain_all` (shutdown)
-    /// flushes partially formed batches too.
-    fn deliver_round(&mut self, tick: u64, drain_all: bool) -> bool {
+    /// flushes partially formed batches too. `rx_quiet` says the RX and
+    /// inbox rounds of this tick moved nothing: with the `auto_batch` soft
+    /// register on, a quiet tick ships partial batches immediately —
+    /// under load frames keep arriving and full batches form on their
+    /// own, so waiting out the scheduler timeout only buys latency, not
+    /// batching (§4.4.1 adaptive batching).
+    fn deliver_round(&mut self, tick: u64, drain_all: bool, rx_quiet: bool) -> bool {
         let batch = if drain_all {
             1
         } else {
             self.softregs.batch_size() as usize
         };
+        let ready = if drain_all || (rx_quiet && self.softregs.auto_batch()) {
+            1
+        } else {
+            batch
+        };
         let mut progress = false;
-        while let Some(flow) = self.sched.pick(&self.fifos, batch, tick) {
+        while let Some(flow) = self.sched.pick(&self.fifos, ready, tick) {
             let slots = self.fifos.pop_batch(flow, batch.max(1));
             for slot in slots {
                 let line = self.reqbuf.take(slot);
@@ -1197,6 +1270,9 @@ mod tests {
             hold_since: vec![0],
             held_frames: 0,
             route_pins: U64Map::default(),
+            tx_scratch: Vec::new(),
+            wire_out: Vec::new(),
+            wire_counts: Vec::new(),
         };
         (core, host_tx, host_rx)
     }
@@ -1304,6 +1380,9 @@ mod tests {
                     hold_since: vec![0, 0],
                     held_frames: 0,
                     route_pins: U64Map::default(),
+                    tx_scratch: Vec::new(),
+                    wire_out: Vec::new(),
+                    wire_counts: Vec::new(),
                 }
             })
             .collect();
@@ -1365,7 +1444,7 @@ mod tests {
         }
         core.tx_round(0);
         core.rx_round(tick);
-        core.deliver_round(tick, true);
+        core.deliver_round(tick, true, true);
         while host_rx.try_pop().is_some() {}
     }
 
@@ -1441,7 +1520,7 @@ mod tests {
         let mut seen = [0u32; 2];
         for core in cores.iter_mut() {
             core.inbox_round(tick);
-            core.deliver_round(tick, true);
+            core.deliver_round(tick, true, true);
         }
         for (flow, rx) in host_rx.iter_mut().enumerate() {
             while rx.try_pop().is_some() {
@@ -1523,7 +1602,7 @@ mod tests {
                     core.rx_round(tick);
                     core.flush_backlog();
                     core.inbox_round(tick);
-                    core.deliver_round(tick, true);
+                    core.deliver_round(tick, true, true);
                 }
             }
             for (flow, rx) in host_rx.iter_mut().enumerate() {

@@ -177,6 +177,26 @@ pub trait FabricPort: Send + Sync + std::fmt::Debug {
         self.send_to(dst, 0, bytes)
     }
 
+    /// Ships a whole engine round's staged datagrams in one call, in order,
+    /// draining `frames` and returning how many the backend accepted
+    /// (frames toward destinations the backend does not know are dropped
+    /// and excluded from the count; transient wire loss still counts as
+    /// accepted, exactly like [`FabricPort::send_to`]).
+    ///
+    /// The default simply loops `send_to`; backends override it to
+    /// amortize per-datagram costs — peer-table lookups, syscalls, receiver
+    /// wakeups — across the batch (the `sendmmsg` analogue of the paper's
+    /// §4.4.1 doorbell batching).
+    fn send_many(&self, frames: &mut Vec<(NodeAddr, u16, Vec<u8>)>) -> usize {
+        let mut sent = 0;
+        for (dst, dst_queue, bytes) in frames.drain(..) {
+            if self.send_to(dst, dst_queue, bytes).is_ok() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+
     /// RSS route decision toward `dst`; see [`Fabric::route`].
     fn route(&self, dst: NodeAddr, tag: u64) -> u16;
 

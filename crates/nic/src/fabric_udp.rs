@@ -75,6 +75,10 @@ const RX_STAGE_CAP: usize = 1024;
 /// How long the RX pump sleeps in the kernel before re-checking its stop
 /// flag.
 const PUMP_POLL: Duration = Duration::from_millis(5);
+/// Datagrams one pump pass absorbs before waking receivers: the RX half of
+/// the batched datapath — a burst that arrived together is staged together
+/// and each touched queue is woken once, not once per frame.
+const RX_BATCH: usize = 32;
 /// Upper bound a [`Fabric::quiesce`] waits for locally-destined datagrams
 /// still sitting in kernel buffers to reach their staging queues.
 const QUIESCE_DEADLINE: Duration = Duration::from_millis(250);
@@ -242,6 +246,62 @@ impl UdpFabric {
         }
     }
 
+    /// Batched variant of [`UdpFabric::send_from`] behind
+    /// [`FabricPort::send_many`]: the peer table and local-socket locks are
+    /// taken once per engine round instead of once per datagram, and the
+    /// encapsulation buffer is reused across the batch (the `sendmmsg`
+    /// analogue — std has no scatter submit, so the syscalls remain, but
+    /// every per-datagram bookkeeping cost is paid once).
+    fn send_batch_from(
+        &self,
+        src: NodeAddr,
+        src_queue: u16,
+        frames: &mut Vec<(NodeAddr, u16, Vec<u8>)>,
+    ) -> usize {
+        let socket = {
+            let locals = self.inner.locals.read();
+            match locals.get(&src) {
+                Some(l) => Arc::clone(&l.socket),
+                None => {
+                    frames.clear();
+                    return 0;
+                }
+            }
+        };
+        let peers = self.inner.peers.read();
+        let locals = self.inner.locals.read();
+        let mut pkt: Vec<u8> = Vec::new();
+        let mut sent = 0;
+        for (dst, dst_queue, bytes) in frames.drain(..) {
+            let Some(peer) = peers.get(&dst) else {
+                // Unknown destination: dropped, excluded from the count —
+                // mirrors the per-datagram `send_to` error.
+                continue;
+            };
+            pkt.clear();
+            pkt.reserve(UDP_HEADER + bytes.len());
+            pkt.push(UDP_MAGIC);
+            pkt.push(UDP_VERSION);
+            pkt.extend_from_slice(&dst_queue.to_le_bytes());
+            pkt.extend_from_slice(&src.raw().to_le_bytes());
+            pkt.extend_from_slice(&src_queue.to_le_bytes());
+            pkt.extend_from_slice(&bytes);
+            let dst_is_local = locals.contains_key(&dst);
+            if dst_is_local {
+                self.inner.tx_local.fetch_add(1, Ordering::Relaxed);
+            }
+            if socket.send_to(&pkt, peer.addr).is_err() {
+                // The wire ate it: the reliable layer retransmits.
+                if dst_is_local {
+                    self.inner.tx_local.fetch_sub(1, Ordering::Relaxed);
+                }
+                self.inner.tx_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            sent += 1;
+        }
+        sent
+    }
+
     /// Detaches `node`: stops and joins its RX pump, closes the socket,
     /// and removes its peer-table self-entry.
     fn detach(&self, node: NodeAddr) {
@@ -257,8 +317,15 @@ impl UdpFabric {
 
     /// The RX pump: drains the socket into per-queue staging, learns peer
     /// addresses from encapsulation headers, and wakes parked engines.
+    ///
+    /// Receives are batched: the first read blocks (bounded by the socket
+    /// timeout), then whatever else already sits in the kernel buffer is
+    /// drained nonblocking up to [`RX_BATCH`], and each queue the burst
+    /// touched is woken exactly once at the end — the receive half of the
+    /// doorbell amortization.
     fn pump(inner: &Arc<UdpInner>, node: NodeAddr, socket: &UdpSocket, stop: &AtomicBool) {
         let mut buf = vec![0u8; MAX_UDP_FRAME];
+        let mut staged: Vec<(Vec<u8>, SocketAddr)> = Vec::with_capacity(RX_BATCH);
         while !stop.load(Ordering::Acquire) {
             let (len, from) = match socket.recv_from(&mut buf) {
                 Ok(ok) => ok,
@@ -270,43 +337,75 @@ impl UdpFabric {
                 }
                 Err(_) => continue,
             };
-            if len < UDP_HEADER || buf[0] != UDP_MAGIC || buf[1] != UDP_VERSION {
-                inner.rx_malformed.fetch_add(1, Ordering::Relaxed);
-                continue;
+            staged.clear();
+            staged.push((buf[..len].to_vec(), from));
+            if socket.set_nonblocking(true).is_ok() {
+                while staged.len() < RX_BATCH {
+                    match socket.recv_from(&mut buf) {
+                        Ok((len, from)) => staged.push((buf[..len].to_vec(), from)),
+                        Err(_) => break,
+                    }
+                }
+                // The read timeout set at attach survives the toggle.
+                let _ = socket.set_nonblocking(false);
             }
-            let dst_queue = u16::from_le_bytes([buf[2], buf[3]]);
-            let src_node = NodeAddr(u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]));
-            // Learn the sender's address so replies need no static entry.
-            {
-                let peers = inner.peers.read();
-                let known = peers.contains_key(&src_node);
-                drop(peers);
-                if !known {
-                    inner.peers.write().entry(src_node).or_insert(PeerEntry {
-                        addr: from,
-                        queues: 1,
-                    });
+            // Queues this burst staged frames into (bit `min(q, 63)`; the
+            // fold can only over-wake, and wakes are idempotent).
+            let mut touched = 0u64;
+            for (mut pkt, from) in staged.drain(..) {
+                if pkt.len() < UDP_HEADER || pkt[0] != UDP_MAGIC || pkt[1] != UDP_VERSION {
+                    inner.rx_malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let dst_queue = u16::from_le_bytes([pkt[2], pkt[3]]);
+                let src_node = NodeAddr(u32::from_le_bytes([pkt[4], pkt[5], pkt[6], pkt[7]]));
+                // Learn the sender's address so replies need no static
+                // entry.
+                {
+                    let peers = inner.peers.read();
+                    let known = peers.contains_key(&src_node);
+                    drop(peers);
+                    if !known {
+                        inner.peers.write().entry(src_node).or_insert(PeerEntry {
+                            addr: from,
+                            queues: 1,
+                        });
+                    }
+                }
+                let src_is_local = inner.locals.read().contains_key(&src_node);
+                let locals = inner.locals.read();
+                let Some(local) = locals.get(&node) else {
+                    return; // detached mid-poll
+                };
+                let qi = (dst_queue as usize) % local.queues.len();
+                if local.queues[qi].len() >= RX_STAGE_CAP {
+                    // Bounded staging: shed instead of growing without
+                    // bound; the reliable layer retransmits and the queue
+                    // drains meanwhile.
+                    inner.rx_overflow.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    // Strip the encapsulation in place: the staged bytes
+                    // reuse the packet's own allocation.
+                    pkt.drain(..UDP_HEADER);
+                    local.queues[qi].push(pkt);
+                    touched |= 1u64 << qi.min(63) as u32;
+                }
+                drop(locals);
+                if src_is_local {
+                    inner.rx_local.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            let src_is_local = inner.locals.read().contains_key(&src_node);
-            let locals = inner.locals.read();
-            let Some(local) = locals.get(&node) else {
-                break; // detached mid-poll
-            };
-            let qi = (dst_queue as usize) % local.queues.len();
-            if local.queues[qi].len() >= RX_STAGE_CAP {
-                // Bounded staging: shed instead of growing without bound;
-                // GBN retransmits and the queue drains meanwhile.
-                inner.rx_overflow.fetch_add(1, Ordering::Relaxed);
-            } else {
-                local.queues[qi].push(buf[UDP_HEADER..len].to_vec());
-                if let Some(Some(waker)) = local.wakers.get(qi) {
-                    waker.wake();
+            if touched != 0 {
+                let locals = inner.locals.read();
+                if let Some(local) = locals.get(&node) {
+                    for (qi, waker) in local.wakers.iter().enumerate() {
+                        if touched & (1u64 << qi.min(63) as u32) != 0 {
+                            if let Some(waker) = waker {
+                                waker.wake();
+                            }
+                        }
+                    }
                 }
-            }
-            drop(locals);
-            if src_is_local {
-                inner.rx_local.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -507,6 +606,10 @@ impl FabricPort for UdpFabricPort {
     fn send_to(&self, dst: NodeAddr, dst_queue: u16, bytes: Vec<u8>) -> Result<()> {
         self.fabric
             .send_from(self.addr, self.queue, dst, dst_queue, &bytes)
+    }
+
+    fn send_many(&self, frames: &mut Vec<(NodeAddr, u16, Vec<u8>)>) -> usize {
+        self.fabric.send_batch_from(self.addr, self.queue, frames)
     }
 
     fn route(&self, dst: NodeAddr, tag: u64) -> u16 {

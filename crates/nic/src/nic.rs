@@ -194,6 +194,9 @@ impl Nic {
         let nq = cfg.num_queues;
         let ports: Vec<Arc<dyn FabricPort>> = fabric.attach_queues(addr, nq)?;
         let softregs = Arc::new(SoftRegisterFile::default());
+        // Batch-size writes clamp to what the host rings can actually hold;
+        // an oversized soft register can no longer stall a full ring round.
+        softregs.set_batch_limit(cfg.tx_ring_capacity.min(cfg.rx_ring_capacity));
         // The soft active-queue mask gates new RSS routing decisions made
         // by *senders* toward this NIC.
         fabric.set_queue_mask(addr, softregs.active_queue_mask_handle());
@@ -316,6 +319,9 @@ impl Nic {
                 hold_since: vec![0; cfg.num_flows],
                 held_frames: 0,
                 route_pins: Default::default(),
+                tx_scratch: Vec::new(),
+                wire_out: Vec::new(),
+                wire_counts: Vec::new(),
             });
         }
 

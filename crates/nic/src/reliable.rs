@@ -3,17 +3,28 @@
 //! The paper ships with an idle Protocol unit and names the follow-up:
 //! "we plan to extend Dagger with reliable transports and with RPC-specific
 //! congestion control" (§4.5). This module implements that extension as a
-//! per-peer Go-Back-N protocol suited to the fabric's properties (in-order
-//! per-sender delivery, loss possible, no reordering):
+//! per-peer sliding-window protocol suited to the fabric's properties
+//! (in-order per-sender delivery, loss possible, reordering rare):
 //!
 //! * every data datagram to a peer carries a sequence number;
-//! * the receiver delivers strictly in order, discards out-of-order
-//!   datagrams (a gap means loss), and acknowledges cumulatively —
-//!   acknowledgements piggyback the receiver's own traffic when possible,
-//!   as §4.5 suggests ("piggybacking acknowledgement");
-//! * the sender keeps unacknowledged datagrams in a retransmit buffer,
-//!   bounded by a window, and goes back to the first unacknowledged
-//!   sequence after a timeout measured in engine ticks.
+//! * the receiver delivers strictly in order and acknowledges
+//!   cumulatively — acknowledgements piggyback the receiver's own traffic
+//!   when possible, as §4.5 suggests ("piggybacking acknowledgement");
+//! * the sender keeps unacknowledged datagrams in a retransmit buffer
+//!   keyed by sequence, bounded by a window, and retransmits after a
+//!   timeout measured in engine ticks.
+//!
+//! Loss recovery runs in one of two modes ([`RecoveryMode`]):
+//!
+//! * **Selective repeat** (the default): the receiver *buffers*
+//!   out-of-order datagrams (up to [`SACK_SPAN`] beyond the in-order
+//!   point) and advertises them in SACK frames — cumulative ack plus a
+//!   64-bit received-bitmap. The sender marks sacked entries and a timeout
+//!   retransmits only the frames the receiver actually misses, so a single
+//!   drop costs a single retransmission.
+//! * **Go-Back-N** (the original protocol, kept for A/B measurement and
+//!   as the migration baseline): the receiver discards anything past a
+//!   gap and a timeout re-sends the entire unacked window.
 //!
 //! The state machine is synchronous and engine-driven (`on_send`,
 //! `on_recv`, `on_tick`), matching how the hardware would run it; the
@@ -24,9 +35,9 @@
 //! it repairs *injected* faults (seeded, deterministic — the chaos
 //! replay-equivalence test pins identical retransmit counters across
 //! runs); over the UDP backend it repairs whatever the real network does,
-//! with the same window, checksum, and go-back-N machinery.
+//! with the same window, checksum, and retransmission machinery.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -38,6 +49,20 @@ use crate::transport::{wire_checksum, Datagram};
 const FRAME_DATA: u8 = 1;
 /// Frame type byte: standalone cumulative acknowledgement.
 const FRAME_ACK: u8 = 2;
+/// Version bit in the frame-type byte. Version-0 frames (data, ack) keep
+/// their original byte values, so a pre-SACK decoder sees exactly the
+/// bytes it always did; version-1 frame kinds set this bit, and a
+/// version-0 decoder rejects them cleanly as an unknown type (loss, which
+/// the retransmit timer absorbs) rather than misparsing them.
+const FRAME_VERSION_BIT: u8 = 0x80;
+/// Frame type byte: selective acknowledgement — cumulative ack plus a
+/// [`SACK_SPAN`]-bit bitmap of datagrams received beyond it. A version-1
+/// frame kind (see [`FRAME_VERSION_BIT`]).
+const FRAME_SACK: u8 = FRAME_VERSION_BIT | FRAME_ACK;
+/// Width of the SACK bitmap: bit `i` set means sequence `ack + 1 + i` has
+/// been received and buffered. The receiver buffers at most this far past
+/// the in-order point, so every buffered datagram is representable.
+pub const SACK_SPAN: u64 = 64;
 /// Fixed prefix before the checksum: type byte + two u64 + sender queue
 /// u16 (data) or type byte + u64 + two u32 + sender queue u16 (ack) — both
 /// 19 bytes. The sender-queue field names the engine queue whose channel
@@ -82,6 +107,29 @@ fn encode_ack_into(ack: u64, src: NodeAddr, dst: NodeAddr, src_queue: u16, out: 
     out.extend_from_slice(&crc.to_le_bytes());
 }
 
+/// Encodes a selective-ack frame into `out` (cleared first): the ack
+/// prefix layout with the version-1 SACK type byte, then the 8-byte
+/// received-bitmap as the body (covered by the checksum like any body).
+fn encode_sack_into(
+    ack: u64,
+    bitmap: u64,
+    src: NodeAddr,
+    dst: NodeAddr,
+    src_queue: u16,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.push(FRAME_SACK);
+    out.extend_from_slice(&ack.to_le_bytes());
+    out.extend_from_slice(&src.raw().to_le_bytes());
+    out.extend_from_slice(&dst.raw().to_le_bytes());
+    out.extend_from_slice(&src_queue.to_le_bytes());
+    out.extend_from_slice(&[0u8; FRAME_CRC]);
+    out.extend_from_slice(&bitmap.to_le_bytes());
+    let crc = wire_checksum(&[&out[..FRAME_PREFIX], &out[FRAME_MIN..]]);
+    out[FRAME_PREFIX..FRAME_MIN].copy_from_slice(&crc.to_le_bytes());
+}
+
 /// Borrowed view of a frame about to go on the wire. Lets the engine
 /// encode straight into a pooled buffer without cloning the retransmit
 /// window's datagrams into owned [`TransportFrame`]s first.
@@ -115,6 +163,21 @@ pub enum FrameView<'a> {
         /// Destination engine queue to route the ack to (routing only).
         dst_queue: u16,
     },
+    /// A selective acknowledgement: cumulative ack + received-bitmap.
+    Sack {
+        /// Cumulative ack value (everything below is received).
+        ack: u64,
+        /// Bit `i` set: sequence `ack + 1 + i` is received and buffered.
+        bitmap: u64,
+        /// Sender.
+        src: NodeAddr,
+        /// Receiver.
+        dst: NodeAddr,
+        /// Engine queue of the sender (on the wire).
+        src_queue: u16,
+        /// Destination engine queue to route the sack to (routing only).
+        dst_queue: u16,
+    },
 }
 
 impl FrameView<'_> {
@@ -122,14 +185,16 @@ impl FrameView<'_> {
     pub fn dst(&self) -> NodeAddr {
         match self {
             FrameView::Data { datagram, .. } => datagram.dst,
-            FrameView::Ack { dst, .. } => *dst,
+            FrameView::Ack { dst, .. } | FrameView::Sack { dst, .. } => *dst,
         }
     }
 
     /// Destination engine queue the frame should be routed to.
     pub fn dst_queue(&self) -> u16 {
         match self {
-            FrameView::Data { dst_queue, .. } | FrameView::Ack { dst_queue, .. } => *dst_queue,
+            FrameView::Data { dst_queue, .. }
+            | FrameView::Ack { dst_queue, .. }
+            | FrameView::Sack { dst_queue, .. } => *dst_queue,
         }
     }
 
@@ -137,7 +202,7 @@ impl FrameView<'_> {
     pub fn frame_count(&self) -> usize {
         match self {
             FrameView::Data { datagram, .. } => datagram.lines.len(),
-            FrameView::Ack { .. } => 0,
+            FrameView::Ack { .. } | FrameView::Sack { .. } => 0,
         }
     }
 
@@ -159,6 +224,14 @@ impl FrameView<'_> {
                 src_queue,
                 ..
             } => encode_ack_into(*ack, *src, *dst, *src_queue, out),
+            FrameView::Sack {
+                ack,
+                bitmap,
+                src,
+                dst,
+                src_queue,
+                ..
+            } => encode_sack_into(*ack, *bitmap, *src, *dst, *src_queue, out),
         }
     }
 
@@ -185,6 +258,20 @@ impl FrameView<'_> {
                 ..
             } => TransportFrame::Ack {
                 ack: *ack,
+                src: *src,
+                dst: *dst,
+                src_queue: *src_queue,
+            },
+            FrameView::Sack {
+                ack,
+                bitmap,
+                src,
+                dst,
+                src_queue,
+                ..
+            } => TransportFrame::Sack {
+                ack: *ack,
+                bitmap: *bitmap,
                 src: *src,
                 dst: *dst,
                 src_queue: *src_queue,
@@ -217,6 +304,20 @@ pub enum TransportFrame {
         /// Addressing (acks are not themselves sequenced).
         src: NodeAddr,
         /// Destination of the ack.
+        dst: NodeAddr,
+        /// Engine queue of the sender (0 on single-queue NICs).
+        src_queue: u16,
+    },
+    /// A selective acknowledgement (version-1 frame kind): cumulative ack
+    /// plus a [`SACK_SPAN`]-bit bitmap of datagrams received beyond it.
+    Sack {
+        /// The receiver has everything below this sequence.
+        ack: u64,
+        /// Bit `i` set: sequence `ack + 1 + i` is received and buffered.
+        bitmap: u64,
+        /// Addressing (sacks are not themselves sequenced).
+        src: NodeAddr,
+        /// Destination of the sack.
         dst: NodeAddr,
         /// Engine queue of the sender (0 on single-queue NICs).
         src_queue: u16,
@@ -265,6 +366,20 @@ impl TransportFrame {
                 src_queue: *src_queue,
                 dst_queue: 0,
             },
+            TransportFrame::Sack {
+                ack,
+                bitmap,
+                src,
+                dst,
+                src_queue,
+            } => FrameView::Sack {
+                ack: *ack,
+                bitmap: *bitmap,
+                src: *src,
+                dst: *dst,
+                src_queue: *src_queue,
+                dst_queue: 0,
+            },
         }
     }
 
@@ -277,7 +392,7 @@ impl TransportFrame {
     /// body. Never panics: any fabric-mangled byte string maps to `Err`.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         match bytes.first() {
-            Some(&FRAME_DATA) | Some(&FRAME_ACK) => {}
+            Some(&FRAME_DATA) | Some(&FRAME_ACK) | Some(&FRAME_SACK) => {}
             Some(other) => return Err(DaggerError::Wire(format!("unknown frame type {other}"))),
             None => return Err(DaggerError::Wire("empty frame".to_string())),
         }
@@ -290,44 +405,82 @@ impl TransportFrame {
         if wire_checksum(&[prefix, body]) != stored {
             return Err(DaggerError::Wire("frame checksum mismatch".to_string()));
         }
-        if prefix[0] == FRAME_DATA {
-            let seq = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
-            let ack = u64::from_le_bytes(prefix[9..17].try_into().unwrap());
-            let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
-            let datagram = Datagram::decode(body)?;
-            Ok(TransportFrame::Data {
-                seq,
-                ack,
-                src_queue,
-                datagram,
-            })
-        } else {
-            if !body.is_empty() {
-                return Err(DaggerError::Wire("bad ack frame length".to_string()));
+        match prefix[0] {
+            FRAME_DATA => {
+                let seq = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
+                let ack = u64::from_le_bytes(prefix[9..17].try_into().unwrap());
+                let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
+                let datagram = Datagram::decode(body)?;
+                Ok(TransportFrame::Data {
+                    seq,
+                    ack,
+                    src_queue,
+                    datagram,
+                })
             }
-            let ack = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
-            let src = NodeAddr(u32::from_le_bytes(prefix[9..13].try_into().unwrap()));
-            let dst = NodeAddr(u32::from_le_bytes(prefix[13..17].try_into().unwrap()));
-            let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
-            Ok(TransportFrame::Ack {
-                ack,
-                src,
-                dst,
-                src_queue,
-            })
+            FRAME_ACK => {
+                if !body.is_empty() {
+                    return Err(DaggerError::Wire("bad ack frame length".to_string()));
+                }
+                let ack = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
+                let src = NodeAddr(u32::from_le_bytes(prefix[9..13].try_into().unwrap()));
+                let dst = NodeAddr(u32::from_le_bytes(prefix[13..17].try_into().unwrap()));
+                let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
+                Ok(TransportFrame::Ack {
+                    ack,
+                    src,
+                    dst,
+                    src_queue,
+                })
+            }
+            _ => {
+                // FRAME_SACK: the ack prefix layout plus an 8-byte bitmap
+                // body.
+                if body.len() != 8 {
+                    return Err(DaggerError::Wire("bad sack frame length".to_string()));
+                }
+                let ack = u64::from_le_bytes(prefix[1..9].try_into().unwrap());
+                let src = NodeAddr(u32::from_le_bytes(prefix[9..13].try_into().unwrap()));
+                let dst = NodeAddr(u32::from_le_bytes(prefix[13..17].try_into().unwrap()));
+                let src_queue = u16::from_le_bytes(prefix[17..19].try_into().unwrap());
+                let bitmap = u64::from_le_bytes(body.try_into().unwrap());
+                Ok(TransportFrame::Sack {
+                    ack,
+                    bitmap,
+                    src,
+                    dst,
+                    src_queue,
+                })
+            }
         }
     }
+}
+
+/// How the sender repairs loss once the retransmit timer expires.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Selective repeat: the receiver buffers out-of-order datagrams and
+    /// advertises them in SACK bitmaps; a timeout retransmits only the
+    /// frames the receiver is actually missing.
+    #[default]
+    SelectiveRepeat,
+    /// Go-Back-N: the receiver discards anything past a gap; a timeout
+    /// re-sends the whole unacked window. The original protocol, kept for
+    /// A/B measurement (the chaos suite pins SR's efficiency against it).
+    GoBackN,
 }
 
 /// Configuration of the reliability protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReliableConfig {
-    /// Engine ticks without an ack before going back to the first
+    /// Engine ticks without an ack before retransmitting from the first
     /// unacknowledged datagram.
     pub retransmit_after_ticks: u64,
     /// Maximum unacknowledged datagrams per peer before sends are refused
     /// (backpressure to the TX FSM, which retries next round).
     pub window: usize,
+    /// Loss-recovery strategy (selective repeat by default).
+    pub mode: RecoveryMode,
 }
 
 impl Default for ReliableConfig {
@@ -335,6 +488,7 @@ impl Default for ReliableConfig {
         ReliableConfig {
             retransmit_after_ticks: 64,
             window: 256,
+            mode: RecoveryMode::SelectiveRepeat,
         }
     }
 }
@@ -342,11 +496,17 @@ impl Default for ReliableConfig {
 #[derive(Debug, Default)]
 struct PeerTx {
     next_seq: u64,
-    /// Unacknowledged datagrams, oldest first, as `(seq, datagram)`.
-    /// A deque so cumulative acks retire from the front without shifting.
-    unacked: VecDeque<(u64, Datagram)>,
+    /// Unacknowledged datagrams, oldest first, as `(seq, datagram,
+    /// sacked)` — the per-peer retransmit buffer keyed by sequence. A
+    /// deque so cumulative acks retire from the front without shifting;
+    /// `sacked` marks entries the receiver has advertised out-of-order
+    /// (selective repeat skips them on timeout).
+    unacked: VecDeque<(u64, Datagram, bool)>,
     ticks_since_progress: u64,
     retransmissions: u64,
+    /// Frames acknowledged out-of-order via SACK bitmaps (each counted
+    /// once, at the unsacked → sacked transition).
+    sacked: u64,
 }
 
 #[derive(Debug, Default)]
@@ -355,8 +515,16 @@ struct PeerRx {
     expected: u64,
     /// `true` when we owe the peer an ack that has not piggybacked yet.
     ack_owed: bool,
+    /// Out-of-order datagrams buffered for selective repeat, keyed by
+    /// sequence (all within `(expected, expected + SACK_SPAN]`). Ordered so
+    /// SACK bitmaps and drain order are deterministic.
+    ooo: BTreeMap<u64, Datagram>,
     out_of_order_drops: u64,
     duplicate_drops: u64,
+    /// Received data frames that carried no new information — duplicates
+    /// of delivered or buffered datagrams, and (under Go-Back-N) gap
+    /// discards: the receive-side measure of retransmission waste.
+    wasted_retransmits: u64,
 }
 
 /// Protocol statistics across all peers.
@@ -364,13 +532,19 @@ struct PeerRx {
 pub struct ReliableStats {
     /// Datagrams retransmitted.
     pub retransmissions: u64,
-    /// Out-of-order (gap) datagrams discarded on receive.
+    /// Out-of-order datagrams discarded on receive (under selective
+    /// repeat, only those beyond the SACK bitmap's reach).
     pub out_of_order_drops: u64,
     /// Duplicate datagrams suppressed on receive.
     pub duplicate_drops: u64,
     /// Frames rejected on receive as undecodable (truncated, unknown type,
     /// or checksum mismatch from in-flight bit corruption).
     pub wire_drops: u64,
+    /// Frames acknowledged out-of-order via SACK bitmaps (sender side).
+    pub sacked: u64,
+    /// Received data frames that added no new information (duplicates and
+    /// gap discards): what the peer's retransmissions wasted on the wire.
+    pub wasted_retransmits: u64,
 }
 
 /// A lock-free mirror of [`ReliableStats`], shared between the engine
@@ -383,6 +557,8 @@ pub struct SharedReliableStats {
     out_of_order_drops: AtomicU64,
     duplicate_drops: AtomicU64,
     wire_drops: AtomicU64,
+    sacked: AtomicU64,
+    wasted_retransmits: AtomicU64,
 }
 
 impl SharedReliableStats {
@@ -393,12 +569,15 @@ impl SharedReliableStats {
             out_of_order_drops: self.out_of_order_drops.load(Ordering::Relaxed),
             duplicate_drops: self.duplicate_drops.load(Ordering::Relaxed),
             wire_drops: self.wire_drops.load(Ordering::Relaxed),
+            sacked: self.sacked.load(Ordering::Relaxed),
+            wasted_retransmits: self.wasted_retransmits.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Per-engine-queue reliable-transport state machine: Go-Back-N per
-/// directed (local queue → peer, peer queue) channel.
+/// Per-engine-queue reliable-transport state machine: a sliding window
+/// (selective repeat or Go-Back-N, per [`RecoveryMode`]) per directed
+/// (local queue → peer, peer queue) channel.
 ///
 /// Under multi-queue sharding each worker owns one instance. Channels are
 /// keyed `(peer address, peer queue)` on the TX side — the queue the
@@ -419,6 +598,11 @@ pub struct ReliableTransport {
     /// Line vectors of datagrams retired from the window by acks, held for
     /// the engine to recycle into its [`crate::bufpool::BufPool`].
     retired: Vec<Vec<CacheLine>>,
+    /// Datagrams released by a gap fill beyond the one `on_recv` returns:
+    /// when an in-order arrival unblocks buffered successors, they queue
+    /// here (in sequence order) and the engine drains them through
+    /// [`ReliableTransport::next_ready`] before touching the wire again.
+    ready: VecDeque<Datagram>,
 }
 
 impl ReliableTransport {
@@ -439,6 +623,7 @@ impl ReliableTransport {
             wire_drops: 0,
             shared: Arc::new(SharedReliableStats::default()),
             retired: Vec::new(),
+            ready: VecDeque::new(),
         }
     }
 
@@ -493,7 +678,7 @@ impl ReliableTransport {
         let tx = self.tx.entry(key).or_default();
         let seq = tx.next_seq;
         tx.next_seq += 1;
-        tx.unacked.push_back((seq, datagram.clone()));
+        tx.unacked.push_back((seq, datagram.clone(), false));
         Ok(TransportFrame::Data {
             seq,
             ack,
@@ -569,7 +754,7 @@ impl ReliableTransport {
         let seq = tx.next_seq;
         tx.next_seq += 1;
         encode_data_into(seq, ack, local_queue, &datagram, out);
-        tx.unacked.push_back((seq, datagram));
+        tx.unacked.push_back((seq, datagram, false));
         Ok(())
     }
 
@@ -587,8 +772,8 @@ impl ReliableTransport {
         let retired = &mut self.retired;
         if let Some(tx) = self.tx.get_mut(&channel) {
             let mut progressed = false;
-            while tx.unacked.front().is_some_and(|&(seq, _)| seq < ack) {
-                let (_, datagram) = tx.unacked.pop_front().expect("front checked");
+            while tx.unacked.front().is_some_and(|&(seq, _, _)| seq < ack) {
+                let (_, datagram, _) = tx.unacked.pop_front().expect("front checked");
                 if retired.len() < RETIRED_CAP {
                     retired.push(datagram.lines);
                 }
@@ -596,6 +781,32 @@ impl ReliableTransport {
             }
             if progressed {
                 tx.ticks_since_progress = 0;
+            }
+        }
+    }
+
+    /// Applies a SACK: retires the cumulative prefix, then marks every
+    /// bitmap-advertised sequence so the retransmit timer skips it.
+    fn apply_sack(&mut self, channel: (NodeAddr, u16), ack: u64, bitmap: u64) {
+        self.apply_ack(channel, ack);
+        if bitmap == 0 {
+            return;
+        }
+        let shared = &self.shared;
+        if let Some(tx) = self.tx.get_mut(&channel) {
+            for bit in 0..SACK_SPAN {
+                if bitmap & (1 << bit) == 0 {
+                    continue;
+                }
+                let seq = ack + 1 + bit;
+                let idx = tx.unacked.partition_point(|&(s, _, _)| s < seq);
+                if let Some(entry) = tx.unacked.get_mut(idx) {
+                    if entry.0 == seq && !entry.2 {
+                        entry.2 = true;
+                        tx.sacked += 1;
+                        shared.sacked.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
     }
@@ -610,14 +821,17 @@ impl ReliableTransport {
     }
 
     /// Processes a received frame. Returns the datagram to deliver up the
-    /// stack, if the frame was the next in-order data frame.
+    /// stack, if the frame was the next in-order data frame. Under
+    /// selective repeat an in-order arrival can unblock buffered
+    /// successors: the caller must drain them through
+    /// [`ReliableTransport::next_ready`] to preserve delivery order.
     ///
     /// # Errors
     ///
     /// Returns [`DaggerError::Wire`] if the frame cannot be parsed or its
     /// checksum does not match (corruption handled as loss — the frame is
-    /// discarded and counted in `wire_drops`, and Go-Back-N repairs the
-    /// stream on timeout).
+    /// discarded and counted in `wire_drops`, and the retransmit timer
+    /// repairs the stream).
     pub fn on_recv(&mut self, bytes: &[u8]) -> Result<Option<Datagram>> {
         let frame = match TransportFrame::decode(bytes) {
             Ok(frame) => frame,
@@ -639,6 +853,16 @@ impl ReliableTransport {
                 self.apply_ack((src, src_queue), ack);
                 Ok(None)
             }
+            TransportFrame::Sack {
+                ack,
+                bitmap,
+                src,
+                src_queue,
+                ..
+            } => {
+                self.apply_sack((src, src_queue), ack, bitmap);
+                Ok(None)
+            }
             TransportFrame::Data {
                 seq,
                 ack,
@@ -647,32 +871,61 @@ impl ReliableTransport {
             } => {
                 let channel = (datagram.src, src_queue);
                 self.apply_ack(channel, ack);
+                let sr = self.cfg.mode == RecoveryMode::SelectiveRepeat;
+                let shared = &self.shared;
+                let ready = &mut self.ready;
                 let rx = self.rx.entry(channel).or_default();
+                rx.ack_owed = true;
                 if seq == rx.expected {
                     rx.expected += 1;
-                    rx.ack_owed = true;
+                    // A filled gap releases the buffered run behind it.
+                    while let Some(d) = rx.ooo.remove(&rx.expected) {
+                        rx.expected += 1;
+                        ready.push_back(d);
+                    }
                     Ok(Some(datagram))
                 } else if seq < rx.expected {
                     rx.duplicate_drops += 1;
-                    self.shared.duplicate_drops.fetch_add(1, Ordering::Relaxed);
-                    rx.ack_owed = true; // re-ack so the sender advances
+                    rx.wasted_retransmits += 1;
+                    shared.duplicate_drops.fetch_add(1, Ordering::Relaxed);
+                    shared.wasted_retransmits.fetch_add(1, Ordering::Relaxed);
+                    // ack_owed re-acks so the sender advances.
+                    Ok(None)
+                } else if sr && seq - rx.expected <= SACK_SPAN {
+                    // A gap, but within the SACK bitmap's reach: buffer the
+                    // datagram and advertise it instead of discarding.
+                    if rx.ooo.insert(seq, datagram).is_some() {
+                        rx.duplicate_drops += 1;
+                        rx.wasted_retransmits += 1;
+                        shared.duplicate_drops.fetch_add(1, Ordering::Relaxed);
+                        shared.wasted_retransmits.fetch_add(1, Ordering::Relaxed);
+                    }
                     Ok(None)
                 } else {
-                    // A gap: something was lost; discard and wait for the
-                    // go-back-N retransmission.
+                    // A gap beyond repair here: under Go-Back-N every gap,
+                    // under selective repeat only arrivals past the bitmap
+                    // span. Discard and wait for retransmission.
                     rx.out_of_order_drops += 1;
-                    self.shared
-                        .out_of_order_drops
-                        .fetch_add(1, Ordering::Relaxed);
-                    rx.ack_owed = true;
+                    shared.out_of_order_drops.fetch_add(1, Ordering::Relaxed);
+                    if !sr {
+                        rx.wasted_retransmits += 1;
+                        shared.wasted_retransmits.fetch_add(1, Ordering::Relaxed);
+                    }
                     Ok(None)
                 }
             }
         }
     }
 
+    /// Takes the next datagram released by a selective-repeat gap fill, in
+    /// sequence order. The engine drains this after every `on_recv` that
+    /// returned a datagram; empty in Go-Back-N mode and on the fast path.
+    pub fn next_ready(&mut self) -> Option<Datagram> {
+        self.ready.pop_front()
+    }
+
     /// Advances protocol timers by one engine tick. Returns frames to put
-    /// on the wire: standalone acks that did not piggyback, and go-back-N
+    /// on the wire: standalone acks/sacks that did not piggyback, and
     /// retransmissions for peers whose timer expired.
     pub fn on_tick(&mut self) -> Vec<TransportFrame> {
         let mut out = Vec::new();
@@ -689,21 +942,36 @@ impl ReliableTransport {
         let local_queue = self.local_queue;
         // Standalone acks for quiet receive directions. The channel key's
         // queue is the *peer's* sending queue — which is exactly where the
-        // ack must be routed, since that worker owns the TX window.
+        // ack must be routed, since that worker owns the TX window. When
+        // out-of-order datagrams sit buffered, the ack upgrades to a SACK
+        // advertising them.
         for (&(peer, peer_queue), rx) in self.rx.iter_mut() {
             if rx.ack_owed {
                 rx.ack_owed = false;
-                emit(FrameView::Ack {
-                    ack: rx.expected,
-                    src: local,
-                    dst: peer,
-                    src_queue: local_queue,
-                    dst_queue: peer_queue,
-                });
+                let bitmap = sack_bitmap(rx);
+                if bitmap != 0 {
+                    emit(FrameView::Sack {
+                        ack: rx.expected,
+                        bitmap,
+                        src: local,
+                        dst: peer,
+                        src_queue: local_queue,
+                        dst_queue: peer_queue,
+                    });
+                } else {
+                    emit(FrameView::Ack {
+                        ack: rx.expected,
+                        src: local,
+                        dst: peer,
+                        src_queue: local_queue,
+                        dst_queue: peer_queue,
+                    });
+                }
             }
         }
         // Retransmissions; the channel's cumulative ack is read directly
         // from the rx map (no per-tick scratch map).
+        let sr = self.cfg.mode == RecoveryMode::SelectiveRepeat;
         let rx_map = &self.rx;
         for (&(peer, peer_queue), tx) in self.tx.iter_mut() {
             if tx.unacked.is_empty() {
@@ -714,7 +982,12 @@ impl ReliableTransport {
             if tx.ticks_since_progress >= self.cfg.retransmit_after_ticks {
                 tx.ticks_since_progress = 0;
                 let ack = rx_map.get(&(peer, peer_queue)).map_or(0, |rx| rx.expected);
-                for &(seq, ref datagram) in &tx.unacked {
+                let mut emitted = false;
+                for &(seq, ref datagram, sacked) in &tx.unacked {
+                    if sr && sacked {
+                        continue; // the receiver already holds this one
+                    }
+                    emitted = true;
                     tx.retransmissions += 1;
                     self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
                     emit(FrameView::Data {
@@ -725,15 +998,33 @@ impl ReliableTransport {
                         datagram,
                     });
                 }
+                // Everything outstanding is sacked yet not cumulatively
+                // acked — the receiver's cumulative ack must have been
+                // lost. Probe with the head frame so the peer re-acks
+                // (its duplicate path sets ack_owed); never stall.
+                if !emitted {
+                    if let Some(&(seq, ref datagram, _)) = tx.unacked.front() {
+                        tx.retransmissions += 1;
+                        self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
+                        emit(FrameView::Data {
+                            seq,
+                            ack,
+                            src_queue: local_queue,
+                            dst_queue: peer_queue,
+                            datagram,
+                        });
+                    }
+                }
             }
         }
     }
 
-    /// Re-emits every unacknowledged datagram immediately, ignoring the
-    /// retransmit timer: the shutdown drain's "one last go-back-N pass", so
-    /// window-deferred datagrams flushed right after keep their ordering at
-    /// a live peer.
+    /// Re-emits every unacknowledged (and, under selective repeat,
+    /// unsacked) datagram immediately, ignoring the retransmit timer: the
+    /// shutdown drain's "one last retransmission pass", so window-deferred
+    /// datagrams flushed right after keep their ordering at a live peer.
     pub fn retransmit_unacked_with(&mut self, mut emit: impl FnMut(FrameView<'_>)) {
+        let sr = self.cfg.mode == RecoveryMode::SelectiveRepeat;
         let local_queue = self.local_queue;
         let rx_map = &self.rx;
         for (&(peer, peer_queue), tx) in self.tx.iter_mut() {
@@ -742,7 +1033,10 @@ impl ReliableTransport {
             }
             tx.ticks_since_progress = 0;
             let ack = rx_map.get(&(peer, peer_queue)).map_or(0, |rx| rx.expected);
-            for &(seq, ref datagram) in &tx.unacked {
+            for &(seq, ref datagram, sacked) in &tx.unacked {
+                if sr && sacked {
+                    continue; // already delivered to the peer's buffer
+                }
                 tx.retransmissions += 1;
                 self.shared.retransmissions.fetch_add(1, Ordering::Relaxed);
                 emit(FrameView::Data {
@@ -774,9 +1068,15 @@ impl ReliableTransport {
     }
 
     /// `true` when ticks are currently pure timer noise: nothing unacked,
-    /// no ack owed, nothing retired. The engine may park only then.
+    /// no ack owed, nothing retired, no released datagrams waiting. The
+    /// engine may park only then. (Buffered out-of-order datagrams alone
+    /// do not keep the receiver awake: the *sender's* timer owns the
+    /// repair, and its retransmission wakes this side through the fabric.)
     pub fn is_idle(&self) -> bool {
-        self.fully_acked() && self.retired.is_empty() && self.rx.values().all(|r| !r.ack_owed)
+        self.fully_acked()
+            && self.retired.is_empty()
+            && self.ready.is_empty()
+            && self.rx.values().all(|r| !r.ack_owed)
     }
 
     /// Aggregated statistics.
@@ -787,13 +1087,29 @@ impl ReliableTransport {
         };
         for tx in self.tx.values() {
             s.retransmissions += tx.retransmissions;
+            s.sacked += tx.sacked;
         }
         for rx in self.rx.values() {
             s.out_of_order_drops += rx.out_of_order_drops;
             s.duplicate_drops += rx.duplicate_drops;
+            s.wasted_retransmits += rx.wasted_retransmits;
         }
         s
     }
+}
+
+/// Builds the SACK bitmap for a receive direction: bit `i` set means
+/// `expected + 1 + i` is buffered. Empty (0) when nothing is buffered —
+/// the caller then emits a plain cumulative ack, which keeps the wire
+/// format version-0 whenever selective repeat has nothing to say.
+fn sack_bitmap(rx: &PeerRx) -> u64 {
+    let mut bitmap = 0u64;
+    for &seq in rx.ooo.keys() {
+        let offset = seq - (rx.expected + 1);
+        debug_assert!(offset < SACK_SPAN, "buffered past the bitmap span");
+        bitmap |= 1 << offset;
+    }
+    bitmap
 }
 
 #[cfg(test)]
@@ -899,6 +1215,7 @@ mod tests {
         let cfg = ReliableConfig {
             retransmit_after_ticks: 2,
             window: 64,
+            mode: RecoveryMode::GoBackN,
         };
         let mut a = ReliableTransport::new(NodeAddr(1), cfg);
         let mut b = ReliableTransport::new(NodeAddr(2), cfg);
@@ -949,6 +1266,7 @@ mod tests {
         let cfg = ReliableConfig {
             retransmit_after_ticks: 1000,
             window: 2,
+            mode: RecoveryMode::SelectiveRepeat,
         };
         let mut a = ReliableTransport::new(NodeAddr(1), cfg);
         a.on_send(dgram(1, 2, 0)).unwrap();
@@ -976,9 +1294,12 @@ mod tests {
 
     #[test]
     fn shared_stats_mirror_tracks_counters() {
+        // Go-Back-N mode, where a gap is a counted drop — the mirror must
+        // track every legacy counter exactly as the owner view does.
         let cfg = ReliableConfig {
             retransmit_after_ticks: 1,
             window: 64,
+            mode: RecoveryMode::GoBackN,
         };
         let mut a = ReliableTransport::new(NodeAddr(1), cfg);
         let mut b = ReliableTransport::new(NodeAddr(2), cfg);
@@ -1086,5 +1407,166 @@ mod tests {
         assert!(!a1.fully_acked(), "worker 1 still waiting");
         a1.on_recv(&ack_bytes).unwrap();
         assert!(a1.fully_acked(), "same channel key (2, 0) at worker 1");
+    }
+
+    #[test]
+    fn sack_frame_codec_roundtrip() {
+        let sack = TransportFrame::Sack {
+            ack: 17,
+            bitmap: 0b1011,
+            src: NodeAddr(3),
+            dst: NodeAddr(4),
+            src_queue: 2,
+        };
+        assert_eq!(TransportFrame::decode(&sack.encode()).unwrap(), sack);
+        // Bit flips anywhere (type byte, prefix, bitmap body) are caught.
+        let good = sack.encode();
+        for pos in 0..good.len() {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x04;
+            assert!(TransportFrame::decode(&bad).is_err(), "flip at {pos}");
+        }
+    }
+
+    /// The headline selective-repeat property: one lost datagram costs one
+    /// retransmission, the buffered successors are never re-sent, and
+    /// delivery order is preserved through the ready queue.
+    #[test]
+    fn single_loss_repaired_by_selective_repeat_alone() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 2,
+            window: 64,
+            mode: RecoveryMode::SelectiveRepeat,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+        let mut delivered = Vec::new();
+        fn recv(b: &mut ReliableTransport, bytes: &[u8], delivered: &mut Vec<u8>) {
+            if let Some(d) = b.on_recv(bytes).unwrap() {
+                delivered.push(tag_of(&d));
+                while let Some(d) = b.next_ready() {
+                    delivered.push(tag_of(&d));
+                }
+            }
+        }
+        for tag in 0..5u8 {
+            let frame = a.on_send(dgram(1, 2, tag)).unwrap();
+            if tag == 2 {
+                continue; // dropped by the network
+            }
+            recv(&mut b, &frame.encode(), &mut delivered);
+        }
+        assert_eq!(delivered, vec![0, 1], "gap stalls in-order delivery");
+        for _ in 0..4 {
+            for frame in b.on_tick() {
+                a.on_recv(&frame.encode()).unwrap();
+            }
+            for frame in a.on_tick() {
+                recv(&mut b, &frame.encode(), &mut delivered);
+            }
+        }
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4], "repaired in order");
+        assert_eq!(
+            a.stats().retransmissions,
+            1,
+            "exactly the lost frame is re-sent"
+        );
+        assert_eq!(a.stats().sacked, 2, "frames 3 and 4 advertised via SACK");
+        assert_eq!(b.stats().out_of_order_drops, 0, "successors were buffered");
+        assert_eq!(b.stats().wasted_retransmits, 0, "nothing arrived twice");
+        for frame in b.on_tick() {
+            a.on_recv(&frame.encode()).unwrap();
+        }
+        assert!(a.fully_acked());
+        // The lock-free mirrors agree with the owner views, new counters
+        // included.
+        assert_eq!(a.shared_stats().snapshot(), a.stats());
+        assert_eq!(b.shared_stats().snapshot(), b.stats());
+    }
+
+    #[test]
+    fn selective_repeat_buffers_within_span_drops_beyond() {
+        let mut a = ReliableTransport::new(NodeAddr(1), ReliableConfig::default());
+        let mut b = ReliableTransport::new(NodeAddr(2), ReliableConfig::default());
+        let mut frames = Vec::new();
+        for tag in 0..=(SACK_SPAN as usize + 1) {
+            frames.push(a.on_send(dgram(1, 2, tag as u8)).unwrap().encode());
+        }
+        // Frame 0 is lost; everything within (0, SACK_SPAN] buffers...
+        for frame in &frames[1..=SACK_SPAN as usize] {
+            assert!(b.on_recv(frame).unwrap().is_none());
+        }
+        assert_eq!(b.stats().out_of_order_drops, 0);
+        // ...but SACK_SPAN + 1 is beyond the bitmap's reach: dropped.
+        assert!(b
+            .on_recv(&frames[SACK_SPAN as usize + 1])
+            .unwrap()
+            .is_none());
+        assert_eq!(b.stats().out_of_order_drops, 1);
+        // A duplicate of a buffered frame is wasted wire, not a new buffer.
+        assert!(b.on_recv(&frames[1]).unwrap().is_none());
+        assert_eq!(b.stats().duplicate_drops, 1);
+        assert_eq!(b.stats().wasted_retransmits, 1);
+        // The gap fill releases the whole buffered run in order.
+        let head = b.on_recv(&frames[0]).unwrap().expect("gap filled");
+        let mut tags = vec![tag_of(&head)];
+        while let Some(d) = b.next_ready() {
+            tags.push(tag_of(&d));
+        }
+        let expect: Vec<u8> = (0..=SACK_SPAN as u8).collect();
+        assert_eq!(tags, expect);
+    }
+
+    /// A stale SACK (reordered behind a newer cumulative ack) can leave
+    /// every outstanding frame marked sacked. The timer must still probe
+    /// with the head frame — silence would deadlock the channel, since the
+    /// receiver only re-acks when poked.
+    #[test]
+    fn timer_probes_head_when_everything_is_sacked() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 2,
+            window: 64,
+            mode: RecoveryMode::SelectiveRepeat,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        a.on_send(dgram(1, 2, 0)).unwrap();
+        a.on_send(dgram(1, 2, 1)).unwrap();
+        let mut ack = Vec::new();
+        encode_ack_into(1, NodeAddr(2), NodeAddr(1), 0, &mut ack);
+        a.on_recv(&ack).unwrap(); // retires seq 0
+        let mut sack = Vec::new();
+        encode_sack_into(0, 0b1, NodeAddr(2), NodeAddr(1), 0, &mut sack);
+        a.on_recv(&sack).unwrap(); // stale: marks seq 1 sacked
+        assert!(!a.fully_acked());
+        let mut probed = Vec::new();
+        for _ in 0..2 {
+            for frame in a.on_tick() {
+                if let TransportFrame::Data { seq, .. } = frame {
+                    probed.push(seq);
+                }
+            }
+        }
+        assert_eq!(probed, vec![1], "head probe fires exactly once per timeout");
+    }
+
+    #[test]
+    fn gbn_mode_counts_gap_discards_as_wasted() {
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 1000,
+            window: 64,
+            mode: RecoveryMode::GoBackN,
+        };
+        let mut a = ReliableTransport::new(NodeAddr(1), cfg);
+        let mut b = ReliableTransport::new(NodeAddr(2), cfg);
+        let _lost = a.on_send(dgram(1, 2, 0)).unwrap();
+        let f1 = a.on_send(dgram(1, 2, 1)).unwrap();
+        assert!(b.on_recv(&f1.encode()).unwrap().is_none(), "gap discards");
+        assert_eq!(b.stats().out_of_order_drops, 1);
+        assert_eq!(
+            b.stats().wasted_retransmits,
+            1,
+            "a GBN gap discard is wasted wire"
+        );
+        assert_eq!(b.stats().sacked, 0, "GBN never sacks");
     }
 }

@@ -150,6 +150,39 @@ impl RingProducer {
             .valid
             .load(Ordering::Acquire)
     }
+
+    /// Appends as many of `lines` as fit and returns how many were pushed.
+    ///
+    /// The per-slot validity handshake is identical to [`try_push`] — each
+    /// slot is still published with its own `Release` store, so a consumer
+    /// racing the batch observes a clean prefix — but the consumer-side
+    /// waker trips **once** for the whole batch instead of once per line
+    /// (the doorbell-amortization half of Dagger §4.4.1: one MMIO-equivalent
+    /// notification per burst, not per descriptor).
+    ///
+    /// [`try_push`]: RingProducer::try_push
+    pub fn try_push_batch(&mut self, lines: &[CacheLine]) -> usize {
+        let mut pushed = 0;
+        for line in lines {
+            let slot = &self.buf.slots[self.idx & self.mask];
+            if slot.valid.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: `valid` is false, so the producer owns the cell.
+            unsafe {
+                *slot.line.get() = *line;
+            }
+            slot.valid.store(true, Ordering::Release);
+            self.idx = self.idx.wrapping_add(1);
+            pushed += 1;
+        }
+        if pushed > 0 {
+            if let Some(waker) = &self.waker {
+                waker.wake();
+            }
+        }
+        pushed
+    }
 }
 
 /// The reading endpoint of a cache-line ring.
@@ -185,6 +218,28 @@ impl RingConsumer {
         self.buf.slots[self.idx & self.mask]
             .valid
             .load(Ordering::Acquire)
+    }
+
+    /// Pops up to `max` lines into `out` (appending) and returns how many
+    /// were taken. One engine round drains a whole burst with a single call
+    /// instead of `max` flag polls through the public API; `out` is a
+    /// caller-owned scratch buffer, so the steady state stays
+    /// allocation-free once it has warmed to capacity.
+    pub fn try_pop_batch(&mut self, out: &mut Vec<CacheLine>, max: usize) -> usize {
+        let mut popped = 0;
+        while popped < max {
+            let slot = &self.buf.slots[self.idx & self.mask];
+            if !slot.valid.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: `valid` is true, so the consumer owns the cell.
+            let line = unsafe { *slot.line.get() };
+            slot.valid.store(false, Ordering::Release);
+            self.idx = self.idx.wrapping_add(1);
+            out.push(line);
+            popped += 1;
+        }
+        popped
     }
 }
 
@@ -281,6 +336,72 @@ mod tests {
             }
         }
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn batch_push_pop_roundtrip_and_partial_fill() {
+        let (mut tx, mut rx) = ring(4);
+        let lines: Vec<CacheLine> = (0..6u8).map(line_with).collect();
+        // Only 4 slots: batch push stops at the full ring, no error.
+        assert_eq!(tx.try_push_batch(&lines), 4);
+        assert!(tx.is_full());
+        let mut out = Vec::new();
+        assert_eq!(rx.try_pop_batch(&mut out, 16), 4);
+        assert_eq!(
+            out.iter().map(|l| l.payload()[0]).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // Remaining two go through after the drain; pop honors `max`.
+        assert_eq!(tx.try_push_batch(&lines[4..]), 2);
+        out.clear();
+        assert_eq!(rx.try_pop_batch(&mut out, 1), 1);
+        assert_eq!(out[0].payload()[0], 4);
+        assert_eq!(rx.try_pop_batch(&mut out, 8), 1);
+        assert_eq!(out[1].payload()[0], 5);
+        assert_eq!(rx.try_pop_batch(&mut out, 8), 0);
+    }
+
+    /// The batch doorbell reaches a parked consumer: one `try_push_batch`
+    /// (single wake for the burst) unparks the consumer thread, which then
+    /// drains every line of the batch in order.
+    #[test]
+    fn batch_push_wakes_parked_consumer() {
+        use std::time::Duration;
+        let (mut tx, mut rx) = ring(8);
+        let waker = Arc::new(EngineWaker::new());
+        tx.set_waker(Arc::clone(&waker));
+        let consumer_waker = Arc::clone(&waker);
+        let consumer = std::thread::spawn(move || {
+            consumer_waker.register_current();
+            let mut got = Vec::new();
+            let mut out = Vec::new();
+            while got.len() < 5 {
+                out.clear();
+                if rx.try_pop_batch(&mut out, 8) == 0 {
+                    consumer_waker.park(Duration::from_millis(5));
+                }
+                got.extend(out.iter().map(|l| l.payload()[0]));
+            }
+            got
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let lines: Vec<CacheLine> = (0..5u8).map(line_with).collect();
+        assert_eq!(tx.try_push_batch(&lines), 5);
+        assert_eq!(consumer.join().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_and_single_ops_interleave() {
+        let (mut tx, mut rx) = ring(8);
+        tx.try_push(line_with(0)).unwrap();
+        assert_eq!(tx.try_push_batch(&[line_with(1), line_with(2)]), 2);
+        tx.try_push(line_with(3)).unwrap();
+        assert_eq!(rx.try_pop().unwrap().payload()[0], 0);
+        let mut out = Vec::new();
+        assert_eq!(rx.try_pop_batch(&mut out, 2), 2);
+        assert_eq!(out[0].payload()[0], 1);
+        assert_eq!(out[1].payload()[0], 2);
+        assert_eq!(rx.try_pop().unwrap().payload()[0], 3);
     }
 
     #[test]

@@ -29,6 +29,11 @@ pub struct SoftRegisterFile {
     /// masked-off queues keep draining already-routed traffic so no frames
     /// are stranded by a reconfiguration.
     active_queue_mask: Arc<AtomicU64>,
+    /// Upper bound `set_batch_size` clamps to: the smallest host ring
+    /// capacity of the NIC this file steers, installed at NIC start. A
+    /// batch wider than a ring can hold would let a full ring round stall
+    /// waiting for a batch that can never form.
+    batch_limit: AtomicU8,
 }
 
 fn lb_to_u8(p: LbPolicy) -> u8 {
@@ -62,6 +67,7 @@ impl SoftRegisterFile {
             lb_policy: AtomicU8::new(lb_to_u8(initial.lb_policy)),
             polling_threshold: AtomicU32::new(4096),
             active_queue_mask: Arc::new(AtomicU64::new(0)),
+            batch_limit: AtomicU8::new(MAX_BATCH),
         })
     }
 
@@ -70,7 +76,8 @@ impl SoftRegisterFile {
         self.batch_size.load(Ordering::Relaxed)
     }
 
-    /// Sets the CCI-P batch size.
+    /// Sets the CCI-P batch size, clamped at set time to the installed
+    /// ring-capacity limit (see [`SoftRegisterFile::set_batch_limit`]).
     ///
     /// # Errors
     ///
@@ -81,8 +88,24 @@ impl SoftRegisterFile {
                 "batch_size {b} outside 1..={MAX_BATCH}"
             )));
         }
+        let b = b.min(self.batch_limit.load(Ordering::Relaxed));
         self.batch_size.store(b, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Installs the ring-capacity clamp for batch-size writes (the NIC
+    /// passes its smallest host ring at start). Values fold into
+    /// `1..=`[`MAX_BATCH`]; a live batch size above the new limit is
+    /// clamped immediately, so an oversized register written before the
+    /// hard configuration was known cannot deadlock a full ring round.
+    pub fn set_batch_limit(&self, limit: usize) {
+        let limit = limit.clamp(1, usize::from(MAX_BATCH)) as u8;
+        self.batch_limit.store(limit, Ordering::Relaxed);
+        let _ = self
+            .batch_size
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                (b > limit).then_some(limit)
+            });
     }
 
     /// Whether auto-batching is enabled.
@@ -215,6 +238,23 @@ mod tests {
         };
         assert!(regs.apply(bad).is_err());
         assert_eq!(regs.snapshot(), SoftConfigSnapshot::default());
+    }
+
+    #[test]
+    fn batch_size_clamps_to_ring_capacity_limit() {
+        let regs = SoftRegisterFile::default();
+        regs.set_batch_size(MAX_BATCH).unwrap();
+        regs.set_batch_limit(4);
+        assert_eq!(regs.batch_size(), 4, "live value clamps when limit lands");
+        regs.set_batch_size(MAX_BATCH).unwrap();
+        assert_eq!(regs.batch_size(), 4, "oversized writes clamp at set time");
+        regs.set_batch_size(2).unwrap();
+        assert_eq!(regs.batch_size(), 2, "in-range writes pass through");
+        assert!(regs.set_batch_size(0).is_err(), "zero still rejected");
+        // Limits wider than the register range fold back to MAX_BATCH.
+        regs.set_batch_limit(1024);
+        regs.set_batch_size(MAX_BATCH).unwrap();
+        assert_eq!(regs.batch_size(), MAX_BATCH);
     }
 
     #[test]

@@ -106,6 +106,29 @@ impl XferProducer {
         self.idx = self.idx.wrapping_add(1);
         Ok(())
     }
+
+    /// Hands as many of `entries` to the owner as fit, returning how many
+    /// were pushed. Slot-by-slot publication is identical to
+    /// [`XferProducer::try_push`]; the batch form exists so a receiving
+    /// worker can forward a whole steered burst with one call (the owner is
+    /// woken once per engine round by the caller, not per frame).
+    pub fn try_push_batch(&mut self, entries: &[(u16, u64, CacheLine)]) -> usize {
+        let mut pushed = 0;
+        for entry in entries {
+            let slot = &self.buf.slots[self.idx & self.mask];
+            if slot.valid.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: `valid` is false, so the producer owns the cell.
+            unsafe {
+                *slot.entry.get() = *entry;
+            }
+            slot.valid.store(true, Ordering::Release);
+            self.idx = self.idx.wrapping_add(1);
+            pushed += 1;
+        }
+        pushed
+    }
 }
 
 /// The owning worker's endpoint.
@@ -135,6 +158,26 @@ impl XferConsumer {
         slot.valid.store(false, Ordering::Release);
         self.idx = self.idx.wrapping_add(1);
         Some(entry)
+    }
+
+    /// Drains up to `max` handed-off triples into `out` (appending),
+    /// returning how many were taken. The owner's inbox round uses this to
+    /// absorb a burst with one call per ring per tick.
+    pub fn try_pop_batch(&mut self, out: &mut Vec<(u16, u64, CacheLine)>, max: usize) -> usize {
+        let mut popped = 0;
+        while popped < max {
+            let slot = &self.buf.slots[self.idx & self.mask];
+            if !slot.valid.load(Ordering::Acquire) {
+                break;
+            }
+            // SAFETY: `valid` is true, so the consumer owns the cell.
+            let entry = unsafe { *slot.entry.get() };
+            slot.valid.store(false, Ordering::Release);
+            self.idx = self.idx.wrapping_add(1);
+            out.push(entry);
+            popped += 1;
+        }
+        popped
     }
 }
 
@@ -205,5 +248,24 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_capacity_panics() {
         let _ = xfer_ring(3);
+    }
+
+    #[test]
+    fn batch_handoff_roundtrip_and_partial_fill() {
+        let (mut tx, mut rx) = xfer_ring(4);
+        let entries: Vec<(u16, u64, CacheLine)> = (0..6u16)
+            .map(|i| (i, u64::from(i) * 10, line_with(i as u8)))
+            .collect();
+        assert_eq!(tx.try_push_batch(&entries), 4);
+        let mut out = Vec::new();
+        assert_eq!(rx.try_pop_batch(&mut out, 3), 3);
+        assert_eq!(tx.try_push_batch(&entries[4..]), 2);
+        assert_eq!(rx.try_pop_batch(&mut out, 16), 3);
+        let flows: Vec<u16> = out.iter().map(|e| e.0).collect();
+        assert_eq!(flows, vec![0, 1, 2, 3, 4, 5]);
+        for (flow, seq, line) in out {
+            assert_eq!(seq, u64::from(flow) * 10);
+            assert_eq!(line.payload()[0], flow as u8);
+        }
     }
 }

@@ -538,3 +538,224 @@ fn engine_waker_never_loses_a_wakeup_under_all_interleavings() {
     assert!(stats.terminals >= 1);
     assert!(stats.nodes > 20, "explored only {} nodes", stats.nodes);
 }
+
+// ---------------------------------------------------------------------------
+// Model 4: batched ring rounds with a single doorbell per batch
+// (`ring.rs::try_push_batch` / `try_pop_batch` + `wait.rs`).
+// ---------------------------------------------------------------------------
+//
+// `try_push_batch` publishes each slot with the same write-then-flag
+// protocol as a single push, but rings the consumer's doorbell **once per
+// batch** instead of once per element; `try_pop_batch` drains several
+// published slots in one call. This model composes the ring protocol with
+// the park/unpark protocol to check the elided per-element wakes can never
+// strand items: the producer pushes BATCH-sized runs (partial on a full
+// ring) with one wake at the end of each run, while the consumer pops
+// until empty and parks. The timed park is again modelled as an
+// always-available self-wake step, exactly the backstop role the timeout
+// plays in the real engine loop.
+
+/// Items per producer batch (one doorbell per batch).
+const BATCHED_RUN: u8 = 2;
+/// Total items pushed end to end (two full batches over the 2-slot ring).
+const BATCHED_ITEMS: u8 = 4;
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct BatchedState {
+    valid: [bool; RING_CAP],
+    slot: [u8; RING_CAP],
+    prod_idx: usize,
+    cons_idx: usize,
+    next: u8,
+    tmp: u8,
+    popped: Vec<u8>,
+    parked: bool,
+    token: bool,
+    asleep: bool,
+}
+
+fn batched_initial() -> BatchedState {
+    BatchedState {
+        valid: [false; RING_CAP],
+        slot: [0; RING_CAP],
+        prod_idx: 0,
+        cons_idx: 0,
+        next: 1,
+        tmp: 0,
+        popped: Vec::new(),
+        parked: false,
+        token: false,
+        asleep: false,
+    }
+}
+
+/// `try_push_batch(&[a, b])` as atomic steps: per element the usual
+/// full-check / payload-write / flag-publish triple, a partial batch when
+/// the ring fills after the first element, then exactly one doorbell
+/// (`EngineWaker::wake`) for whatever the batch landed.
+fn batched_producer(s: &mut BatchedState, pc: u32) -> Option<u32> {
+    match pc {
+        // First element's gate: an empty batch pushes nothing and rings no
+        // doorbell, so a full ring here is a plain spin retry.
+        0 => {
+            if s.valid[s.prod_idx % RING_CAP] {
+                Some(0)
+            } else {
+                Some(1)
+            }
+        }
+        1 => {
+            s.slot[s.prod_idx % RING_CAP] = s.next;
+            Some(2)
+        }
+        2 => {
+            s.valid[s.prod_idx % RING_CAP] = true;
+            s.prod_idx += 1;
+            s.next += 1;
+            if s.next > BATCHED_ITEMS {
+                Some(6) // nothing left: close the batch with its doorbell
+            } else {
+                Some(3)
+            }
+        }
+        // Second element's gate: full now means a *partial* batch — stop
+        // early and ring the doorbell for the element already published.
+        3 => {
+            if s.valid[s.prod_idx % RING_CAP] {
+                Some(6)
+            } else {
+                Some(4)
+            }
+        }
+        4 => {
+            s.slot[s.prod_idx % RING_CAP] = s.next;
+            Some(5)
+        }
+        5 => {
+            s.valid[s.prod_idx % RING_CAP] = true;
+            s.prod_idx += 1;
+            s.next += 1;
+            debug_assert!(BATCHED_RUN == 2, "model hardcodes two-element runs");
+            Some(6)
+        }
+        // The batch's single doorbell: AcqRel swap of `parked`, unpark
+        // only when the swap observed a parked engine.
+        6 => {
+            let was = s.parked;
+            s.parked = false;
+            if was {
+                Some(7)
+            } else if s.next > BATCHED_ITEMS {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        _ => {
+            if s.asleep {
+                s.asleep = false;
+            } else {
+                s.token = true;
+            }
+            if s.next > BATCHED_ITEMS {
+                None
+            } else {
+                Some(0)
+            }
+        }
+    }
+}
+
+/// The engine's batched RX side: `try_pop_batch` drains published slots
+/// one protocol-triple at a time until the ring reads empty, then the
+/// idle loop parks (token check, sleep, timeout-or-unpark, unpark-flag
+/// clear) and re-polls.
+fn batched_consumer(s: &mut BatchedState, pc: u32) -> Option<u32> {
+    match pc {
+        0 => {
+            if s.valid[s.cons_idx % RING_CAP] {
+                Some(1)
+            } else {
+                Some(3) // batch drained: park until the next doorbell
+            }
+        }
+        1 => {
+            s.tmp = s.slot[s.cons_idx % RING_CAP];
+            Some(2)
+        }
+        2 => {
+            s.valid[s.cons_idx % RING_CAP] = false;
+            s.cons_idx += 1;
+            let v = s.tmp;
+            s.tmp = 0;
+            s.popped.push(v);
+            if s.popped.len() == usize::from(BATCHED_ITEMS) {
+                None
+            } else {
+                Some(0)
+            }
+        }
+        3 => {
+            s.parked = true;
+            Some(4)
+        }
+        4 => {
+            if s.token {
+                s.token = false;
+                Some(6)
+            } else {
+                s.asleep = true;
+                Some(5)
+            }
+        }
+        5 => {
+            // Woken by unpark (asleep already cleared) or by the timeout.
+            if s.asleep {
+                s.asleep = false;
+            }
+            Some(6)
+        }
+        _ => {
+            s.parked = false;
+            Some(0)
+        }
+    }
+}
+
+fn batched_invariant(s: &BatchedState) {
+    for (i, &v) in s.popped.iter().enumerate() {
+        assert!(
+            usize::from(v) == i + 1,
+            "invariant violated: batched consumer observed {:?}, expected 1..=n in order",
+            s.popped
+        );
+    }
+}
+
+fn batched_accept(s: &BatchedState) {
+    assert!(
+        s.popped.len() == usize::from(BATCHED_ITEMS),
+        "invariant violated: terminal state lost items: {:?}",
+        s.popped
+    );
+    assert!(
+        s.valid.iter().all(|v| !v),
+        "invariant violated: items still published after both sides finished: {s:?}"
+    );
+    assert!(
+        !s.asleep,
+        "invariant violated: engine finished while asleep: {s:?}"
+    );
+}
+
+#[test]
+fn batched_ring_rounds_with_one_doorbell_per_batch_are_fifo_and_lossless() {
+    let stats = explore(
+        batched_initial(),
+        &[batched_producer, batched_consumer],
+        batched_invariant,
+        batched_accept,
+    );
+    assert!(stats.terminals >= 1);
+    assert!(stats.nodes > 100, "explored only {} nodes", stats.nodes);
+}

@@ -80,23 +80,38 @@ echo "wrote $OUT"
 
 if [[ $CHECK -eq 1 ]]; then
   echo "== regression check vs committed baseline =="
-  paste \
-    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$BASELINE" | tr -d '":,') \
-    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$OUT" | tr -d '":,') |
+  # A metric present in the committed baseline but absent from the fresh
+  # run means a bench was renamed or deleted: its regression coverage
+  # silently vanishes, so fail loudly. (The reverse — a brand-new metric —
+  # is legal: adding coverage must not need a two-step dance.)
+  missing="$(comm -23 \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$BASELINE" | cut -d'"' -f2 | sort) \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$OUT" | cut -d'"' -f2 | sort))"
+  if [[ -n "$missing" ]]; then
+    echo "bench.sh: baseline metrics missing from the fresh run:" >&2
+    # shellcheck disable=SC2001  # indent each name for readability
+    echo "$missing" | sed 's/^/  /' >&2
+    echo "bench.sh: a vanished metric loses its regression gate; fix the bench or deliberately retire the metric from $OUT" >&2
+    exit 1
+  fi
+  # Key-matched comparison (join on sorted metric names), so metric order
+  # in the JSON is irrelevant and fresh additions pass through unpaired.
+  join \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$BASELINE" | tr -d '":,' | sort -k1,1) \
+    <(grep -oE '"[a-z_0-9]+": [0-9]+' "$OUT" | tr -d '":,' | sort -k1,1) |
   awk '
-    $1 != $3 { printf "bench.sh: metric mismatch %s vs %s\n", $1, $3; bad = 1 }
     # Latencies (ns): fail when the fresh number is more than 2x the baseline.
-    $1 ~ /_ns$/ && $4 > 2 * $2 {
-      printf "REGRESSION %s: %d ns -> %d ns (>2x)\n", $1, $2, $4; bad = 1
+    $1 ~ /_ns$/ && $3 > 2 * $2 {
+      printf "REGRESSION %s: %d ns -> %d ns (>2x)\n", $1, $2, $3; bad = 1
     }
     # Throughputs (rps): fail when the fresh number fell below half.
-    $1 ~ /_rps$/ && 2 * $4 < $2 {
-      printf "REGRESSION %s: %d rps -> %d rps (<0.5x)\n", $1, $2, $4; bad = 1
+    $1 ~ /_rps$/ && 2 * $3 < $2 {
+      printf "REGRESSION %s: %d rps -> %d rps (<0.5x)\n", $1, $2, $3; bad = 1
     }
     # Telemetry sampling overhead: absolute budget, not baseline-relative —
     # live sampling must stay within 3% of the dark reliable echo median.
-    $1 ~ /_overhead_permille$/ && $4 > 30 {
-      printf "REGRESSION %s: %d permille (> 30 = 3%% budget)\n", $1, $4; bad = 1
+    $1 ~ /_overhead_permille$/ && $3 > 30 {
+      printf "REGRESSION %s: %d permille (> 30 = 3%% budget)\n", $1, $3; bad = 1
     }
     END { exit bad }
   '

@@ -41,7 +41,16 @@ while IFS= read -r f; do
 done < <(find crates -path '*/src/*.rs' -type f)
 [ "$fabric_violations" -eq 0 ] || exit 1
 
-echo "== cargo fmt --check =="
+echo "== golden-frame coverage (every wire frame kind is byte-pinned) =="
+# Every frame-kind constant the reliable transport defines must have a
+# golden-frame test somewhere under tests/ carrying a literal
+# "golden frame: <NAME>" marker: a new frame kind landing without one
+# could drift the wire format with nothing pinning its bytes.
+for kind in $(grep -hoE 'const FRAME_[A-Z_0-9]+: u8' crates/nic/src/reliable.rs \
+                | awk '{print $2}' | tr -d ':'); do
+  grep -rq "golden frame: ${kind}" tests/ \
+    || { echo "lint.sh: frame kind ${kind} has no 'golden frame: ${kind}' marker in tests/ — add a golden-frame test pinning its byte layout" >&2; exit 1; }
+done
 cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings) =="

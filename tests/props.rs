@@ -258,9 +258,13 @@ proptest! {
     fn go_back_n_delivers_under_any_loss_pattern(
         drops in prop::collection::vec(any::<bool>(), 20),
     ) {
-        use dagger::nic::reliable::{ReliableConfig, ReliableTransport, TransportFrame};
+        use dagger::nic::reliable::{RecoveryMode, ReliableConfig, ReliableTransport, TransportFrame};
         use dagger::nic::transport::Datagram;
-        let cfg = ReliableConfig { retransmit_after_ticks: 1, window: 64 };
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 1,
+            window: 64,
+            mode: RecoveryMode::GoBackN,
+        };
         let mut sender = ReliableTransport::new(NodeAddr(1), cfg);
         let mut receiver = ReliableTransport::new(NodeAddr(2), cfg);
         let mut delivered: Vec<u8> = Vec::new();
@@ -310,7 +314,7 @@ proptest! {
         corrupt in 0.0f64..0.25,
         delay in 0.0f64..0.25,
     ) {
-        use dagger::nic::reliable::{ReliableConfig, ReliableTransport};
+        use dagger::nic::reliable::{RecoveryMode, ReliableConfig, ReliableTransport};
         use dagger::nic::transport::Datagram;
         use dagger::nic::{FaultPlan, MemFabric};
 
@@ -323,7 +327,11 @@ proptest! {
         let fabric = MemFabric::with_faults(plan);
         let pa = fabric.attach(NodeAddr(1)).unwrap();
         let pb = fabric.attach(NodeAddr(2)).unwrap();
-        let cfg = ReliableConfig { retransmit_after_ticks: 4, window: 64 };
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 4,
+            window: 64,
+            mode: RecoveryMode::SelectiveRepeat,
+        };
         let mut a = ReliableTransport::new(NodeAddr(1), cfg);
         let mut b = ReliableTransport::new(NodeAddr(2), cfg);
 
@@ -344,6 +352,10 @@ proptest! {
             }
             while let Some(bytes) = pb.try_recv() {
                 if let Ok(Some(d)) = b.on_recv(&bytes) {
+                    delivered.push(d.lines[0].as_bytes()[20]);
+                }
+                // Selective repeat releases gap-filled datagrams out of band.
+                while let Some(d) = b.next_ready() {
                     delivered.push(d.lines[0].as_bytes()[20]);
                 }
             }
@@ -507,7 +519,7 @@ proptest! {
         trace_id in any::<u64>(),
         span_id in any::<u64>(),
     ) {
-        use dagger::nic::reliable::{ReliableConfig, ReliableTransport, TransportFrame};
+        use dagger::nic::reliable::{RecoveryMode, ReliableConfig, ReliableTransport, TransportFrame};
         use dagger::nic::transport::Datagram;
         use dagger::rpc::frag::fragment_with_ctx;
         use dagger::telemetry::TraceContext;
@@ -524,7 +536,11 @@ proptest! {
         )
         .unwrap();
 
-        let cfg = ReliableConfig { retransmit_after_ticks: 1, window: 64 };
+        let cfg = ReliableConfig {
+            retransmit_after_ticks: 1,
+            window: 64,
+            mode: RecoveryMode::GoBackN,
+        };
         let mut sender = ReliableTransport::new(NodeAddr(1), cfg);
         let mut receiver = ReliableTransport::new(NodeAddr(2), cfg);
         let mut arrived: Vec<CacheLine> = Vec::new();

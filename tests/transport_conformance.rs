@@ -31,6 +31,23 @@ fn udp_fabric_conformance() {
     common::run_conformance("udp", &UdpFabric::new(), CLIENTS, CALLS);
 }
 
+/// Batch size wider than 1 on every NIC: the engine's batched rounds
+/// (multi-frame pop, staged encode, one `send_many` doorbell per round)
+/// must preserve byte-exact exactly-once delivery and per-flow FIFO on the
+/// in-process backend.
+#[test]
+fn mem_fabric_conformance_batched() {
+    common::run_conformance_batched("mem-batch8", &MemFabric::new(), CLIENTS, CALLS, 8);
+}
+
+/// Same batched-round invariants over real UDP sockets, where `send_many`
+/// takes the sendmmsg-style multi-frame path and the RX pump drains bursts
+/// with one wake per touched queue.
+#[test]
+fn udp_fabric_conformance_batched() {
+    common::run_conformance_batched("udp-batch8", &UdpFabric::new(), CLIENTS, CALLS, 8);
+}
+
 /// The wire format is a property of the transport, not the backend: a
 /// [`Datagram`]'s `encode_into` bytes are pinned against the documented
 /// layout (magic, src, dst, count, 64-byte lines — all little-endian), and
@@ -88,6 +105,126 @@ fn golden_frame_bytes_identical_across_backends() {
         };
         assert_eq!(got, golden, "[{label}] backend mutated the frame bytes");
     }
+}
+
+/// Pins the reliable layer's frame wire layouts byte for byte, and proves
+/// the version-bit compatibility story: version-0 frame kinds (data, ack)
+/// keep the exact bytes a pre-SACK encoder produced, and the version-1
+/// SACK kind is the ack layout plus a bitmap body under a type byte with
+/// the version bit set — so an old decoder rejects it cleanly as an
+/// unknown type instead of misparsing it.
+///
+/// Every wire frame kind is pinned here (the lint gate requires a marker
+/// per `FRAME_*` constant):
+/// golden frame: FRAME_DATA
+/// golden frame: FRAME_ACK
+/// golden frame: FRAME_SACK
+/// golden frame: FRAME_VERSION_BIT
+#[test]
+fn golden_reliable_frames_pin_layout_and_version_compat() {
+    use dagger::nic::reliable::TransportFrame;
+    use dagger::nic::transport::{wire_checksum, Datagram};
+
+    let patch_crc = |frame: &mut Vec<u8>| {
+        let crc = wire_checksum(&[&frame[..19], &frame[23..]]);
+        frame[19..23].copy_from_slice(&crc.to_le_bytes());
+    };
+
+    // --- Data frame (version 0, type 1): unchanged from the pre-SACK
+    // wire format, so frames from an old sender still decode.
+    let line = CacheLine::from_bytes([0xA5u8; CACHE_LINE_BYTES]);
+    let datagram = Datagram::new(NodeAddr(7), NodeAddr(9), vec![line]);
+    let mut body = Vec::new();
+    datagram.encode_into(&mut body);
+    let mut golden_data = vec![1u8]; // type byte: data
+    golden_data.extend_from_slice(&5u64.to_le_bytes()); // seq
+    golden_data.extend_from_slice(&3u64.to_le_bytes()); // piggybacked ack
+    golden_data.extend_from_slice(&2u16.to_le_bytes()); // src_queue
+    golden_data.extend_from_slice(&[0u8; 4]); // crc placeholder
+    golden_data.extend_from_slice(&body);
+    patch_crc(&mut golden_data);
+
+    let frame = TransportFrame::Data {
+        seq: 5,
+        ack: 3,
+        src_queue: 2,
+        datagram: datagram.clone(),
+    };
+    assert_eq!(frame.encode(), golden_data, "data frame layout drifted");
+    assert_eq!(
+        TransportFrame::decode(&golden_data).unwrap(),
+        frame,
+        "version-0 data bytes no longer decode"
+    );
+
+    // --- Ack frame (version 0, type 2): also byte-identical to the
+    // pre-SACK format.
+    let mut golden_ack = vec![2u8]; // type byte: ack
+    golden_ack.extend_from_slice(&11u64.to_le_bytes()); // cumulative ack
+    golden_ack.extend_from_slice(&9u32.to_le_bytes()); // src
+    golden_ack.extend_from_slice(&7u32.to_le_bytes()); // dst
+    golden_ack.extend_from_slice(&4u16.to_le_bytes()); // src_queue
+    golden_ack.extend_from_slice(&[0u8; 4]);
+    patch_crc(&mut golden_ack);
+
+    let ack_frame = TransportFrame::Ack {
+        ack: 11,
+        src: NodeAddr(9),
+        dst: NodeAddr(7),
+        src_queue: 4,
+    };
+    assert_eq!(ack_frame.encode(), golden_ack, "ack frame layout drifted");
+    assert_eq!(
+        TransportFrame::decode(&golden_ack).unwrap(),
+        ack_frame,
+        "version-0 ack bytes no longer decode"
+    );
+
+    // --- SACK frame (version 1, type 0x80 | 2 = 0x82): the ack prefix
+    // layout plus an 8-byte received-bitmap body. Bit i set means sequence
+    // ack + 1 + i is buffered at the receiver.
+    let bitmap: u64 = 0b1011; // seqs 12, 13, 15 received past ack 11
+    let mut golden_sack = vec![0x82u8]; // version bit | ack type
+    golden_sack.extend_from_slice(&11u64.to_le_bytes());
+    golden_sack.extend_from_slice(&9u32.to_le_bytes());
+    golden_sack.extend_from_slice(&7u32.to_le_bytes());
+    golden_sack.extend_from_slice(&4u16.to_le_bytes());
+    golden_sack.extend_from_slice(&[0u8; 4]);
+    golden_sack.extend_from_slice(&bitmap.to_le_bytes());
+    patch_crc(&mut golden_sack);
+
+    let sack_frame = TransportFrame::Sack {
+        ack: 11,
+        bitmap,
+        src: NodeAddr(9),
+        dst: NodeAddr(7),
+        src_queue: 4,
+    };
+    assert_eq!(
+        sack_frame.encode(),
+        golden_sack,
+        "sack frame layout drifted"
+    );
+    assert_eq!(
+        TransportFrame::decode(&golden_sack).unwrap(),
+        sack_frame,
+        "sack bytes no longer decode"
+    );
+    assert_eq!(
+        golden_sack[0] & 0x80,
+        0x80,
+        "sack must carry the version bit so version-0 decoders reject it"
+    );
+
+    // An unknown version-1 type is rejected as a wire error (treated as
+    // loss), never misparsed — the forward-compatibility contract.
+    let mut future = golden_sack.clone();
+    future[0] = 0x80 | 3;
+    patch_crc(&mut future);
+    assert!(
+        TransportFrame::decode(&future).is_err(),
+        "unknown version-1 frame kind must be rejected, not guessed at"
+    );
 }
 
 /// Regression for the shutdown/drain seam on a real-socket backend: a NIC
