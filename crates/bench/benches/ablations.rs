@@ -109,6 +109,7 @@ fn ablate_lb() {
                 frame_count: 1,
                 frame_payload_len: 12,
                 traced: false,
+                offloaded: false,
             };
             let flow = lb.steer(&hdr, &payload, 4, 4, Some(FlowId(0)));
             counts[flow.raw() as usize] += 1;

@@ -347,6 +347,117 @@ fn bench_telemetry_overhead(calls: u32) {
     );
 }
 
+/// One hot-key GET run: a KVS server with the offload stage armed and the
+/// response cache sized to `cache_entries`, hammered with GETs of a single
+/// hot key. Returns `(p50, p99, hit_rate_permille)` for the GET RTTs.
+fn kvs_hotget_run(cache_entries: u32, calls: u32) -> (u64, u64, u64) {
+    use dagger_kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispatch};
+    use dagger_kvs::{Memcached, MemcachedPort};
+
+    let fabric = MemFabric::new();
+    let server_nic = Nic::start(&fabric, NodeAddr(1), HardConfig::default()).unwrap();
+    assert!(server_nic.configure_offload(KvStoreClient::offload_spec().unwrap()));
+    server_nic.softregs().set_nic_serde(true);
+    server_nic
+        .softregs()
+        .set_offload_cache_entries(cache_entries);
+    let client_nic = Nic::start(&fabric, NodeAddr(2), HardConfig::default()).unwrap();
+    for nic in [&server_nic, &client_nic] {
+        nic.softregs()
+            .set_batch_size(dagger_types::config::MAX_BATCH)
+            .unwrap();
+        nic.softregs().set_auto_batch(true);
+    }
+    let store = Arc::new(Memcached::new(1 << 20, 8));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(KvStoreDispatch::new(MemcachedPort::new(store))))
+        .unwrap();
+    server.start().unwrap();
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(30));
+    let client = KvStoreClient::new(Arc::clone(&raw));
+
+    let key = b"hot".to_vec();
+    assert!(
+        client
+            .set(&KvSetRequest {
+                key: key.clone(),
+                value: vec![0x5A; 32],
+            })
+            .unwrap()
+            .ok
+    );
+
+    let mut gets = 0u64;
+    for _ in 0..calls / 10 + 1 {
+        gets += 1;
+        assert!(
+            client
+                .get(&KvGetRequest { key: key.clone() })
+                .unwrap()
+                .found
+        );
+    }
+    let mut rtts = Vec::with_capacity(calls as usize);
+    for _ in 0..calls {
+        gets += 1;
+        let t0 = Instant::now();
+        let resp = client.get(&KvGetRequest { key: key.clone() }).unwrap();
+        rtts.push(t0.elapsed().as_nanos() as u64);
+        assert!(resp.found);
+    }
+    rtts.sort_unstable();
+    let p50 = percentile(&rtts, 0.50);
+    let p99 = percentile(&rtts, 0.99);
+    let hit_rate = server_nic.offload_stats().hits * 1000 / gets;
+
+    server.stop();
+    drop(client);
+    drop(raw);
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+    (p50, p99, hit_rate)
+}
+
+/// The on-NIC offload experiment (DESIGN.md §18): repeated GETs of one hot
+/// key, server-served (cache disabled — every GET crosses the rings and
+/// wakes the server core) vs cache-served (hits synthesized on the NIC RX
+/// path). Interleaved best-of-3 medians for the same reason as the
+/// telemetry-overhead gate; `bench.sh --check` fails the build when the
+/// hit rate drops below 80% or the cache-served median gives back more
+/// than a quarter of its win over the server path.
+fn bench_offload_hotget(calls: u32) {
+    let (mut srv_p50, mut srv_p99) = (u64::MAX, u64::MAX);
+    let (mut hit_p50, mut hit_p99) = (u64::MAX, u64::MAX);
+    let mut hit_rate = 0u64;
+    for _ in 0..3 {
+        let (p50, p99, _) = kvs_hotget_run(0, calls);
+        if p50 < srv_p50 {
+            (srv_p50, srv_p99) = (p50, p99);
+        }
+        let (p50, p99, rate) = kvs_hotget_run(256, calls);
+        if p50 < hit_p50 {
+            (hit_p50, hit_p99) = (p50, p99);
+        }
+        hit_rate = hit_rate.max(rate);
+    }
+    let win = srv_p50.saturating_sub(hit_p50) * 1000 / srv_p50.max(1);
+    println!("kvs_hotget_server_p50_ns={srv_p50}");
+    println!("kvs_hotget_server_p99_ns={srv_p99}");
+    println!("kvs_hotget_cache_p50_ns={hit_p50}");
+    println!("kvs_hotget_cache_p99_ns={hit_p99}");
+    println!("offload_hit_rate_permille={hit_rate}");
+    println!("offload_hotget_win_permille={win}");
+    println!(
+        "# kvs hot-key GET: server-served {}us p50, cache-served {}us p50 ({win} permille win, {hit_rate} permille hit rate)",
+        us(srv_p50),
+        us(hit_p50)
+    );
+}
+
 fn main() {
     banner("datapath", "NIC datapath encode + echo RTT/throughput");
     let calls: u32 = if quick() { 300 } else { 3_000 };
@@ -359,4 +470,5 @@ fn main() {
         calls,
     );
     bench_telemetry_overhead(calls);
+    bench_offload_hotget(calls);
 }

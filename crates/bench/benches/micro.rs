@@ -41,6 +41,7 @@ fn bench_header_codec(c: &mut Criterion) {
         frame_count: 1,
         frame_payload_len: 48,
         traced: false,
+        offloaded: false,
     };
     let mut buf = [0u8; HEADER_BYTES];
     c.bench_function("header_encode_decode", |b| {
@@ -118,6 +119,7 @@ fn bench_lb(c: &mut Criterion) {
         frame_count: 1,
         frame_payload_len: 16,
         traced: false,
+        offloaded: false,
     };
     let payload = [7u8; 16];
     c.bench_function("lb_object_level_steer", |b| {

@@ -52,6 +52,28 @@ pub struct Message {
     pub fields: Vec<Field>,
 }
 
+/// How an rpc interacts with the on-NIC response cache, from the IDL
+/// annotations `reads <field>;` (cacheable) / `writes <field>;`
+/// (invalidating).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OffloadKind {
+    /// `reads <field>` — a side-effect-free lookup keyed on the field.
+    Reads,
+    /// `writes <field>` — a mutation invalidating cached entries for the
+    /// field's value.
+    Writes,
+}
+
+/// An rpc's offload annotation: its cache class plus the request field
+/// carrying the cache key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OffloadAnnotation {
+    /// Read (cacheable) or write (invalidating).
+    pub kind: OffloadKind,
+    /// Name of the request-message field used as the cache key.
+    pub key_field: String,
+}
+
 /// One `rpc` declaration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rpc {
@@ -63,6 +85,8 @@ pub struct Rpc {
     pub response: String,
     /// Assigned function id (explicit `= N`, or positional).
     pub fn_id: u16,
+    /// Optional on-NIC cache annotation (`reads`/`writes <field>`).
+    pub offload: Option<OffloadAnnotation>,
 }
 
 /// A `service` block.

@@ -43,6 +43,7 @@ pub mod __private {
     pub use dagger_rpc::service::{RpcService, ServiceDescriptor};
     pub use dagger_rpc::wire::{Wire, WireReader};
     pub use dagger_rpc::RpcClient;
+    pub use dagger_types::offload::{CacheClass, FnOffload, OffloadSpec, SerdeTable};
     pub use dagger_types::{DaggerError, FnId, Result};
     pub use std::sync::Arc;
 }
@@ -97,6 +98,19 @@ macro_rules! dagger_message {
                 })
             }
         }
+
+        impl $name {
+            #[doc = "The NIC-executable serde table of this message: its"]
+            #[doc = "fields' wire ops in declaration order, or `None` if any"]
+            #[doc = "field is not a leaf wire type (the offload stage only"]
+            #[doc = "handles flat messages)."]
+            pub fn serde_table() -> Option<$crate::__private::SerdeTable> {
+                #[allow(unused_mut)]
+                let mut ops = Vec::new();
+                $(ops.push(<$ty as $crate::__private::Wire>::serde_op()?);)*
+                Some($crate::__private::SerdeTable::new(ops))
+            }
+        }
     };
 }
 
@@ -107,8 +121,14 @@ macro_rules! dagger_message {
 /// `macro_rules` cannot synthesize identifiers, so the three generated item
 /// names are spelled out (`handler = … ; dispatch = … ; client = …`); the
 /// IDL code generator derives them automatically. Each `rpc` carries an
-/// explicit function id (`= N`, unique per host) and an optional
-/// `, async = name` clause generating the non-blocking variant.
+/// explicit function id (`= N`, unique per host), an optional
+/// `, async = name` clause generating the non-blocking variant, and an
+/// optional `, cache = read(K)` / `, cache = write(K)` clause marking the
+/// RPC for the on-NIC offload stage (`K` is the declaration-order index of
+/// the request field used as the cache key — IDL `reads key;` /
+/// `writes key;` annotations compile to this). Services with at least one
+/// cache clause expose `Client::offload_spec()` for
+/// `Nic::configure_offload`.
 ///
 /// # Example
 ///
@@ -144,7 +164,7 @@ macro_rules! dagger_service {
             handler = $handler:ident;
             dispatch = $dispatch:ident;
             client = $client:ident;
-            $(rpc $method:ident ($req:ty) -> $resp:ty = $fnid:literal $(, async = $amethod:ident)? ;)+
+            $(rpc $method:ident ($req:ty) -> $resp:ty = $fnid:literal $(, async = $amethod:ident)? $(, cache = $cclass:ident($ckey:literal))? ;)+
         }
     ) => {
         $(#[$meta])*
@@ -210,6 +230,29 @@ macro_rules! dagger_service {
             #[doc = "The underlying untyped client."]
             pub fn inner(&self) -> &$crate::__private::Arc<$crate::__private::RpcClient> {
                 &self.inner
+            }
+
+            #[doc = "The service's on-NIC offload program: one entry per"]
+            #[doc = "`cache = …`-annotated rpc, or `None` if the service has"]
+            #[doc = "no cache annotations or an annotated message is not"]
+            #[doc = "flat. Install on the serving NIC via"]
+            #[doc = "`Nic::configure_offload`."]
+            pub fn offload_spec() -> Option<$crate::__private::OffloadSpec> {
+                #[allow(unused_mut)]
+                let mut fns = Vec::new();
+                $($(
+                    fns.push($crate::__private::FnOffload {
+                        fn_id: $crate::__private::FnId($fnid),
+                        class: $crate::__private::CacheClass::$cclass($ckey),
+                        req_table: <$req>::serde_table()?,
+                        resp_table: <$resp>::serde_table()?,
+                    });
+                )?)+
+                if fns.is_empty() {
+                    None
+                } else {
+                    Some($crate::__private::OffloadSpec::new(fns))
+                }
             }
 
             $(

@@ -10,14 +10,18 @@
 //! type    := "int8".."int64" | "uint8".."uint64" | "float32" | "float64"
 //!          | "bool" | "bytes" | "string" | "char" "[" NUMBER "]"
 //! service := "service" IDENT "{" rpc* "}"
-//! rpc     := "rpc" IDENT "(" IDENT ")" "returns" "(" IDENT ")" ("=" NUMBER)? ";"
+//! rpc     := "rpc" IDENT "(" IDENT ")" "returns" "(" IDENT ")"
+//!            ("=" NUMBER)? (("reads" | "writes") IDENT)? ";"
 //! ```
 //!
 //! Function ids default to 1-based declaration order within the service.
+//! The optional `reads <field>` / `writes <field>` annotation marks the rpc
+//! for the on-NIC offload stage: `reads` rpcs are cacheable lookups keyed on
+//! the named request field, `writes` rpcs invalidate cached entries for it.
 
 use dagger_types::{DaggerError, Result};
 
-use crate::ast::{Ast, Field, FieldType, Message, Rpc, Service};
+use crate::ast::{Ast, Field, FieldType, Message, OffloadAnnotation, OffloadKind, Rpc, Service};
 use crate::lex::{tokenize, Token};
 
 struct Parser {
@@ -158,6 +162,23 @@ impl Parser {
             } else {
                 (rpcs.len() + 1) as u16
             };
+            let offload = match self.peek() {
+                Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("reads") => {
+                    self.next()?;
+                    Some(OffloadAnnotation {
+                        kind: OffloadKind::Reads,
+                        key_field: self.ident()?,
+                    })
+                }
+                Some(Token::Ident(kw)) if kw.eq_ignore_ascii_case("writes") => {
+                    self.next()?;
+                    Some(OffloadAnnotation {
+                        kind: OffloadKind::Writes,
+                        key_field: self.ident()?,
+                    })
+                }
+                _ => None,
+            };
             self.expect(&Token::Semi)?;
             if rpcs.iter().any(|r| r.fn_id == fn_id) {
                 return Err(DaggerError::Config(format!(
@@ -169,6 +190,7 @@ impl Parser {
                 request,
                 response,
                 fn_id,
+                offload,
             });
         }
         self.expect(&Token::RBrace)?;
@@ -221,7 +243,8 @@ pub fn parse(src: &str) -> Result<Ast> {
             }
         }
     }
-    // Reference check: every rpc's request/response must be defined.
+    // Reference check: every rpc's request/response must be defined, and
+    // every offload annotation must name a field of the request message.
     for service in &ast.services {
         for rpc in &service.rpcs {
             for msg in [&rpc.request, &rpc.response] {
@@ -229,6 +252,17 @@ pub fn parse(src: &str) -> Result<Ast> {
                     return Err(DaggerError::Config(format!(
                         "service `{}` rpc `{}` references undefined message `{msg}`",
                         service.name, rpc.name
+                    )));
+                }
+            }
+            if let Some(offload) = &rpc.offload {
+                let req = ast.message(&rpc.request);
+                let defined =
+                    req.is_some_and(|m| m.fields.iter().any(|f| f.name == offload.key_field));
+                if !defined {
+                    return Err(DaggerError::Config(format!(
+                        "service `{}` rpc `{}` cache key `{}` is not a field of `{}`",
+                        service.name, rpc.name, offload.key_field, rpc.request
                     )));
                 }
             }
@@ -338,6 +372,46 @@ mod tests {
     fn truncated_input_rejected() {
         assert!(parse("message A {").is_err());
         assert!(parse("service").is_err());
+    }
+
+    #[test]
+    fn offload_annotations_parse() {
+        let ast = parse(
+            "message K { bytes key; } message V { bool found; bytes value; } \
+             service S { rpc get(K) returns(V) = 1 reads key; \
+                         rpc set(K) returns(V) = 2 writes key; \
+                         rpc scan(K) returns(V) = 3; }",
+        )
+        .unwrap();
+        let svc = &ast.services[0];
+        assert_eq!(
+            svc.rpcs[0].offload,
+            Some(OffloadAnnotation {
+                kind: OffloadKind::Reads,
+                key_field: "key".to_string(),
+            })
+        );
+        assert_eq!(
+            svc.rpcs[1].offload.as_ref().unwrap().kind,
+            OffloadKind::Writes
+        );
+        assert_eq!(svc.rpcs[2].offload, None);
+    }
+
+    #[test]
+    fn offload_annotation_without_fn_id_parses() {
+        let ast = parse("message K { bytes key; } service S { rpc get(K) returns(K) reads key; }")
+            .unwrap();
+        assert_eq!(ast.services[0].rpcs[0].fn_id, 1);
+        assert!(ast.services[0].rpcs[0].offload.is_some());
+    }
+
+    #[test]
+    fn offload_key_must_be_request_field() {
+        let err =
+            parse("message K { bytes key; } service S { rpc get(K) returns(K) = 1 reads nope; }")
+                .unwrap_err();
+        assert!(err.to_string().contains("not a field"));
     }
 
     #[test]

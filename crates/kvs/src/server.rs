@@ -51,13 +51,18 @@ dagger_message! {
 }
 
 dagger_service! {
-    /// The KVS service of the paper's Listing 1, over bytes.
+    /// The KVS service of the paper's Listing 1, over bytes. The cache
+    /// clauses (IDL `reads key;` / `writes key;`) opt the service into the
+    /// on-NIC offload stage: GETs are cacheable lookups keyed on `key`
+    /// (field 0 of [`KvGetRequest`]), SETs invalidate the same key. The
+    /// serving NIC activates them via
+    /// `nic.configure_offload(KvStoreClient::offload_spec().unwrap())`.
     pub service KvStore {
         handler = KvStoreHandler;
         dispatch = KvStoreDispatch;
         client = KvStoreClient;
-        rpc get(KvGetRequest) -> KvGetResponse = 1, async = get_async;
-        rpc set(KvSetRequest) -> KvSetResponse = 2, async = set_async;
+        rpc get(KvGetRequest) -> KvGetResponse = 1, async = get_async, cache = read(0);
+        rpc set(KvSetRequest) -> KvSetResponse = 2, async = set_async, cache = write(0);
     }
 }
 
@@ -186,6 +191,20 @@ mod tests {
             KvGetResponse::from_wire(&port.dispatch(FnId(1), &get.to_wire()).unwrap()).unwrap();
         assert!(resp.found);
         assert_eq!(resp.value, b"val");
+    }
+
+    #[test]
+    fn offload_spec_matches_service_shape() {
+        use dagger_types::offload::{CacheClass, SerdeOp};
+        let spec = KvStoreClient::offload_spec().expect("flat messages are offloadable");
+        let get = spec.get(FnId(1)).unwrap();
+        assert_eq!(get.class, CacheClass::read(0));
+        assert_eq!(get.req_table.ops(), &[SerdeOp::Var]);
+        assert_eq!(get.resp_table.ops(), &[SerdeOp::Fixed(1), SerdeOp::Var]);
+        let set = spec.get(FnId(2)).unwrap();
+        assert_eq!(set.class, CacheClass::write(0));
+        assert_eq!(set.req_table.ops(), &[SerdeOp::Var, SerdeOp::Var]);
+        assert_eq!(set.resp_table.ops(), &[SerdeOp::Fixed(1)]);
     }
 
     #[test]

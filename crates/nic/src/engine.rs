@@ -51,8 +51,10 @@ use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 
 use dagger_telemetry::{FlightEventKind, RpcEvent, Telemetry};
+use dagger_types::offload::CacheClass;
 use dagger_types::{
-    CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, RpcKind, HEADER_BYTES,
+    CacheLine, ConnectionId, FlowId, LbPolicy, NodeAddr, RpcHeader, RpcKind, FRAME_PAYLOAD_BYTES,
+    HEADER_BYTES,
 };
 
 use crate::arbiter::ArbiterSlot;
@@ -65,6 +67,7 @@ use crate::hcc::HostCoherentCache;
 use crate::lb::{fnv1a, LoadBalancer};
 use crate::monitor::{PacketMonitor, QueueStats};
 use crate::nic::queue_of_flow;
+use crate::offload::OffloadState;
 use crate::reliable::{FrameView, ReliableTransport};
 use crate::reqbuf::RequestBuffer;
 use crate::ring::{RingConsumer, RingProducer};
@@ -106,6 +109,7 @@ pub fn encode_ctrl_open(
         frame_count: 1,
         frame_payload_len: 7,
         traced: false,
+        offloaded: false,
     };
     hdr.encode(line.header_mut());
     let payload = line.payload_mut();
@@ -132,6 +136,7 @@ pub fn encode_ctrl_close(cid: ConnectionId) -> CacheLine {
         frame_count: 1,
         frame_payload_len: 0,
         traced: false,
+        offloaded: false,
     };
     hdr.encode(line.header_mut());
     line
@@ -150,6 +155,7 @@ pub fn encode_ctrl_open_ack(cid: ConnectionId) -> CacheLine {
         frame_count: 1,
         frame_payload_len: 0,
         traced: false,
+        offloaded: false,
     };
     hdr.encode(line.header_mut());
     line
@@ -284,6 +290,12 @@ pub(crate) struct EngineCore {
     pub wire_out: Vec<(NodeAddr, u16, Vec<u8>)>,
     /// Frame count of each staged datagram, parallel to `wire_out`.
     pub wire_counts: Vec<u64>,
+    /// The NIC-wide on-NIC offload stage (NIC-side serde + the hot-key
+    /// response cache, DESIGN.md §18), shared by every worker. Consulted
+    /// only when the `nic_serde` soft register is on and a spec is
+    /// installed; otherwise the datapath is byte-identical to the host-serde
+    /// baseline.
+    pub offload: Arc<OffloadState>,
 }
 
 /// A connection's pinned destination queue on the sender side. When the
@@ -526,6 +538,19 @@ impl EngineCore {
                         hdr.connection_id.raw(),
                         hdr.rpc_id.raw(),
                         RpcEvent::EnginePickup,
+                    );
+                }
+                if hdr.kind == RpcKind::Response && self.softregs.nic_serde() {
+                    // TX half of the offload stage: host responses leaving
+                    // the NIC complete read fills and the second
+                    // invalidation bump of writes (DESIGN.md §18).
+                    self.offload.on_response_tx(
+                        hdr.connection_id,
+                        hdr.rpc_id,
+                        hdr.frame_idx,
+                        hdr.frame_count,
+                        &line.payload()[..usize::from(hdr.frame_payload_len)],
+                        self.softregs.offload_cache_entries() as usize,
                     );
                 }
                 // In cached mode, the coherent fetch of connection state
@@ -1094,6 +1119,14 @@ impl EngineCore {
             self.monitor.inc_unknown_connection_drops();
             return;
         };
+        // RX half of the on-NIC offload stage (DESIGN.md §18): with
+        // NIC-side serde on, annotated request lead frames are decoded here
+        // with the IDL-generated tables. A cacheable read that hits is
+        // answered from this queue's response cache — the frame never
+        // reaches a host core; a write invalidates before steering on.
+        if hdr.kind == RpcKind::Request && self.offload_rx(&hdr, &line, tuple.dest_addr) {
+            return;
+        }
         // Soft-reconfigurable policy selection.
         self.lb.set_policy(match tuple.lb {
             LbPolicy::Uniform => self.softregs.lb_policy(),
@@ -1115,6 +1148,104 @@ impl EngineCore {
         } else {
             self.handoff(owner, flow as u16, seq, line);
         }
+    }
+
+    /// Classifies one request lead frame against the installed offload
+    /// spec. Returns `true` only when the frame was fully served from the
+    /// response cache — the caller must then drop it instead of steering it
+    /// to the host.
+    fn offload_rx(&mut self, hdr: &RpcHeader, line: &CacheLine, reply_to: NodeAddr) -> bool {
+        if hdr.frame_idx != 0 || !self.softregs.nic_serde() {
+            return false;
+        }
+        let offload = Arc::clone(&self.offload);
+        let Some(fo) = offload.spec().and_then(|s| s.get(hdr.fn_id)) else {
+            return false;
+        };
+        let payload = &line.payload()[..usize::from(hdr.frame_payload_len)];
+        match fo.class {
+            CacheClass::Read { key_field } => {
+                // Only untraced single-frame reads are classified: the
+                // serde table describes the request alone, and traced
+                // payloads carry a trace-context prelude it does not cover.
+                if hdr.traced || hdr.frame_count != 1 || !fo.req_table.validate(payload) {
+                    offload.stats().count_bypass();
+                    return false;
+                }
+                let Some(range) = fo.req_table.field_range(payload, key_field) else {
+                    offload.stats().count_bypass();
+                    return false;
+                };
+                let cap = self.softregs.offload_cache_entries() as usize;
+                if cap == 0 {
+                    // Cache disabled: pure host path, no miss accounting.
+                    return false;
+                }
+                let queue = usize::from(self.queue_id);
+                match offload.on_read_rx(
+                    queue,
+                    hdr.fn_id,
+                    hdr.connection_id,
+                    hdr.rpc_id,
+                    &payload[range],
+                    cap,
+                ) {
+                    Some(cached) => {
+                        self.send_offload_hit(hdr, reply_to, &cached);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            CacheClass::Write { key_field } => {
+                // Writes invalidate and continue to the host. The key is
+                // extracted when the lead frame holds it whole; otherwise
+                // (or under tracing's payload prelude) the conservative
+                // whole-cache epoch flush applies.
+                let key = if hdr.traced {
+                    None
+                } else {
+                    fo.req_table
+                        .field_range(payload, key_field)
+                        .map(|r| &payload[r])
+                };
+                offload.on_write_rx(hdr.connection_id, hdr.rpc_id, key);
+                false
+            }
+        }
+    }
+
+    /// Synthesizes and ships the response frames of a cache hit. The header
+    /// mirrors the request's identifiers (so the client's reassembler and
+    /// completion matching work unchanged); the `offloaded` kind bit marks
+    /// the response as NIC-served for endpoint accounting.
+    fn send_offload_hit(&mut self, req: &RpcHeader, dst: NodeAddr, payload: &[u8]) {
+        debug_assert!(!payload.is_empty(), "cached payloads carry a status byte");
+        let frame_count = payload.len().div_ceil(FRAME_PAYLOAD_BYTES);
+        let mut lines = self.pool.get_lines();
+        for (idx, chunk) in payload.chunks(FRAME_PAYLOAD_BYTES).enumerate() {
+            let hdr = RpcHeader {
+                connection_id: req.connection_id,
+                rpc_id: req.rpc_id,
+                fn_id: req.fn_id,
+                src_flow: req.src_flow,
+                kind: RpcKind::Response,
+                frame_idx: idx as u8,
+                frame_count: frame_count as u8,
+                frame_payload_len: chunk.len() as u8,
+                traced: false,
+                offloaded: true,
+            };
+            let mut line = CacheLine::zeroed();
+            hdr.encode(line.header_mut());
+            line.payload_mut()[..chunk.len()].copy_from_slice(chunk);
+            lines.push(line);
+        }
+        let dgram = self
+            .protocol
+            .process_tx(Datagram::new(self.addr, dst, lines));
+        let dst_queue = self.port.route(dst, conn_route_tag(req.connection_id));
+        self.send_datagram(dgram, dst_queue);
     }
 
     /// Delivery: the flow scheduler picks formed batches and the CCI-P
@@ -1273,6 +1404,7 @@ mod tests {
             tx_scratch: Vec::new(),
             wire_out: Vec::new(),
             wire_counts: Vec::new(),
+            offload: Arc::new(OffloadState::new(1)),
         };
         (core, host_tx, host_rx)
     }
@@ -1319,6 +1451,7 @@ mod tests {
         let stop_barrier = Arc::new(AtomicUsize::new(0));
         let wakers: Vec<_> = (0..2).map(|_| Arc::new(EngineWaker::new())).collect();
         let flow_seq = Arc::new((0..2).map(|_| AtomicU64::new(0)).collect::<Vec<_>>());
+        let offload = Arc::new(OffloadState::new(2));
 
         let (host_tx, engine_rx) = ring(64);
         let (engine_tx0, host_rx0) = ring(64);
@@ -1383,6 +1516,7 @@ mod tests {
                     tx_scratch: Vec::new(),
                     wire_out: Vec::new(),
                     wire_counts: Vec::new(),
+                    offload: Arc::clone(&offload),
                 }
             })
             .collect();
@@ -1404,6 +1538,7 @@ mod tests {
             frame_count: 1,
             frame_payload_len: 8,
             traced: false,
+            offloaded: false,
         };
         hdr.encode(line.header_mut());
         line.payload_mut()[..8].copy_from_slice(&u64::from(rpc).to_le_bytes());
@@ -1423,6 +1558,7 @@ mod tests {
             frame_count: 1,
             frame_payload_len: 8,
             traced: false,
+            offloaded: false,
         };
         hdr.encode(line.header_mut());
         line.payload_mut()[..8].copy_from_slice(&u64::from(rpc).to_le_bytes());

@@ -145,6 +145,7 @@ mod tests {
             frame_count: frames,
             frame_payload_len: 8,
             traced: false,
+            offloaded: false,
         }
     }
 

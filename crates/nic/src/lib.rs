@@ -19,6 +19,9 @@
 //!   per-flow FIFOs of `slot_id` references, and the flow scheduler that
 //!   forms CCI-P delivery batches (Fig. 9B);
 //! * [`monitor`] — the Packet Monitor statistics unit;
+//! * [`offload`] — the on-NIC compute offload stage: NIC-side serde driven
+//!   by IDL-generated tables and the coherent hot-key response cache
+//!   (§5.6, DESIGN.md §18);
 //! * [`softreg`] — the Soft-Reconfiguration Unit register file (§4.1);
 //! * [`hcc`] — the 128 KB direct-mapped Host Coherent Cache model;
 //! * [`arbiter`] — the fair round-robin CCI-P bus arbiter used when several
@@ -57,6 +60,7 @@ pub mod hcc;
 pub mod lb;
 pub mod monitor;
 pub mod nic;
+pub mod offload;
 pub mod reliable;
 pub mod reqbuf;
 pub mod ring;
@@ -76,6 +80,7 @@ pub use fabric::{
 pub use fabric_udp::UdpFabric;
 pub use monitor::{FlowSnapshot, MonitorSnapshot, PacketMonitor, QueueSnapshot, QueueStats};
 pub use nic::{queue_of_flow, HostFlow, Nic};
+pub use offload::{OffloadSnapshot, OffloadState, OffloadStats};
 pub use ring::{ring, RingConsumer, RingProducer};
 pub use softreg::SoftRegisterFile;
 pub use wait::{EngineWaker, SpinWait};

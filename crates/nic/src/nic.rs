@@ -38,7 +38,9 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 
 use dagger_telemetry::{FlightEventKind, Telemetry};
-use dagger_types::{ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, Result};
+use dagger_types::{
+    ConnectionId, DaggerError, FlowId, HardConfig, LbPolicy, NodeAddr, OffloadSpec, Result,
+};
 
 use crate::arbiter::ArbiterSlot;
 use crate::balancer::QueueBalancer;
@@ -51,6 +53,7 @@ use crate::flow::FlowFifos;
 use crate::hcc::HostCoherentCache;
 use crate::lb::LoadBalancer;
 use crate::monitor::{PacketMonitor, QueueStats};
+use crate::offload::{OffloadSnapshot, OffloadState};
 use crate::reliable::{ReliableConfig, ReliableTransport};
 use crate::reqbuf::RequestBuffer;
 use crate::ring::{ring, RingConsumer, RingProducer};
@@ -116,6 +119,10 @@ pub struct Nic {
     wakers: Vec<Arc<EngineWaker>>,
     /// Per-worker counter banks, exported as `nic.<addr>.q<i>.*`.
     qstats: Vec<Arc<QueueStats>>,
+    /// The on-NIC compute offload stage (DESIGN.md §18), shared with every
+    /// engine worker. Idle until [`Nic::configure_offload`] installs a spec
+    /// and the `nic_serde` soft register is raised.
+    offload: Arc<OffloadState>,
 }
 
 impl std::fmt::Debug for Nic {
@@ -257,6 +264,12 @@ impl Nic {
         let flow_seq: Arc<Vec<AtomicU64>> =
             Arc::new((0..cfg.num_flows).map(|_| AtomicU64::new(0)).collect());
 
+        // The offload stage is NIC-wide: per-queue caches inside, shared
+        // generation counters across workers, wired to the flight recorder
+        // under this NIC's address.
+        let offload = Arc::new(OffloadState::new(nq));
+        offload.install_flight(Arc::clone(telemetry.flight()), addr.raw());
+
         // Build every worker first, collecting its stat handles for the
         // telemetry collector, then register the collector, then spawn.
         let mut cores = Vec::with_capacity(nq);
@@ -322,6 +335,7 @@ impl Nic {
                 tx_scratch: Vec::new(),
                 wire_out: Vec::new(),
                 wire_counts: Vec::new(),
+                offload: Arc::clone(&offload),
             });
         }
 
@@ -338,6 +352,7 @@ impl Nic {
             let monitor = Arc::clone(&monitor);
             let conn_mgr = Arc::clone(&conn_mgr);
             let qstats = qstats.clone();
+            let offload = Arc::clone(&offload);
             let prefix = format!("nic.{}", addr.raw());
             let name = prefix.clone();
             let flight = Arc::clone(telemetry.flight());
@@ -418,6 +433,14 @@ impl Nic {
                     reg.set_gauge(&format!("{prefix}.flow.{i}.rx_frames"), f.rx_frames);
                     reg.set_gauge(&format!("{prefix}.flow.{i}.rx_ring_drops"), f.rx_ring_drops);
                 }
+                let o = offload.stats().snapshot();
+                reg.set_gauge(&format!("{prefix}.offload.hits"), o.hits);
+                reg.set_gauge(&format!("{prefix}.offload.misses"), o.misses);
+                reg.set_gauge(&format!("{prefix}.offload.fills"), o.fills);
+                reg.set_gauge(&format!("{prefix}.offload.invalidations"), o.invalidations);
+                reg.set_gauge(&format!("{prefix}.offload.evictions"), o.evictions);
+                reg.set_gauge(&format!("{prefix}.offload.stale_drops"), o.stale_drops);
+                reg.set_gauge(&format!("{prefix}.offload.bypass"), o.bypass);
                 let cm = conn_mgr.lock().snapshot();
                 reg.set_gauge(
                     &format!("{prefix}.cm.open_connections"),
@@ -484,6 +507,7 @@ impl Nic {
             telemetry,
             wakers,
             qstats,
+            offload,
         }))
     }
 
@@ -510,6 +534,22 @@ impl Nic {
     /// Per-worker engine counters, indexed by queue.
     pub fn queue_stats(&self) -> &[Arc<QueueStats>] {
         &self.qstats
+    }
+
+    /// Installs the on-NIC offload spec: the IDL-generated serde and cache
+    /// tables the engine executes per frame (DESIGN.md §18). One-shot, like
+    /// hardware configuration at synthesis time — returns `false` if a spec
+    /// was already installed. The stage stays inert until the `nic_serde`
+    /// soft register is raised, and the response cache additionally until
+    /// `offload_cache_entries` is nonzero.
+    pub fn configure_offload(&self, spec: OffloadSpec) -> bool {
+        self.offload.configure(spec)
+    }
+
+    /// Counters of the on-NIC offload stage (also exported as
+    /// `nic.<addr>.offload.*` gauges).
+    pub fn offload_stats(&self) -> OffloadSnapshot {
+        self.offload.stats().snapshot()
     }
 
     /// The telemetry hub this NIC reports into (private to the NIC unless
@@ -737,6 +777,7 @@ mod tests {
             frame_count: 1,
             frame_payload_len: 1,
             traced: false,
+            offloaded: false,
         };
         hdr.encode(line.header_mut());
         line.payload_mut()[0] = tag;

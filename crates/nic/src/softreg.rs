@@ -34,6 +34,17 @@ pub struct SoftRegisterFile {
     /// batch wider than a ring can hold would let a full ring round stall
     /// waiting for a batch that can never form.
     batch_limit: AtomicU8,
+    /// A/B gate for the NIC-side serde path (the offload stage's
+    /// per-frame table execution). Off by default: the host-serde
+    /// baseline is the control arm, like the GBN arm of the reliable
+    /// transport's version bit.
+    nic_serde: AtomicBool,
+    /// Per-queue capacity of the on-NIC hot-key response cache, in
+    /// entries. 0 (the default) disables the cache entirely; like
+    /// `active_queue_mask` this is a live knob the engine consults on
+    /// every offload decision, so the cache can be resized or switched
+    /// off at runtime without restarting the NIC.
+    offload_cache_entries: AtomicU32,
 }
 
 fn lb_to_u8(p: LbPolicy) -> u8 {
@@ -68,6 +79,8 @@ impl SoftRegisterFile {
             polling_threshold: AtomicU32::new(4096),
             active_queue_mask: Arc::new(AtomicU64::new(0)),
             batch_limit: AtomicU8::new(MAX_BATCH),
+            nic_serde: AtomicBool::new(false),
+            offload_cache_entries: AtomicU32::new(0),
         })
     }
 
@@ -168,6 +181,29 @@ impl SoftRegisterFile {
     /// through the register file.
     pub fn active_queue_mask_handle(&self) -> Arc<AtomicU64> {
         Arc::clone(&self.active_queue_mask)
+    }
+
+    /// Whether the NIC-side serde path (the offload stage) is enabled.
+    pub fn nic_serde(&self) -> bool {
+        self.nic_serde.load(Ordering::Relaxed)
+    }
+
+    /// Enables/disables the NIC-side serde path. Off = host-serde
+    /// baseline (the A/B control arm).
+    pub fn set_nic_serde(&self, on: bool) {
+        self.nic_serde.store(on, Ordering::Relaxed);
+    }
+
+    /// Per-queue capacity of the on-NIC response cache (0 = disabled).
+    pub fn offload_cache_entries(&self) -> u32 {
+        self.offload_cache_entries.load(Ordering::Relaxed)
+    }
+
+    /// Sizes (or, with 0, disables) the on-NIC response cache. Shrinking
+    /// takes effect lazily: oversized queues evict down on their next
+    /// insertion.
+    pub fn set_offload_cache_entries(&self, entries: u32) {
+        self.offload_cache_entries.store(entries, Ordering::Relaxed);
     }
 
     /// Reads the whole register file at once.
@@ -280,6 +316,22 @@ mod tests {
         // steering knob, not host-visible plain data).
         regs.apply(SoftConfigSnapshot::default()).unwrap();
         assert_eq!(regs.active_queue_mask(), 0b1);
+    }
+
+    #[test]
+    fn offload_registers_default_off() {
+        let regs = SoftRegisterFile::default();
+        assert!(!regs.nic_serde(), "host-serde baseline by default");
+        assert_eq!(regs.offload_cache_entries(), 0, "cache disabled by default");
+        regs.set_nic_serde(true);
+        regs.set_offload_cache_entries(256);
+        assert!(regs.nic_serde());
+        assert_eq!(regs.offload_cache_entries(), 256);
+        // Like the queue mask, these are live knobs outside the plain
+        // snapshot: applying a snapshot must not reset them.
+        regs.apply(SoftConfigSnapshot::default()).unwrap();
+        assert!(regs.nic_serde());
+        assert_eq!(regs.offload_cache_entries(), 256);
     }
 
     #[test]

@@ -41,6 +41,10 @@ struct RxState {
     abandoned_order: VecDeque<ReadyKey>,
     /// Responses that arrived after their call was abandoned.
     late_drops: u64,
+    /// Responses whose header carried the `offloaded` bit — synthesized by
+    /// the serving NIC's offload stage rather than a host core. Reconciles
+    /// against the server NIC's `offload.hits` counter in tests.
+    offload_served: u64,
 }
 
 /// A claimed hardware flow shared by the clients issuing on it.
@@ -77,6 +81,7 @@ impl FlowEndpoint {
                 abandoned: HashSet::new(),
                 abandoned_order: VecDeque::new(),
                 late_drops: 0,
+                offload_served: 0,
             }),
             telemetry,
         }
@@ -155,6 +160,9 @@ impl FlowEndpoint {
             match rx.reassembler.push(line) {
                 Ok(Some(rpc)) if rpc.header.kind == RpcKind::Response => {
                     let key = (rpc.header.connection_id.raw(), rpc.header.rpc_id.raw());
+                    if rpc.header.offloaded {
+                        rx.offload_served += 1;
+                    }
                     if rx.abandoned.remove(&key) {
                         // The caller timed out and gave up on this response;
                         // drop it so it never parks in `ready` forever.
@@ -256,6 +264,12 @@ impl FlowEndpoint {
     /// Responses that arrived after their call was abandoned (timed out).
     pub fn late_drops(&self) -> u64 {
         self.rx.lock().late_drops
+    }
+
+    /// Responses served by the remote NIC's offload stage (the `offloaded`
+    /// header bit) rather than a host core.
+    pub fn offload_served(&self) -> u64 {
+        self.rx.lock().offload_served
     }
 
     /// Number of buffered, unclaimed responses.

@@ -140,6 +140,7 @@ pub fn fragment_with_ctx(
             frame_count,
             frame_payload_len: chunk.len() as u8,
             traced,
+            offloaded: false,
         };
         let mut line = CacheLine::zeroed();
         hdr.encode(line.header_mut());

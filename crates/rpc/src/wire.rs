@@ -9,6 +9,7 @@
 //! `dagger_idl`'s `dagger_message!` macro derives [`Wire`] for user structs;
 //! the IDL code generator emits the same derivations.
 
+use dagger_types::offload::SerdeOp;
 use dagger_types::{DaggerError, Result};
 
 /// A type that can be serialized into / parsed from the flat Dagger wire
@@ -41,6 +42,15 @@ pub trait Wire: Sized {
     ///
     /// Returns [`DaggerError::Wire`] on truncated or malformed input.
     fn decode_from(reader: &mut WireReader<'_>) -> Result<Self>;
+
+    /// The NIC-executable serde op for this type, if it is a *leaf* wire
+    /// type (scalar, `bool`, fixed byte array, byte string). Composite
+    /// types (messages) return `None`; their field layout is described by a
+    /// whole `SerdeTable` instead. The offload stage only accepts messages
+    /// whose every field is a leaf — the flat-layout restriction of §4.5.
+    fn serde_op() -> Option<SerdeOp> {
+        None
+    }
 
     /// Convenience: encodes into a fresh buffer.
     fn to_wire(&self) -> Vec<u8> {
@@ -126,6 +136,9 @@ macro_rules! wire_scalar {
                 let bytes = reader.take(std::mem::size_of::<$ty>())?;
                 Ok(<$ty>::from_le_bytes(bytes.try_into().unwrap()))
             }
+            fn serde_op() -> Option<SerdeOp> {
+                Some(SerdeOp::Fixed(std::mem::size_of::<$ty>() as u16))
+            }
         }
     )*};
 }
@@ -146,6 +159,9 @@ impl Wire for bool {
             other => Err(DaggerError::Wire(format!("invalid bool byte {other}"))),
         }
     }
+    fn serde_op() -> Option<SerdeOp> {
+        Some(SerdeOp::Fixed(1))
+    }
 }
 
 impl<const N: usize> Wire for [u8; N] {
@@ -158,6 +174,9 @@ impl<const N: usize> Wire for [u8; N] {
     fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
         let bytes = reader.take(N)?;
         Ok(bytes.try_into().unwrap())
+    }
+    fn serde_op() -> Option<SerdeOp> {
+        Some(SerdeOp::Fixed(N as u16))
     }
 }
 
@@ -173,6 +192,9 @@ impl Wire for Vec<u8> {
     fn decode_from(reader: &mut WireReader<'_>) -> Result<Self> {
         let len = u32::decode_from(reader)? as usize;
         Ok(reader.take(len)?.to_vec())
+    }
+    fn serde_op() -> Option<SerdeOp> {
+        Some(SerdeOp::Var)
     }
 }
 
@@ -190,6 +212,9 @@ impl Wire for String {
         let bytes = reader.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| DaggerError::Wire(format!("invalid utf-8 in string: {e}")))
+    }
+    fn serde_op() -> Option<SerdeOp> {
+        Some(SerdeOp::Var)
     }
 }
 
@@ -229,6 +254,17 @@ mod tests {
         roundtrip("hello world".to_string());
         roundtrip(String::new());
         roundtrip("ünïcödé ☂".to_string());
+    }
+
+    #[test]
+    fn leaf_serde_ops_match_wire_widths() {
+        assert_eq!(u8::serde_op(), Some(SerdeOp::Fixed(1)));
+        assert_eq!(u64::serde_op(), Some(SerdeOp::Fixed(8)));
+        assert_eq!(f32::serde_op(), Some(SerdeOp::Fixed(4)));
+        assert_eq!(bool::serde_op(), Some(SerdeOp::Fixed(1)));
+        assert_eq!(<[u8; 17]>::serde_op(), Some(SerdeOp::Fixed(17)));
+        assert_eq!(Vec::<u8>::serde_op(), Some(SerdeOp::Var));
+        assert_eq!(String::serde_op(), Some(SerdeOp::Var));
     }
 
     #[test]

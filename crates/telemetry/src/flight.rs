@@ -67,6 +67,15 @@ pub enum FlightEventKind {
     SloBreach,
     /// An SLO's burn rate fell back below 1.0 (`a` = burn rate, milli).
     SloRecover,
+    /// The offload stage invalidated cached responses for a key on a
+    /// write RPC (`a` = key hash; `b` = new key-slot generation, or
+    /// [`FLIGHT_ALL_NODES`] for a wildcard epoch flush when the key
+    /// could not be extracted NIC-side).
+    OffloadInvalidate,
+    /// The offload stage dropped a cached response whose key-slot
+    /// generation or epoch had moved since the fill (`a` = key hash,
+    /// `b` = the entry's stale generation).
+    OffloadStale,
 }
 
 /// `a`/`b` value meaning "every node" in [`FlightEventKind::Partition`] /
@@ -74,7 +83,9 @@ pub enum FlightEventKind {
 pub const FLIGHT_ALL_NODES: u64 = u64::MAX;
 
 impl FlightEventKind {
-    const ALL: [FlightEventKind; 10] = [
+    // New kinds append at the end: discriminants are positional and must
+    // stay stable for already-recorded rings.
+    const ALL: [FlightEventKind; 12] = [
         FlightEventKind::Remap,
         FlightEventKind::ForcedRemap,
         FlightEventKind::RetransmitBurst,
@@ -85,6 +96,8 @@ impl FlightEventKind {
         FlightEventKind::QueueRestore,
         FlightEventKind::SloBreach,
         FlightEventKind::SloRecover,
+        FlightEventKind::OffloadInvalidate,
+        FlightEventKind::OffloadStale,
     ];
 
     /// Stable lower-snake name used by the JSON/text exporters.
@@ -100,6 +113,8 @@ impl FlightEventKind {
             FlightEventKind::QueueRestore => "queue_restore",
             FlightEventKind::SloBreach => "slo_breach",
             FlightEventKind::SloRecover => "slo_recover",
+            FlightEventKind::OffloadInvalidate => "offload_invalidate",
+            FlightEventKind::OffloadStale => "offload_stale",
         }
     }
 

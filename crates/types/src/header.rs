@@ -10,9 +10,12 @@
 //! 4       rpc_id             4
 //! 8       fn_id              2
 //! 10      src_flow           2   flow to steer the response back to (§4.2)
-//! 12      kind               1   bits 0-6: 1 = request, 2 = response;
+//! 12      kind               1   bits 0-5: 1 = request, 2 = response;
 //!                                bit 7: traced — the RPC payload starts
-//!                                with a 16-byte trace-context prelude
+//!                                with a 16-byte trace-context prelude;
+//!                                bit 6: offloaded — this response was
+//!                                synthesized by the NIC offload stage
+//!                                (hot-key cache hit), not a host core
 //! 13      frame_idx          1   index of this frame within the RPC
 //! 14      frame_count        1   total frames of the RPC (software
 //!                                reassembly for multi-frame RPCs, §4.7)
@@ -50,6 +53,15 @@ impl RpcKind {
 /// free: tracing disabled changes nothing on the wire.
 const TRACED_BIT: u8 = 0x80;
 
+/// Bit 6 of the kind byte flags a response served by the NIC offload stage
+/// (a hot-key cache hit) rather than a host core. Like [`TRACED_BIT`] it
+/// rides the kind byte for free: with offloads disabled nothing on the wire
+/// changes, and endpoints use it to account NIC-served completions.
+const OFFLOADED_BIT: u8 = 0x40;
+
+/// Bits of the kind byte that carry flags rather than the kind value.
+const KIND_FLAG_MASK: u8 = TRACED_BIT | OFFLOADED_BIT;
+
 /// The parsed form of the 16-byte frame header.
 ///
 /// # Example
@@ -66,6 +78,7 @@ const TRACED_BIT: u8 = 0x80;
 ///     frame_count: 2,
 ///     frame_payload_len: 48,
 ///     traced: false,
+///     offloaded: false,
 /// };
 /// let mut buf = [0u8; HEADER_BYTES];
 /// hdr.encode(&mut buf);
@@ -97,6 +110,11 @@ pub struct RpcHeader {
     /// (the load balancer's object-level steering) uses this flag to skip
     /// the prelude when hashing keys.
     pub traced: bool,
+    /// Offload flag (bit 6 of the kind byte): set on responses synthesized
+    /// by the NIC's offload stage (a hot-key cache hit served from the RX
+    /// path). Client endpoints count these to reconcile NIC-served
+    /// completions against the engine's hit telemetry.
+    pub offloaded: bool,
 }
 
 impl RpcHeader {
@@ -111,7 +129,9 @@ impl RpcHeader {
         buf[4..8].copy_from_slice(&self.rpc_id.raw().to_le_bytes());
         buf[8..10].copy_from_slice(&self.fn_id.raw().to_le_bytes());
         buf[10..12].copy_from_slice(&self.src_flow.raw().to_le_bytes());
-        buf[12] = self.kind as u8 | if self.traced { TRACED_BIT } else { 0 };
+        buf[12] = self.kind as u8
+            | if self.traced { TRACED_BIT } else { 0 }
+            | if self.offloaded { OFFLOADED_BIT } else { 0 };
         buf[13] = self.frame_idx;
         buf[14] = self.frame_count;
         buf[15] = self.frame_payload_len;
@@ -136,11 +156,12 @@ impl RpcHeader {
             rpc_id: RpcId(u32::from_le_bytes(buf[4..8].try_into().unwrap())),
             fn_id: FnId(u16::from_le_bytes(buf[8..10].try_into().unwrap())),
             src_flow: FlowId(u16::from_le_bytes(buf[10..12].try_into().unwrap())),
-            kind: RpcKind::from_u8(buf[12] & !TRACED_BIT)?,
+            kind: RpcKind::from_u8(buf[12] & !KIND_FLAG_MASK)?,
             frame_idx: buf[13],
             frame_count: buf[14],
             frame_payload_len: buf[15],
             traced: buf[12] & TRACED_BIT != 0,
+            offloaded: buf[12] & OFFLOADED_BIT != 0,
         };
         if usize::from(hdr.frame_payload_len) > FRAME_PAYLOAD_BYTES {
             return Err(DaggerError::Wire(format!(
@@ -181,6 +202,7 @@ mod tests {
             frame_count: 5,
             frame_payload_len: 48,
             traced: false,
+            offloaded: false,
         }
     }
 
@@ -203,6 +225,26 @@ mod tests {
         hdr.traced = false;
         hdr.encode(&mut buf);
         assert_eq!(buf[12], 0x01, "untraced wire bytes are unchanged");
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn offloaded_flag_roundtrips_in_kind_byte() {
+        let mut hdr = sample();
+        hdr.kind = RpcKind::Response;
+        hdr.offloaded = true;
+        let mut buf = [0u8; HEADER_BYTES];
+        hdr.encode(&mut buf);
+        assert_eq!(buf[12], 0x42, "offloaded response = kind 2 | bit 6");
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+        hdr.traced = true;
+        hdr.encode(&mut buf);
+        assert_eq!(buf[12], 0xC2, "both flags compose");
+        assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
+        hdr.traced = false;
+        hdr.offloaded = false;
+        hdr.encode(&mut buf);
+        assert_eq!(buf[12], 0x02, "flag-free wire bytes are unchanged");
         assert_eq!(RpcHeader::decode(&buf).unwrap(), hdr);
     }
 

@@ -22,6 +22,7 @@
 //!     frame_count: 1,
 //!     frame_payload_len: 16,
 //!     traced: false,
+//!     offloaded: false,
 //! };
 //! let mut buf = [0u8; dagger_types::HEADER_BYTES];
 //! hdr.encode(&mut buf);
@@ -33,9 +34,11 @@ pub mod config;
 pub mod error;
 pub mod header;
 pub mod ids;
+pub mod offload;
 
 pub use cell::{CacheLine, CACHE_LINE_BYTES, FRAME_PAYLOAD_BYTES, HEADER_BYTES};
 pub use config::{HardConfig, IfaceKind, LbPolicy, SoftConfigSnapshot};
 pub use error::{DaggerError, Result};
 pub use header::{RpcHeader, RpcKind};
 pub use ids::{ConnectionId, FlowId, FnId, NodeAddr, RpcId, TenantId};
+pub use offload::{CacheClass, FnOffload, OffloadSpec, SerdeOp, SerdeTable};

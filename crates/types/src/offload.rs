@@ -1,0 +1,321 @@
+//! Vocabulary types for the on-NIC compute offload stage.
+//!
+//! Dagger's premise is that RPC work belongs on the NIC: the IDL compiler
+//! already knows every message's flat layout (§4.5 — "continuous arguments
+//! that do not contain references to other objects"), so it can hand the
+//! engine a *serde table*: a per-message program of fixed-width and
+//! length-prefixed field ops the NIC walks over raw frame payloads without
+//! materializing host objects. The tables power two offloads:
+//!
+//! * **NIC-side serde** — per-frame validation and zero-copy field
+//!   extraction (e.g. the key of a KVS GET) executed in the engine's RX
+//!   stage instead of on a host core;
+//! * the **hot-key response cache** — [`CacheClass`] marks which RPCs of a
+//!   service are cacheable reads vs. invalidating writes, and which request
+//!   field is the cache key.
+//!
+//! This crate defines only the vocabulary; `dagger_idl`'s macros emit the
+//! tables and `dagger-nic`'s offload stage executes them.
+
+use crate::ids::FnId;
+
+/// One field of a flat wire message, as the NIC sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SerdeOp {
+    /// A fixed-width field occupying exactly this many bytes (little-endian
+    /// scalars, `bool`, `[u8; N]`).
+    Fixed(u16),
+    /// A variable-length field: a `u32` little-endian byte length followed
+    /// by that many bytes (`Vec<u8>`, `String`).
+    Var,
+}
+
+/// The byte range a field's *payload* occupies within an encoded message
+/// (for [`SerdeOp::Var`] fields the range excludes the 4-byte length
+/// prefix).
+pub type FieldRange = core::ops::Range<usize>;
+
+/// A message's serde program: its fields in declaration order.
+///
+/// Walking the table over an encoded buffer is the NIC-side equivalent of
+/// host-side `Wire` decoding — same grammar, no object materialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SerdeTable {
+    ops: Vec<SerdeOp>,
+}
+
+impl SerdeTable {
+    /// Builds a table from the message's field ops in declaration order.
+    pub fn new(ops: Vec<SerdeOp>) -> Self {
+        SerdeTable { ops }
+    }
+
+    /// The field ops in declaration order.
+    pub fn ops(&self) -> &[SerdeOp] {
+        &self.ops
+    }
+
+    /// Number of fields.
+    pub fn num_fields(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Walks one field starting at `pos`, returning the payload range and
+    /// the position after the field, or `None` if the buffer is truncated.
+    fn walk(&self, bytes: &[u8], pos: usize, op: SerdeOp) -> Option<(FieldRange, usize)> {
+        match op {
+            SerdeOp::Fixed(n) => {
+                let end = pos.checked_add(usize::from(n))?;
+                if end > bytes.len() {
+                    return None;
+                }
+                Some((pos..end, end))
+            }
+            SerdeOp::Var => {
+                let len_end = pos.checked_add(4)?;
+                if len_end > bytes.len() {
+                    return None;
+                }
+                let len = u32::from_le_bytes(bytes[pos..len_end].try_into().unwrap()) as usize;
+                let end = len_end.checked_add(len)?;
+                if end > bytes.len() {
+                    return None;
+                }
+                Some((len_end..end, end))
+            }
+        }
+    }
+
+    /// `true` if `bytes` is exactly one well-formed message: every field in
+    /// bounds and no trailing bytes.
+    pub fn validate(&self, bytes: &[u8]) -> bool {
+        let mut pos = 0;
+        for &op in &self.ops {
+            match self.walk(bytes, pos, op) {
+                Some((_, next)) => pos = next,
+                None => return false,
+            }
+        }
+        pos == bytes.len()
+    }
+
+    /// Zero-copy extraction: the payload byte range of field `idx` within
+    /// `bytes`, walking only as far as needed. Returns `None` if the buffer
+    /// is truncated before the field ends or `idx` is out of range.
+    ///
+    /// Unlike [`SerdeTable::validate`] this tolerates trailing bytes, so a
+    /// leading field can be extracted from the first frame of a multi-frame
+    /// RPC.
+    pub fn field_range(&self, bytes: &[u8], idx: usize) -> Option<FieldRange> {
+        let mut pos = 0;
+        for (i, &op) in self.ops.iter().enumerate() {
+            let (range, next) = self.walk(bytes, pos, op)?;
+            if i == idx {
+                return Some(range);
+            }
+            pos = next;
+        }
+        None
+    }
+
+    /// Re-encodes field payloads (in declaration order) into wire form:
+    /// fixed fields verbatim, var fields with their length prefix restored.
+    /// The inverse of splitting a message with [`SerdeTable::field_range`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` has a different arity than the table or a fixed
+    /// part has the wrong width — table misuse, not wire input.
+    pub fn encode_parts(&self, parts: &[&[u8]]) -> Vec<u8> {
+        assert_eq!(parts.len(), self.ops.len(), "field arity mismatch");
+        let mut out = Vec::new();
+        for (&op, part) in self.ops.iter().zip(parts) {
+            match op {
+                SerdeOp::Fixed(n) => {
+                    assert_eq!(part.len(), usize::from(n), "fixed field width mismatch");
+                    out.extend_from_slice(part);
+                }
+                SerdeOp::Var => {
+                    out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+                    out.extend_from_slice(part);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How an RPC interacts with the on-NIC response cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheClass {
+    /// A side-effect-free read: responses are cacheable, keyed on the
+    /// request field at `key_field`.
+    Read {
+        /// Declaration-order index of the request field used as cache key.
+        key_field: usize,
+    },
+    /// A mutation: invalidates cached entries for the same key (or every
+    /// entry, if the key cannot be extracted on the NIC).
+    Write {
+        /// Declaration-order index of the request field used as cache key.
+        key_field: usize,
+    },
+}
+
+impl CacheClass {
+    /// Constructor matching the IDL clause `cache = read(N)`.
+    pub fn read(key_field: usize) -> Self {
+        CacheClass::Read { key_field }
+    }
+
+    /// Constructor matching the IDL clause `cache = write(N)`.
+    pub fn write(key_field: usize) -> Self {
+        CacheClass::Write { key_field }
+    }
+
+    /// The request field index carrying the cache key.
+    pub fn key_field(&self) -> usize {
+        match *self {
+            CacheClass::Read { key_field } | CacheClass::Write { key_field } => key_field,
+        }
+    }
+}
+
+/// One RPC's offload program: its cache class plus the serde tables of its
+/// request and response messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnOffload {
+    /// The RPC's function id (matches the frame header's `fn_id`).
+    pub fn_id: FnId,
+    /// Read (cacheable) or write (invalidating).
+    pub class: CacheClass,
+    /// Serde table of the request message.
+    pub req_table: SerdeTable,
+    /// Serde table of the response message.
+    pub resp_table: SerdeTable,
+}
+
+/// A service's complete offload program, installed on the serving NIC via
+/// `Nic::configure_offload`. RPCs without an entry simply bypass the
+/// offload stage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OffloadSpec {
+    fns: Vec<FnOffload>,
+}
+
+impl OffloadSpec {
+    /// Builds a spec from per-RPC programs.
+    pub fn new(fns: Vec<FnOffload>) -> Self {
+        OffloadSpec { fns }
+    }
+
+    /// The per-RPC programs.
+    pub fn fns(&self) -> &[FnOffload] {
+        &self.fns
+    }
+
+    /// Looks up the program for `fn_id`, if the RPC is offloadable.
+    pub fn get(&self, fn_id: FnId) -> Option<&FnOffload> {
+        self.fns.iter().find(|f| f.fn_id == fn_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `{ found: bool, value: Vec<u8> }` — the KVS GET response shape.
+    fn bool_bytes_table() -> SerdeTable {
+        SerdeTable::new(vec![SerdeOp::Fixed(1), SerdeOp::Var])
+    }
+
+    fn encode(found: u8, value: &[u8]) -> Vec<u8> {
+        let mut buf = vec![found];
+        buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.extend_from_slice(value);
+        buf
+    }
+
+    #[test]
+    fn validate_accepts_exact_message() {
+        let t = bool_bytes_table();
+        assert!(t.validate(&encode(1, b"hello")));
+        assert!(t.validate(&encode(0, b"")));
+    }
+
+    #[test]
+    fn validate_rejects_truncation_and_trailing() {
+        let t = bool_bytes_table();
+        let msg = encode(1, b"hello");
+        assert!(!t.validate(&msg[..msg.len() - 1]), "truncated payload");
+        assert!(!t.validate(&msg[..3]), "truncated length prefix");
+        assert!(!t.validate(&[]), "empty buffer");
+        let mut long = msg.clone();
+        long.push(0);
+        assert!(!t.validate(&long), "trailing byte");
+    }
+
+    #[test]
+    fn validate_rejects_length_prefix_overflow() {
+        // A length prefix of u32::MAX must not wrap the walk position.
+        let mut msg = vec![1u8];
+        msg.extend_from_slice(&u32::MAX.to_le_bytes());
+        let t = bool_bytes_table();
+        assert!(!t.validate(&msg));
+    }
+
+    #[test]
+    fn field_range_extracts_payloads() {
+        let t = bool_bytes_table();
+        let msg = encode(1, b"hello");
+        assert_eq!(t.field_range(&msg, 0), Some(0..1));
+        let r = t.field_range(&msg, 1).unwrap();
+        assert_eq!(&msg[r], b"hello");
+        assert_eq!(t.field_range(&msg, 2), None, "index out of range");
+    }
+
+    #[test]
+    fn field_range_tolerates_trailing_bytes() {
+        // First-frame extraction: the key of a multi-frame SET is readable
+        // even though the value field continues past this frame.
+        let t = SerdeTable::new(vec![SerdeOp::Var, SerdeOp::Var]);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&3u32.to_le_bytes());
+        msg.extend_from_slice(b"key");
+        msg.extend_from_slice(&100u32.to_le_bytes());
+        msg.extend_from_slice(&[0u8; 10]); // only a prefix of the value
+        let r = t.field_range(&msg, 0).unwrap();
+        assert_eq!(&msg[r], b"key");
+        assert_eq!(t.field_range(&msg, 1), None, "value field truncated");
+    }
+
+    #[test]
+    fn encode_parts_is_the_inverse_of_field_range() {
+        let t = bool_bytes_table();
+        let msg = encode(1, b"roundtrip");
+        let f0 = t.field_range(&msg, 0).unwrap();
+        let f1 = t.field_range(&msg, 1).unwrap();
+        let rebuilt = t.encode_parts(&[&msg[f0], &msg[f1]]);
+        assert_eq!(rebuilt, msg);
+    }
+
+    #[test]
+    fn cache_class_constructors_and_key_field() {
+        assert_eq!(CacheClass::read(0), CacheClass::Read { key_field: 0 });
+        assert_eq!(CacheClass::write(2), CacheClass::Write { key_field: 2 });
+        assert_eq!(CacheClass::read(3).key_field(), 3);
+    }
+
+    #[test]
+    fn spec_lookup_by_fn_id() {
+        let spec = OffloadSpec::new(vec![FnOffload {
+            fn_id: FnId(1),
+            class: CacheClass::read(0),
+            req_table: SerdeTable::new(vec![SerdeOp::Var]),
+            resp_table: bool_bytes_table(),
+        }]);
+        assert!(spec.get(FnId(1)).is_some());
+        assert!(spec.get(FnId(2)).is_none());
+        assert!(OffloadSpec::default().get(FnId(1)).is_none());
+    }
+}

@@ -113,6 +113,15 @@ if [[ $CHECK -eq 1 ]]; then
     $1 ~ /_overhead_permille$/ && $3 > 30 {
       printf "REGRESSION %s: %d permille (> 30 = 3%% budget)\n", $1, $3; bad = 1
     }
+    # On-NIC hot-key cache, absolute gates: the hot-key GET mix must keep
+    # an >=80% NIC hit rate, and the cache-served median must stay at
+    # least 25% under the server-served median (the offload perf claim).
+    $1 ~ /hit_rate_permille$/ && $3 < 800 {
+      printf "REGRESSION %s: %d permille (< 800 = 80%% hit-rate floor)\n", $1, $3; bad = 1
+    }
+    $1 ~ /_win_permille$/ && $3 < 250 {
+      printf "REGRESSION %s: %d permille (< 250 = 25%% median-win floor)\n", $1, $3; bad = 1
+    }
     END { exit bad }
   '
   rm -f "$BASELINE"

@@ -61,6 +61,7 @@ proptest! {
             frame_count: count,
             frame_payload_len: payload_len,
             traced,
+            offloaded: false,
         };
         let mut buf = [0u8; HEADER_BYTES];
         hdr.encode(&mut buf);
@@ -423,6 +424,7 @@ proptest! {
             frame_count: count,
             frame_payload_len: 48,
             traced: false,
+            offloaded: false,
         };
         let mut buf = [0u8; HEADER_BYTES];
         hdr.encode(&mut buf);
@@ -751,6 +753,188 @@ proptest! {
                 got.abs_diff(want) <= tol,
                 "p{p}: sketch {got} vs histogram {want} (tolerance {tol})"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// On-NIC offload stage (DESIGN.md §18): NIC-side serde tables and the
+// hot-key response cache's coherence protocol.
+
+dagger::idl::dagger_message! {
+    /// Mixed-layout message exercising every serde-op class the tables
+    /// support: fixed scalars, a fixed array, and two var-width fields.
+    pub struct OffloadProbe {
+        tag: u32,
+        key: Vec<u8>,
+        stamp: [u8; 4],
+        note: String,
+        flag: bool,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// NIC-side serde is byte-identical to host serde: for arbitrary IDL
+    /// values, the generated table accepts exactly the host encoding,
+    /// splits it into the declared fields, and re-encoding those splits
+    /// reproduces the host bytes bit for bit.
+    #[test]
+    fn serde_table_matches_host_serde(
+        tag in any::<u32>(),
+        key in prop::collection::vec(any::<u8>(), 0..24),
+        stamp_seed in any::<u32>(),
+        note in ".{0,16}",
+        flag in any::<bool>(),
+    ) {
+        let msg = OffloadProbe { tag, key, stamp: stamp_seed.to_le_bytes(), note, flag };
+        let host_bytes = msg.to_wire();
+        let table = OffloadProbe::serde_table().expect("flat message");
+
+        // The table accepts the host encoding exactly, and rejects any
+        // truncation of it.
+        prop_assert!(table.validate(&host_bytes));
+        if !host_bytes.is_empty() {
+            prop_assert!(!table.validate(&host_bytes[..host_bytes.len() - 1]));
+        }
+
+        // Zero-copy field extraction + table re-encode == host encode.
+        let parts: Vec<&[u8]> = (0..table.num_fields())
+            .map(|i| {
+                let range = table.field_range(&host_bytes, i).expect("validated");
+                &host_bytes[range]
+            })
+            .collect();
+        prop_assert_eq!(table.encode_parts(&parts), host_bytes.clone());
+
+        // And the key field the cache would hash is the exact field bytes.
+        let key_range = table.field_range(&host_bytes, 1).expect("key field");
+        prop_assert_eq!(&host_bytes[key_range], msg.key.as_slice());
+
+        // Host decode of the table-reassembled bytes is the original value.
+        prop_assert_eq!(OffloadProbe::from_wire(&host_bytes).unwrap(), msg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Coherence of the double-bump protocol: a cache hit never returns a
+    /// value older than the last *acknowledged* SET of its key — even when
+    /// the host store answers in-flight GETs with adversarially stale
+    /// versions (any version the store could legally have held while the
+    /// GET was in flight).
+    ///
+    /// Each scripted step is `(op, key, pick)`: op 0 = GET arrives, 1 = SET
+    /// arrives (RX bump), 2 = blind SET (epoch flush), 3 = the host serves
+    /// an outstanding GET of `key` with version `pick` (adversarial), 4 =
+    /// the oldest outstanding SET acks (TX bump).
+    #[test]
+    fn cache_hit_is_never_older_than_last_acked_set(
+        ops in prop::collection::vec((0u8..5, 0usize..3, any::<u8>()), 1..120),
+    ) {
+        use dagger::nic::OffloadState;
+        use dagger::types::{CacheClass, FnOffload, OffloadSpec, SerdeOp, SerdeTable};
+
+        let state = OffloadState::new(1);
+        state.configure(OffloadSpec::new(vec![FnOffload {
+            fn_id: FnId(1),
+            class: CacheClass::read(0),
+            req_table: SerdeTable::new(vec![SerdeOp::Var]),
+            resp_table: SerdeTable::new(vec![SerdeOp::Fixed(8)]),
+        }]));
+        const CAP: usize = 4;
+
+        // Per-key write history. Version v's response payload is the
+        // version index itself, so a hit identifies which write it
+        // reflects (version 0 = initial state). A blind SET may touch any
+        // key, so it pessimistically mints a new version of every key.
+        // `versions[k]` counts minted versions; `acked[k]` is the highest
+        // acknowledged one.
+        let mut versions = [1u64, 1, 1];
+        let mut acked = [0u64, 0, 0];
+        let mut reads: std::collections::VecDeque<(usize, u32, u64)> =
+            std::collections::VecDeque::new();
+        let mut writes: std::collections::VecDeque<(u32, [Option<u64>; 3])> =
+            std::collections::VecDeque::new();
+        let mut next_rpc = 0u32;
+        let payload_of = |v: u64| {
+            let mut p = vec![0u8; 9];
+            p[1..].copy_from_slice(&v.to_le_bytes());
+            p
+        };
+
+        for (op, k, pick) in ops {
+            match op {
+                0 => {
+                    next_rpc += 1;
+                    let key = [k as u8];
+                    match state.on_read_rx(0, FnId(1), ConnectionId(1), RpcId(next_rpc), &key, CAP) {
+                        Some(hit) => {
+                            prop_assert_eq!(hit.len(), 9, "cached payload shape");
+                            let v = u64::from_le_bytes(hit[1..].try_into().unwrap());
+                            prop_assert!(
+                                v >= acked[k],
+                                "stale hit: version {} < last acked {} (key {})",
+                                v, acked[k], k
+                            );
+                            prop_assert!(v < versions[k], "hit from the future");
+                        }
+                        // A miss goes to the host; remember the acked
+                        // floor at arrival — the host cannot legally answer
+                        // with anything older.
+                        None => reads.push_back((k, next_rpc, acked[k])),
+                    }
+                }
+                1 => {
+                    next_rpc += 1;
+                    state.on_write_rx(ConnectionId(1), RpcId(next_rpc), Some(&[k as u8]));
+                    let mut minted = [None, None, None];
+                    minted[k] = Some(versions[k]);
+                    versions[k] += 1;
+                    writes.push_back((next_rpc, minted));
+                }
+                2 => {
+                    next_rpc += 1;
+                    state.on_write_rx(ConnectionId(1), RpcId(next_rpc), None);
+                    let minted = [Some(versions[0]), Some(versions[1]), Some(versions[2])];
+                    for v in &mut versions {
+                        *v += 1;
+                    }
+                    writes.push_back((next_rpc, minted));
+                }
+                3 => {
+                    // Answer the oldest outstanding GET of key `k` with an
+                    // adversarially chosen version: anything the host could
+                    // legally have held while the GET was in flight, i.e.
+                    // between the acked floor at arrival and the newest
+                    // minted version. The cache protocol, not the store's
+                    // timing, must protect acked writes.
+                    if let Some(pos) = reads.iter().position(|(rk, _, _)| *rk == k) {
+                        let (_, rpc, floor) = reads.remove(pos).unwrap();
+                        let v = floor + u64::from(pick) % (versions[k] - floor);
+                        state.on_response_tx(
+                            ConnectionId(1),
+                            RpcId(rpc),
+                            0,
+                            1,
+                            &payload_of(v),
+                            CAP,
+                        );
+                    }
+                }
+                _ => {
+                    if let Some((rpc, minted)) = writes.pop_front() {
+                        state.on_response_tx(ConnectionId(1), RpcId(rpc), 0, 1, &[0], CAP);
+                        for (a, m) in acked.iter_mut().zip(minted) {
+                            if let Some(v) = m {
+                                *a = (*a).max(v);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 }

@@ -14,6 +14,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use common::{body_for, reliable_cfg, Conf, ConformClient, ConformDispatch, RecordingEcho};
+use dagger::kvs::server::{KvGetRequest, KvSetRequest, KvStoreClient, KvStoreDispatch};
+use dagger::kvs::{Memcached, MemcachedPort};
 use dagger::nic::{Fabric, MemFabric, Nic, UdpFabric};
 use dagger::rpc::{RpcClientPool, RpcThreadedServer};
 use dagger::types::{CacheLine, NodeAddr, CACHE_LINE_BYTES};
@@ -46,6 +48,110 @@ fn mem_fabric_conformance_batched() {
 #[test]
 fn udp_fabric_conformance_batched() {
     common::run_conformance_batched("udp-batch8", &UdpFabric::new(), CLIENTS, CALLS, 8);
+}
+
+/// Runs the deterministic KVS GET/SET mix against an offload-armed server
+/// on the given backend and returns the application-level transcript. The
+/// workload is backend- and cache-independent by construction, so callers
+/// compare transcripts across configurations.
+fn run_offload_conformance(
+    label: &str,
+    fabric: &dyn Fabric,
+    cache_entries: u32,
+) -> Vec<(bool, Vec<u8>)> {
+    let server_nic = Nic::start(fabric, NodeAddr(1), reliable_cfg()).unwrap();
+    assert!(server_nic.configure_offload(KvStoreClient::offload_spec().expect("kvs offloadable")));
+    server_nic.softregs().set_nic_serde(true);
+    server_nic
+        .softregs()
+        .set_offload_cache_entries(cache_entries);
+    let store = Arc::new(Memcached::new(1 << 20, 8));
+    let mut server = RpcThreadedServer::new(Arc::clone(&server_nic), 1);
+    server
+        .register_service(Arc::new(KvStoreDispatch::new(MemcachedPort::new(
+            Arc::clone(&store),
+        ))))
+        .unwrap();
+    server.start().unwrap();
+
+    let client_nic = Nic::start(fabric, NodeAddr(2), reliable_cfg()).unwrap();
+    let pool = RpcClientPool::connect(Arc::clone(&client_nic), NodeAddr(1), 1).unwrap();
+    let raw = pool.client(0).unwrap();
+    raw.set_timeout(Duration::from_secs(20));
+    let client = KvStoreClient::new(Arc::clone(&raw));
+
+    let mut transcript = Vec::new();
+    let mut gets = 0u64;
+    for i in 0..160u64 {
+        let key = format!("k{}", i % 6).into_bytes();
+        if i % 8 == 0 {
+            let set = client
+                .set(&KvSetRequest {
+                    key,
+                    value: format!("v{i}").into_bytes(),
+                })
+                .unwrap_or_else(|e| panic!("[{label}] set {i}: {e}"));
+            assert!(set.ok, "[{label}] set {i} rejected");
+        } else {
+            gets += 1;
+            let resp = client
+                .get(&KvGetRequest { key })
+                .unwrap_or_else(|e| panic!("[{label}] get {i}: {e}"));
+            transcript.push((resp.found, resp.value));
+        }
+    }
+
+    server.stop();
+    let stats = server_nic.offload_stats();
+    if cache_entries == 0 {
+        assert_eq!(
+            stats.hits + stats.misses + stats.fills,
+            0,
+            "[{label}] disabled cache must have zero offload accounting: {stats:?}"
+        );
+    } else {
+        assert!(
+            stats.hits > 0,
+            "[{label}] cache enabled but never hit: {stats:?}"
+        );
+    }
+    assert_eq!(
+        raw.endpoint().offload_served(),
+        stats.hits,
+        "[{label}] endpoint/NIC offload accounting diverged"
+    );
+    let store_gets = store.stats().get_hits + store.stats().get_misses;
+    assert_eq!(
+        stats.hits + store_gets,
+        gets,
+        "[{label}] every GET must be served exactly once: {stats:?}, store={store_gets}"
+    );
+
+    drop(client);
+    drop(raw);
+    drop(pool);
+    client_nic.shutdown();
+    server_nic.shutdown();
+    transcript
+}
+
+/// The on-NIC offload stage is backend-transparent on the in-process
+/// switch: cache on and cache off return identical application results.
+#[test]
+fn mem_fabric_offload_conformance() {
+    let on = run_offload_conformance("mem-cache64", &MemFabric::new(), 64);
+    let off = run_offload_conformance("mem-cache0", &MemFabric::new(), 0);
+    assert_eq!(on, off, "cache on/off must be observationally identical");
+}
+
+/// Same invariant over real UDP sockets: NIC-synthesized responses ride
+/// the identical wire format, so the cache stays invisible to the
+/// application on a real-socket backend too.
+#[test]
+fn udp_fabric_offload_conformance() {
+    let on = run_offload_conformance("udp-cache64", &UdpFabric::new(), 64);
+    let off = run_offload_conformance("udp-cache0", &UdpFabric::new(), 0);
+    assert_eq!(on, off, "cache on/off must be observationally identical");
 }
 
 /// The wire format is a property of the transport, not the backend: a
